@@ -1,0 +1,58 @@
+"""Deployment helpers shared by the benchmark files."""
+
+from __future__ import annotations
+
+from repro.common.clock import WEEK
+from repro.core.architecture import ArchitectureConfig, UsageControlArchitecture
+from repro.core.processes import (
+    market_onboarding,
+    pod_initiation,
+    resource_access,
+    resource_initiation,
+)
+from repro.policy.templates import retention_policy
+
+RESOURCE_PATH = "/data/dataset.bin"
+RESOURCE_CONTENT = b"row,value\n" * 128
+
+
+def fresh_architecture(**config_kwargs) -> UsageControlArchitecture:
+    """A new deployment with optional configuration overrides."""
+    if config_kwargs:
+        return UsageControlArchitecture(config=ArchitectureConfig(**config_kwargs))
+    return UsageControlArchitecture()
+
+
+def deploy_owner_with_resource(architecture: UsageControlArchitecture, name: str = "owner",
+                               path: str = RESOURCE_PATH, retention: float = WEEK):
+    """Register an owner, initialize their pod, and publish one resource."""
+    owner = architecture.register_owner(name)
+    pod_initiation(architecture, owner)
+    policy = retention_policy(
+        owner.pod_manager.base_url + path,
+        owner.webid.iri,
+        retention_seconds=retention,
+        issued_at=architecture.clock.now(),
+    )
+    resource_initiation(architecture, owner, path, RESOURCE_CONTENT, policy)
+    resource_id = owner.pod_manager.require_pod().url_for(path)
+    return owner, resource_id
+
+
+def deploy_consumer(architecture: UsageControlArchitecture, name: str, purpose: str = "web-analytics",
+                    subscribe: bool = True):
+    """Register a consumer and (optionally) subscribe them to the market."""
+    consumer = architecture.register_consumer(name, purpose=purpose)
+    if subscribe:
+        market_onboarding(architecture, consumer)
+    return consumer
+
+
+def consumers_with_copies(architecture: UsageControlArchitecture, owner, resource_id: str, count: int):
+    """Register *count* consumers, each holding a copy of *resource_id*."""
+    consumers = []
+    for index in range(count):
+        consumer = deploy_consumer(architecture, f"consumer-{index:03d}")
+        resource_access(architecture, consumer, owner, resource_id)
+        consumers.append(consumer)
+    return consumers

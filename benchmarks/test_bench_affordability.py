@@ -1,0 +1,93 @@
+"""E7 (Section V-4, affordability): gas costs per operation and break-even analysis.
+
+"Resorting to a public blockchain, users of our infrastructure would make a
+payment to interact with the blockchain metadata through transactions.  The
+market scenario can justify the costs involved ...  A subscription-based
+business model could offer an incentive mechanism that allows users to
+overcome the sharing costs and earn a remuneration upon access to their
+data."
+
+The benchmark produces (a) a gas-cost table for every on-chain operation an
+owner or consumer performs and (b) the number of paid accesses after which an
+owner's market earnings cover their own on-chain spending (the break-even the
+subscription model relies on).
+"""
+
+from __future__ import annotations
+
+from repro.common.clock import WEEK
+from repro.core.processes import (
+    market_onboarding,
+    pod_initiation,
+    resource_access,
+    resource_initiation,
+)
+from repro.policy.templates import retention_policy
+
+from bench_helpers import RESOURCE_CONTENT, deploy_consumer, fresh_architecture
+
+
+def gas_cost_table() -> dict:
+    """Run each on-chain operation once and collect its gas cost."""
+    architecture = fresh_architecture()
+    owner = architecture.register_owner("owner")
+    costs = {}
+
+    trace = pod_initiation(architecture, owner)
+    costs["register_pod (push-in)"] = trace.gas_used
+
+    path = "/data/dataset.bin"
+    policy = retention_policy(owner.pod_manager.base_url + path, owner.webid.iri, WEEK)
+    trace = resource_initiation(architecture, owner, path, RESOURCE_CONTENT, policy)
+    costs["register_resource + market listing (push-in)"] = trace.gas_used
+    resource_id = owner.pod_manager.require_pod().url_for(path)
+
+    consumer = architecture.register_consumer("consumer", purpose="web-analytics")
+    trace = market_onboarding(architecture, consumer)
+    costs["market subscription"] = trace.gas_used
+
+    trace = resource_access(architecture, consumer, owner, resource_id)
+    costs["resource access (certificate + grant)"] = trace.gas_used
+
+    new_policy = retention_policy(resource_id, owner.webid.iri, WEEK / 2).revise()
+    before = architecture.total_gas_used()
+    owner.update_policy(path, new_policy)
+    costs["update_policy (push-in)"] = architecture.total_gas_used() - before
+
+    return costs
+
+
+def test_e7_gas_cost_per_operation(benchmark, report):
+    costs = benchmark.pedantic(gas_cost_table, rounds=1, iterations=1)
+    for operation, gas in costs.items():
+        report("E7 gas", operation=operation, gas=gas)
+    # Shape assertions: every metadata write costs gas; the resource access
+    # path (two small transactions) is cheaper than resource registration
+    # (which stores the whole policy on-chain).
+    assert all(gas > 0 for gas in costs.values())
+    assert costs["register_resource + market listing (push-in)"] > costs["register_pod (push-in)"] * 0.5
+
+
+def test_e7_owner_break_even_accesses(benchmark, report):
+    """How many paid accesses until owner earnings cover the owner's gas bill."""
+    architecture = fresh_architecture(access_fee=10_000, owner_share_percent=80)
+    owner = architecture.register_owner("owner")
+    pod_initiation(architecture, owner)
+    path = "/data/dataset.bin"
+    policy = retention_policy(owner.pod_manager.base_url + path, owner.webid.iri, WEEK)
+    resource_initiation(architecture, owner, path, RESOURCE_CONTENT, policy)
+    resource_id = owner.pod_manager.require_pod().url_for(path)
+
+    owner_gas_spent = owner.module.gas_spent  # gas the owner paid to set up pod + resource
+    earnings = 0
+    accesses = 0
+    while earnings < owner_gas_spent and accesses < 200:
+        consumer = deploy_consumer(architecture, f"consumer-{accesses:03d}")
+        resource_access(architecture, consumer, owner, resource_id)
+        earnings = owner.market_earnings()
+        accesses += 1
+
+    report("E7 break-even", owner_setup_gas=owner_gas_spent, access_fee=10_000,
+           owner_share="80%", accesses_to_break_even=accesses, earnings=earnings)
+    assert 0 < accesses < 200
+    assert earnings >= owner_gas_spent

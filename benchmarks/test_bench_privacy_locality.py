@@ -1,0 +1,76 @@
+"""E8 (Section V-1, privacy/locality): TEE-cached access vs repeated remote pod reads.
+
+"After the resource retrieval, Trusted Applications benefit from locally
+stored data (as long as the Usage Policy permits it) without the need to
+constantly communicate with Solid Pods, which leads to significant
+improvements in latency and scalability."
+
+The benchmark compares N reads served from the consumer's trusted data
+storage against N reads that each go back to the owner's pod over the
+network, and locates the crossover (which is immediate: the local path wins
+from the second read on, since the single retrieval already paid the remote
+cost once).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.processes import resource_access
+
+from bench_helpers import deploy_consumer, deploy_owner_with_resource, fresh_architecture
+
+READS = 25
+
+
+@pytest.fixture(scope="module")
+def locality_setup():
+    architecture = fresh_architecture()
+    owner, resource_id = deploy_owner_with_resource(architecture)
+    consumer = deploy_consumer(architecture, "local-reader")
+    resource_access(architecture, consumer, owner, resource_id)
+    remote_reader = deploy_consumer(architecture, "remote-reader")
+    resource_access(architecture, remote_reader, owner, resource_id)
+    return architecture, owner, resource_id, consumer, remote_reader
+
+
+def test_e8_local_tee_reads(benchmark, locality_setup, report):
+    """N policy-checked uses of the sealed local copy (no network)."""
+    architecture, _, resource_id, consumer, _ = locality_setup
+
+    def run():
+        start = architecture.network.total_latency
+        for _ in range(READS):
+            consumer.use_resource(resource_id)
+        return architecture.network.total_latency - start
+
+    network_seconds = benchmark.pedantic(run, rounds=3, iterations=1)
+    report("E8 local reads", reads=READS, simulated_network_seconds=round(network_seconds, 4))
+    assert network_seconds == 0.0  # local usage never touches the network
+
+
+def test_e8_remote_pod_reads(benchmark, locality_setup, report):
+    """N reads that each go back to the owner's pod (the no-TEE alternative)."""
+    architecture, owner, resource_id, _, remote_reader = locality_setup
+    path = owner.pod_manager.require_pod().path_for(resource_id)
+    certificate = remote_reader.certificates[resource_id]["certificate_id"]
+
+    def run():
+        start = architecture.network.total_latency
+        for _ in range(READS):
+            architecture.solid_client.get(
+                resource_id,
+                requester=remote_reader.webid.iri,
+                certificate_id=certificate,
+                requester_address=remote_reader.address,
+            )
+        return architecture.network.total_latency - start
+
+    network_seconds = benchmark.pedantic(run, rounds=3, iterations=1)
+    per_read_ms = network_seconds / READS * 1000
+    report("E8 remote reads", reads=READS,
+           simulated_network_seconds=round(network_seconds, 4),
+           per_read_ms=round(per_read_ms, 2), path=path)
+    # Every remote read pays a client<->pod round trip; the local path pays none.
+    assert network_seconds > 0.0
+    assert per_read_ms >= 50  # two ~40 ms hops per round trip in the default model

@@ -1,0 +1,163 @@
+"""E1-E6: latency, transaction count, and gas for the six Fig. 2 processes.
+
+The paper presents the processes qualitatively; this harness quantifies each
+one on the reproduction's substrate.  Absolute numbers depend on the host,
+but the *shape* holds: transaction-bearing processes (1, 2, 5, 6) cost tens
+of thousands of gas and one or more blocks, while the pull-based read of
+process 3 is free, and process 4 is dominated by the pod transfer plus one
+grant-recording transaction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.clock import DAY, WEEK, MONTH
+from repro.core.monitoring import MonitoringCoordinator
+from repro.core.processes import (
+    pod_initiation,
+    policy_modification,
+    policy_monitoring,
+    resource_access,
+    resource_indexing,
+    resource_initiation,
+)
+from repro.policy.templates import retention_policy
+
+from bench_helpers import (
+    RESOURCE_CONTENT,
+    RESOURCE_PATH,
+    consumers_with_copies,
+    deploy_consumer,
+    deploy_owner_with_resource,
+    fresh_architecture,
+)
+
+
+def test_e1_pod_initiation(benchmark, report):
+    """E1 (Fig. 2.1): pod initiation."""
+    counter = {"n": 0}
+
+    def run():
+        architecture = fresh_architecture()
+        owner = architecture.register_owner(f"owner-{counter['n']}")
+        counter["n"] += 1
+        return pod_initiation(architecture, owner)
+
+    trace = benchmark.pedantic(run, rounds=3, iterations=1)
+    report("E1 pod_initiation", transactions=trace.transactions, gas=trace.gas_used,
+           network_ms=round(trace.simulated_network_seconds * 1000, 1))
+    assert trace.transactions == 1
+    assert trace.gas_used > 0
+
+
+def test_e2_resource_initiation(benchmark, report):
+    """E2 (Fig. 2.2): resource initiation (upload + publish + index + market listing)."""
+    architecture = fresh_architecture()
+    owner = architecture.register_owner("owner")
+    pod_initiation(architecture, owner)
+    counter = {"n": 0}
+
+    def run():
+        path = f"/data/resource-{counter['n']}.bin"
+        counter["n"] += 1
+        policy = retention_policy(
+            owner.pod_manager.base_url + path, owner.webid.iri, retention_seconds=WEEK
+        )
+        return resource_initiation(architecture, owner, path, RESOURCE_CONTENT, policy)
+
+    trace = benchmark.pedantic(run, rounds=5, iterations=1)
+    report("E2 resource_initiation", transactions=trace.transactions, gas=trace.gas_used,
+           network_ms=round(trace.simulated_network_seconds * 1000, 1))
+    assert trace.transactions == 2  # register_resource + market listing
+    assert trace.gas_used > 0
+
+
+def test_e3_resource_indexing_scales_with_registry_size(benchmark, report):
+    """E3 (Fig. 2.3): pull-out lookup latency with a populated registry."""
+    architecture = fresh_architecture()
+    owner = architecture.register_owner("owner")
+    pod_initiation(architecture, owner)
+    resource_ids = []
+    for index in range(20):
+        path = f"/data/resource-{index}.bin"
+        policy = retention_policy(owner.pod_manager.base_url + path, owner.webid.iri, WEEK)
+        resource_initiation(architecture, owner, path, RESOURCE_CONTENT, policy)
+        resource_ids.append(owner.pod_manager.require_pod().url_for(path))
+    consumer = deploy_consumer(architecture, "reader")
+
+    counter = {"n": 0}
+
+    def run():
+        resource_id = resource_ids[counter["n"] % len(resource_ids)]
+        counter["n"] += 1
+        return resource_indexing(architecture, consumer, resource_id)
+
+    trace = benchmark.pedantic(run, rounds=10, iterations=1)
+    report("E3 resource_indexing", registry_size=len(resource_ids),
+           transactions=trace.transactions, gas=trace.gas_used)
+    assert trace.transactions == 0
+    assert trace.gas_used == 0
+
+
+def test_e4_resource_access(benchmark, report):
+    """E4 (Fig. 2.4): ACL + certificate checks, transfer into the TEE, grant recording."""
+    architecture = fresh_architecture()
+    owner, resource_id = deploy_owner_with_resource(architecture)
+    counter = {"n": 0}
+
+    def run():
+        consumer = deploy_consumer(architecture, f"consumer-{counter['n']}")
+        counter["n"] += 1
+        return resource_access(architecture, consumer, owner, resource_id)
+
+    trace = benchmark.pedantic(run, rounds=5, iterations=1)
+    report("E4 resource_access", transactions=trace.transactions, gas=trace.gas_used,
+           stored_bytes=trace.details["stored_bytes"])
+    assert trace.details["stored_bytes"] == len(RESOURCE_CONTENT)
+    assert trace.transactions >= 2  # certificate purchase + access grant
+
+
+@pytest.mark.parametrize("holders", [1, 4, 8])
+def test_e5_policy_modification_vs_holders(benchmark, report, holders):
+    """E5 (Fig. 2.5): policy update propagation to N copy-holding devices."""
+    architecture = fresh_architecture()
+    owner, resource_id = deploy_owner_with_resource(architecture, retention=MONTH)
+    consumers_with_copies(architecture, owner, resource_id, holders)
+    architecture.advance_time(2 * DAY)
+    version = {"n": 1}
+
+    def run():
+        version["n"] += 1
+        new_policy = retention_policy(
+            resource_id, owner.webid.iri, retention_seconds=WEEK,
+            issued_at=architecture.clock.now(),
+        )
+        for _ in range(version["n"] - 1):
+            new_policy = new_policy.revise()
+        return policy_modification(architecture, owner, RESOURCE_PATH, new_policy)
+
+    trace = benchmark.pedantic(run, rounds=3, iterations=1)
+    report(f"E5 policy_modification holders={holders}", transactions=trace.transactions,
+           gas=trace.gas_used, notified=len(trace.details["notified_devices"]))
+    assert len(trace.details["notified_devices"]) == holders
+    assert trace.transactions == 1  # one on-chain update reaches every holder
+
+
+@pytest.mark.parametrize("holders", [1, 4, 8])
+def test_e6_policy_monitoring_vs_holders(benchmark, report, holders):
+    """E6 (Fig. 2.6): a full monitoring round against N copy-holding devices."""
+    architecture = fresh_architecture()
+    owner, resource_id = deploy_owner_with_resource(architecture, retention=MONTH)
+    consumers_with_copies(architecture, owner, resource_id, holders)
+    coordinator = MonitoringCoordinator(architecture)
+
+    def run():
+        return policy_monitoring(architecture, owner, RESOURCE_PATH, coordinator)
+
+    trace = benchmark.pedantic(run, rounds=3, iterations=1)
+    report(f"E6 policy_monitoring holders={holders}", transactions=trace.transactions,
+           gas=trace.gas_used, compliant=len(trace.details["compliant"]))
+    # One start tx + per holder: one request + one fulfillment + one evidence record.
+    assert trace.transactions == 1 + 3 * holders
+    assert len(trace.details["compliant"]) == holders

@@ -1,0 +1,80 @@
+"""E12 (Section VI): performance and scalability of the instantiated architecture.
+
+Sweeps the deployment over the number of consumers retrieving the same
+resource and over the number of resources per owner, reporting end-to-end
+wall-clock time, chain growth, and gas.  The expected shape: both grow
+linearly with the population (constant per-process cost), and the policy-
+update fan-out stays a single transaction regardless of the holder count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.clock import WEEK
+from repro.core.processes import pod_initiation, resource_access, resource_initiation
+from repro.policy.templates import retention_policy
+
+from bench_helpers import (
+    RESOURCE_CONTENT,
+    consumers_with_copies,
+    deploy_owner_with_resource,
+    fresh_architecture,
+)
+
+
+@pytest.mark.parametrize("num_consumers", [1, 4, 8])
+def test_e12_access_throughput_vs_consumers(benchmark, report, num_consumers):
+    """Total cost of N consumers each retrieving the shared resource."""
+
+    def run():
+        architecture = fresh_architecture()
+        owner, resource_id = deploy_owner_with_resource(architecture)
+        consumers_with_copies(architecture, owner, resource_id, num_consumers)
+        return architecture
+
+    architecture = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(f"E12 consumers={num_consumers}", chain_height=architecture.node.chain.height,
+           total_gas=architecture.total_gas_used(),
+           gas_per_consumer=architecture.total_gas_used() // max(1, num_consumers))
+    assert architecture.node.chain.verify_chain()
+
+
+@pytest.mark.parametrize("num_resources", [1, 5, 10])
+def test_e12_publication_cost_vs_resources(benchmark, report, num_resources):
+    """Total cost of one owner publishing N resources."""
+
+    def run():
+        architecture = fresh_architecture()
+        owner = architecture.register_owner("owner")
+        pod_initiation(architecture, owner)
+        for index in range(num_resources):
+            path = f"/data/resource-{index}.bin"
+            policy = retention_policy(owner.pod_manager.base_url + path, owner.webid.iri, WEEK)
+            resource_initiation(architecture, owner, path, RESOURCE_CONTENT, policy)
+        return architecture
+
+    architecture = benchmark.pedantic(run, rounds=1, iterations=1)
+    gas = architecture.total_gas_used()
+    report(f"E12 resources={num_resources}", total_gas=gas,
+           gas_per_resource=gas // num_resources,
+           indexed=len(architecture.dist_exchange_read("list_resources")))
+    assert len(architecture.dist_exchange_read("list_resources")) == num_resources
+
+
+def test_e12_per_operation_cost_is_population_independent(benchmark, report):
+    """Gas per access stays flat as the population grows (linear total cost)."""
+    per_consumer_costs = []
+    for num_consumers in (2, 6):
+        architecture = fresh_architecture()
+        owner, resource_id = deploy_owner_with_resource(architecture)
+        baseline_gas = architecture.total_gas_used()
+        consumers_with_copies(architecture, owner, resource_id, num_consumers)
+        per_consumer_costs.append(
+            (architecture.total_gas_used() - baseline_gas) / num_consumers
+        )
+    report("E12 per-access gas", two_consumers=round(per_consumer_costs[0]),
+           six_consumers=round(per_consumer_costs[1]))
+    # Within 25% of each other: the per-access cost does not grow with population.
+    ratio = per_consumer_costs[1] / per_consumer_costs[0]
+    assert 0.75 <= ratio <= 1.25

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so ``pip install -e .``
+falls back to this setup script (setuptools' legacy develop mode) instead of
+building an editable wheel.  All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

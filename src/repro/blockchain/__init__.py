@@ -1,0 +1,68 @@
+"""Blockchain substrate.
+
+The paper deploys its DistExchange application on a public blockchain with
+smart contracts (Section III-B).  No chain client is available offline, so
+this package implements a compact but complete blockchain in pure Python:
+
+* :mod:`repro.blockchain.crypto` — SHA-256 hashing, Merkle trees, and
+  secp256k1 ECDSA key pairs with deterministic (RFC 6979-style) signatures;
+* :mod:`repro.blockchain.transaction` — signed transactions, receipts, and
+  event logs;
+* :mod:`repro.blockchain.block` — block headers with transaction/receipt
+  Merkle roots and parent links;
+* :mod:`repro.blockchain.state` — the world state: externally owned accounts
+  and contract storage;
+* :mod:`repro.blockchain.gas` — the gas schedule charged by the contract VM;
+* :mod:`repro.blockchain.vm` — the execution environment running Python
+  smart contracts under gas metering;
+* :mod:`repro.blockchain.consensus` — Proof-of-Authority sealing and
+  validation;
+* :mod:`repro.blockchain.chain` — chain storage and full validation;
+* :mod:`repro.blockchain.node` — a node with a transaction pool, block
+  production, event filters, and a small RPC-like facade used by the oracle
+  components;
+* :mod:`repro.blockchain.network` — a multi-node network simulation used by
+  the robustness benchmarks.
+"""
+
+from repro.blockchain.crypto import KeyPair, sha256_hex, merkle_root, sign, verify, address_from_public_key
+from repro.blockchain.account import Account
+from repro.blockchain.transaction import Transaction, Receipt, LogEntry
+from repro.blockchain.block import Block, BlockHeader
+from repro.blockchain.state import WorldState
+from repro.blockchain.gas import GasSchedule, GasMeter
+from repro.blockchain.vm import ContractVM, ExecutionContext, ContractRegistry
+from repro.blockchain.consensus import ProofOfAuthority
+from repro.blockchain.chain import Blockchain
+from repro.blockchain.node import BlockchainNode, EventFilter
+from repro.blockchain.network import BlockchainNetwork
+from repro.blockchain.explorer import ChainExplorer, AccountActivity, BlockStatistics
+
+__all__ = [
+    "ChainExplorer",
+    "AccountActivity",
+    "BlockStatistics",
+    "KeyPair",
+    "sha256_hex",
+    "merkle_root",
+    "sign",
+    "verify",
+    "address_from_public_key",
+    "Account",
+    "Transaction",
+    "Receipt",
+    "LogEntry",
+    "Block",
+    "BlockHeader",
+    "WorldState",
+    "GasSchedule",
+    "GasMeter",
+    "ContractVM",
+    "ExecutionContext",
+    "ContractRegistry",
+    "ProofOfAuthority",
+    "Blockchain",
+    "BlockchainNode",
+    "EventFilter",
+    "BlockchainNetwork",
+]

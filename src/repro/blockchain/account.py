@@ -1,0 +1,73 @@
+"""Externally owned accounts and contract accounts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.errors import InsufficientFundsError, ValidationError
+
+
+@dataclass
+class Account:
+    """State of one account in the world state.
+
+    Externally owned accounts have ``contract_class`` set to ``None``;
+    contract accounts record the registered class name that the VM
+    instantiates when the contract is called.
+    """
+
+    address: str
+    balance: int = 0
+    nonce: int = 0
+    contract_class: Optional[str] = None
+
+    def __post_init__(self):
+        if not self.address or not self.address.startswith("0x"):
+            raise ValidationError("account address must be a 0x-prefixed hex string")
+        if self.balance < 0:
+            raise ValidationError("balance must be non-negative")
+        if self.nonce < 0:
+            raise ValidationError("nonce must be non-negative")
+
+    @property
+    def is_contract(self) -> bool:
+        return self.contract_class is not None
+
+    def credit(self, amount: int) -> None:
+        """Add *amount* (in the chain's base unit) to the balance."""
+        if amount < 0:
+            raise ValidationError("credit amount must be non-negative")
+        self.balance += amount
+
+    def debit(self, amount: int) -> None:
+        """Remove *amount* from the balance, failing on insufficient funds."""
+        if amount < 0:
+            raise ValidationError("debit amount must be non-negative")
+        if amount > self.balance:
+            raise InsufficientFundsError(
+                f"account {self.address} holds {self.balance} but {amount} is required"
+            )
+        self.balance -= amount
+
+    def bump_nonce(self) -> int:
+        """Increment and return the account nonce (one per accepted transaction)."""
+        self.nonce += 1
+        return self.nonce
+
+    def to_dict(self) -> dict:
+        return {
+            "address": self.address,
+            "balance": self.balance,
+            "nonce": self.nonce,
+            "contractClass": self.contract_class,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Account":
+        return cls(
+            address=data["address"],
+            balance=data.get("balance", 0),
+            nonce=data.get("nonce", 0),
+            contract_class=data.get("contractClass"),
+        )

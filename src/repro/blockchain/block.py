@@ -1,0 +1,154 @@
+"""Blocks and block headers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.common.errors import IntegrityError, ValidationError
+from repro.common.serialization import canonical_json
+from repro.blockchain.crypto import merkle_root, sha256_hex, verify
+from repro.blockchain.transaction import Receipt, Transaction
+
+
+@dataclass
+class BlockHeader:
+    """Header fields covered by the block hash and the sealer's signature."""
+
+    number: int
+    parent_hash: str
+    timestamp: float
+    transactions_root: str
+    receipts_root: str
+    state_root: str
+    proposer: str
+    gas_used: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.number < 0:
+            raise ValidationError("block number must be non-negative")
+        if self.gas_used < 0:
+            raise ValidationError("gas used must be non-negative")
+
+    def signing_payload(self) -> bytes:
+        return canonical_json(
+            {
+                "number": self.number,
+                "parentHash": self.parent_hash,
+                "timestamp": self.timestamp,
+                "transactionsRoot": self.transactions_root,
+                "receiptsRoot": self.receipts_root,
+                "stateRoot": self.state_root,
+                "proposer": self.proposer,
+                "gasUsed": self.gas_used,
+                "extra": self.extra,
+            }
+        )
+
+    @property
+    def hash(self) -> str:
+        return sha256_hex(self.signing_payload())
+
+    def to_dict(self) -> dict:
+        return {
+            "number": self.number,
+            "parentHash": self.parent_hash,
+            "timestamp": self.timestamp,
+            "transactionsRoot": self.transactions_root,
+            "receiptsRoot": self.receipts_root,
+            "stateRoot": self.state_root,
+            "proposer": self.proposer,
+            "gasUsed": self.gas_used,
+            "extra": self.extra,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BlockHeader":
+        return cls(
+            number=data["number"],
+            parent_hash=data["parentHash"],
+            timestamp=data["timestamp"],
+            transactions_root=data["transactionsRoot"],
+            receipts_root=data["receiptsRoot"],
+            state_root=data["stateRoot"],
+            proposer=data["proposer"],
+            gas_used=data.get("gasUsed", 0),
+            extra=data.get("extra", {}),
+        )
+
+
+@dataclass
+class Block:
+    """A sealed block: header, transactions, receipts, and the seal signature."""
+
+    header: BlockHeader
+    transactions: List[Transaction] = field(default_factory=list)
+    receipts: List[Receipt] = field(default_factory=list)
+    seal: Optional[Tuple[int, int]] = None
+    proposer_public_key: Optional[Tuple[int, int]] = None
+
+    @property
+    def hash(self) -> str:
+        return self.header.hash
+
+    @property
+    def number(self) -> int:
+        return self.header.number
+
+    @staticmethod
+    def compute_transactions_root(transactions: List[Transaction]) -> str:
+        return merkle_root(canonical_json(tx.to_dict()) for tx in transactions)
+
+    @staticmethod
+    def compute_receipts_root(receipts: List[Receipt]) -> str:
+        return merkle_root(canonical_json(receipt.to_dict()) for receipt in receipts)
+
+    def verify_roots(self) -> None:
+        """Check the header's Merkle roots against the block body."""
+        expected_tx_root = self.compute_transactions_root(self.transactions)
+        if expected_tx_root != self.header.transactions_root:
+            raise IntegrityError(
+                f"transactions root mismatch in block {self.number}: "
+                f"{expected_tx_root} != {self.header.transactions_root}"
+            )
+        expected_receipts_root = self.compute_receipts_root(self.receipts)
+        if expected_receipts_root != self.header.receipts_root:
+            raise IntegrityError(
+                f"receipts root mismatch in block {self.number}: "
+                f"{expected_receipts_root} != {self.header.receipts_root}"
+            )
+
+    def verify_seal(self) -> None:
+        """Check the proposer's signature over the header."""
+        if self.seal is None or self.proposer_public_key is None:
+            raise IntegrityError(f"block {self.number} is not sealed")
+        from repro.blockchain.crypto import address_from_public_key
+
+        if address_from_public_key(self.proposer_public_key) != self.header.proposer:
+            raise IntegrityError(f"block {self.number} seal key does not match proposer")
+        if not verify(self.proposer_public_key, self.header.signing_payload(), self.seal):
+            raise IntegrityError(f"block {self.number} seal signature is invalid")
+
+    def to_dict(self) -> dict:
+        return {
+            "header": self.header.to_dict(),
+            "transactions": [tx.to_dict() for tx in self.transactions],
+            "receipts": [receipt.to_dict() for receipt in self.receipts],
+            "seal": list(self.seal) if self.seal else None,
+            "proposerPublicKey": list(self.proposer_public_key) if self.proposer_public_key else None,
+            "hash": self.hash,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Block":
+        block = cls(
+            header=BlockHeader.from_dict(data["header"]),
+            transactions=[Transaction.from_dict(tx) for tx in data.get("transactions", [])],
+            receipts=[Receipt.from_dict(receipt) for receipt in data.get("receipts", [])],
+        )
+        if data.get("seal"):
+            block.seal = tuple(data["seal"])  # type: ignore[assignment]
+        if data.get("proposerPublicKey"):
+            block.proposer_public_key = tuple(data["proposerPublicKey"])  # type: ignore[assignment]
+        return block

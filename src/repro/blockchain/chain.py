@@ -1,0 +1,170 @@
+"""Chain storage and validation.
+
+The :class:`Blockchain` owns the ordered list of blocks, the canonical world
+state, and the contract VM.  It exposes exactly the operations the node and
+the benchmarks need: append validated blocks, look up blocks/transactions/
+receipts, verify the whole chain (the tamper-evidence property of
+Section V-2), and rebuild the state by replaying blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.clock import Clock, SystemClock
+from repro.common.errors import IntegrityError, NotFoundError, ValidationError
+from repro.blockchain.block import Block, BlockHeader
+from repro.blockchain.consensus import ProofOfAuthority
+from repro.blockchain.gas import GasSchedule
+from repro.blockchain.state import WorldState
+from repro.blockchain.transaction import Receipt, Transaction
+from repro.blockchain.vm import BlockContext, ContractRegistry, ContractVM
+
+GENESIS_PARENT_HASH = "0x" + "00" * 32
+
+
+class Blockchain:
+    """An append-only chain of validated blocks plus the world state."""
+
+    def __init__(self, consensus: ProofOfAuthority, registry: Optional[ContractRegistry] = None,
+                 schedule: Optional[GasSchedule] = None, clock: Optional[Clock] = None,
+                 genesis_balances: Optional[Dict[str, int]] = None):
+        self.consensus = consensus
+        self.clock = clock if clock is not None else SystemClock()
+        self.state = WorldState()
+        self.vm = ContractVM(self.state, registry, schedule)
+        self.blocks: List[Block] = []
+        self._receipts_by_tx: Dict[str, Receipt] = {}
+        self._blocks_by_hash: Dict[str, Block] = {}
+        self._genesis_balances = dict(genesis_balances or {})
+        self._create_genesis()
+
+    # -- genesis -----------------------------------------------------------
+
+    def _create_genesis(self) -> None:
+        for address, balance in self._genesis_balances.items():
+            self.state.create_account(address, balance=balance)
+        header = BlockHeader(
+            number=0,
+            parent_hash=GENESIS_PARENT_HASH,
+            timestamp=self.clock.now(),
+            transactions_root=Block.compute_transactions_root([]),
+            receipts_root=Block.compute_receipts_root([]),
+            state_root=self.state.state_root(),
+            proposer=self.consensus.validators[0],
+        )
+        genesis = Block(header=header)
+        self.blocks.append(genesis)
+        self._blocks_by_hash[genesis.hash] = genesis
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def height(self) -> int:
+        return self.blocks[-1].number
+
+    @property
+    def head(self) -> Block:
+        return self.blocks[-1]
+
+    def block_by_number(self, number: int) -> Block:
+        if not 0 <= number < len(self.blocks):
+            raise NotFoundError(f"no block at height {number}")
+        return self.blocks[number]
+
+    def block_by_hash(self, block_hash: str) -> Block:
+        if block_hash not in self._blocks_by_hash:
+            raise NotFoundError(f"no block with hash {block_hash}")
+        return self._blocks_by_hash[block_hash]
+
+    def receipt_for(self, transaction_hash: str) -> Receipt:
+        if transaction_hash not in self._receipts_by_tx:
+            raise NotFoundError(f"no receipt for transaction {transaction_hash}")
+        return self._receipts_by_tx[transaction_hash]
+
+    def transaction_by_hash(self, transaction_hash: str) -> Transaction:
+        for block in self.blocks:
+            for tx in block.transactions:
+                if tx.hash == transaction_hash:
+                    return tx
+        raise NotFoundError(f"no transaction with hash {transaction_hash}")
+
+    # -- block production ---------------------------------------------------------
+
+    def build_block(self, transactions: List[Transaction], proposer: str,
+                    timestamp: Optional[float] = None) -> Block:
+        """Execute *transactions* on the state and assemble the next block.
+
+        The caller (the node's consensus loop) is responsible for sealing the
+        returned block and handing it to :meth:`append_block`.
+        """
+        if not self.consensus.is_validator(proposer):
+            raise ValidationError(f"{proposer} is not an authorized validator")
+        block_number = self.height + 1
+        block_timestamp = timestamp if timestamp is not None else self.clock.now()
+        block_context = BlockContext(number=block_number, timestamp=block_timestamp, proposer=proposer)
+        receipts: List[Receipt] = []
+        included: List[Transaction] = []
+        gas_used = 0
+        for tx in transactions:
+            receipt = self.vm.execute_transaction(tx, block_context)
+            receipt.block_number = block_number
+            for index, log in enumerate(receipt.logs):
+                log.block_number = block_number
+                log.transaction_hash = tx.hash
+                log.log_index = index
+            receipts.append(receipt)
+            included.append(tx)
+            gas_used += receipt.gas_used
+        header = BlockHeader(
+            number=block_number,
+            parent_hash=self.head.hash,
+            timestamp=block_timestamp,
+            transactions_root=Block.compute_transactions_root(included),
+            receipts_root=Block.compute_receipts_root(receipts),
+            state_root=self.state.state_root(),
+            proposer=proposer,
+            gas_used=gas_used,
+        )
+        return Block(header=header, transactions=included, receipts=receipts)
+
+    def append_block(self, block: Block) -> Block:
+        """Validate a sealed block against the head and append it."""
+        self.consensus.validate_block(block, self.head.header)
+        if block.header.state_root != self.state.state_root():
+            raise IntegrityError(
+                f"block {block.number} commits to a state root that does not match the local state"
+            )
+        self.blocks.append(block)
+        self._blocks_by_hash[block.hash] = block
+        for receipt in block.receipts:
+            self._receipts_by_tx[receipt.transaction_hash] = receipt
+        return block
+
+    # -- verification ----------------------------------------------------------
+
+    def verify_chain(self) -> bool:
+        """Re-validate every block link, Merkle root, and seal.
+
+        Raises :class:`IntegrityError` on the first inconsistency; returns
+        True when the whole chain checks out.  This is the mechanism behind
+        the paper's tamper-evidence claim: any retroactive modification of a
+        recorded resource location or usage policy breaks a hash or a seal.
+        """
+        parent: Optional[BlockHeader] = None
+        for block in self.blocks:
+            self.consensus.validate_block(block, parent)
+            parent = block.header
+        return True
+
+    def all_logs(self) -> List:
+        """Return every event log recorded on the chain, in order."""
+        logs = []
+        for block in self.blocks:
+            for receipt in block.receipts:
+                logs.extend(receipt.logs)
+        return logs
+
+    def total_gas_used(self) -> int:
+        """Sum of the gas consumed by every block (the affordability metric)."""
+        return sum(block.header.gas_used for block in self.blocks)

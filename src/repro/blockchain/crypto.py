@@ -1,0 +1,221 @@
+"""Cryptographic primitives.
+
+The chain needs three things: a collision-resistant hash (SHA-256), Merkle
+roots over transactions and receipts, and digital signatures so that "methods
+through which the state of smart contracts is changed can be invoked only by
+signing transactions with auditable digital signatures" (paper, Section V-2).
+
+Signatures are ECDSA over secp256k1 implemented in pure Python.  Nonces are
+derived deterministically from the message and private key (in the spirit of
+RFC 6979), so signing is reproducible and never leaks the key through a bad
+RNG.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.common.errors import SignatureError, ValidationError
+
+# secp256k1 domain parameters.
+_P = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFC2F
+_N = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEBAAEDCE6AF48A03BBFD25E8CD0364141
+_GX = 0x79BE667EF9DCBBAC55A06295CE870B07029BFCDB2DCE28D959F2815B16F81798
+_GY = 0x483ADA7726A3C4655DA4FBFC0E1108A8FD17B448A68554199C47D08FFB10D4B8
+_G = (_GX, _GY)
+
+Point = Optional[Tuple[int, int]]  # None is the point at infinity
+
+
+def sha256(data: bytes) -> bytes:
+    """Return the SHA-256 digest of *data*."""
+    return hashlib.sha256(data).digest()
+
+
+def sha256_hex(data: bytes) -> str:
+    """Return the hex SHA-256 digest of *data*."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def merkle_root(leaves: Iterable[bytes]) -> str:
+    """Compute the Merkle root (hex) of an ordered sequence of leaf payloads.
+
+    Leaves are hashed individually; at odd levels the last node is duplicated
+    (Bitcoin-style).  The root of an empty sequence is the hash of the empty
+    string, which keeps empty blocks well-defined.
+    """
+    level: List[bytes] = [sha256(leaf) for leaf in leaves]
+    if not level:
+        return sha256_hex(b"")
+    while len(level) > 1:
+        if len(level) % 2 == 1:
+            level.append(level[-1])
+        level = [sha256(level[i] + level[i + 1]) for i in range(0, len(level), 2)]
+    return level[0].hex()
+
+
+def merkle_proof(leaves: List[bytes], index: int) -> List[Tuple[str, str]]:
+    """Return the audit path for leaf *index* as (side, sibling-hash-hex) pairs."""
+    if not 0 <= index < len(leaves):
+        raise ValidationError("leaf index out of range")
+    level = [sha256(leaf) for leaf in leaves]
+    path: List[Tuple[str, str]] = []
+    position = index
+    while len(level) > 1:
+        if len(level) % 2 == 1:
+            level.append(level[-1])
+        sibling_index = position + 1 if position % 2 == 0 else position - 1
+        side = "right" if position % 2 == 0 else "left"
+        path.append((side, level[sibling_index].hex()))
+        level = [sha256(level[i] + level[i + 1]) for i in range(0, len(level), 2)]
+        position //= 2
+    return path
+
+
+def verify_merkle_proof(leaf: bytes, path: List[Tuple[str, str]], root: str) -> bool:
+    """Check that *leaf* is included under *root* following the audit *path*."""
+    current = sha256(leaf)
+    for side, sibling_hex in path:
+        sibling = bytes.fromhex(sibling_hex)
+        current = sha256(current + sibling) if side == "right" else sha256(sibling + current)
+    return current.hex() == root
+
+
+# -- elliptic-curve arithmetic -------------------------------------------------
+
+
+def _inverse_mod(value: int, modulus: int) -> int:
+    return pow(value, -1, modulus)
+
+
+def _point_add(a: Point, b: Point) -> Point:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    ax, ay = a
+    bx, by = b
+    if ax == bx and (ay + by) % _P == 0:
+        return None
+    if a == b:
+        slope = (3 * ax * ax) * _inverse_mod(2 * ay, _P) % _P
+    else:
+        slope = (by - ay) * _inverse_mod(bx - ax, _P) % _P
+    x = (slope * slope - ax - bx) % _P
+    y = (slope * (ax - x) - ay) % _P
+    return (x, y)
+
+
+def _point_multiply(k: int, point: Point) -> Point:
+    if k % _N == 0 or point is None:
+        return None
+    result: Point = None
+    addend = point
+    while k:
+        if k & 1:
+            result = _point_add(result, addend)
+        addend = _point_add(addend, addend)
+        k >>= 1
+    return result
+
+
+# -- keys and signatures -------------------------------------------------------
+
+
+def _deterministic_nonce(private_key: int, digest: bytes) -> int:
+    """Derive a deterministic nonce from the key and message digest."""
+    key_bytes = private_key.to_bytes(32, "big")
+    counter = 0
+    while True:
+        material = hmac.new(key_bytes, digest + counter.to_bytes(4, "big"), hashlib.sha256).digest()
+        nonce = int.from_bytes(material, "big") % _N
+        if nonce != 0:
+            return nonce
+        counter += 1
+
+
+def sign(private_key: int, message: bytes) -> Tuple[int, int]:
+    """Produce an ECDSA signature (r, s) over SHA-256(message)."""
+    if not 1 <= private_key < _N:
+        raise SignatureError("private key out of range")
+    digest = sha256(message)
+    z = int.from_bytes(digest, "big")
+    while True:
+        k = _deterministic_nonce(private_key, digest)
+        point = _point_multiply(k, _G)
+        assert point is not None
+        r = point[0] % _N
+        if r == 0:
+            digest = sha256(digest)
+            continue
+        s = (_inverse_mod(k, _N) * (z + r * private_key)) % _N
+        if s == 0:
+            digest = sha256(digest)
+            continue
+        # Enforce low-s form so signatures are unique.
+        if s > _N // 2:
+            s = _N - s
+        return (r, s)
+
+
+def verify(public_key: Tuple[int, int], message: bytes, signature: Tuple[int, int]) -> bool:
+    """Verify an ECDSA signature over SHA-256(message)."""
+    try:
+        r, s = signature
+    except (TypeError, ValueError):
+        return False
+    if not (1 <= r < _N and 1 <= s < _N):
+        return False
+    z = int.from_bytes(sha256(message), "big")
+    w = _inverse_mod(s, _N)
+    u1 = (z * w) % _N
+    u2 = (r * w) % _N
+    point = _point_add(_point_multiply(u1, _G), _point_multiply(u2, public_key))
+    if point is None:
+        return False
+    return point[0] % _N == r
+
+
+def address_from_public_key(public_key: Tuple[int, int]) -> str:
+    """Derive a 20-byte hex address from an uncompressed public key."""
+    x, y = public_key
+    payload = x.to_bytes(32, "big") + y.to_bytes(32, "big")
+    return "0x" + sha256(payload)[-20:].hex()
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A secp256k1 key pair with its derived account address."""
+
+    private_key: int
+    public_key: Tuple[int, int]
+    address: str
+
+    @classmethod
+    def generate(cls, seed: Optional[bytes] = None) -> "KeyPair":
+        """Generate a key pair, optionally deterministically from *seed*."""
+        if seed is None:
+            import secrets
+
+            private_key = secrets.randbelow(_N - 1) + 1
+        else:
+            private_key = (int.from_bytes(sha256(seed), "big") % (_N - 1)) + 1
+        public_key = _point_multiply(private_key, _G)
+        assert public_key is not None
+        return cls(private_key=private_key, public_key=public_key, address=address_from_public_key(public_key))
+
+    @classmethod
+    def from_name(cls, name: str) -> "KeyPair":
+        """Convenience constructor deriving a key pair from a human-readable name."""
+        return cls.generate(seed=name.encode("utf-8"))
+
+    def sign(self, message: bytes) -> Tuple[int, int]:
+        """Sign *message* with this key pair's private key."""
+        return sign(self.private_key, message)
+
+    def verify(self, message: bytes, signature: Tuple[int, int]) -> bool:
+        """Verify a signature allegedly produced by this key pair."""
+        return verify(self.public_key, message, signature)

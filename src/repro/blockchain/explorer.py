@@ -1,0 +1,173 @@
+"""Chain explorer / audit utilities.
+
+Section V-2 argues that state-changing contract calls "can be invoked only by
+signing transactions with auditable digital signatures".  This module provides
+the audit side: per-account activity, per-contract event history, gas
+accounting (the raw material of the affordability analysis), and block-level
+statistics, all computed from the canonical chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.blockchain.chain import Blockchain
+from repro.blockchain.transaction import LogEntry, Receipt, Transaction
+
+
+@dataclass
+class AccountActivity:
+    """Aggregate view of one account's on-chain activity."""
+
+    address: str
+    transactions_sent: int = 0
+    transactions_failed: int = 0
+    gas_used: int = 0
+    fees_paid: int = 0
+    value_sent: int = 0
+    contracts_created: List[str] = field(default_factory=list)
+    methods_called: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "address": self.address,
+            "transactionsSent": self.transactions_sent,
+            "transactionsFailed": self.transactions_failed,
+            "gasUsed": self.gas_used,
+            "feesPaid": self.fees_paid,
+            "valueSent": self.value_sent,
+            "contractsCreated": list(self.contracts_created),
+            "methodsCalled": dict(self.methods_called),
+        }
+
+
+@dataclass
+class BlockStatistics:
+    """Per-chain aggregates used by the scalability and affordability reports."""
+
+    blocks: int
+    transactions: int
+    failed_transactions: int
+    total_gas: int
+    events: int
+    average_transactions_per_block: float
+    average_gas_per_block: float
+
+    def to_dict(self) -> dict:
+        return {
+            "blocks": self.blocks,
+            "transactions": self.transactions,
+            "failedTransactions": self.failed_transactions,
+            "totalGas": self.total_gas,
+            "events": self.events,
+            "averageTransactionsPerBlock": self.average_transactions_per_block,
+            "averageGasPerBlock": self.average_gas_per_block,
+        }
+
+
+class ChainExplorer:
+    """Read-only analytics over a :class:`~repro.blockchain.chain.Blockchain`."""
+
+    def __init__(self, chain: Blockchain):
+        self.chain = chain
+
+    # -- raw history -----------------------------------------------------------------
+
+    def transactions(self, sender: Optional[str] = None, to: Optional[str] = None) -> List[Transaction]:
+        """All transactions, optionally filtered by sender and/or recipient."""
+        selected = []
+        for block in self.chain.blocks:
+            for tx in block.transactions:
+                if sender is not None and tx.sender != sender:
+                    continue
+                if to is not None and tx.to != to:
+                    continue
+                selected.append(tx)
+        return selected
+
+    def receipts(self, status: Optional[bool] = None) -> List[Receipt]:
+        """All receipts, optionally filtered by execution status."""
+        selected = []
+        for block in self.chain.blocks:
+            for receipt in block.receipts:
+                if status is not None and receipt.status != status:
+                    continue
+                selected.append(receipt)
+        return selected
+
+    def events(self, address: Optional[str] = None, event: Optional[str] = None) -> List[LogEntry]:
+        """Event history, optionally filtered by contract address and event name."""
+        selected = []
+        for log in self.chain.all_logs():
+            if address is not None and log.address != address:
+                continue
+            if event is not None and log.event != event:
+                continue
+            selected.append(log)
+        return selected
+
+    # -- aggregates -------------------------------------------------------------------
+
+    def account_activity(self, address: str) -> AccountActivity:
+        """Audit trail of one account: what it sent, called, created, and paid."""
+        activity = AccountActivity(address=address)
+        for block in self.chain.blocks:
+            for tx, receipt in zip(block.transactions, block.receipts):
+                if tx.sender != address:
+                    continue
+                activity.transactions_sent += 1
+                activity.gas_used += receipt.gas_used
+                activity.fees_paid += receipt.gas_used * tx.gas_price
+                activity.value_sent += tx.value
+                if not receipt.status:
+                    activity.transactions_failed += 1
+                if receipt.contract_address:
+                    activity.contracts_created.append(receipt.contract_address)
+                method = tx.data.get("method")
+                if method:
+                    activity.methods_called[method] = activity.methods_called.get(method, 0) + 1
+        return activity
+
+    def gas_by_sender(self) -> Dict[str, int]:
+        """Total gas consumed, grouped by transaction sender."""
+        totals: Dict[str, int] = {}
+        for block in self.chain.blocks:
+            for tx, receipt in zip(block.transactions, block.receipts):
+                totals[tx.sender] = totals.get(tx.sender, 0) + receipt.gas_used
+        return totals
+
+    def gas_by_method(self, contract_address: Optional[str] = None) -> Dict[str, int]:
+        """Total gas consumed, grouped by contract method (the affordability table)."""
+        totals: Dict[str, int] = {}
+        for block in self.chain.blocks:
+            for tx, receipt in zip(block.transactions, block.receipts):
+                if contract_address is not None and tx.to != contract_address:
+                    continue
+                key = tx.data.get("method") or ("<deploy>" if tx.is_contract_creation else "<transfer>")
+                totals[key] = totals.get(key, 0) + receipt.gas_used
+        return totals
+
+    def event_counts(self, address: Optional[str] = None) -> Dict[str, int]:
+        """Number of emitted events, grouped by event name."""
+        counts: Dict[str, int] = {}
+        for log in self.events(address=address):
+            counts[log.event] = counts.get(log.event, 0) + 1
+        return counts
+
+    def statistics(self) -> BlockStatistics:
+        """Chain-level aggregates."""
+        transactions = sum(len(block.transactions) for block in self.chain.blocks)
+        failed = len(self.receipts(status=False))
+        events = len(self.chain.all_logs())
+        blocks = len(self.chain.blocks)
+        total_gas = self.chain.total_gas_used()
+        return BlockStatistics(
+            blocks=blocks,
+            transactions=transactions,
+            failed_transactions=failed,
+            total_gas=total_gas,
+            events=events,
+            average_transactions_per_block=transactions / blocks if blocks else 0.0,
+            average_gas_per_block=total_gas / blocks if blocks else 0.0,
+        )

@@ -1,0 +1,91 @@
+"""Gas schedule and metering.
+
+Section V-4 of the paper (affordability) hinges on the cost of on-chain code:
+"The execution of on-chain code requires that cryptocurrencies are spent,
+depending on the computational effort required by the run of the code."  The
+gas schedule below is calibrated on the same order of magnitude as Ethereum's
+(21k base transaction cost, 20k per fresh storage slot, 5k per update), so
+the affordability benchmark produces cost figures with a realistic shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import OutOfGasError, ValidationError
+
+
+@dataclass(frozen=True)
+class GasSchedule:
+    """Per-operation gas costs charged by the contract VM."""
+
+    tx_base: int = 21_000
+    tx_data_per_byte: int = 16
+    contract_creation: int = 32_000
+    storage_set: int = 20_000       # writing a fresh storage slot
+    storage_update: int = 5_000     # overwriting an existing slot
+    storage_clear_refund: int = 4_800
+    storage_read: int = 2_100
+    log_base: int = 375
+    log_per_byte: int = 8
+    call: int = 700
+    transfer: int = 9_000
+    compute_step: int = 3           # generic unit of computation
+
+    def intrinsic_gas(self, data_size: int, creates_contract: bool) -> int:
+        """Gas charged before the contract code even runs."""
+        gas = self.tx_base + self.tx_data_per_byte * data_size
+        if creates_contract:
+            gas += self.contract_creation
+        return gas
+
+
+class GasMeter:
+    """Tracks the gas consumed by a single transaction execution."""
+
+    def __init__(self, gas_limit: int, schedule: GasSchedule | None = None):
+        if gas_limit <= 0:
+            raise ValidationError("gas limit must be positive")
+        self.gas_limit = gas_limit
+        self.schedule = schedule if schedule is not None else GasSchedule()
+        self.gas_used = 0
+        self.refund = 0
+
+    @property
+    def gas_remaining(self) -> int:
+        return self.gas_limit - self.gas_used
+
+    def charge(self, amount: int, reason: str = "") -> None:
+        """Consume *amount* gas, raising :class:`OutOfGasError` past the limit."""
+        if amount < 0:
+            raise ValidationError("gas amounts must be non-negative")
+        self.gas_used += amount
+        if self.gas_used > self.gas_limit:
+            raise OutOfGasError(
+                f"out of gas: limit {self.gas_limit}, needed {self.gas_used}"
+                + (f" ({reason})" if reason else "")
+            )
+
+    def charge_storage_write(self, is_new_slot: bool) -> None:
+        self.charge(self.schedule.storage_set if is_new_slot else self.schedule.storage_update, "sstore")
+
+    def charge_storage_read(self) -> None:
+        self.charge(self.schedule.storage_read, "sload")
+
+    def charge_storage_clear(self) -> None:
+        self.charge(self.schedule.storage_update, "sclear")
+        self.refund += self.schedule.storage_clear_refund
+
+    def charge_log(self, payload_size: int) -> None:
+        self.charge(self.schedule.log_base + self.schedule.log_per_byte * payload_size, "log")
+
+    def charge_compute(self, steps: int = 1) -> None:
+        self.charge(self.schedule.compute_step * steps, "compute")
+
+    def charge_call(self) -> None:
+        self.charge(self.schedule.call, "call")
+
+    def finalize(self) -> int:
+        """Return the final gas figure after applying the capped refund."""
+        applied_refund = min(self.refund, self.gas_used // 5)
+        return self.gas_used - applied_refund

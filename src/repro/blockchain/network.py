@@ -1,0 +1,185 @@
+"""Multi-node blockchain network simulation.
+
+Section V-2 of the paper argues that "the availability of the DE app is
+preserved by the distributed nature of the blockchain.  If an attack succeeds
+in bringing down one of the nodes, the blockchain ecosystem can continue to
+operate by relying on the rest of the nodes."  The robustness benchmark (E9)
+exercises exactly that: a network of PoA validators where some nodes are
+failed and the remaining ones keep producing and replicating blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.clock import Clock, SimulatedClock
+from repro.common.errors import NotFoundError, ValidationError
+from repro.blockchain.block import Block
+from repro.blockchain.chain import Blockchain
+from repro.blockchain.consensus import ProofOfAuthority
+from repro.blockchain.crypto import KeyPair
+from repro.blockchain.gas import GasSchedule
+from repro.blockchain.transaction import Transaction
+from repro.blockchain.vm import ContractRegistry
+
+
+class NetworkValidator:
+    """One validator in the simulated network: a key, a chain replica, and a status."""
+
+    def __init__(self, keypair: KeyPair, chain: Blockchain):
+        self.keypair = keypair
+        self.chain = chain
+        self.online = True
+
+    @property
+    def address(self) -> str:
+        return self.keypair.address
+
+
+class BlockchainNetwork:
+    """A set of PoA validators replicating the same chain.
+
+    Transactions are broadcast to every online validator's mempool; block
+    production walks the round-robin schedule, skipping validators that are
+    offline (their slot is simply missed, modelling the liveness hit), and
+    every produced block is replicated to all online replicas.
+    """
+
+    def __init__(self, num_validators: int = 4, block_interval: float = 5.0,
+                 registry_factory=None, schedule: Optional[GasSchedule] = None,
+                 clock: Optional[Clock] = None,
+                 genesis_balances: Optional[Dict[str, int]] = None):
+        if num_validators < 1:
+            raise ValidationError("a network needs at least one validator")
+        self.clock = clock if clock is not None else SimulatedClock()
+        keypairs = [KeyPair.from_name(f"validator-{index}") for index in range(num_validators)]
+        self.consensus = ProofOfAuthority(
+            validators=[kp.address for kp in keypairs], block_interval=block_interval
+        )
+        self.validators: List[NetworkValidator] = []
+        for keypair in keypairs:
+            registry = registry_factory() if registry_factory else ContractRegistry()
+            chain = Blockchain(self.consensus, registry, schedule, self.clock, genesis_balances)
+            self.validators.append(NetworkValidator(keypair, chain))
+        self.mempool: List[Transaction] = []
+        self.skipped_slots = 0
+        self.current_slot = 0
+
+    # -- membership / failures ----------------------------------------------------
+
+    def validator_by_address(self, address: str) -> NetworkValidator:
+        for validator in self.validators:
+            if validator.address == address:
+                return validator
+        raise NotFoundError(f"no validator with address {address}")
+
+    def fail_validator(self, index: int) -> None:
+        """Take the validator at *index* offline (crash fault)."""
+        self.validators[index].online = False
+
+    def recover_validator(self, index: int) -> None:
+        """Bring the validator at *index* back online and resync its replica."""
+        validator = self.validators[index]
+        validator.online = True
+        self._resync(validator)
+
+    def online_validators(self) -> List[NetworkValidator]:
+        return [validator for validator in self.validators if validator.online]
+
+    @property
+    def is_available(self) -> bool:
+        """The DE App remains available while at least one validator is online."""
+        return bool(self.online_validators())
+
+    # -- transaction flow -----------------------------------------------------------
+
+    def broadcast_transaction(self, tx: Transaction) -> str:
+        """Add a transaction to the shared mempool (gossip is instantaneous)."""
+        self.mempool.append(tx)
+        return tx.hash
+
+    def produce_next_block(self) -> Optional[Block]:
+        """Advance one slot of the round-robin schedule.
+
+        Returns the produced block, or ``None`` when the scheduled proposer is
+        offline (a skipped slot).  The pending mempool stays queued for the
+        next online proposer.
+        """
+        reference = self._reference_chain()
+        if reference is None:
+            return None
+        # Aura-style slot assignment: every block interval has a designated
+        # proposer regardless of how many previous slots were missed.
+        self.current_slot += 1
+        proposer_address = self.consensus.validators[
+            (self.current_slot - 1) % len(self.consensus.validators)
+        ]
+        self.clock_advance()
+        proposer = self.validator_by_address(proposer_address)
+        if not proposer.online:
+            self.skipped_slots += 1
+            return None
+        transactions = list(self.mempool)
+        self.mempool.clear()
+        block = proposer.chain.build_block(transactions, proposer_address, self.clock.now())
+        self.consensus.seal(block, proposer.keypair)
+        proposer.chain.append_block(block)
+        # Replicate to the other online validators by replaying the same
+        # transactions; PoA determinism guarantees identical blocks.
+        for validator in self.online_validators():
+            if validator is proposer:
+                continue
+            replica_block = validator.chain.build_block(transactions, proposer_address, block.header.timestamp)
+            self.consensus.seal(replica_block, proposer.keypair)
+            validator.chain.append_block(replica_block)
+        return block
+
+    def produce_blocks(self, count: int) -> List[Block]:
+        """Run *count* slots and return the blocks actually produced."""
+        produced = []
+        for _ in range(count):
+            block = self.produce_next_block()
+            if block is not None:
+                produced.append(block)
+        return produced
+
+    def clock_advance(self) -> None:
+        if isinstance(self.clock, SimulatedClock):
+            self.clock.advance(self.consensus.block_interval)
+
+    # -- replica management ------------------------------------------------------------
+
+    def _reference_chain(self) -> Optional[Blockchain]:
+        online = self.online_validators()
+        if not online:
+            return None
+        return max(online, key=lambda validator: validator.chain.height).chain
+
+    def _resync(self, validator: NetworkValidator) -> None:
+        """Catch a recovered validator up by replaying the reference chain."""
+        reference = self._reference_chain()
+        if reference is None or reference is validator.chain:
+            return
+        local_height = validator.chain.height
+        for number in range(local_height + 1, reference.height + 1):
+            block = reference.block_by_number(number)
+            replica = validator.chain.build_block(
+                list(block.transactions), block.header.proposer, block.header.timestamp
+            )
+            replica.seal = block.seal
+            replica.proposer_public_key = block.proposer_public_key
+            validator.chain.append_block(replica)
+
+    # -- health ------------------------------------------------------------------------
+
+    def heights(self) -> Dict[str, int]:
+        """Chain height of every validator (offline replicas lag behind)."""
+        return {validator.address: validator.chain.height for validator in self.validators}
+
+    def consistent(self) -> bool:
+        """True when every online replica agrees on the head block hash."""
+        online = self.online_validators()
+        if not online:
+            return True
+        heads = {validator.chain.head.hash for validator in online}
+        return len(heads) == 1

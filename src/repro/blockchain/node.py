@@ -1,0 +1,185 @@
+"""Blockchain node: transaction pool, block production, and an RPC-like facade.
+
+Off-chain components (pod managers' blockchain interaction modules, the
+oracle components, the TEE's evidence publisher) never touch the chain
+internals directly; they talk to a :class:`BlockchainNode`, which mirrors the
+surface a JSON-RPC endpoint would expose: submit signed transactions, query
+receipts and logs, perform read-only contract calls, and register event
+filters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.common.clock import Clock
+from repro.common.errors import SignatureError, ValidationError
+from repro.blockchain.block import Block
+from repro.blockchain.chain import Blockchain
+from repro.blockchain.consensus import ProofOfAuthority
+from repro.blockchain.crypto import KeyPair
+from repro.blockchain.gas import GasSchedule
+from repro.blockchain.transaction import LogEntry, Receipt, Transaction
+from repro.blockchain.vm import BlockContext, ContractRegistry
+
+
+@dataclass
+class EventFilter:
+    """A subscription over contract event logs.
+
+    ``address`` and ``event`` narrow the logs delivered; ``callback`` (when
+    given) is invoked synchronously for each matching log as blocks are
+    produced — this is exactly the hook the push-out oracle's off-chain
+    component uses.
+    """
+
+    address: Optional[str] = None
+    event: Optional[str] = None
+    callback: Optional[Callable[[LogEntry], None]] = None
+    from_block: int = 0
+    collected: List[LogEntry] = field(default_factory=list)
+    active: bool = True
+
+    def matches(self, log: LogEntry) -> bool:
+        if not self.active:
+            return False
+        if self.address is not None and log.address != self.address:
+            return False
+        if self.event is not None and log.event != self.event:
+            return False
+        if log.block_number is not None and log.block_number < self.from_block:
+            return False
+        return True
+
+    def deliver(self, log: LogEntry) -> None:
+        self.collected.append(log)
+        if self.callback is not None:
+            self.callback(log)
+
+    def stop(self) -> None:
+        self.active = False
+
+
+class BlockchainNode:
+    """A validating node with a pending-transaction pool and event filters."""
+
+    def __init__(self, consensus: ProofOfAuthority, validator_key: KeyPair,
+                 registry: Optional[ContractRegistry] = None,
+                 schedule: Optional[GasSchedule] = None,
+                 clock: Optional[Clock] = None,
+                 genesis_balances: Optional[Dict[str, int]] = None,
+                 require_signatures: bool = True):
+        if not consensus.is_validator(validator_key.address):
+            raise ValidationError("the node's key must belong to the validator set")
+        self.consensus = consensus
+        self.validator_key = validator_key
+        self.chain = Blockchain(consensus, registry, schedule, clock, genesis_balances)
+        self.pending: List[Transaction] = []
+        self.filters: List[EventFilter] = []
+        self.require_signatures = require_signatures
+        self.blocks_produced = 0
+
+    # -- registry / deployment helpers ----------------------------------------
+
+    @property
+    def registry(self) -> ContractRegistry:
+        return self.chain.vm.registry
+
+    def register_contract(self, contract_class, name: Optional[str] = None) -> str:
+        """Make a contract class deployable on this node."""
+        return self.registry.register(contract_class, name)
+
+    # -- transaction submission --------------------------------------------------
+
+    def submit_transaction(self, tx: Transaction) -> str:
+        """Validate and enqueue a signed transaction; returns its hash."""
+        if self.require_signatures and not tx.verify_signature():
+            raise SignatureError(f"transaction {tx.hash} carries an invalid signature")
+        self.pending.append(tx)
+        return tx.hash
+
+    def next_nonce(self, address: str) -> int:
+        """Nonce the next transaction from *address* should carry.
+
+        Accounts for transactions already sitting in the pending pool so a
+        sender can queue several transactions for the same block.
+        """
+        on_chain = 0
+        if self.chain.state.has_account(address):
+            on_chain = self.chain.state.get_account(address).nonce
+        pending_from_sender = sum(1 for tx in self.pending if tx.sender == address)
+        return on_chain + pending_from_sender
+
+    # -- block production ------------------------------------------------------------
+
+    def produce_block(self, timestamp: Optional[float] = None) -> Block:
+        """Execute the pending pool into a sealed block and append it."""
+        proposer = self.consensus.expected_proposer(self.chain.height + 1)
+        if proposer != self.validator_key.address:
+            # Single-node deployments simply rotate through the schedule; a
+            # node only refuses when it genuinely lacks the proposer's key.
+            raise ValidationError(
+                f"not this node's turn: block {self.chain.height + 1} expects {proposer}"
+            )
+        transactions = list(self.pending)
+        self.pending.clear()
+        block = self.chain.build_block(transactions, proposer, timestamp)
+        self.consensus.seal(block, self.validator_key)
+        self.chain.append_block(block)
+        self.blocks_produced += 1
+        self._dispatch_logs(block)
+        return block
+
+    def _dispatch_logs(self, block: Block) -> None:
+        for receipt in block.receipts:
+            for log in receipt.logs:
+                for event_filter in self.filters:
+                    if event_filter.matches(log):
+                        event_filter.deliver(log)
+
+    # -- queries ----------------------------------------------------------------------
+
+    def get_receipt(self, transaction_hash: str) -> Receipt:
+        return self.chain.receipt_for(transaction_hash)
+
+    def get_balance(self, address: str) -> int:
+        return self.chain.state.balance_of(address)
+
+    def call(self, address: str, method: str, args: Optional[Dict[str, Any]] = None,
+             caller: Optional[str] = None) -> Any:
+        """Read-only contract call evaluated against the current head state."""
+        block = BlockContext(
+            number=self.chain.height,
+            timestamp=self.chain.head.header.timestamp,
+            proposer=self.chain.head.header.proposer,
+        )
+        return self.chain.vm.call_readonly(address, method, args, caller, block)
+
+    def get_logs(self, address: Optional[str] = None, event: Optional[str] = None,
+                 from_block: int = 0) -> List[LogEntry]:
+        """Return historical logs matching the given criteria."""
+        matching = []
+        probe = EventFilter(address=address, event=event, from_block=from_block)
+        for log in self.chain.all_logs():
+            if probe.matches(log):
+                matching.append(log)
+        return matching
+
+    def add_filter(self, address: Optional[str] = None, event: Optional[str] = None,
+                   callback: Optional[Callable[[LogEntry], None]] = None,
+                   from_block: Optional[int] = None) -> EventFilter:
+        """Register a live event filter (the push-out oracle's subscription)."""
+        event_filter = EventFilter(
+            address=address,
+            event=event,
+            callback=callback,
+            from_block=from_block if from_block is not None else self.chain.height + 1,
+        )
+        self.filters.append(event_filter)
+        return event_filter
+
+    def remove_filter(self, event_filter: EventFilter) -> None:
+        event_filter.stop()
+        if event_filter in self.filters:
+            self.filters.remove(event_filter)

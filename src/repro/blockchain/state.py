@@ -1,0 +1,124 @@
+"""World state: accounts and contract storage.
+
+The world state is the mapping every full node maintains and agrees on via
+consensus.  Contract storage is a per-address dictionary of JSON-serializable
+values; a state root (hash of the canonical serialization) is included in
+every block header so tampering with state is detectable.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, Iterator, Optional
+
+from repro.common.errors import NotFoundError, ValidationError
+from repro.common.serialization import stable_hash
+from repro.blockchain.account import Account
+
+
+class WorldState:
+    """Accounts, balances, nonces, and contract storage."""
+
+    def __init__(self):
+        self._accounts: Dict[str, Account] = {}
+        self._storage: Dict[str, Dict[str, Any]] = {}
+
+    # -- accounts -----------------------------------------------------------
+
+    def create_account(self, address: str, balance: int = 0,
+                       contract_class: Optional[str] = None) -> Account:
+        """Create an account; raises if the address already exists."""
+        if address in self._accounts:
+            raise ValidationError(f"account {address} already exists")
+        account = Account(address=address, balance=balance, contract_class=contract_class)
+        self._accounts[address] = account
+        if contract_class is not None:
+            self._storage[address] = {}
+        return account
+
+    def get_or_create_account(self, address: str) -> Account:
+        """Return the account at *address*, creating an empty one if needed."""
+        if address not in self._accounts:
+            return self.create_account(address)
+        return self._accounts[address]
+
+    def get_account(self, address: str) -> Account:
+        """Return the account at *address* or raise :class:`NotFoundError`."""
+        if address not in self._accounts:
+            raise NotFoundError(f"unknown account {address}")
+        return self._accounts[address]
+
+    def has_account(self, address: str) -> bool:
+        return address in self._accounts
+
+    def accounts(self) -> Iterator[Account]:
+        return iter(self._accounts.values())
+
+    def balance_of(self, address: str) -> int:
+        """Return the balance of *address* (0 for unknown accounts)."""
+        account = self._accounts.get(address)
+        return account.balance if account else 0
+
+    def transfer(self, sender: str, recipient: str, amount: int) -> None:
+        """Move *amount* from *sender* to *recipient*."""
+        if amount < 0:
+            raise ValidationError("transfer amount must be non-negative")
+        if amount == 0:
+            return
+        self.get_account(sender).debit(amount)
+        self.get_or_create_account(recipient).credit(amount)
+
+    # -- contract storage -----------------------------------------------------
+
+    def storage_of(self, address: str) -> Dict[str, Any]:
+        """Return the mutable storage dictionary of contract *address*."""
+        account = self.get_account(address)
+        if not account.is_contract:
+            raise ValidationError(f"account {address} is not a contract")
+        return self._storage.setdefault(address, {})
+
+    def storage_read(self, address: str, key: str, default: Any = None) -> Any:
+        return self.storage_of(address).get(key, default)
+
+    def storage_write(self, address: str, key: str, value: Any) -> bool:
+        """Write a storage slot; returns True when the slot was previously empty."""
+        storage = self.storage_of(address)
+        is_new = key not in storage
+        storage[key] = value
+        return is_new
+
+    def storage_delete(self, address: str, key: str) -> bool:
+        """Delete a storage slot; returns True when the slot existed."""
+        storage = self.storage_of(address)
+        if key in storage:
+            del storage[key]
+            return True
+        return False
+
+    # -- snapshots and roots ----------------------------------------------------
+
+    def snapshot(self) -> "WorldState":
+        """Return a deep copy used to roll back failed transactions."""
+        clone = WorldState()
+        clone._accounts = {addr: Account.from_dict(acc.to_dict()) for addr, acc in self._accounts.items()}
+        clone._storage = copy.deepcopy(self._storage)
+        return clone
+
+    def restore(self, snapshot: "WorldState") -> None:
+        """Restore this state to a previously taken *snapshot*."""
+        self._accounts = snapshot._accounts
+        self._storage = snapshot._storage
+
+    def state_root(self) -> str:
+        """Return a hash committing to every account and storage slot."""
+        payload = {
+            "accounts": {addr: acc.to_dict() for addr, acc in sorted(self._accounts.items())},
+            "storage": {addr: slots for addr, slots in sorted(self._storage.items())},
+        }
+        return stable_hash(payload)
+
+    def to_dict(self) -> dict:
+        return {
+            "accounts": {addr: acc.to_dict() for addr, acc in self._accounts.items()},
+            "storage": copy.deepcopy(self._storage),
+        }

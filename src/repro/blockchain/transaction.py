@@ -1,0 +1,196 @@
+"""Transactions, receipts, and event logs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.common.errors import SignatureError, ValidationError
+from repro.common.serialization import canonical_json
+from repro.blockchain.crypto import KeyPair, sha256_hex, verify
+
+
+@dataclass
+class LogEntry:
+    """An event emitted by a contract during transaction execution."""
+
+    address: str
+    event: str
+    data: Dict[str, Any] = field(default_factory=dict)
+    block_number: Optional[int] = None
+    transaction_hash: Optional[str] = None
+    log_index: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "address": self.address,
+            "event": self.event,
+            "data": self.data,
+            "blockNumber": self.block_number,
+            "transactionHash": self.transaction_hash,
+            "logIndex": self.log_index,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LogEntry":
+        return cls(
+            address=data["address"],
+            event=data["event"],
+            data=data.get("data", {}),
+            block_number=data.get("blockNumber"),
+            transaction_hash=data.get("transactionHash"),
+            log_index=data.get("logIndex", 0),
+        )
+
+
+@dataclass
+class Transaction:
+    """A signed state-transition request.
+
+    ``to`` is ``None`` for contract-creation transactions, in which case
+    ``data`` must name the registered ``contract_class`` and its constructor
+    arguments.  For calls, ``data`` carries ``{"method": ..., "args": {...}}``.
+    """
+
+    sender: str
+    to: Optional[str]
+    data: Dict[str, Any] = field(default_factory=dict)
+    value: int = 0
+    nonce: int = 0
+    gas_limit: int = 2_000_000
+    gas_price: int = 1
+    signature: Optional[Tuple[int, int]] = None
+    public_key: Optional[Tuple[int, int]] = None
+
+    def __post_init__(self):
+        if self.value < 0:
+            raise ValidationError("transaction value must be non-negative")
+        if self.gas_limit <= 0:
+            raise ValidationError("gas limit must be positive")
+        if self.gas_price < 0:
+            raise ValidationError("gas price must be non-negative")
+        if self.nonce < 0:
+            raise ValidationError("nonce must be non-negative")
+
+    # -- canonical form, hash, signatures ---------------------------------
+
+    def signing_payload(self) -> bytes:
+        """Return the canonical bytes covered by the signature."""
+        return canonical_json(
+            {
+                "sender": self.sender,
+                "to": self.to,
+                "data": self.data,
+                "value": self.value,
+                "nonce": self.nonce,
+                "gasLimit": self.gas_limit,
+                "gasPrice": self.gas_price,
+            }
+        )
+
+    @property
+    def hash(self) -> str:
+        """Transaction hash (includes the signature when present)."""
+        payload = {
+            "body": self.signing_payload().decode("utf-8"),
+            "signature": list(self.signature) if self.signature else None,
+        }
+        return sha256_hex(canonical_json(payload))
+
+    @property
+    def is_contract_creation(self) -> bool:
+        return self.to is None
+
+    @property
+    def data_size(self) -> int:
+        return len(canonical_json(self.data))
+
+    def sign(self, keypair: KeyPair) -> "Transaction":
+        """Sign the transaction in place with *keypair* and return it."""
+        if keypair.address != self.sender:
+            raise SignatureError("signing key does not match the transaction sender")
+        self.signature = keypair.sign(self.signing_payload())
+        self.public_key = keypair.public_key
+        return self
+
+    def verify_signature(self) -> bool:
+        """Check the signature and that the public key matches the sender."""
+        if self.signature is None or self.public_key is None:
+            return False
+        from repro.blockchain.crypto import address_from_public_key
+
+        if address_from_public_key(self.public_key) != self.sender:
+            return False
+        return verify(self.public_key, self.signing_payload(), self.signature)
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "sender": self.sender,
+            "to": self.to,
+            "data": self.data,
+            "value": self.value,
+            "nonce": self.nonce,
+            "gasLimit": self.gas_limit,
+            "gasPrice": self.gas_price,
+            "signature": list(self.signature) if self.signature else None,
+            "publicKey": list(self.public_key) if self.public_key else None,
+            "hash": self.hash,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Transaction":
+        tx = cls(
+            sender=data["sender"],
+            to=data.get("to"),
+            data=data.get("data", {}),
+            value=data.get("value", 0),
+            nonce=data.get("nonce", 0),
+            gas_limit=data.get("gasLimit", 2_000_000),
+            gas_price=data.get("gasPrice", 1),
+        )
+        if data.get("signature"):
+            tx.signature = tuple(data["signature"])  # type: ignore[assignment]
+        if data.get("publicKey"):
+            tx.public_key = tuple(data["publicKey"])  # type: ignore[assignment]
+        return tx
+
+
+@dataclass
+class Receipt:
+    """Execution result of one transaction included in a block."""
+
+    transaction_hash: str
+    status: bool
+    gas_used: int
+    logs: List[LogEntry] = field(default_factory=list)
+    contract_address: Optional[str] = None
+    return_value: Any = None
+    error: Optional[str] = None
+    block_number: Optional[int] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "transactionHash": self.transaction_hash,
+            "status": self.status,
+            "gasUsed": self.gas_used,
+            "logs": [log.to_dict() for log in self.logs],
+            "contractAddress": self.contract_address,
+            "returnValue": self.return_value,
+            "error": self.error,
+            "blockNumber": self.block_number,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Receipt":
+        return cls(
+            transaction_hash=data["transactionHash"],
+            status=data["status"],
+            gas_used=data["gasUsed"],
+            logs=[LogEntry.from_dict(entry) for entry in data.get("logs", [])],
+            contract_address=data.get("contractAddress"),
+            return_value=data.get("returnValue"),
+            error=data.get("error"),
+            block_number=data.get("blockNumber"),
+        )

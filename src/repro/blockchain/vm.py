@@ -1,0 +1,387 @@
+"""Contract execution environment.
+
+Smart contracts are Python classes registered with a :class:`ContractRegistry`
+(the reproduction's analogue of deploying bytecode).  The VM executes them
+deterministically against the :class:`~repro.blockchain.state.WorldState`
+under gas metering:
+
+* every storage read/write/delete goes through a :class:`StorageProxy` that
+  charges the gas schedule;
+* events are emitted through the execution context and become receipt logs;
+* any exception raised by contract code reverts the transaction — the state
+  snapshot taken before execution is restored and the receipt carries the
+  revert reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Type
+
+from repro.common.errors import (
+    ContractError,
+    InsufficientFundsError,
+    NotFoundError,
+    OutOfGasError,
+    ValidationError,
+)
+from repro.common.serialization import canonical_json
+from repro.blockchain.crypto import sha256_hex
+from repro.blockchain.gas import GasMeter, GasSchedule
+from repro.blockchain.state import WorldState
+from repro.blockchain.transaction import LogEntry, Receipt, Transaction
+
+
+@dataclass
+class BlockContext:
+    """Block-level values visible to contract code."""
+
+    number: int = 0
+    timestamp: float = 0.0
+    proposer: str = "0x" + "00" * 20
+
+
+@dataclass
+class ExecutionContext:
+    """Per-call context: message sender, value, block info, gas, and logs."""
+
+    sender: str
+    contract_address: str
+    value: int = 0
+    block: BlockContext = field(default_factory=BlockContext)
+    gas_meter: Optional[GasMeter] = None
+    logs: List[LogEntry] = field(default_factory=list)
+    read_only: bool = False
+
+
+class StorageProxy:
+    """Dictionary-like view over a contract's storage that meters gas."""
+
+    def __init__(self, state: WorldState, address: str, context: ExecutionContext):
+        self._state = state
+        self._address = address
+        self._context = context
+
+    def _charge(self, kind: str, is_new: bool = False, payload: Any = None) -> None:
+        meter = self._context.gas_meter
+        if meter is None:
+            return
+        if kind == "read":
+            meter.charge_storage_read()
+        elif kind == "write":
+            meter.charge_storage_write(is_new)
+        elif kind == "delete":
+            meter.charge_storage_clear()
+
+    def get(self, key: str, default: Any = None) -> Any:
+        self._charge("read")
+        return self._state.storage_read(self._address, key, default)
+
+    def __getitem__(self, key: str) -> Any:
+        self._charge("read")
+        value = self._state.storage_read(self._address, key, _MISSING)
+        if value is _MISSING:
+            raise KeyError(key)
+        return value
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        if self._context.read_only:
+            raise ContractError("storage writes are not allowed in read-only calls")
+        is_new = self._state.storage_write(self._address, key, value)
+        self._charge("write", is_new=is_new)
+
+    def __delitem__(self, key: str) -> None:
+        if self._context.read_only:
+            raise ContractError("storage writes are not allowed in read-only calls")
+        existed = self._state.storage_delete(self._address, key)
+        if not existed:
+            raise KeyError(key)
+        self._charge("delete")
+
+    def __contains__(self, key: str) -> bool:
+        self._charge("read")
+        return self._state.storage_read(self._address, key, _MISSING) is not _MISSING
+
+    def keys(self) -> List[str]:
+        self._charge("read")
+        return list(self._state.storage_of(self._address).keys())
+
+    def items(self) -> List[tuple]:
+        self._charge("read")
+        return list(self._state.storage_of(self._address).items())
+
+    def setdefault(self, key: str, default: Any) -> Any:
+        if key in self:
+            return self[key]
+        self[key] = default
+        return default
+
+
+_MISSING = object()
+
+
+class SmartContract:
+    """Base class for every smart contract of the reproduction.
+
+    Subclasses implement public methods; a method name starting with an
+    underscore is internal and cannot be invoked through a transaction.
+    Contract code interacts with the chain exclusively through:
+
+    * ``self.storage`` — metered persistent storage;
+    * ``self.msg_sender`` / ``self.msg_value`` — the transaction context;
+    * ``self.block_timestamp`` / ``self.block_number`` — block context;
+    * ``self.emit(event, **data)`` — event logs picked up by oracles;
+    * ``self.require(condition, message)`` — revert helper;
+    * ``self.transfer(recipient, amount)`` — move contract-held funds.
+    """
+
+    def __init__(self, address: str, state: WorldState, context: ExecutionContext):
+        self.address = address
+        self._state = state
+        self._context = context
+        self.storage = StorageProxy(state, address, context)
+
+    # -- transaction / block context ---------------------------------------
+
+    @property
+    def msg_sender(self) -> str:
+        return self._context.sender
+
+    @property
+    def msg_value(self) -> int:
+        return self._context.value
+
+    @property
+    def block_timestamp(self) -> float:
+        return self._context.block.timestamp
+
+    @property
+    def block_number(self) -> int:
+        return self._context.block.number
+
+    # -- helpers -------------------------------------------------------------
+
+    def require(self, condition: bool, message: str = "requirement failed") -> None:
+        """Revert the transaction when *condition* does not hold."""
+        if not condition:
+            raise ContractError(message)
+
+    def emit(self, event: str, **data: Any) -> LogEntry:
+        """Emit an event log (push-out oracles subscribe to these)."""
+        entry = LogEntry(address=self.address, event=event, data=data)
+        if self._context.gas_meter is not None:
+            self._context.gas_meter.charge_log(len(canonical_json(data)))
+        if self._context.read_only:
+            raise ContractError("events cannot be emitted in read-only calls")
+        self._context.logs.append(entry)
+        return entry
+
+    def transfer(self, recipient: str, amount: int) -> None:
+        """Transfer funds held by the contract account to *recipient*."""
+        if self._context.read_only:
+            raise ContractError("transfers are not allowed in read-only calls")
+        if self._context.gas_meter is not None:
+            self._context.gas_meter.charge(self._context.gas_meter.schedule.transfer, "transfer")
+        self._state.transfer(self.address, recipient, amount)
+
+    def balance(self) -> int:
+        """Return the contract account's current balance."""
+        return self._state.balance_of(self.address)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def constructor(self, **kwargs: Any) -> None:
+        """Initialization hook executed once at deployment."""
+
+
+class ContractRegistry:
+    """Registry mapping contract class names to classes (the 'code store')."""
+
+    def __init__(self):
+        self._classes: Dict[str, Type[SmartContract]] = {}
+
+    def register(self, contract_class: Type[SmartContract], name: Optional[str] = None) -> str:
+        key = name or contract_class.__name__
+        if not issubclass(contract_class, SmartContract):
+            raise ValidationError("contract classes must derive from SmartContract")
+        self._classes[key] = contract_class
+        return key
+
+    def get(self, name: str) -> Type[SmartContract]:
+        if name not in self._classes:
+            raise NotFoundError(f"unknown contract class {name!r}")
+        return self._classes[name]
+
+    def known(self) -> List[str]:
+        return sorted(self._classes)
+
+
+class ContractVM:
+    """Executes transactions against the world state."""
+
+    def __init__(self, state: WorldState, registry: Optional[ContractRegistry] = None,
+                 schedule: Optional[GasSchedule] = None):
+        self.state = state
+        self.registry = registry if registry is not None else ContractRegistry()
+        self.schedule = schedule if schedule is not None else GasSchedule()
+
+    # -- address derivation ----------------------------------------------------
+
+    @staticmethod
+    def contract_address(sender: str, nonce: int) -> str:
+        """Derive a deterministic contract address from the creator and nonce."""
+        return "0x" + sha256_hex(canonical_json({"sender": sender, "nonce": nonce}))[:40]
+
+    # -- execution ----------------------------------------------------------------
+
+    def execute_transaction(self, tx: Transaction, block: BlockContext) -> Receipt:
+        """Apply *tx* to the state and return its receipt.
+
+        Failed executions (revert, out of gas, invalid call) consume the gas
+        used up to the failure point but leave the rest of the state
+        untouched.
+        """
+        sender_account = self.state.get_or_create_account(tx.sender)
+        if tx.nonce != sender_account.nonce:
+            # A mismatched nonce is rejected outright: no state change, no gas,
+            # and the account nonce stays put so the correct transaction can
+            # still be processed.
+            return Receipt(
+                transaction_hash=tx.hash,
+                status=False,
+                gas_used=0,
+                logs=[],
+                error=(
+                    f"bad nonce for {tx.sender}: transaction has {tx.nonce}, "
+                    f"account is at {sender_account.nonce}"
+                ),
+            )
+
+        snapshot = self.state.snapshot()
+        meter = GasMeter(tx.gas_limit, self.schedule)
+        context = ExecutionContext(
+            sender=tx.sender,
+            contract_address=tx.to or "",
+            value=tx.value,
+            block=block,
+            gas_meter=meter,
+        )
+        contract_address: Optional[str] = None
+        try:
+            sender_account = self.state.get_or_create_account(tx.sender)
+            meter.charge(self.schedule.intrinsic_gas(tx.data_size, tx.is_contract_creation), "intrinsic")
+            sender_account.bump_nonce()
+
+            if tx.is_contract_creation:
+                contract_address = self._deploy(tx, context)
+                return_value = contract_address
+            else:
+                return_value = self._call(tx, context)
+
+            gas_used = meter.finalize()
+            self._charge_gas_fee(tx, gas_used)
+            return Receipt(
+                transaction_hash=tx.hash,
+                status=True,
+                gas_used=gas_used,
+                logs=list(context.logs),
+                contract_address=contract_address,
+                return_value=_jsonable(return_value),
+            )
+        except (ContractError, ValidationError, NotFoundError, InsufficientFundsError, OutOfGasError) as exc:
+            self.state.restore(snapshot)
+            # The sender still pays for the gas burned by the failed attempt
+            # (re-applied on the restored state), and its nonce advances so the
+            # transaction cannot be replayed.
+            gas_used = min(meter.gas_used, tx.gas_limit)
+            sender_account = self.state.get_or_create_account(tx.sender)
+            sender_account.bump_nonce()
+            try:
+                self._charge_gas_fee(tx, gas_used)
+            except InsufficientFundsError:
+                sender_account.balance = 0
+            return Receipt(
+                transaction_hash=tx.hash,
+                status=False,
+                gas_used=gas_used,
+                logs=[],
+                contract_address=None,
+                error=str(exc),
+            )
+
+    def _deploy(self, tx: Transaction, context: ExecutionContext) -> str:
+        class_name = tx.data.get("contract_class")
+        if not class_name:
+            raise ValidationError("contract creation transactions must name a contract_class")
+        contract_class = self.registry.get(class_name)
+        sender_account = self.state.get_account(tx.sender)
+        address = self.contract_address(tx.sender, sender_account.nonce)
+        self.state.create_account(address, contract_class=class_name)
+        if tx.value:
+            self.state.transfer(tx.sender, address, tx.value)
+        context.contract_address = address
+        instance = contract_class(address, self.state, context)
+        instance.constructor(**tx.data.get("init_args", {}))
+        return address
+
+    def _call(self, tx: Transaction, context: ExecutionContext) -> Any:
+        assert tx.to is not None
+        target = self.state.get_or_create_account(tx.to)
+        if tx.value:
+            self.state.transfer(tx.sender, tx.to, tx.value)
+        if not target.is_contract:
+            # Plain value transfer to an externally owned account.
+            context.gas_meter.charge(self.schedule.transfer, "transfer")  # type: ignore[union-attr]
+            return None
+        method_name = tx.data.get("method")
+        if not method_name:
+            raise ValidationError("contract call transactions must name a method")
+        return self._invoke(tx.to, method_name, tx.data.get("args", {}), context)
+
+    def _invoke(self, address: str, method_name: str, args: Dict[str, Any],
+                context: ExecutionContext) -> Any:
+        account = self.state.get_account(address)
+        if not account.is_contract:
+            raise ValidationError(f"account {address} is not a contract")
+        contract_class = self.registry.get(account.contract_class)  # type: ignore[arg-type]
+        context.contract_address = address
+        instance = contract_class(address, self.state, context)
+        if method_name.startswith("_") or not hasattr(instance, method_name):
+            raise ContractError(f"contract {account.contract_class} has no public method {method_name!r}")
+        method = getattr(instance, method_name)
+        if not callable(method):
+            raise ContractError(f"{method_name!r} is not callable")
+        if context.gas_meter is not None:
+            context.gas_meter.charge_call()
+        return method(**args)
+
+    def call_readonly(self, address: str, method_name: str, args: Optional[Dict[str, Any]] = None,
+                      caller: Optional[str] = None, block: Optional[BlockContext] = None) -> Any:
+        """Execute a read-only call (no gas fee, no state mutation allowed)."""
+        context = ExecutionContext(
+            sender=caller or "0x" + "00" * 20,
+            contract_address=address,
+            block=block if block is not None else BlockContext(),
+            gas_meter=None,
+            read_only=True,
+        )
+        return self._invoke(address, method_name, args or {}, context)
+
+    def _charge_gas_fee(self, tx: Transaction, gas_used: int) -> None:
+        fee = gas_used * tx.gas_price
+        if fee:
+            self.state.get_account(tx.sender).debit(fee)
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of contract return values to JSON-compatible data."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonable(val) for key, val in value.items()}
+    to_dict = getattr(value, "to_dict", None)
+    if callable(to_dict):
+        return to_dict()
+    return str(value)

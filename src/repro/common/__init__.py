@@ -1,0 +1,51 @@
+"""Shared utilities used by every subsystem of the reproduction.
+
+The :mod:`repro.common` package hosts the small, dependency-free building
+blocks that the blockchain, Solid, TEE, and usage-control layers all rely on:
+error hierarchy, identifier helpers, canonical serialization, and a simulated
+clock abstraction.
+"""
+
+from repro.common.errors import (
+    ReproError,
+    ValidationError,
+    AuthorizationError,
+    NotFoundError,
+    ConflictError,
+    IntegrityError,
+    PolicyViolationError,
+    InsufficientFundsError,
+    SignatureError,
+    AttestationError,
+)
+from repro.common.identifiers import (
+    new_uuid,
+    short_id,
+    qualified_id,
+    is_valid_uuid,
+)
+from repro.common.clock import Clock, SystemClock, SimulatedClock
+from repro.common.serialization import canonical_json, from_canonical_json, stable_hash
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "AuthorizationError",
+    "NotFoundError",
+    "ConflictError",
+    "IntegrityError",
+    "PolicyViolationError",
+    "InsufficientFundsError",
+    "SignatureError",
+    "AttestationError",
+    "new_uuid",
+    "short_id",
+    "qualified_id",
+    "is_valid_uuid",
+    "Clock",
+    "SystemClock",
+    "SimulatedClock",
+    "canonical_json",
+    "from_canonical_json",
+    "stable_hash",
+]

@@ -1,0 +1,73 @@
+"""Clock abstractions.
+
+Usage control is intrinsically temporal: policies carry expiry obligations
+("delete after one week"), the blockchain stamps blocks, and the TEE decides
+when to erase stored copies.  All components therefore take a
+:class:`Clock` so tests and benchmarks can advance time deterministically
+with :class:`SimulatedClock` while examples may use :class:`SystemClock`.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+
+
+class Clock(ABC):
+    """Abstract time source measured in seconds since the Unix epoch."""
+
+    @abstractmethod
+    def now(self) -> float:
+        """Return the current time in seconds."""
+
+    def now_int(self) -> int:
+        """Return the current time truncated to whole seconds."""
+        return int(self.now())
+
+
+class SystemClock(Clock):
+    """Wall-clock time from the host operating system."""
+
+    def now(self) -> float:
+        return time.time()
+
+
+class SimulatedClock(Clock):
+    """Deterministic, manually advanced clock.
+
+    The simulated clock never moves on its own; tests advance it explicitly
+    with :meth:`advance` or :meth:`set`, making time-dependent behaviour
+    (policy expiry, monitoring intervals, block timestamps) fully
+    reproducible.
+    """
+
+    def __init__(self, start: float = 0.0):
+        if start < 0:
+            raise ValueError("start time must be non-negative")
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward by *seconds* and return the new time."""
+        if seconds < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self._now += seconds
+        return self._now
+
+    def set(self, timestamp: float) -> float:
+        """Jump the clock to an absolute *timestamp* (never backwards)."""
+        if timestamp < self._now:
+            raise ValueError("cannot set the clock to an earlier time")
+        self._now = float(timestamp)
+        return self._now
+
+
+# Convenient duration constants used by policies, benchmarks, and examples.
+SECOND = 1
+MINUTE = 60 * SECOND
+HOUR = 60 * MINUTE
+DAY = 24 * HOUR
+WEEK = 7 * DAY
+MONTH = 30 * DAY

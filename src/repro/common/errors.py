@@ -1,0 +1,85 @@
+"""Exception hierarchy shared across the reproduction.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers (examples, benchmarks, the end-to-end scenario runner) can
+distinguish failures of the reproduction library from programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the reproduction library."""
+
+
+class ValidationError(ReproError):
+    """Raised when an input value fails structural or semantic validation."""
+
+
+class AuthorizationError(ReproError):
+    """Raised when an agent attempts an action it is not permitted to perform.
+
+    Used both by the Solid access-control layer (WAC checks in the pod
+    manager) and by smart contracts rejecting transactions from unauthorized
+    senders.
+    """
+
+
+class NotFoundError(ReproError):
+    """Raised when a referenced entity (resource, pod, policy, account) is missing."""
+
+
+class ConflictError(ReproError):
+    """Raised when an operation conflicts with existing state.
+
+    Examples: registering a pod twice, re-using a transaction nonce,
+    or adding a resource under an identifier that already exists.
+    """
+
+
+class IntegrityError(ReproError):
+    """Raised when tamper-evidence checks fail.
+
+    Covers invalid block hashes, broken Merkle proofs, mismatching state
+    roots, and sealed-storage integrity failures inside the TEE.
+    """
+
+
+class PolicyViolationError(ReproError):
+    """Raised when an action would violate an applicable usage policy."""
+
+    def __init__(self, message: str, *, policy_uid: str | None = None, rule_uid: str | None = None):
+        super().__init__(message)
+        self.policy_uid = policy_uid
+        self.rule_uid = rule_uid
+
+
+class InsufficientFundsError(ReproError):
+    """Raised when an account cannot cover a transfer or the gas of a transaction."""
+
+
+class SignatureError(ReproError):
+    """Raised when a digital signature fails verification."""
+
+
+class AttestationError(ReproError):
+    """Raised when a TEE attestation quote cannot be verified."""
+
+
+class OracleError(ReproError):
+    """Raised when an oracle component cannot complete an on-chain/off-chain exchange."""
+
+
+class ContractError(ReproError):
+    """Raised by smart-contract code to revert the enclosing transaction."""
+
+    def __init__(self, message: str = "execution reverted"):
+        super().__init__(message)
+        self.reason = message
+
+
+class OutOfGasError(ContractError):
+    """Raised when a contract execution exceeds the transaction gas limit."""
+
+    def __init__(self, message: str = "out of gas"):
+        super().__init__(message)

@@ -1,0 +1,51 @@
+"""Identifier helpers.
+
+The architecture manipulates many kinds of identifiers: WebIDs, pod URLs,
+resource IRIs, blockchain addresses, policy UIDs.  This module centralizes
+the creation and validation of opaque identifiers so the rest of the code
+never calls :mod:`uuid` directly (which keeps deterministic test seeds easy).
+"""
+
+from __future__ import annotations
+
+import uuid
+
+
+def new_uuid() -> str:
+    """Return a fresh random UUID4 string."""
+    return str(uuid.uuid4())
+
+
+def short_id(length: int = 8) -> str:
+    """Return a short random hexadecimal identifier.
+
+    Useful for human-readable labels in logs and examples; not meant to be
+    globally unique for large populations.
+    """
+    if length <= 0:
+        raise ValueError("length must be positive")
+    return uuid.uuid4().hex[:length]
+
+
+def qualified_id(namespace: str, local: str) -> str:
+    """Join a namespace and a local name into a single identifier.
+
+    The separator is ``:`` unless the namespace already ends with a
+    separator-like character (``/``, ``#`` or ``:``).
+    """
+    if not namespace:
+        raise ValueError("namespace must be non-empty")
+    if not local:
+        raise ValueError("local must be non-empty")
+    if namespace[-1] in "/#:":
+        return f"{namespace}{local}"
+    return f"{namespace}:{local}"
+
+
+def is_valid_uuid(value: str) -> bool:
+    """Return True when *value* parses as a UUID (any version)."""
+    try:
+        uuid.UUID(value)
+    except (ValueError, AttributeError, TypeError):
+        return False
+    return True

@@ -1,0 +1,48 @@
+"""Canonical serialization helpers.
+
+Blocks, transactions, policies, and attestation quotes are hashed and signed.
+Hashing requires a canonical byte representation, so every structure in the
+reproduction is serialized through :func:`canonical_json`: UTF-8 JSON with
+sorted keys and no insignificant whitespace.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+
+def canonical_json(value: Any) -> bytes:
+    """Serialize *value* to canonical JSON bytes.
+
+    Keys are sorted, separators are compact, and non-ASCII characters are
+    escaped so that the same logical value always produces the same bytes.
+    """
+    return json.dumps(
+        value,
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+        default=_default,
+    ).encode("utf-8")
+
+
+def _default(obj: Any) -> Any:
+    """Fallback encoder: objects may expose ``to_dict`` for canonical form."""
+    to_dict = getattr(obj, "to_dict", None)
+    if callable(to_dict):
+        return to_dict()
+    raise TypeError(f"object of type {type(obj).__name__} is not JSON serializable")
+
+
+def from_canonical_json(data: bytes | str) -> Any:
+    """Parse canonical JSON bytes (or text) back into Python values."""
+    if isinstance(data, bytes):
+        data = data.decode("utf-8")
+    return json.loads(data)
+
+
+def stable_hash(value: Any) -> str:
+    """Return the hex SHA-256 digest of the canonical JSON form of *value*."""
+    return hashlib.sha256(canonical_json(value)).hexdigest()

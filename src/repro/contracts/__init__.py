@@ -1,0 +1,27 @@
+"""Smart contracts deployed by the architecture.
+
+Three contracts make up the on-chain side of the system:
+
+* :class:`~repro.contracts.dist_exchange.DistExchangeApp` — the DE App of the
+  paper: it records pod locations, resource metadata, and usage policies,
+  tracks which consumers hold copies, orchestrates policy monitoring, and
+  stores compliance evidence;
+* :class:`~repro.contracts.market.DataMarket` — the decentralized data market
+  of the motivating scenario: subscriptions, market-fee certificates, and
+  remuneration of data owners;
+* :class:`~repro.contracts.oracle_hub.OracleRequestHub` — the on-chain half of
+  the pull-in oracle pattern: a request/response queue that off-chain
+  providers watch and answer.
+"""
+
+from repro.contracts.base import SmartContract
+from repro.contracts.dist_exchange import DistExchangeApp
+from repro.contracts.market import DataMarket
+from repro.contracts.oracle_hub import OracleRequestHub
+
+__all__ = [
+    "SmartContract",
+    "DistExchangeApp",
+    "DataMarket",
+    "OracleRequestHub",
+]

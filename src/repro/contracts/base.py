@@ -1,0 +1,10 @@
+"""Smart-contract base class.
+
+The execution model (metered storage, events, message context) lives in the
+VM module; contracts import the base class from here so contract code never
+depends on VM internals.
+"""
+
+from repro.blockchain.vm import SmartContract
+
+__all__ = ["SmartContract"]

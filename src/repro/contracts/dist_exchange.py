@@ -1,0 +1,289 @@
+"""The DistExchange application (DE App).
+
+Section III-B of the paper assigns three responsibilities to the blockchain
+application: "(i) recording where data resides, (ii) declaring what the usage
+restrictions are, and (iii) monitoring compliance with these policies."  The
+contract below implements them plus the bookkeeping the six processes of
+Fig. 2 require:
+
+* **Pod initiation** — :meth:`register_pod` records a pod's web reference and
+  default policy (pushed in by the pod manager's push-in oracle).
+* **Resource initiation** — :meth:`register_resource` indexes a resource's
+  location and its usage policy, emitting ``ResourceRegistered``.
+* **Resource indexing** — :meth:`get_resource` is the read-only lookup the
+  consumer's pull-out oracle performs.
+* **Resource access** — :meth:`record_access_grant` notes which consumer now
+  holds a copy, so later policy updates and monitoring reach them.
+* **Policy modification** — :meth:`update_policy` replaces the policy and
+  emits ``PolicyUpdated`` (the push-out oracle notifies consumer TEEs).
+* **Policy monitoring** — :meth:`start_monitoring` opens a monitoring round
+  (``MonitoringRequested`` is picked up by the pull-in oracle), and
+  :meth:`record_usage_evidence` stores the evidence reported back by TEEs;
+  :meth:`report_violation` records detected violations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.contracts.base import SmartContract
+
+
+class DistExchangeApp(SmartContract):
+    """On-chain registry and monitor for usage-controlled resources."""
+
+    # -- deployment -----------------------------------------------------------
+
+    def constructor(self, administrator: Optional[str] = None, **_: Any) -> None:
+        self.storage["administrator"] = administrator or self.msg_sender
+        self.storage["pods"] = {}
+        self.storage["resources"] = {}
+        self.storage["policies"] = {}
+        self.storage["grants"] = {}
+        self.storage["monitoring_rounds"] = {}
+        self.storage["evidence"] = {}
+        self.storage["violations"] = []
+        self.storage["next_round_id"] = 1
+
+    # -- pod initiation (Fig. 2.1) ------------------------------------------------
+
+    def register_pod(self, pod_url: str, owner: str, default_policy: Dict[str, Any]) -> str:
+        """Record a pod's root location and its default usage policy."""
+        self.require(bool(pod_url), "pod_url must be non-empty")
+        self.require(bool(owner), "owner must be non-empty")
+        pods = self.storage.get("pods", {})
+        self.require(pod_url not in pods, f"pod {pod_url} is already registered")
+        pods[pod_url] = {
+            "owner": owner,
+            "registered_by": self.msg_sender,
+            "registered_at": self.block_timestamp,
+            "default_policy": default_policy,
+        }
+        self.storage["pods"] = pods
+        self.emit("PodRegistered", pod_url=pod_url, owner=owner)
+        return pod_url
+
+    def get_pod(self, pod_url: str) -> Dict[str, Any]:
+        """Return the recorded metadata of a pod."""
+        pods = self.storage.get("pods", {})
+        self.require(pod_url in pods, f"pod {pod_url} is not registered")
+        return pods[pod_url]
+
+    def list_pods(self) -> List[str]:
+        """Return the URLs of every registered pod."""
+        return sorted(self.storage.get("pods", {}).keys())
+
+    # -- resource initiation (Fig. 2.2) ----------------------------------------------
+
+    def register_resource(self, resource_id: str, pod_url: str, location: str,
+                          owner: str, policy: Dict[str, Any],
+                          metadata: Optional[Dict[str, Any]] = None) -> str:
+        """Index a resource: its physical location and applicable usage policy."""
+        self.require(bool(resource_id), "resource_id must be non-empty")
+        pods = self.storage.get("pods", {})
+        self.require(pod_url in pods, f"pod {pod_url} is not registered")
+        self.require(pods[pod_url]["owner"] == owner, "resource owner must own the pod")
+        resources = self.storage.get("resources", {})
+        self.require(resource_id not in resources, f"resource {resource_id} is already registered")
+        resources[resource_id] = {
+            "pod_url": pod_url,
+            "location": location,
+            "owner": owner,
+            "registered_at": self.block_timestamp,
+            "metadata": metadata or {},
+        }
+        self.storage["resources"] = resources
+        policies = self.storage.get("policies", {})
+        policies[resource_id] = policy
+        self.storage["policies"] = policies
+        grants = self.storage.get("grants", {})
+        grants.setdefault(resource_id, [])
+        self.storage["grants"] = grants
+        self.emit("ResourceRegistered", resource_id=resource_id, owner=owner, location=location)
+        return resource_id
+
+    def list_resources(self) -> List[str]:
+        """Return the identifiers of every indexed resource."""
+        return sorted(self.storage.get("resources", {}).keys())
+
+    # -- resource indexing (Fig. 2.3) ----------------------------------------------------
+
+    def get_resource(self, resource_id: str) -> Dict[str, Any]:
+        """Return the location and usage policy of a resource (pull-out read)."""
+        resources = self.storage.get("resources", {})
+        self.require(resource_id in resources, f"resource {resource_id} is not registered")
+        record = dict(resources[resource_id])
+        record["policy"] = self.storage.get("policies", {}).get(resource_id)
+        record["resource_id"] = resource_id
+        return record
+
+    def get_policy(self, resource_id: str) -> Dict[str, Any]:
+        """Return only the current usage policy of a resource."""
+        policies = self.storage.get("policies", {})
+        self.require(resource_id in policies, f"resource {resource_id} has no policy")
+        return policies[resource_id]
+
+    # -- resource access bookkeeping (Fig. 2.4) ---------------------------------------------
+
+    def record_access_grant(self, resource_id: str, consumer: str, device_id: str,
+                            purpose: Optional[str] = None) -> Dict[str, Any]:
+        """Record that *consumer*'s device now holds a copy of the resource."""
+        resources = self.storage.get("resources", {})
+        self.require(resource_id in resources, f"resource {resource_id} is not registered")
+        grants = self.storage.get("grants", {})
+        entries = grants.setdefault(resource_id, [])
+        grant = {
+            "consumer": consumer,
+            "device_id": device_id,
+            "purpose": purpose,
+            "granted_at": self.block_timestamp,
+            "active": True,
+        }
+        entries.append(grant)
+        self.storage["grants"] = grants
+        self.emit("AccessGranted", resource_id=resource_id, consumer=consumer, device_id=device_id)
+        return grant
+
+    def get_grants(self, resource_id: str) -> List[Dict[str, Any]]:
+        """Return every access grant recorded for a resource."""
+        return list(self.storage.get("grants", {}).get(resource_id, []))
+
+    def revoke_grant(self, resource_id: str, device_id: str) -> bool:
+        """Mark a consumer device's grant as inactive (e.g. after deletion)."""
+        grants = self.storage.get("grants", {})
+        entries = grants.get(resource_id, [])
+        changed = False
+        for grant in entries:
+            if grant["device_id"] == device_id and grant["active"]:
+                grant["active"] = False
+                changed = True
+        if changed:
+            self.storage["grants"] = grants
+            self.emit("AccessRevoked", resource_id=resource_id, device_id=device_id)
+        return changed
+
+    # -- policy modification (Fig. 2.5) ----------------------------------------------------
+
+    def update_policy(self, resource_id: str, policy: Dict[str, Any], owner: str) -> Dict[str, Any]:
+        """Replace the usage policy of a resource and notify copy holders."""
+        resources = self.storage.get("resources", {})
+        self.require(resource_id in resources, f"resource {resource_id} is not registered")
+        self.require(resources[resource_id]["owner"] == owner, "only the owner may update the policy")
+        policies = self.storage.get("policies", {})
+        previous = policies.get(resource_id)
+        policies[resource_id] = policy
+        self.storage["policies"] = policies
+        holders = [
+            grant["device_id"]
+            for grant in self.storage.get("grants", {}).get(resource_id, [])
+            if grant["active"]
+        ]
+        self.emit(
+            "PolicyUpdated",
+            resource_id=resource_id,
+            policy=policy,
+            previous_version=(previous or {}).get("version"),
+            new_version=policy.get("version"),
+            holders=holders,
+        )
+        return policy
+
+    # -- policy monitoring (Fig. 2.6) ---------------------------------------------------------
+
+    def start_monitoring(self, resource_id: str, requested_by: str) -> int:
+        """Open a monitoring round for a resource; returns the round identifier."""
+        resources = self.storage.get("resources", {})
+        self.require(resource_id in resources, f"resource {resource_id} is not registered")
+        round_id = self.storage.get("next_round_id", 1)
+        self.storage["next_round_id"] = round_id + 1
+        holders = [
+            grant["device_id"]
+            for grant in self.storage.get("grants", {}).get(resource_id, [])
+            if grant["active"]
+        ]
+        rounds = self.storage.get("monitoring_rounds", {})
+        rounds[str(round_id)] = {
+            "resource_id": resource_id,
+            "requested_by": requested_by,
+            "requested_at": self.block_timestamp,
+            "holders": holders,
+            "responses": {},
+            "closed": False,
+        }
+        self.storage["monitoring_rounds"] = rounds
+        self.emit(
+            "MonitoringRequested",
+            round_id=round_id,
+            resource_id=resource_id,
+            holders=holders,
+            requested_by=requested_by,
+        )
+        return round_id
+
+    def record_usage_evidence(self, round_id: int, device_id: str,
+                              evidence: Dict[str, Any]) -> Dict[str, Any]:
+        """Store the usage evidence a TEE reported for a monitoring round."""
+        rounds = self.storage.get("monitoring_rounds", {})
+        key = str(round_id)
+        self.require(key in rounds, f"unknown monitoring round {round_id}")
+        round_record = rounds[key]
+        self.require(not round_record["closed"], f"monitoring round {round_id} is closed")
+        round_record["responses"][device_id] = evidence
+        all_evidence = self.storage.get("evidence", {})
+        all_evidence.setdefault(round_record["resource_id"], []).append(
+            {"round_id": round_id, "device_id": device_id, "evidence": evidence}
+        )
+        self.storage["evidence"] = all_evidence
+        outstanding = [
+            holder for holder in round_record["holders"] if holder not in round_record["responses"]
+        ]
+        if not outstanding:
+            round_record["closed"] = True
+        self.storage["monitoring_rounds"] = rounds
+        self.emit(
+            "EvidenceRecorded",
+            round_id=round_id,
+            resource_id=round_record["resource_id"],
+            device_id=device_id,
+            compliant=bool(evidence.get("compliant", False)),
+            round_closed=round_record["closed"],
+        )
+        if not evidence.get("compliant", True):
+            self.report_violation(
+                round_record["resource_id"], device_id, evidence.get("details", "non-compliant evidence")
+            )
+        return round_record
+
+    def get_monitoring_round(self, round_id: int) -> Dict[str, Any]:
+        """Return the state of a monitoring round (holders, responses, closed)."""
+        rounds = self.storage.get("monitoring_rounds", {})
+        key = str(round_id)
+        self.require(key in rounds, f"unknown monitoring round {round_id}")
+        return rounds[key]
+
+    def get_evidence(self, resource_id: str) -> List[Dict[str, Any]]:
+        """Return every piece of evidence recorded for a resource."""
+        return list(self.storage.get("evidence", {}).get(resource_id, []))
+
+    # -- violations --------------------------------------------------------------------------
+
+    def report_violation(self, resource_id: str, device_id: str, details: str) -> Dict[str, Any]:
+        """Record a detected usage-policy violation."""
+        violations = self.storage.get("violations", [])
+        violation = {
+            "resource_id": resource_id,
+            "device_id": device_id,
+            "details": details,
+            "reported_at": self.block_timestamp,
+        }
+        violations.append(violation)
+        self.storage["violations"] = violations
+        self.emit("ViolationDetected", resource_id=resource_id, device_id=device_id, details=details)
+        return violation
+
+    def get_violations(self, resource_id: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Return recorded violations, optionally filtered by resource."""
+        violations = self.storage.get("violations", [])
+        if resource_id is None:
+            return list(violations)
+        return [violation for violation in violations if violation["resource_id"] == resource_id]

@@ -1,0 +1,99 @@
+"""On-chain half of the pull-in oracle pattern.
+
+In the pull-in pattern the *contract* initiates a data request that an
+off-chain provider must answer (Section IV-6 uses it to ask consumer TEEs for
+usage evidence).  The hub contract keeps an explicit request queue: contracts
+(or the DE App workflow acting through the pod manager) enqueue requests, the
+off-chain oracle component watches the ``OracleRequest`` events, obtains the
+answer from the real world, and posts it back with :meth:`fulfill_request`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.contracts.base import SmartContract
+
+
+class OracleRequestHub(SmartContract):
+    """Request/response queue connecting on-chain consumers to off-chain providers."""
+
+    def constructor(self, **_: Any) -> None:
+        self.storage["next_request_id"] = 1
+        self.storage["requests"] = {}
+        self.storage["authorized_providers"] = {}
+
+    # -- provider management -----------------------------------------------------
+
+    def authorize_provider(self, provider: str) -> bool:
+        """Allow an off-chain provider address to fulfill requests."""
+        providers = self.storage.get("authorized_providers", {})
+        providers[provider] = True
+        self.storage["authorized_providers"] = providers
+        self.emit("ProviderAuthorized", provider=provider)
+        return True
+
+    def is_authorized(self, provider: str) -> bool:
+        return bool(self.storage.get("authorized_providers", {}).get(provider, False))
+
+    # -- request lifecycle ----------------------------------------------------------
+
+    def create_request(self, kind: str, payload: Dict[str, Any],
+                       target: Optional[str] = None) -> int:
+        """Enqueue an oracle request; emits ``OracleRequest`` for off-chain watchers."""
+        self.require(bool(kind), "request kind must be non-empty")
+        request_id = self.storage.get("next_request_id", 1)
+        self.storage["next_request_id"] = request_id + 1
+        requests = self.storage.get("requests", {})
+        requests[str(request_id)] = {
+            "kind": kind,
+            "payload": payload,
+            "target": target,
+            "requested_by": self.msg_sender,
+            "requested_at": self.block_timestamp,
+            "fulfilled": False,
+            "response": None,
+            "fulfilled_by": None,
+            "fulfilled_at": None,
+        }
+        self.storage["requests"] = requests
+        self.emit("OracleRequest", request_id=request_id, kind=kind, payload=payload, target=target)
+        return request_id
+
+    def fulfill_request(self, request_id: int, response: Dict[str, Any],
+                        provider: Optional[str] = None) -> Dict[str, Any]:
+        """Record the off-chain answer to a pending request."""
+        responder = provider or self.msg_sender
+        self.require(self.is_authorized(responder), f"{responder} is not an authorized oracle provider")
+        requests = self.storage.get("requests", {})
+        key = str(request_id)
+        self.require(key in requests, f"unknown oracle request {request_id}")
+        record = requests[key]
+        self.require(not record["fulfilled"], f"oracle request {request_id} is already fulfilled")
+        record["fulfilled"] = True
+        record["response"] = response
+        record["fulfilled_by"] = responder
+        record["fulfilled_at"] = self.block_timestamp
+        self.storage["requests"] = requests
+        self.emit("OracleResponse", request_id=request_id, response=response, provider=responder)
+        return record
+
+    # -- queries ------------------------------------------------------------------------
+
+    def get_request(self, request_id: int) -> Dict[str, Any]:
+        """Return the full state of one oracle request."""
+        requests = self.storage.get("requests", {})
+        key = str(request_id)
+        self.require(key in requests, f"unknown oracle request {request_id}")
+        return requests[key]
+
+    def pending_requests(self, kind: Optional[str] = None) -> List[int]:
+        """Return the identifiers of requests that still await fulfillment."""
+        pending = []
+        for key, record in self.storage.get("requests", {}).items():
+            if record["fulfilled"]:
+                continue
+            if kind is not None and record["kind"] != kind:
+                continue
+            pending.append(int(key))
+        return sorted(pending)

@@ -1,0 +1,303 @@
+"""Deployment wiring of the decentralized usage control architecture (Fig. 1).
+
+:class:`UsageControlArchitecture` stands up a complete deployment:
+
+* a Proof-of-Authority blockchain node operated by the market operator, with
+  the :class:`~repro.contracts.dist_exchange.DistExchangeApp`,
+  :class:`~repro.contracts.market.DataMarket`, and
+  :class:`~repro.contracts.oracle_hub.OracleRequestHub` contracts deployed;
+* an attestation verifier trusting the reference trusted-application
+  measurement;
+* a shared Solid client and network latency model;
+* factories that register data owners (pod manager + push-in/push-out
+  oracles, wired so that pod-manager events become DE App transactions) and
+  data consumers (TEE + trusted application + pull-out/pull-in/push-out
+  oracles, wired so that on-chain policy updates reach the device).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.common.clock import Clock, SimulatedClock
+from repro.common.errors import ValidationError
+from repro.policy.serialization import policy_to_dict
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.network import NetworkModel
+from repro.sim.scheduler import EventScheduler
+from repro.blockchain.consensus import ProofOfAuthority
+from repro.blockchain.crypto import KeyPair
+from repro.blockchain.gas import GasSchedule
+from repro.blockchain.node import BlockchainNode
+from repro.blockchain.vm import ContractRegistry
+from repro.contracts.dist_exchange import DistExchangeApp
+from repro.contracts.market import DataMarket
+from repro.contracts.oracle_hub import OracleRequestHub
+from repro.oracles.base import BlockchainInteractionModule
+from repro.oracles.pull_in import PullInOracle
+from repro.oracles.pull_out import PullOutOracle
+from repro.oracles.push_in import PushInOracle
+from repro.oracles.push_out import PushOutOracle
+from repro.solid.client import SolidClient
+from repro.solid.pod_manager import PodManager
+from repro.solid.webid import WebID
+from repro.tee.attestation import AttestationVerifier
+from repro.tee.enclave import TrustedExecutionEnvironment
+from repro.tee.trusted_app import TrustedApplication
+from repro.core.participants import DataConsumer, DataOwner
+
+
+@dataclass
+class ArchitectureConfig:
+    """Tunable parameters of a deployment."""
+
+    block_interval: float = 5.0
+    subscription_fee: int = 100
+    access_fee: int = 10
+    owner_share_percent: int = 80
+    initial_participant_funds: int = 50_000_000
+    operator_funds: int = 10_000_000_000
+    gas_schedule: GasSchedule = None  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.gas_schedule is None:
+            self.gas_schedule = GasSchedule()
+        if self.initial_participant_funds <= 0:
+            raise ValidationError("participants need positive initial funds")
+
+
+class UsageControlArchitecture:
+    """A fully wired deployment of the usage control architecture."""
+
+    def __init__(self, config: Optional[ArchitectureConfig] = None,
+                 clock: Optional[Clock] = None, network: Optional[NetworkModel] = None,
+                 metrics: Optional[MetricsRegistry] = None):
+        self.config = config if config is not None else ArchitectureConfig()
+        self.clock = clock if clock is not None else SimulatedClock(start=1_700_000_000.0)
+        self.scheduler = EventScheduler(self.clock) if isinstance(self.clock, SimulatedClock) else None
+        self.network = network if network is not None else NetworkModel(seed=11)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+        # -- blockchain layer -------------------------------------------------------
+        self.operator_key = KeyPair.from_name("market-operator")
+        consensus = ProofOfAuthority(
+            validators=[self.operator_key.address], block_interval=self.config.block_interval
+        )
+        registry = ContractRegistry()
+        registry.register(DistExchangeApp)
+        registry.register(DataMarket)
+        registry.register(OracleRequestHub)
+        self.node = BlockchainNode(
+            consensus,
+            self.operator_key,
+            registry=registry,
+            schedule=self.config.gas_schedule,
+            clock=self.clock,
+            genesis_balances={self.operator_key.address: self.config.operator_funds},
+        )
+        self.operator_module = BlockchainInteractionModule(
+            self.node, self.operator_key, network=self.network
+        )
+
+        # -- contract deployment -----------------------------------------------------
+        self.dist_exchange_address = self.operator_module.deploy_contract("DistExchangeApp")
+        self.market_address = self.operator_module.deploy_contract(
+            "DataMarket",
+            {
+                "subscription_fee": self.config.subscription_fee,
+                "access_fee": self.config.access_fee,
+                "owner_share_percent": self.config.owner_share_percent,
+            },
+        )
+        self.oracle_hub_address = self.operator_module.deploy_contract("OracleRequestHub")
+
+        # -- trust layer ----------------------------------------------------------------
+        self.attestation_verifier = AttestationVerifier()
+        self.solid_client = SolidClient(network=self.network)
+
+        self.owners: Dict[str, DataOwner] = {}
+        self.consumers: Dict[str, DataConsumer] = {}
+
+    # -- funding ------------------------------------------------------------------------
+
+    def _fund(self, address: str, amount: Optional[int] = None) -> None:
+        """Transfer initial funds from the operator to a new participant."""
+        self.operator_module.send_transaction(
+            address, {}, value=amount if amount is not None else self.config.initial_participant_funds
+        )
+
+    # -- participant registration ----------------------------------------------------------
+
+    def register_owner(self, name: str, pod_base_url: Optional[str] = None) -> DataOwner:
+        """Create a data owner with a wired pod manager and oracle components."""
+        if name in self.owners:
+            raise ValidationError(f"an owner named {name} is already registered")
+        webid = WebID(name)
+        self._fund(webid.address)
+        module = BlockchainInteractionModule(self.node, webid.keypair, network=self.network)
+        push_in = PushInOracle(module, self.dist_exchange_address)
+        push_out = PushOutOracle(module, self.dist_exchange_address)
+
+        pod_manager = PodManager(
+            webid,
+            base_url=pod_base_url,
+            clock=self.clock,
+            certificate_verifier=self._certificate_verifier,
+        )
+        self.solid_client.register_pod_manager(pod_manager)
+
+        owner = DataOwner(
+            webid=webid,
+            pod_manager=pod_manager,
+            module=module,
+            push_in=push_in,
+            push_out=push_out,
+            market_address=self.market_address,
+        )
+        self._wire_owner(owner)
+        self.owners[name] = owner
+        self.metrics.counter("participants.owners").increment()
+        return owner
+
+    def register_consumer(self, name: str, purpose: Optional[str] = None,
+                          device_id: Optional[str] = None) -> DataConsumer:
+        """Create a data consumer with a TEE, trusted application, and oracles."""
+        if name in self.consumers:
+            raise ValidationError(f"a consumer named {name} is already registered")
+        webid = WebID(name)
+        self._fund(webid.address)
+        module = BlockchainInteractionModule(self.node, webid.keypair, network=self.network)
+        tee = TrustedExecutionEnvironment(
+            device_id=device_id or f"device-{name}",
+            owner_identity=webid.iri,
+            clock=self.clock,
+            default_purpose=purpose,
+        )
+        self.attestation_verifier.trust_measurement(tee.measurement)
+
+        pull_out = PullOutOracle(module, self.dist_exchange_address)
+        pull_in = PullInOracle(module, self.oracle_hub_address)
+        push_out = PushOutOracle(module, self.dist_exchange_address)
+
+        trusted_app = TrustedApplication(
+            webid,
+            tee,
+            solid_client=self.solid_client,
+            resource_resolver=pull_out.resource_record,
+            purpose=purpose,
+        )
+        consumer = DataConsumer(
+            webid=webid,
+            tee=tee,
+            trusted_app=trusted_app,
+            module=module,
+            pull_out=pull_out,
+            pull_in=pull_in,
+            push_out=push_out,
+            market_address=self.market_address,
+            dist_exchange_address=self.dist_exchange_address,
+            purpose=purpose,
+        )
+        self._wire_consumer(consumer)
+        self.consumers[name] = consumer
+        self.metrics.counter("participants.consumers").increment()
+        return consumer
+
+    # -- wiring ---------------------------------------------------------------------------------
+
+    def _certificate_verifier(self, certificate_id: str, consumer_address: str, resource_id: str) -> bool:
+        """Pod managers verify market-fee certificates with a read-only call."""
+        return bool(
+            self.node.call(
+                self.market_address,
+                "verify_certificate",
+                {
+                    "certificate_id": certificate_id,
+                    "consumer": consumer_address,
+                    "resource_id": resource_id,
+                },
+            )
+        )
+
+    def _wire_owner(self, owner: DataOwner) -> None:
+        """Connect pod-manager events to the owner's push-in oracle (Fig. 2.1/2.2/2.5/2.6)."""
+
+        def on_pod_created(pod_url: str, owner_webid: WebID, default_policy) -> None:
+            receipt = owner.push_in.push_pod_registration(
+                pod_url, owner_webid.iri, policy_to_dict(default_policy)
+            )
+            owner.receipts.append(receipt)
+            self.metrics.counter("process.pod_initiation").increment()
+
+        def on_resource_published(resource_id: str, pod_url: str, location: str,
+                                  owner_webid: WebID, policy, metadata) -> None:
+            receipt = owner.push_in.push_resource_registration(
+                resource_id, pod_url, location, owner_webid.iri, policy_to_dict(policy), metadata
+            )
+            owner.receipts.append(receipt)
+            owner.list_on_market(resource_id)
+            self.metrics.counter("process.resource_initiation").increment()
+
+        def on_policy_updated(resource_id: str, policy, owner_webid: WebID) -> None:
+            receipt = owner.push_in.push_policy_update(
+                resource_id, policy_to_dict(policy), owner_webid.iri
+            )
+            owner.receipts.append(receipt)
+            self.metrics.counter("process.policy_modification").increment()
+
+        def on_monitoring_requested(resource_id: str, owner_webid: WebID) -> None:
+            receipt = owner.push_in.push_monitoring_request(resource_id, owner_webid.iri)
+            owner.receipts.append(receipt)
+            self.metrics.counter("process.policy_monitoring").increment()
+
+        owner.pod_manager.on(
+            "pod_created",
+            lambda pod_url, owner, default_policy: on_pod_created(pod_url, owner, default_policy),
+        )
+        owner.pod_manager.on(
+            "resource_published",
+            lambda resource_id, pod_url, location, owner, policy, metadata: on_resource_published(
+                resource_id, pod_url, location, owner, policy, metadata
+            ),
+        )
+        owner.pod_manager.on(
+            "policy_updated",
+            lambda resource_id, policy, owner: on_policy_updated(resource_id, policy, owner),
+        )
+        owner.pod_manager.on(
+            "monitoring_requested",
+            lambda resource_id, owner: on_monitoring_requested(resource_id, owner),
+        )
+        # The push-out oracle delivers evidence notifications back to the owner.
+        owner.push_out.subscribe("EvidenceRecorded", owner.record_evidence_notification)
+
+    def _wire_consumer(self, consumer: DataConsumer) -> None:
+        """Subscribe the consumer's device to policy updates and evidence requests."""
+        consumer.push_out.subscribe("PolicyUpdated", consumer.handle_policy_update)
+        consumer.pull_in.register_provider("usage_evidence", consumer.provide_usage_evidence)
+        consumer.pull_in.authorize_on_chain()
+
+    # -- chain-level helpers -------------------------------------------------------------------------
+
+    def dist_exchange_read(self, method: str, args: Optional[dict] = None):
+        """Read-only call on the DE App (operator view)."""
+        return self.node.call(self.dist_exchange_address, method, args or {})
+
+    def market_read(self, method: str, args: Optional[dict] = None):
+        """Read-only call on the data market contract."""
+        return self.node.call(self.market_address, method, args or {})
+
+    def total_gas_used(self) -> int:
+        """Total gas consumed by the deployment so far (affordability metric)."""
+        return self.node.chain.total_gas_used()
+
+    def advance_time(self, seconds: float) -> None:
+        """Advance the simulated clock (and run any scheduled jobs)."""
+        if self.scheduler is not None:
+            self.scheduler.run_for(seconds)
+        elif isinstance(self.clock, SimulatedClock):
+            self.clock.advance(seconds)
+
+    def all_participants(self) -> List[str]:
+        return sorted(list(self.owners) + list(self.consumers))

@@ -1,0 +1,152 @@
+"""Status-quo baseline: Solid with access control only.
+
+The paper's motivation (Section I) is that "Solid currently only supports
+basic access control, and thus it is not possible to ensure that data
+consumers adhere to usage restrictions specified by data owners."  The
+baseline deployment reproduces that status quo: pods, pod managers, and WAC
+access control, but no blockchain, no TEEs, and no oracles.  Consumers copy
+retrieved data into ordinary (untrusted) local storage, so:
+
+* policy updates performed by the owner never reach existing copies;
+* retention obligations are not enforced;
+* there is no evidence trail the owner could audit.
+
+The comparison benchmark (E11) uses this class both to demonstrate the
+functional gap and to quantify the overhead the usage-control architecture
+adds on the resource-access path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.clock import Clock, SimulatedClock
+from repro.common.errors import ValidationError
+from repro.policy.model import Policy
+from repro.sim.network import NetworkModel
+from repro.solid.client import SolidClient
+from repro.solid.pod import OCTET_STREAM
+from repro.solid.pod_manager import PodManager
+from repro.solid.wac import AccessMode
+from repro.solid.webid import WebID
+
+
+@dataclass
+class UntrustedCopy:
+    """A plain local copy held outside any trusted environment."""
+
+    resource_id: str
+    content: bytes
+    policy_version_at_download: Optional[int]
+    downloaded_at: float
+    deleted: bool = False
+
+
+@dataclass
+class BaselineConsumer:
+    """A consumer in the baseline: a WebID and an ordinary local data store."""
+
+    webid: WebID
+    local_store: Dict[str, UntrustedCopy] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.webid.name
+
+    def holds_copy(self, resource_id: str) -> bool:
+        copy = self.local_store.get(resource_id)
+        return copy is not None and not copy.deleted
+
+    def use_resource(self, resource_id: str) -> bytes:
+        """Use a local copy — nothing checks the owner's current policy."""
+        copy = self.local_store[resource_id]
+        if copy.deleted:
+            raise ValidationError(f"{resource_id} was deleted locally")
+        return copy.content
+
+
+class BaselineSolidDeployment:
+    """Pods + pod managers + WAC, without the usage-control architecture."""
+
+    def __init__(self, clock: Optional[Clock] = None, network: Optional[NetworkModel] = None):
+        self.clock = clock if clock is not None else SimulatedClock(start=1_700_000_000.0)
+        self.network = network if network is not None else NetworkModel(seed=11)
+        self.solid_client = SolidClient(network=self.network)
+        self.owners: Dict[str, PodManager] = {}
+        self.consumers: Dict[str, BaselineConsumer] = {}
+
+    # -- participants ---------------------------------------------------------------
+
+    def register_owner(self, name: str) -> PodManager:
+        if name in self.owners:
+            raise ValidationError(f"an owner named {name} is already registered")
+        webid = WebID(name)
+        manager = PodManager(webid, clock=self.clock)
+        manager.create_pod()
+        self.solid_client.register_pod_manager(manager)
+        self.owners[name] = manager
+        return manager
+
+    def register_consumer(self, name: str) -> BaselineConsumer:
+        if name in self.consumers:
+            raise ValidationError(f"a consumer named {name} is already registered")
+        consumer = BaselineConsumer(WebID(name))
+        self.consumers[name] = consumer
+        return consumer
+
+    # -- owner-side operations ------------------------------------------------------------
+
+    def publish_resource(self, owner_name: str, path: str, content: bytes, policy: Policy,
+                         content_type: str = OCTET_STREAM) -> str:
+        """Upload a resource and attach a policy (advisory only in the baseline)."""
+        manager = self.owners[owner_name]
+        manager.upload_resource(path, content, content_type)
+        return manager.publish_resource(path, policy)
+
+    def grant_read(self, owner_name: str, consumer_name: str, path: str) -> None:
+        manager = self.owners[owner_name]
+        consumer = self.consumers[consumer_name]
+        manager.grant_access(consumer.webid.iri, [AccessMode.READ], resource_path=path)
+
+    def update_policy(self, owner_name: str, path: str, new_policy: Policy) -> Policy:
+        """The owner revises a policy — but no mechanism reaches existing copies."""
+        return self.owners[owner_name].update_policy(path, new_policy)
+
+    # -- consumer-side operations -----------------------------------------------------------
+
+    def access_resource(self, consumer_name: str, resource_url: str) -> UntrustedCopy:
+        """Fetch a resource and keep a plain local copy."""
+        consumer = self.consumers[consumer_name]
+        response = self.solid_client.get(resource_url, requester=consumer.webid.iri)
+        if not response.ok or response.receipt is None:
+            raise ValidationError(f"baseline access failed with status {response.status}: {response.error}")
+        receipt = response.receipt
+        copy = UntrustedCopy(
+            resource_id=resource_url,
+            content=receipt.content,
+            policy_version_at_download=receipt.policy.version if receipt.policy else None,
+            downloaded_at=self.clock.now(),
+        )
+        consumer.local_store[resource_url] = copy
+        return copy
+
+    # -- the functional gap, made explicit -----------------------------------------------------
+
+    def stale_copies(self, owner_name: str, path: str) -> List[str]:
+        """Consumers whose local copy predates the owner's current policy version.
+
+        In the baseline these copies silently keep circulating; the usage
+        control architecture is precisely the machinery that closes this gap.
+        """
+        manager = self.owners[owner_name]
+        current = manager.get_policy(path)
+        resource_url = manager.require_pod().url_for(path)
+        stale = []
+        for consumer in self.consumers.values():
+            copy = consumer.local_store.get(resource_url)
+            if copy is None or copy.deleted:
+                continue
+            if copy.policy_version_at_download is None or copy.policy_version_at_download < current.version:
+                stale.append(consumer.name)
+        return stale

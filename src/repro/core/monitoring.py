@@ -1,0 +1,158 @@
+"""Policy monitoring (Fig. 2.6).
+
+"The policy monitoring process regularly checks usage policy compliance once
+data are accessed.  The Pod Manager uses the Push-in Oracle to start the
+monitoring (for instance, via a scheduled job).  The Push-in Oracle forwards
+the request to the DE App, which in turn communicates with all devices that
+have a copy of the resource in their Trusted Execution Environment via the
+Pull-in Oracle.  The Pull-in Oracle, then, requests evidence that the usage
+policies are being adhered to.  The Push-out Oracle is subsequently required
+by the DE App to send the pieces of evidence gathered from the various
+trusted applications to the Pod Manager that initiated the policy monitoring
+process."
+
+The :class:`MonitoringCoordinator` drives that loop for a deployment: it
+opens the round through the owner's pod manager, relays the DE App's evidence
+requests to the copy-holding devices through the oracle request hub, records
+the answers on-chain, and assembles a :class:`MonitoringReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.common.errors import NotFoundError
+from repro.core.participants import DataConsumer, DataOwner
+
+
+@dataclass
+class MonitoringReport:
+    """Outcome of one monitoring round."""
+
+    round_id: int
+    resource_id: str
+    holders: List[str]
+    evidence: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    compliant_devices: List[str] = field(default_factory=list)
+    non_compliant_devices: List[str] = field(default_factory=list)
+    violations: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def all_compliant(self) -> bool:
+        return not self.non_compliant_devices
+
+    def to_dict(self) -> dict:
+        return {
+            "roundId": self.round_id,
+            "resourceId": self.resource_id,
+            "holders": list(self.holders),
+            "compliantDevices": list(self.compliant_devices),
+            "nonCompliantDevices": list(self.non_compliant_devices),
+            "violations": list(self.violations),
+        }
+
+
+class MonitoringCoordinator:
+    """Drives monitoring rounds across the DE App, oracles, and consumer TEEs."""
+
+    def __init__(self, architecture):
+        # Imported lazily by type to avoid a circular import with architecture.
+        self.architecture = architecture
+        self.reports: List[MonitoringReport] = []
+
+    # -- single round -------------------------------------------------------------
+
+    def run_round(self, owner: DataOwner, resource_path: str) -> MonitoringReport:
+        """Execute one complete monitoring round for *resource_path*."""
+        arch = self.architecture
+        resource_id = owner.request_monitoring(resource_path)
+        round_id = self._latest_round_id(resource_id)
+        round_record = arch.dist_exchange_read("get_monitoring_round", {"round_id": round_id})
+        holders: List[str] = list(round_record["holders"])
+
+        # The DE App requests evidence from every copy holder via the pull-in
+        # oracle: one request per device on the oracle hub.
+        request_ids: Dict[str, int] = {}
+        for device_id in holders:
+            receipt = arch.operator_module.call_contract(
+                arch.oracle_hub_address,
+                "create_request",
+                {
+                    "kind": "usage_evidence",
+                    "payload": {"resource_id": resource_id, "device_id": device_id, "round_id": round_id},
+                    "target": device_id,
+                },
+            )
+            request_ids[device_id] = receipt.return_value
+
+        # Each device's off-chain pull-in component answers its own request.
+        for device_id, request_id in request_ids.items():
+            consumer = self._consumer_for_device(device_id)
+            if consumer is None:
+                continue
+            consumer.pull_in.serve_request(request_id)
+
+        # The collected evidence is recorded in the DE App, which emits
+        # EvidenceRecorded events that the push-out oracle delivers to the
+        # owner's pod manager.
+        report = MonitoringReport(round_id=round_id, resource_id=resource_id, holders=holders)
+        for device_id, request_id in request_ids.items():
+            record = arch.node.call(arch.oracle_hub_address, "get_request", {"request_id": request_id})
+            if not record["fulfilled"]:
+                report.non_compliant_devices.append(device_id)
+                report.evidence[device_id] = {"compliant": False, "details": "no evidence provided"}
+                arch.operator_module.call_contract(
+                    arch.dist_exchange_address,
+                    "record_usage_evidence",
+                    {
+                        "round_id": round_id,
+                        "device_id": device_id,
+                        "evidence": {"compliant": False, "details": "no evidence provided"},
+                    },
+                )
+                continue
+            evidence = record["response"]
+            report.evidence[device_id] = evidence
+            arch.operator_module.call_contract(
+                arch.dist_exchange_address,
+                "record_usage_evidence",
+                {"round_id": round_id, "device_id": device_id, "evidence": evidence},
+            )
+            if evidence.get("compliant", False):
+                report.compliant_devices.append(device_id)
+            else:
+                report.non_compliant_devices.append(device_id)
+
+        report.violations = arch.dist_exchange_read("get_violations", {"resource_id": resource_id})
+        self.reports.append(report)
+        return report
+
+    # -- scheduled monitoring ------------------------------------------------------------
+
+    def schedule_periodic(self, owner: DataOwner, resource_path: str, interval: float):
+        """Register a recurring monitoring job on the architecture's scheduler."""
+        if self.architecture.scheduler is None:
+            raise NotFoundError("the architecture has no scheduler (a real-time clock is in use)")
+        return self.architecture.scheduler.schedule_every(
+            interval,
+            lambda: self.run_round(owner, resource_path),
+            label=f"monitoring:{resource_path}",
+        )
+
+    # -- helpers -----------------------------------------------------------------------------
+
+    def _latest_round_id(self, resource_id: str) -> int:
+        logs = self.architecture.node.get_logs(
+            address=self.architecture.dist_exchange_address, event="MonitoringRequested"
+        )
+        matching = [log for log in logs if log.data.get("resource_id") == resource_id]
+        if not matching:
+            raise NotFoundError(f"no monitoring round was opened for {resource_id}")
+        return matching[-1].data["round_id"]
+
+    def _consumer_for_device(self, device_id: str) -> Optional[DataConsumer]:
+        for consumer in self.architecture.consumers.values():
+            if consumer.device_id == device_id:
+                return consumer
+        return None

@@ -1,0 +1,193 @@
+"""The six architecture processes of Fig. 2, instrumented for measurement.
+
+Every function drives one of the paper's processes end to end through the
+same components the paper names (pod manager, oracles, DE App, TEE) and
+returns a :class:`ProcessTrace` recording the wall-clock duration, the
+simulated network latency, the number of transactions confirmed, and the gas
+consumed — the quantities the benchmark harness reports per process.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.policy.model import Policy
+from repro.solid.pod import OCTET_STREAM
+from repro.solid.wac import AccessMode
+from repro.core.monitoring import MonitoringCoordinator, MonitoringReport
+from repro.core.participants import DataConsumer, DataOwner
+
+
+@dataclass
+class ProcessTrace:
+    """Measurements taken while executing one architecture process."""
+
+    process: str
+    wall_clock_seconds: float
+    simulated_network_seconds: float
+    transactions: int
+    gas_used: int
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "process": self.process,
+            "wallClockSeconds": self.wall_clock_seconds,
+            "simulatedNetworkSeconds": self.simulated_network_seconds,
+            "transactions": self.transactions,
+            "gasUsed": self.gas_used,
+            "details": dict(self.details),
+        }
+
+
+class _Instrumented:
+    """Context manager capturing the per-process deltas of the deployment."""
+
+    def __init__(self, architecture, process: str):
+        self.architecture = architecture
+        self.process = process
+
+    def __enter__(self) -> "_Instrumented":
+        self._start_wall = time.perf_counter()
+        self._start_latency = self.architecture.network.total_latency
+        self._start_gas = self.architecture.total_gas_used()
+        self._start_txs = sum(
+            len(block.transactions) for block in self.architecture.node.chain.blocks
+        )
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.wall = time.perf_counter() - self._start_wall
+        self.latency = self.architecture.network.total_latency - self._start_latency
+        self.gas = self.architecture.total_gas_used() - self._start_gas
+        self.transactions = (
+            sum(len(block.transactions) for block in self.architecture.node.chain.blocks)
+            - self._start_txs
+        )
+
+    def trace(self, **details: Any) -> ProcessTrace:
+        trace = ProcessTrace(
+            process=self.process,
+            wall_clock_seconds=self.wall,
+            simulated_network_seconds=self.latency,
+            transactions=self.transactions,
+            gas_used=self.gas,
+            details=details,
+        )
+        histogram = self.architecture.metrics.histogram(f"process.{self.process}.latency")
+        histogram.observe(self.wall)
+        return trace
+
+
+# -- process 1: pod initiation ----------------------------------------------------------------
+
+
+def pod_initiation(architecture, owner: DataOwner, default_policy: Optional[Policy] = None,
+                   subscribers: Optional[list] = None) -> ProcessTrace:
+    """Fig. 2.1 — initialize a pod and record it (and its default policy) on-chain."""
+    with _Instrumented(architecture, "pod_initiation") as probe:
+        pod = owner.initialize_pod(default_policy=default_policy, subscribers=subscribers)
+    return probe.trace(pod_url=pod.base_url, owner=owner.name)
+
+
+# -- process 2: resource initiation --------------------------------------------------------------
+
+
+def resource_initiation(architecture, owner: DataOwner, path: str, content: bytes,
+                        policy: Policy, metadata: Optional[Dict[str, Any]] = None,
+                        content_type: str = OCTET_STREAM) -> ProcessTrace:
+    """Fig. 2.2 — upload a resource, publish it to the market, and index it on-chain."""
+    with _Instrumented(architecture, "resource_initiation") as probe:
+        owner.upload_resource(path, content, content_type=content_type)
+        resource_id = owner.publish_resource(path, policy, metadata)
+    return probe.trace(resource_id=resource_id, owner=owner.name, size=len(content))
+
+
+# -- process 3: resource indexing -------------------------------------------------------------------
+
+
+def resource_indexing(architecture, consumer: DataConsumer, resource_id: str) -> ProcessTrace:
+    """Fig. 2.3 — the consumer's TEE reads the resource location and policy from the DE App."""
+    with _Instrumented(architecture, "resource_indexing") as probe:
+        record = consumer.lookup_resource(resource_id)
+    return probe.trace(
+        resource_id=resource_id,
+        consumer=consumer.name,
+        location=record.get("location"),
+        policy_version=(record.get("policy") or {}).get("version"),
+    )
+
+
+# -- process 4: resource access ------------------------------------------------------------------------
+
+
+def resource_access(architecture, consumer: DataConsumer, owner: DataOwner, resource_id: str,
+                    grant_read: bool = True, ensure_certificate: bool = True) -> ProcessTrace:
+    """Fig. 2.4 — retrieve the resource into the consumer's TEE.
+
+    The pod manager checks the ACL and the market-fee certificate before
+    serving the resource; the consumer then records the access grant on the
+    DE App so later policy updates and monitoring rounds reach its device.
+    """
+    with _Instrumented(architecture, "resource_access") as probe:
+        path = owner.pod_manager.require_pod().path_for(resource_id)
+        if grant_read and not owner.pod_manager.can_access(consumer.webid.iri, AccessMode.READ, path):
+            owner.pod_manager.grant_access(consumer.webid.iri, [AccessMode.READ], resource_path=path)
+        if ensure_certificate and resource_id not in consumer.certificates:
+            consumer.purchase_certificate(resource_id)
+        result = consumer.retrieve_resource(resource_id)
+    return probe.trace(
+        resource_id=resource_id,
+        consumer=consumer.name,
+        owner=owner.name,
+        stored_bytes=result["size"],
+        policy_version=result["policy_version"],
+    )
+
+
+# -- process 5: policy modification -----------------------------------------------------------------------
+
+
+def policy_modification(architecture, owner: DataOwner, path: str, new_policy: Policy) -> ProcessTrace:
+    """Fig. 2.5 — the owner revises a policy; the change propagates to every copy holder."""
+    with _Instrumented(architecture, "policy_modification") as probe:
+        owner.update_policy(path, new_policy)
+        resource_id = owner.pod_manager.require_pod().url_for(path)
+        holders = architecture.dist_exchange_read("get_grants", {"resource_id": resource_id})
+    return probe.trace(
+        resource_id=resource_id,
+        owner=owner.name,
+        new_version=new_policy.version,
+        notified_devices=[grant["device_id"] for grant in holders if grant["active"]],
+    )
+
+
+# -- process 6: policy monitoring ----------------------------------------------------------------------------
+
+
+def policy_monitoring(architecture, owner: DataOwner, path: str,
+                      coordinator: Optional[MonitoringCoordinator] = None) -> ProcessTrace:
+    """Fig. 2.6 — run a full monitoring round and gather evidence from every holder."""
+    coordinator = coordinator if coordinator is not None else MonitoringCoordinator(architecture)
+    with _Instrumented(architecture, "policy_monitoring") as probe:
+        report: MonitoringReport = coordinator.run_round(owner, path)
+    return probe.trace(
+        resource_id=report.resource_id,
+        round_id=report.round_id,
+        holders=len(report.holders),
+        compliant=report.compliant_devices,
+        non_compliant=report.non_compliant_devices,
+        violations=len(report.violations),
+    )
+
+
+# -- consumer onboarding (market registration, Section II) -------------------------------------------------------
+
+
+def market_onboarding(architecture, consumer: DataConsumer) -> ProcessTrace:
+    """Register a consumer with the data market (subscription payment)."""
+    with _Instrumented(architecture, "market_onboarding") as probe:
+        consumer.subscribe_to_market()
+    return probe.trace(consumer=consumer.name)

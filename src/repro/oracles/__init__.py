@@ -1,0 +1,40 @@
+"""Blockchain oracles.
+
+"Given that blockchains are closed environments, applications running in the
+blockchain ecosystem cannot natively communicate with entities located
+outside the network.  For this reason, communication mechanisms called
+oracles are needed in order to connect the on-chain to the off-chain world."
+(Section III-D)
+
+The paper classifies oracles along two axes — flow direction (in-bound /
+out-bound) and data operation (push-based / pull-based) — yielding the four
+patterns implemented here, each split into an off-chain and an on-chain part:
+
+* :class:`~repro.oracles.push_in.PushInOracle` — an off-chain component
+  (e.g. the pod manager) pushes data *into* a contract via a transaction;
+* :class:`~repro.oracles.push_out.PushOutOracle` — a contract pushes data
+  *out* by emitting events that the off-chain component delivers to handlers;
+* :class:`~repro.oracles.pull_out.PullOutOracle` — an off-chain component
+  pulls data out of a contract with a read-only call;
+* :class:`~repro.oracles.pull_in.PullInOracle` — a contract pulls data in by
+  enqueuing a request on the :class:`~repro.contracts.oracle_hub.OracleRequestHub`
+  that an authorized off-chain provider answers.
+
+Off-chain entities interact with the chain through their
+:class:`~repro.oracles.base.BlockchainInteractionModule`.
+"""
+
+from repro.oracles.base import BlockchainInteractionModule, OracleComponent
+from repro.oracles.push_in import PushInOracle
+from repro.oracles.push_out import PushOutOracle
+from repro.oracles.pull_in import PullInOracle
+from repro.oracles.pull_out import PullOutOracle
+
+__all__ = [
+    "BlockchainInteractionModule",
+    "OracleComponent",
+    "PushInOracle",
+    "PushOutOracle",
+    "PullInOracle",
+    "PullOutOracle",
+]

@@ -1,0 +1,116 @@
+"""Blockchain interaction module and the common oracle plumbing.
+
+"These applications interact with the Blockchain via Blockchain Interaction
+Modules and the respective Off-chain Oracle Components.  We assume that each
+off-chain entity has the credentials necessary to sign transactions and send
+data to the Blockchain." (Section III-D)
+
+The :class:`BlockchainInteractionModule` is exactly that: it owns the
+entity's key pair, assembles and signs transactions, submits them to a
+blockchain node, and (in the default single-node deployment) asks the node to
+produce a block so the caller immediately obtains a receipt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.common.errors import ContractError, ReproError
+from repro.sim.network import NetworkModel
+from repro.blockchain.crypto import KeyPair
+from repro.blockchain.node import BlockchainNode
+from repro.blockchain.transaction import Receipt, Transaction
+
+
+class BlockchainInteractionModule:
+    """Signs and submits transactions on behalf of one off-chain entity."""
+
+    def __init__(self, node: BlockchainNode, keypair: KeyPair,
+                 network: Optional[NetworkModel] = None,
+                 auto_mine: bool = True, default_gas_limit: int = 2_000_000):
+        self.node = node
+        self.keypair = keypair
+        self.network = network if network is not None else NetworkModel()
+        self.auto_mine = auto_mine
+        self.default_gas_limit = default_gas_limit
+        self.transactions_sent = 0
+        self.gas_spent = 0
+
+    @property
+    def address(self) -> str:
+        return self.keypair.address
+
+    # -- transactions ---------------------------------------------------------------
+
+    def send_transaction(self, to: Optional[str], data: Dict[str, Any], value: int = 0,
+                         gas_limit: Optional[int] = None) -> Receipt:
+        """Build, sign, submit, and (with auto-mining) confirm a transaction."""
+        self.network.sample("oracle", "blockchain")
+        tx = Transaction(
+            sender=self.address,
+            to=to,
+            data=data,
+            value=value,
+            nonce=self.node.next_nonce(self.address),
+            gas_limit=gas_limit or self.default_gas_limit,
+        )
+        tx.sign(self.keypair)
+        tx_hash = self.node.submit_transaction(tx)
+        self.transactions_sent += 1
+        if not self.auto_mine:
+            # The caller will mine later; return a placeholder pending receipt.
+            return Receipt(transaction_hash=tx_hash, status=True, gas_used=0)
+        self.node.produce_block()
+        receipt = self.node.get_receipt(tx_hash)
+        self.gas_spent += receipt.gas_used
+        self.network.sample("blockchain", "oracle")
+        if not receipt.status:
+            raise ContractError(receipt.error or "transaction reverted")
+        return receipt
+
+    def call_contract(self, contract_address: str, method: str,
+                      args: Optional[Dict[str, Any]] = None, value: int = 0,
+                      gas_limit: Optional[int] = None) -> Receipt:
+        """Send a state-changing contract call."""
+        return self.send_transaction(
+            contract_address,
+            {"method": method, "args": args or {}},
+            value=value,
+            gas_limit=gas_limit,
+        )
+
+    def deploy_contract(self, contract_class_name: str,
+                        init_args: Optional[Dict[str, Any]] = None, value: int = 0) -> str:
+        """Deploy a registered contract class; returns the contract address."""
+        receipt = self.send_transaction(
+            None,
+            {"contract_class": contract_class_name, "init_args": init_args or {}},
+            value=value,
+        )
+        if not receipt.contract_address:
+            raise ReproError("contract deployment produced no address")
+        return receipt.contract_address
+
+    # -- reads ------------------------------------------------------------------------
+
+    def read(self, contract_address: str, method: str,
+             args: Optional[Dict[str, Any]] = None) -> Any:
+        """Read-only contract call (free of charge, no transaction)."""
+        self.network.round_trip("oracle", "blockchain")
+        return self.node.call(contract_address, method, args, caller=self.address)
+
+    def balance(self) -> int:
+        return self.node.get_balance(self.address)
+
+
+@dataclass
+class OracleComponent:
+    """Common state of an oracle: its contract, interaction module, and stats."""
+
+    module: BlockchainInteractionModule
+    contract_address: str
+    messages_processed: int = 0
+
+    def _count(self) -> None:
+        self.messages_processed += 1

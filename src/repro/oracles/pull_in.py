@@ -1,0 +1,73 @@
+"""Pull-in oracle.
+
+Pull-based, in-bound: a contract *requests* data that an off-chain provider
+must supply.  The on-chain half is the
+:class:`~repro.contracts.oracle_hub.OracleRequestHub` request queue; the
+off-chain half (this class) watches for requests, obtains the answer from a
+registered provider callback, and posts it back with a transaction.
+
+The architecture uses the pattern during policy monitoring (Fig. 2.6): "the
+DE App ... communicates with all devices that have a copy of the resource in
+their Trusted Execution Environment via the Pull-in Oracle.  The Pull-in
+Oracle, then, requests evidence that the usage policies are being adhered
+to."
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.blockchain.transaction import Receipt
+from repro.oracles.base import OracleComponent
+
+# A provider receives the request payload and returns the off-chain answer.
+RequestProvider = Callable[[Dict[str, Any]], Dict[str, Any]]
+
+
+class PullInOracle(OracleComponent):
+    """Answers on-chain data requests with off-chain information."""
+
+    def _providers(self) -> Dict[str, RequestProvider]:
+        if not hasattr(self, "_provider_map"):
+            self._provider_map: Dict[str, RequestProvider] = {}
+        return self._provider_map
+
+    def register_provider(self, kind: str, provider: RequestProvider) -> None:
+        """Register the callable that answers requests of the given *kind*."""
+        self._providers()[kind] = provider
+
+    def authorize_on_chain(self) -> Receipt:
+        """Authorize this component's address as a provider on the hub contract."""
+        return self.module.call_contract(
+            self.contract_address, "authorize_provider", {"provider": self.module.address}
+        )
+
+    def pending_requests(self, kind: Optional[str] = None) -> List[int]:
+        """Request identifiers still awaiting fulfillment on the hub."""
+        return self.module.read(self.contract_address, "pending_requests", {"kind": kind})
+
+    def serve_request(self, request_id: int) -> Receipt:
+        """Answer one pending request using the registered provider."""
+        record = self.module.read(self.contract_address, "get_request", {"request_id": request_id})
+        provider = self._providers().get(record["kind"])
+        if provider is None:
+            raise LookupError(f"no off-chain provider registered for request kind {record['kind']!r}")
+        response = provider(record["payload"])
+        receipt = self.module.call_contract(
+            self.contract_address,
+            "fulfill_request",
+            {"request_id": request_id, "response": response},
+        )
+        self._count()
+        return receipt
+
+    def serve_pending(self, kind: Optional[str] = None) -> int:
+        """Answer every pending request (optionally of one kind); returns the count."""
+        served = 0
+        for request_id in self.pending_requests(kind):
+            record = self.module.read(self.contract_address, "get_request", {"request_id": request_id})
+            if record["kind"] not in self._providers():
+                continue
+            self.serve_request(request_id)
+            served += 1
+        return served

@@ -1,0 +1,46 @@
+"""Pull-out oracle.
+
+Pull-based, out-bound: an off-chain entity pulls data *out of* the blockchain
+by reading contract state.  The architecture uses it during resource indexing
+(Fig. 2.3): the consumer's trusted application "uses the Pull-out Oracle to
+read this piece of information [resource location and usage policy] directly
+from the DE App running in the Blockchain".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.oracles.base import OracleComponent
+
+
+class PullOutOracle(OracleComponent):
+    """Read-only access to contract state for off-chain consumers."""
+
+    def pull(self, method: str, args: Optional[Dict[str, Any]] = None) -> Any:
+        """Perform a read-only call of *method* on the target contract."""
+        result = self.module.read(self.contract_address, method, args or {})
+        self._count()
+        return result
+
+    # Convenience wrappers matching the DE App's interface ---------------------------------
+
+    def resource_record(self, resource_id: str) -> Dict[str, Any]:
+        """Process 3 — fetch a resource's location and usage policy."""
+        return self.pull("get_resource", {"resource_id": resource_id})
+
+    def resource_policy(self, resource_id: str) -> Dict[str, Any]:
+        """Fetch only the current usage policy of a resource."""
+        return self.pull("get_policy", {"resource_id": resource_id})
+
+    def list_resources(self) -> List[str]:
+        """List every resource indexed by the DE App."""
+        return self.pull("list_resources")
+
+    def grants_for(self, resource_id: str) -> List[Dict[str, Any]]:
+        """Fetch the access grants recorded for a resource."""
+        return self.pull("get_grants", {"resource_id": resource_id})
+
+    def evidence_for(self, resource_id: str) -> List[Dict[str, Any]]:
+        """Fetch the usage evidence recorded for a resource."""
+        return self.pull("get_evidence", {"resource_id": resource_id})

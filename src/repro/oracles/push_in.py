@@ -1,0 +1,70 @@
+"""Push-in oracle.
+
+Push-based, in-bound: an off-chain entity pushes data *into* the blockchain
+by signing a transaction towards the target contract.  The architecture uses
+it whenever a pod manager needs to record something in the DE App: pod
+initiation, resource initiation, policy modification, and the kick-off of a
+monitoring round (Fig. 2, processes 1, 2, 5, and 6).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.blockchain.transaction import Receipt
+from repro.oracles.base import OracleComponent
+
+
+class PushInOracle(OracleComponent):
+    """Forwards off-chain data to a contract method via signed transactions."""
+
+    def push(self, method: str, args: Optional[Dict[str, Any]] = None, value: int = 0) -> Receipt:
+        """Invoke *method* on the target contract with *args*.
+
+        The off-chain component (this object) relays the payload; the
+        on-chain component is the contract method that records it.  The
+        receipt of the confirmed transaction is returned to the caller so
+        pod managers can log the on-chain acknowledgement.
+        """
+        receipt = self.module.call_contract(self.contract_address, method, args or {}, value=value)
+        self._count()
+        return receipt
+
+    # Convenience wrappers matching the DE App's interface -----------------------------
+
+    def push_pod_registration(self, pod_url: str, owner: str, default_policy: Dict[str, Any]) -> Receipt:
+        """Process 1 — send the new pod's reference and default policy on-chain."""
+        return self.push(
+            "register_pod",
+            {"pod_url": pod_url, "owner": owner, "default_policy": default_policy},
+        )
+
+    def push_resource_registration(self, resource_id: str, pod_url: str, location: str,
+                                   owner: str, policy: Dict[str, Any],
+                                   metadata: Optional[Dict[str, Any]] = None) -> Receipt:
+        """Process 2 — send new resource metadata and its usage policy on-chain."""
+        return self.push(
+            "register_resource",
+            {
+                "resource_id": resource_id,
+                "pod_url": pod_url,
+                "location": location,
+                "owner": owner,
+                "policy": policy,
+                "metadata": metadata or {},
+            },
+        )
+
+    def push_policy_update(self, resource_id: str, policy: Dict[str, Any], owner: str) -> Receipt:
+        """Process 5 — send an updated usage policy on-chain."""
+        return self.push(
+            "update_policy",
+            {"resource_id": resource_id, "policy": policy, "owner": owner},
+        )
+
+    def push_monitoring_request(self, resource_id: str, requested_by: str) -> Receipt:
+        """Process 6 — trigger the policy-monitoring round."""
+        return self.push(
+            "start_monitoring",
+            {"resource_id": resource_id, "requested_by": requested_by},
+        )

@@ -1,0 +1,65 @@
+"""Push-out oracle.
+
+Push-based, out-bound: the contract pushes data *out of* the blockchain by
+emitting events; the off-chain oracle component subscribes to those events
+and hands them to interested off-chain software.  The architecture uses it to
+notify copy-holding TEEs of policy updates (Fig. 2.5) and to deliver the
+evidence collected during monitoring back to the pod manager (Fig. 2.6).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.blockchain.node import EventFilter
+from repro.blockchain.transaction import LogEntry
+from repro.oracles.base import OracleComponent
+
+EventHandler = Callable[[LogEntry], None]
+
+
+class PushOutOracle(OracleComponent):
+    """Delivers contract events to registered off-chain handlers."""
+
+    def __post_init__(self) -> None:  # pragma: no cover - dataclass hook not used
+        pass
+
+    def _handlers(self) -> Dict[str, List[EventHandler]]:
+        if not hasattr(self, "_handler_map"):
+            self._handler_map: Dict[str, List[EventHandler]] = {}
+            self._filters: List[EventFilter] = []
+        return self._handler_map
+
+    def subscribe(self, event: str, handler: EventHandler, from_block: Optional[int] = None) -> EventFilter:
+        """Deliver every future *event* emitted by the contract to *handler*."""
+        handlers = self._handlers()
+        handlers.setdefault(event, []).append(handler)
+
+        def _dispatch(log: LogEntry) -> None:
+            self._count()
+            handler(log)
+
+        event_filter = self.module.node.add_filter(
+            address=self.contract_address, event=event, callback=_dispatch, from_block=from_block
+        )
+        self._filters.append(event_filter)
+        return event_filter
+
+    def replay(self, event: str, handler: EventHandler, from_block: int = 0) -> int:
+        """Deliver historical occurrences of *event* to *handler*.
+
+        Returns the number of logs delivered.  Useful for off-chain components
+        that (re)start after events were already emitted.
+        """
+        logs = self.module.node.get_logs(address=self.contract_address, event=event, from_block=from_block)
+        for log in logs:
+            self._count()
+            handler(log)
+        return len(logs)
+
+    def unsubscribe_all(self) -> None:
+        """Cancel every live subscription created by this oracle component."""
+        for event_filter in getattr(self, "_filters", []):
+            self.module.node.remove_filter(event_filter)
+        self._filters = []
+        self._handler_map = {}

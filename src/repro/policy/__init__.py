@@ -1,0 +1,72 @@
+"""Usage-policy language.
+
+The paper leaves the concrete policy language open ("Future work includes the
+integration of a policy language that can be used to specify usage policies
+at different levels of granularity") but its scenario requires at least:
+
+* **temporal obligations** — "Alice's dataset ... must be deleted one month
+  after their storage", later shortened to one week;
+* **purpose constraints** — "Bob's dataset contains medical data to be used
+  only for medical purposes", later changed to academic pursuits;
+* owner-driven **policy updates** after resources have been shared.
+
+This package implements an ODRL-inspired model covering those needs plus the
+obvious generalizations: permissions, prohibitions, and duties built from a
+small algebra of constraints (purpose, temporal, count, recipient-class,
+spatial), an evaluation engine producing :class:`~repro.policy.evaluation.Decision`
+objects, conflict detection between policy versions, and serialization to
+dictionaries and RDF.
+"""
+
+from repro.policy.model import (
+    Action,
+    Constraint,
+    Duty,
+    Operator,
+    Permission,
+    Policy,
+    Prohibition,
+    Rule,
+)
+from repro.policy.evaluation import (
+    Decision,
+    PolicyEngine,
+    UsageContext,
+    ObligationStatus,
+)
+from repro.policy.conflict import detect_conflicts, PolicyConflict, merge_policies
+from repro.policy.templates import (
+    retention_policy,
+    purpose_policy,
+    purpose_and_retention_policy,
+    open_policy,
+    max_access_policy,
+)
+from repro.policy.serialization import policy_to_dict, policy_from_dict, policy_to_graph, policy_from_graph
+
+__all__ = [
+    "Action",
+    "Constraint",
+    "Duty",
+    "Operator",
+    "Permission",
+    "Policy",
+    "Prohibition",
+    "Rule",
+    "Decision",
+    "PolicyEngine",
+    "UsageContext",
+    "ObligationStatus",
+    "detect_conflicts",
+    "PolicyConflict",
+    "merge_policies",
+    "retention_policy",
+    "purpose_policy",
+    "purpose_and_retention_policy",
+    "open_policy",
+    "max_access_policy",
+    "policy_to_dict",
+    "policy_from_dict",
+    "policy_to_graph",
+    "policy_from_graph",
+]

@@ -1,0 +1,144 @@
+"""Policy conflict detection and merging.
+
+When a usage policy is revised (process 5 of the paper) or when a
+resource-specific policy is layered on top of a pod-level default, the
+architecture needs to understand how the rule sets relate: does the revision
+tighten or loosen the terms, and do any permission/prohibition pairs clash?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.policy.model import Action, Permission, Policy, Prohibition
+
+
+@dataclass(frozen=True)
+class PolicyConflict:
+    """A permission and a prohibition that cover the same action and assignee."""
+
+    action: Action
+    assignee: Optional[str]
+    permission_uid: str
+    prohibition_uid: str
+    description: str
+
+    def to_dict(self) -> dict:
+        return {
+            "action": self.action.value,
+            "assignee": self.assignee,
+            "permissionUid": self.permission_uid,
+            "prohibitionUid": self.prohibition_uid,
+            "description": self.description,
+        }
+
+
+def _overlapping_assignee(permission: Permission, prohibition: Prohibition) -> Optional[str]:
+    """Return the assignee on which the two rules overlap, if any.
+
+    A rule with ``assignee=None`` applies to everyone, so it overlaps with
+    any other rule on the same action.
+    """
+    if permission.assignee is None and prohibition.assignee is None:
+        return None
+    if permission.assignee is None:
+        return prohibition.assignee
+    if prohibition.assignee is None:
+        return permission.assignee
+    if permission.assignee == prohibition.assignee:
+        return permission.assignee
+    return "__no_overlap__"
+
+
+def detect_conflicts(policy: Policy) -> List[PolicyConflict]:
+    """Return every permission/prohibition pair that regulates the same action.
+
+    Constraint-level disjointness is not analysed: a pair is reported even if
+    their constraints can never hold simultaneously, because deny-overrides
+    makes the prohibition win and the owner likely wants to know.
+    """
+    conflicts: List[PolicyConflict] = []
+    for permission in policy.permissions:
+        for prohibition in policy.prohibitions:
+            if permission.action != prohibition.action:
+                continue
+            overlap = _overlapping_assignee(permission, prohibition)
+            if overlap == "__no_overlap__":
+                continue
+            conflicts.append(
+                PolicyConflict(
+                    action=permission.action,
+                    assignee=overlap,
+                    permission_uid=permission.uid,
+                    prohibition_uid=prohibition.uid,
+                    description=(
+                        f"action {permission.action.value} is both permitted "
+                        f"({permission.uid}) and prohibited ({prohibition.uid}); "
+                        "deny-overrides applies"
+                    ),
+                )
+            )
+    return conflicts
+
+
+def detect_cross_conflicts(base: Policy, overlay: Policy) -> List[PolicyConflict]:
+    """Detect conflicts between two policies covering the same target."""
+    combined = Policy(
+        target=base.target,
+        assigner=base.assigner,
+        permissions=base.permissions + overlay.permissions,
+        prohibitions=base.prohibitions + overlay.prohibitions,
+        obligations=base.obligations + overlay.obligations,
+    )
+    return detect_conflicts(combined)
+
+
+def merge_policies(base: Policy, overlay: Policy) -> Policy:
+    """Layer a resource-specific *overlay* over a pod-level *base* policy.
+
+    The merged policy keeps the overlay's identity (uid/assigner/target) and
+    the union of the rule sets; its version is one past the larger of the two
+    inputs, so revisions of either input are never mistaken for the merge.
+    """
+    if base.target != overlay.target:
+        # A pod-level default targets the pod URL while the overlay targets a
+        # resource inside it; the merged policy governs the resource.
+        target = overlay.target
+    else:
+        target = base.target
+    merged = Policy(
+        target=target,
+        assigner=overlay.assigner,
+        permissions=overlay.permissions + base.permissions,
+        prohibitions=overlay.prohibitions + base.prohibitions,
+        obligations=overlay.obligations + base.obligations,
+        uid=overlay.uid,
+        version=max(base.version, overlay.version) + 1,
+        issued_at=overlay.issued_at,
+    )
+    return merged
+
+
+def is_tightening(old: Policy, new: Policy) -> bool:
+    """Heuristically report whether *new* is at least as restrictive as *old*.
+
+    The check covers the two dimensions used in the paper's scenario:
+    retention periods (shorter or equal is tighter) and allowed purposes
+    (subset is tighter).  Rules that neither policy expresses are ignored.
+    """
+    old_retention = old.retention_seconds()
+    new_retention = new.retention_seconds()
+    if old_retention is not None:
+        if new_retention is None or new_retention > old_retention:
+            return False
+    old_purposes = old.allowed_purposes()
+    new_purposes = new.allowed_purposes()
+    if old_purposes is not None:
+        if new_purposes is None:
+            return False
+        if not set(new_purposes).issubset(set(old_purposes)):
+            return False
+    if len(new.prohibitions) < len(old.prohibitions):
+        return False
+    return True

@@ -1,0 +1,168 @@
+"""Policy evaluation engine.
+
+The engine answers two questions that the TEE and the DE App repeatedly ask:
+
+* *May this usage happen?* — :meth:`PolicyEngine.decide` combines the
+  permissions and prohibitions applicable to an action into an allow/deny
+  :class:`Decision` (deny-overrides, deny-by-default).
+* *Which obligations are due?* — :meth:`PolicyEngine.due_obligations`
+  inspects the duties of a policy against a usage context and reports which
+  must be discharged now (e.g. the retention deletion).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.policy.model import Action, Duty, LeftOperand, Policy
+
+
+@dataclass
+class UsageContext:
+    """The facts about a (prospective or ongoing) usage of a resource.
+
+    ``elapsed_since_storage`` is the number of seconds since the consumer's
+    TEE stored its local copy; ``access_count`` counts the reads performed so
+    far; the remaining attributes mirror the constraint left operands.
+    """
+
+    assignee: Optional[str] = None
+    purpose: Optional[str] = None
+    recipient_class: Optional[str] = None
+    location: Optional[str] = None
+    device_trust: Optional[str] = None
+    now: Optional[float] = None
+    elapsed_since_storage: Optional[float] = None
+    access_count: int = 0
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def values(self) -> Dict[LeftOperand, object]:
+        """Map constraint left operands onto this context's values."""
+        return {
+            LeftOperand.PURPOSE: self.purpose,
+            LeftOperand.ELAPSED_TIME: self.elapsed_since_storage,
+            LeftOperand.DATETIME: self.now,
+            LeftOperand.COUNT: self.access_count,
+            LeftOperand.RECIPIENT: self.assignee,
+            LeftOperand.RECIPIENT_CLASS: self.recipient_class,
+            LeftOperand.SPATIAL: self.location,
+            LeftOperand.DEVICE_TRUST: self.device_trust,
+        }
+
+
+class Effect(str, enum.Enum):
+    """Outcome of a policy decision."""
+
+    ALLOW = "allow"
+    DENY = "deny"
+
+
+@dataclass
+class Decision:
+    """The result of evaluating one action against one policy."""
+
+    effect: Effect
+    action: Action
+    policy_uid: str
+    policy_version: int
+    reasons: List[str] = field(default_factory=list)
+    obligations: List[Duty] = field(default_factory=list)
+
+    @property
+    def allowed(self) -> bool:
+        return self.effect == Effect.ALLOW
+
+    def to_dict(self) -> dict:
+        return {
+            "effect": self.effect.value,
+            "action": self.action.value,
+            "policyUid": self.policy_uid,
+            "policyVersion": self.policy_version,
+            "reasons": list(self.reasons),
+            "obligations": [duty.to_dict() for duty in self.obligations],
+        }
+
+
+class ObligationStatus(str, enum.Enum):
+    """Lifecycle state of a duty for a particular stored copy."""
+
+    NOT_DUE = "not-due"
+    DUE = "due"
+    FULFILLED = "fulfilled"
+    VIOLATED = "violated"
+
+
+class PolicyEngine:
+    """Stateless evaluator for usage policies."""
+
+    def decide(self, policy: Policy, action: Action, context: UsageContext) -> Decision:
+        """Decide whether *action* is permitted under *policy* in *context*.
+
+        The combination algorithm is deny-overrides with a default deny:
+
+        1. any applicable prohibition whose constraints hold denies;
+        2. otherwise, any applicable permission whose constraints hold allows
+           (and its duties are attached to the decision);
+        3. otherwise the action is denied ("no applicable permission").
+        """
+        values = context.values()
+        reasons: List[str] = []
+
+        for prohibition in policy.prohibitions_for(action, context.assignee):
+            if prohibition.constraints_satisfied(values):
+                reasons.append(f"prohibition {prohibition.uid} applies")
+                return Decision(Effect.DENY, action, policy.uid, policy.version, reasons)
+
+        granted_obligations: List[Duty] = []
+        for permission in policy.permissions_for(action, context.assignee):
+            if permission.constraints_satisfied(values):
+                reasons.append(f"permission {permission.uid} grants {action.value}")
+                granted_obligations.extend(permission.duties)
+                granted_obligations.extend(policy.obligations)
+                return Decision(
+                    Effect.ALLOW, action, policy.uid, policy.version, reasons, granted_obligations
+                )
+            reasons.append(f"permission {permission.uid} constraints not satisfied")
+
+        if not policy.permissions_for(action, context.assignee):
+            reasons.append(f"no permission covers action {action.value}")
+        return Decision(Effect.DENY, action, policy.uid, policy.version, reasons)
+
+    def due_obligations(self, policy: Policy, context: UsageContext) -> List[Duty]:
+        """Return the duties whose triggering constraints currently hold.
+
+        A duty with no constraints is considered immediately due (e.g. an
+        unconditional notification duty).
+        """
+        values = context.values()
+        due: List[Duty] = []
+        for duty in policy.all_duties():
+            if all(constraint.evaluate(values.get(constraint.left_operand)) for constraint in duty.constraints):
+                due.append(duty)
+        return due
+
+    def obligation_status(self, policy: Policy, duty: Duty, context: UsageContext,
+                          fulfilled: bool) -> ObligationStatus:
+        """Classify the state of *duty* for a stored copy.
+
+        *fulfilled* reports whether the consumer environment already executed
+        the duty's action (e.g. deleted the copy).
+        """
+        values = context.values()
+        is_due = all(constraint.evaluate(values.get(constraint.left_operand)) for constraint in duty.constraints)
+        if fulfilled:
+            return ObligationStatus.FULFILLED
+        if not is_due:
+            return ObligationStatus.NOT_DUE
+        return ObligationStatus.DUE
+
+    def is_compliant(self, policy: Policy, context: UsageContext,
+                     fulfilled_duties: Optional[List[str]] = None) -> bool:
+        """Return True when no due duty remains undischarged in *context*."""
+        fulfilled = set(fulfilled_duties or [])
+        for duty in self.due_obligations(policy, context):
+            if duty.uid not in fulfilled:
+                return False
+        return True

@@ -1,0 +1,373 @@
+"""Usage-policy data model (ODRL-inspired).
+
+A :class:`Policy` targets one asset (a resource IRI) and bundles rules:
+
+* :class:`Permission` — an action the assignee may perform, optionally
+  guarded by constraints and conditioned on duties;
+* :class:`Prohibition` — an action the assignee must not perform;
+* :class:`Duty` — an obligation the consumer's environment must discharge
+  (e.g. delete the stored copy after a retention period).
+
+Constraints compare a *left operand* drawn from the usage context (purpose,
+elapsed time, access count, recipient, location) with a right operand using a
+comparison :class:`Operator`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Any, List, Optional, Sequence
+
+from repro.common.errors import ValidationError
+from repro.common.identifiers import new_uuid
+
+
+class Action(str, enum.Enum):
+    """Actions a policy can regulate, mirroring the ODRL core actions the
+    architecture needs."""
+
+    USE = "use"
+    READ = "read"
+    WRITE = "write"
+    MODIFY = "modify"
+    DISTRIBUTE = "distribute"
+    DELETE = "delete"
+    ARCHIVE = "archive"
+    AGGREGATE = "aggregate"
+    ANONYMIZE = "anonymize"
+    NOTIFY = "notify"
+
+
+class Operator(str, enum.Enum):
+    """Comparison operators usable in constraints."""
+
+    EQ = "eq"
+    NEQ = "neq"
+    LT = "lt"
+    LTEQ = "lteq"
+    GT = "gt"
+    GTEQ = "gteq"
+    IS_ANY_OF = "isAnyOf"
+    IS_NONE_OF = "isNoneOf"
+
+
+class LeftOperand(str, enum.Enum):
+    """Context attributes a constraint can reference."""
+
+    PURPOSE = "purpose"
+    ELAPSED_TIME = "elapsedTime"
+    DATETIME = "dateTime"
+    COUNT = "count"
+    RECIPIENT = "recipient"
+    RECIPIENT_CLASS = "recipientClass"
+    SPATIAL = "spatial"
+    DEVICE_TRUST = "deviceTrust"
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A single comparison between a context attribute and a reference value."""
+
+    left_operand: LeftOperand
+    operator: Operator
+    right_operand: Any
+
+    def __post_init__(self):
+        if self.operator in (Operator.IS_ANY_OF, Operator.IS_NONE_OF):
+            if not isinstance(self.right_operand, (list, tuple, set, frozenset)):
+                raise ValidationError(
+                    f"operator {self.operator.value} requires a collection right operand"
+                )
+        if self.operator in (Operator.LT, Operator.LTEQ, Operator.GT, Operator.GTEQ):
+            if isinstance(self.right_operand, (list, tuple, set, frozenset, dict)):
+                raise ValidationError(
+                    f"operator {self.operator.value} requires a scalar right operand"
+                )
+
+    def evaluate(self, actual: Any) -> bool:
+        """Evaluate the constraint against the *actual* context value.
+
+        A missing context value (``None``) never satisfies a constraint,
+        except for ``IS_NONE_OF`` where the absence of a value trivially
+        avoids the forbidden set.
+        """
+        if actual is None:
+            return self.operator == Operator.IS_NONE_OF
+        if self.operator == Operator.EQ:
+            return actual == self.right_operand
+        if self.operator == Operator.NEQ:
+            return actual != self.right_operand
+        if self.operator == Operator.LT:
+            return actual < self.right_operand
+        if self.operator == Operator.LTEQ:
+            return actual <= self.right_operand
+        if self.operator == Operator.GT:
+            return actual > self.right_operand
+        if self.operator == Operator.GTEQ:
+            return actual >= self.right_operand
+        if self.operator == Operator.IS_ANY_OF:
+            return actual in self.right_operand
+        if self.operator == Operator.IS_NONE_OF:
+            return actual not in self.right_operand
+        raise ValidationError(f"unsupported operator {self.operator}")
+
+    def to_dict(self) -> dict:
+        right = self.right_operand
+        if isinstance(right, (set, frozenset, tuple)):
+            right = sorted(right)
+        return {
+            "leftOperand": self.left_operand.value,
+            "operator": self.operator.value,
+            "rightOperand": right,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Constraint":
+        return cls(
+            left_operand=LeftOperand(data["leftOperand"]),
+            operator=Operator(data["operator"]),
+            right_operand=data["rightOperand"],
+        )
+
+
+@dataclass(frozen=True)
+class Duty:
+    """An obligation the consumer environment must discharge.
+
+    The most important duty in the paper is the retention duty: delete the
+    stored copy once ``ELAPSED_TIME`` exceeds the retention period.  Duties
+    carry their own constraints describing *when* they become due.
+    """
+
+    action: Action
+    constraints: tuple = ()
+    uid: str = field(default_factory=new_uuid)
+
+    def __post_init__(self):
+        object.__setattr__(self, "constraints", tuple(self.constraints))
+
+    def to_dict(self) -> dict:
+        return {
+            "uid": self.uid,
+            "action": self.action.value,
+            "constraints": [c.to_dict() for c in self.constraints],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Duty":
+        return cls(
+            action=Action(data["action"]),
+            constraints=tuple(Constraint.from_dict(c) for c in data.get("constraints", [])),
+            uid=data.get("uid", new_uuid()),
+        )
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Common structure of permissions and prohibitions."""
+
+    action: Action
+    assignee: Optional[str] = None  # WebID / address; None = any assignee
+    constraints: tuple = ()
+    uid: str = field(default_factory=new_uuid)
+
+    def __post_init__(self):
+        object.__setattr__(self, "constraints", tuple(self.constraints))
+
+    def applies_to(self, assignee: Optional[str]) -> bool:
+        """Return True when the rule targets *assignee* (or targets anyone)."""
+        return self.assignee is None or self.assignee == assignee
+
+    def constraints_satisfied(self, context_values: dict) -> bool:
+        """Return True when every constraint holds for the context values."""
+        return all(
+            constraint.evaluate(context_values.get(constraint.left_operand))
+            for constraint in self.constraints
+        )
+
+    def _base_dict(self) -> dict:
+        return {
+            "uid": self.uid,
+            "action": self.action.value,
+            "assignee": self.assignee,
+            "constraints": [c.to_dict() for c in self.constraints],
+        }
+
+
+@dataclass(frozen=True)
+class Permission(Rule):
+    """A permitted action, optionally conditioned on duties."""
+
+    duties: tuple = ()
+
+    def __post_init__(self):
+        super().__post_init__()
+        object.__setattr__(self, "duties", tuple(self.duties))
+
+    def to_dict(self) -> dict:
+        data = self._base_dict()
+        data["duties"] = [d.to_dict() for d in self.duties]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Permission":
+        return cls(
+            action=Action(data["action"]),
+            assignee=data.get("assignee"),
+            constraints=tuple(Constraint.from_dict(c) for c in data.get("constraints", [])),
+            duties=tuple(Duty.from_dict(d) for d in data.get("duties", [])),
+            uid=data.get("uid", new_uuid()),
+        )
+
+
+@dataclass(frozen=True)
+class Prohibition(Rule):
+    """A prohibited action."""
+
+    def to_dict(self) -> dict:
+        return self._base_dict()
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Prohibition":
+        return cls(
+            action=Action(data["action"]),
+            assignee=data.get("assignee"),
+            constraints=tuple(Constraint.from_dict(c) for c in data.get("constraints", [])),
+            uid=data.get("uid", new_uuid()),
+        )
+
+
+@dataclass(frozen=True)
+class Policy:
+    """A usage policy over one target asset.
+
+    Policies are immutable value objects; "modifying" a policy (process 5 of
+    the paper) produces a new :class:`Policy` with a bumped ``version`` via
+    :meth:`revise`.
+    """
+
+    target: str
+    assigner: str
+    permissions: tuple = ()
+    prohibitions: tuple = ()
+    obligations: tuple = ()  # policy-level duties applying regardless of action
+    uid: str = field(default_factory=new_uuid)
+    version: int = 1
+    issued_at: Optional[float] = None
+
+    def __post_init__(self):
+        if not self.target:
+            raise ValidationError("policy target must be non-empty")
+        if not self.assigner:
+            raise ValidationError("policy assigner must be non-empty")
+        if self.version < 1:
+            raise ValidationError("policy version must be >= 1")
+        object.__setattr__(self, "permissions", tuple(self.permissions))
+        object.__setattr__(self, "prohibitions", tuple(self.prohibitions))
+        object.__setattr__(self, "obligations", tuple(self.obligations))
+
+    # -- queries ------------------------------------------------------------
+
+    def permissions_for(self, action: Action, assignee: Optional[str] = None) -> List[Permission]:
+        """Return the permissions covering *action* for *assignee*."""
+        return [
+            p for p in self.permissions
+            if p.action == action and p.applies_to(assignee)
+        ]
+
+    def prohibitions_for(self, action: Action, assignee: Optional[str] = None) -> List[Prohibition]:
+        """Return the prohibitions covering *action* for *assignee*."""
+        return [
+            p for p in self.prohibitions
+            if p.action == action and p.applies_to(assignee)
+        ]
+
+    def all_duties(self) -> List[Duty]:
+        """Return policy-level obligations plus duties attached to permissions."""
+        duties = list(self.obligations)
+        for permission in self.permissions:
+            duties.extend(permission.duties)
+        return duties
+
+    def retention_seconds(self) -> Optional[float]:
+        """Return the tightest retention period demanded by any delete duty."""
+        periods = []
+        for duty in self.all_duties():
+            if duty.action != Action.DELETE:
+                continue
+            for constraint in duty.constraints:
+                if constraint.left_operand == LeftOperand.ELAPSED_TIME and constraint.operator in (
+                    Operator.GT, Operator.GTEQ,
+                ):
+                    periods.append(float(constraint.right_operand))
+        return min(periods) if periods else None
+
+    def allowed_purposes(self) -> Optional[List[str]]:
+        """Return the union of purposes allowed by USE/READ permissions.
+
+        ``None`` means the policy does not constrain the purpose at all.
+        """
+        purposes: List[str] = []
+        constrained = False
+        for permission in self.permissions:
+            if permission.action not in (Action.USE, Action.READ):
+                continue
+            for constraint in permission.constraints:
+                if constraint.left_operand == LeftOperand.PURPOSE:
+                    constrained = True
+                    if constraint.operator == Operator.EQ:
+                        purposes.append(constraint.right_operand)
+                    elif constraint.operator == Operator.IS_ANY_OF:
+                        purposes.extend(constraint.right_operand)
+        if not constrained:
+            return None
+        # Preserve order while removing duplicates.
+        seen = []
+        for purpose in purposes:
+            if purpose not in seen:
+                seen.append(purpose)
+        return seen
+
+    # -- revision -----------------------------------------------------------
+
+    def revise(self, *, permissions: Optional[Sequence[Permission]] = None,
+               prohibitions: Optional[Sequence[Prohibition]] = None,
+               obligations: Optional[Sequence[Duty]] = None,
+               issued_at: Optional[float] = None) -> "Policy":
+        """Return a new version of this policy with the given parts replaced."""
+        return replace(
+            self,
+            permissions=tuple(permissions) if permissions is not None else self.permissions,
+            prohibitions=tuple(prohibitions) if prohibitions is not None else self.prohibitions,
+            obligations=tuple(obligations) if obligations is not None else self.obligations,
+            version=self.version + 1,
+            issued_at=issued_at if issued_at is not None else self.issued_at,
+        )
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "uid": self.uid,
+            "target": self.target,
+            "assigner": self.assigner,
+            "version": self.version,
+            "issuedAt": self.issued_at,
+            "permissions": [p.to_dict() for p in self.permissions],
+            "prohibitions": [p.to_dict() for p in self.prohibitions],
+            "obligations": [d.to_dict() for d in self.obligations],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Policy":
+        return cls(
+            target=data["target"],
+            assigner=data["assigner"],
+            permissions=tuple(Permission.from_dict(p) for p in data.get("permissions", [])),
+            prohibitions=tuple(Prohibition.from_dict(p) for p in data.get("prohibitions", [])),
+            obligations=tuple(Duty.from_dict(d) for d in data.get("obligations", [])),
+            uid=data.get("uid", new_uuid()),
+            version=data.get("version", 1),
+            issued_at=data.get("issuedAt"),
+        )

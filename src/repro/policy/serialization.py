@@ -1,0 +1,202 @@
+"""Policy serialization.
+
+Policies cross every boundary of the architecture: the pod manager pushes
+them on-chain through the push-in oracle, the DE App stores them in contract
+storage, and the TEE keeps a local copy alongside the resource.  Two
+serializations are provided:
+
+* plain dictionaries (the form carried in transactions and contract storage),
+* RDF graphs using the ODRL vocabulary (the form stored in Solid pods).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.common.errors import ValidationError
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import ODRL, RDF, Namespace
+from repro.rdf.term import BlankNode, IRI, Literal
+from repro.policy.model import (
+    Action,
+    Constraint,
+    Duty,
+    LeftOperand,
+    Operator,
+    Permission,
+    Policy,
+    Prohibition,
+)
+
+# Namespace used for constraint left operands / custom terms in RDF form.
+REPRO_POLICY = Namespace("https://w3id.org/repro/usage-control/policy#")
+
+
+def policy_to_dict(policy: Policy) -> dict:
+    """Serialize a policy to a plain dictionary (canonical contract form)."""
+    return policy.to_dict()
+
+
+def policy_from_dict(data: dict) -> Policy:
+    """Reconstruct a policy from its dictionary form."""
+    if not isinstance(data, dict):
+        raise ValidationError("policy data must be a dictionary")
+    return Policy.from_dict(data)
+
+
+def policy_to_json(policy: Policy) -> str:
+    """Serialize a policy to a JSON string."""
+    return json.dumps(policy.to_dict(), sort_keys=True)
+
+
+def policy_from_json(text: str) -> Policy:
+    """Parse a policy from its JSON string form."""
+    return policy_from_dict(json.loads(text))
+
+
+# -- RDF form ----------------------------------------------------------------
+
+
+def _rule_to_graph(graph: Graph, policy_node: IRI, rule, relation: IRI) -> None:
+    rule_node = BlankNode(rule.uid.replace("-", ""))
+    graph.add(policy_node, relation, rule_node)
+    graph.add(rule_node, ODRL.action, REPRO_POLICY.term(rule.action.value))
+    graph.add(rule_node, REPRO_POLICY.uid, Literal(rule.uid))
+    if rule.assignee:
+        graph.add(rule_node, ODRL.assignee, IRI(rule.assignee))
+    for constraint in rule.constraints:
+        _constraint_to_graph(graph, rule_node, constraint)
+    for duty in getattr(rule, "duties", ()):  # only permissions carry duties
+        duty_node = BlankNode(duty.uid.replace("-", ""))
+        graph.add(rule_node, ODRL.duty, duty_node)
+        graph.add(duty_node, ODRL.action, REPRO_POLICY.term(duty.action.value))
+        graph.add(duty_node, REPRO_POLICY.uid, Literal(duty.uid))
+        for constraint in duty.constraints:
+            _constraint_to_graph(graph, duty_node, constraint)
+
+
+def _constraint_to_graph(graph: Graph, parent: BlankNode, constraint: Constraint) -> None:
+    node = BlankNode()
+    graph.add(parent, ODRL.constraint, node)
+    graph.add(node, ODRL.leftOperand, REPRO_POLICY.term(constraint.left_operand.value))
+    graph.add(node, ODRL.operator, ODRL.term(constraint.operator.value))
+    right = constraint.right_operand
+    if isinstance(right, (list, tuple, set, frozenset)):
+        for item in right:
+            graph.add(node, ODRL.rightOperand, Literal(item))
+    else:
+        graph.add(node, ODRL.rightOperand, Literal(right))
+
+
+def policy_to_graph(policy: Policy, graph: Optional[Graph] = None) -> Graph:
+    """Serialize a policy to RDF using the ODRL vocabulary."""
+    graph = graph if graph is not None else Graph()
+    policy_node = REPRO_POLICY.term(f"policy-{policy.uid}")
+    graph.add(policy_node, RDF.type, ODRL.Policy)
+    graph.add(policy_node, ODRL.target, IRI(policy.target))
+    graph.add(policy_node, ODRL.assigner, IRI(policy.assigner))
+    graph.add(policy_node, REPRO_POLICY.version, Literal(policy.version))
+    graph.add(policy_node, REPRO_POLICY.uid, Literal(policy.uid))
+    if policy.issued_at is not None:
+        graph.add(policy_node, REPRO_POLICY.issuedAt, Literal(float(policy.issued_at)))
+    for permission in policy.permissions:
+        _rule_to_graph(graph, policy_node, permission, ODRL.permission)
+    for prohibition in policy.prohibitions:
+        _rule_to_graph(graph, policy_node, prohibition, ODRL.prohibition)
+    for duty in policy.obligations:
+        duty_node = BlankNode(duty.uid.replace("-", ""))
+        graph.add(policy_node, ODRL.obligation, duty_node)
+        graph.add(duty_node, ODRL.action, REPRO_POLICY.term(duty.action.value))
+        graph.add(duty_node, REPRO_POLICY.uid, Literal(duty.uid))
+        for constraint in duty.constraints:
+            _constraint_to_graph(graph, duty_node, constraint)
+    return graph
+
+
+def _constraints_from_graph(graph: Graph, node) -> tuple:
+    constraints = []
+    for constraint_node in graph.objects(node, ODRL.constraint):
+        left_iri = graph.value(constraint_node, ODRL.leftOperand)
+        operator_iri = graph.value(constraint_node, ODRL.operator)
+        rights = [obj for obj in graph.objects(constraint_node, ODRL.rightOperand)]
+        if left_iri is None or operator_iri is None or not rights:
+            raise ValidationError("malformed constraint in policy graph")
+        left = LeftOperand(REPRO_POLICY.local_name(left_iri))
+        operator = Operator(ODRL.local_name(operator_iri))
+        values = [r.to_python() if isinstance(r, Literal) else str(r) for r in rights]
+        right = tuple(values) if operator in (Operator.IS_ANY_OF, Operator.IS_NONE_OF) else values[0]
+        constraints.append(Constraint(left, operator, right))
+    return tuple(constraints)
+
+
+def _duty_from_graph(graph: Graph, node) -> Duty:
+    action_iri = graph.value(node, ODRL.action)
+    uid_literal = graph.value(node, REPRO_POLICY.uid)
+    if action_iri is None:
+        raise ValidationError("malformed duty in policy graph")
+    return Duty(
+        action=Action(REPRO_POLICY.local_name(action_iri)),
+        constraints=_constraints_from_graph(graph, node),
+        uid=str(uid_literal) if uid_literal is not None else None or "",
+    )
+
+
+def policy_from_graph(graph: Graph) -> Policy:
+    """Reconstruct a policy from its RDF form (inverse of :func:`policy_to_graph`)."""
+    policy_nodes = list(graph.subjects(RDF.type, ODRL.Policy))
+    if not policy_nodes:
+        raise ValidationError("graph contains no odrl:Policy")
+    policy_node = policy_nodes[0]
+    target = graph.value(policy_node, ODRL.target)
+    assigner = graph.value(policy_node, ODRL.assigner)
+    version = graph.value(policy_node, REPRO_POLICY.version)
+    uid = graph.value(policy_node, REPRO_POLICY.uid)
+    issued = graph.value(policy_node, REPRO_POLICY.issuedAt)
+    if target is None or assigner is None:
+        raise ValidationError("policy graph misses target or assigner")
+
+    permissions = []
+    for node in graph.objects(policy_node, ODRL.permission):
+        action_iri = graph.value(node, ODRL.action)
+        assignee_iri = graph.value(node, ODRL.assignee)
+        duties = tuple(_duty_from_graph(graph, duty_node) for duty_node in graph.objects(node, ODRL.duty))
+        rule_uid = graph.value(node, REPRO_POLICY.uid)
+        permissions.append(
+            Permission(
+                action=Action(REPRO_POLICY.local_name(action_iri)),
+                assignee=str(assignee_iri) if assignee_iri is not None else None,
+                constraints=_constraints_from_graph(graph, node),
+                duties=duties,
+                uid=str(rule_uid) if rule_uid is not None else None or "",
+            )
+        )
+
+    prohibitions = []
+    for node in graph.objects(policy_node, ODRL.prohibition):
+        action_iri = graph.value(node, ODRL.action)
+        assignee_iri = graph.value(node, ODRL.assignee)
+        rule_uid = graph.value(node, REPRO_POLICY.uid)
+        prohibitions.append(
+            Prohibition(
+                action=Action(REPRO_POLICY.local_name(action_iri)),
+                assignee=str(assignee_iri) if assignee_iri is not None else None,
+                constraints=_constraints_from_graph(graph, node),
+                uid=str(rule_uid) if rule_uid is not None else None or "",
+            )
+        )
+
+    obligations = tuple(
+        _duty_from_graph(graph, node) for node in graph.objects(policy_node, ODRL.obligation)
+    )
+
+    return Policy(
+        target=str(target),
+        assigner=str(assigner),
+        permissions=tuple(permissions),
+        prohibitions=tuple(prohibitions),
+        obligations=obligations,
+        uid=str(uid) if uid is not None else Policy.__dataclass_fields__["uid"].default_factory(),  # type: ignore[misc]
+        version=int(version.to_python()) if isinstance(version, Literal) else 1,
+        issued_at=float(issued.to_python()) if isinstance(issued, Literal) else None,
+    )

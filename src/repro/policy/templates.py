@@ -1,0 +1,152 @@
+"""Ready-made policy templates.
+
+The motivating scenario uses two archetypal policies: a retention policy
+("delete one month after storage") and a purpose policy ("use only for
+medical purposes").  These constructors build them, so the examples, tests,
+and benchmarks never assemble constraint trees by hand.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.policy.model import (
+    Action,
+    Constraint,
+    Duty,
+    LeftOperand,
+    Operator,
+    Permission,
+    Policy,
+    Prohibition,
+)
+
+
+def retention_policy(target: str, assigner: str, retention_seconds: float,
+                     assignee: Optional[str] = None, issued_at: Optional[float] = None) -> Policy:
+    """Policy allowing use but requiring deletion after *retention_seconds*.
+
+    This is Alice's policy in the paper: internet-browsing data must be
+    deleted one month (later one week) after storage.
+    """
+    if retention_seconds <= 0:
+        raise ValueError("retention_seconds must be positive")
+    delete_duty = Duty(
+        action=Action.DELETE,
+        constraints=(
+            Constraint(LeftOperand.ELAPSED_TIME, Operator.GTEQ, float(retention_seconds)),
+        ),
+    )
+    permission = Permission(action=Action.USE, assignee=assignee, duties=(delete_duty,))
+    read_permission = Permission(action=Action.READ, assignee=assignee)
+    return Policy(
+        target=target,
+        assigner=assigner,
+        permissions=(permission, read_permission),
+        issued_at=issued_at,
+    )
+
+
+def purpose_policy(target: str, assigner: str, allowed_purposes: Sequence[str],
+                   assignee: Optional[str] = None, issued_at: Optional[float] = None) -> Policy:
+    """Policy restricting use to the given purposes.
+
+    This is Bob's policy in the paper: medical data to be used only for
+    medical purposes (later changed to academic pursuits).
+    """
+    if not allowed_purposes:
+        raise ValueError("allowed_purposes must be non-empty")
+    purpose_constraint = Constraint(LeftOperand.PURPOSE, Operator.IS_ANY_OF, tuple(allowed_purposes))
+    use_permission = Permission(action=Action.USE, assignee=assignee, constraints=(purpose_constraint,))
+    read_permission = Permission(action=Action.READ, assignee=assignee, constraints=(purpose_constraint,))
+    no_distribution = Prohibition(action=Action.DISTRIBUTE, assignee=assignee)
+    return Policy(
+        target=target,
+        assigner=assigner,
+        permissions=(use_permission, read_permission),
+        prohibitions=(no_distribution,),
+        issued_at=issued_at,
+    )
+
+
+def purpose_and_retention_policy(target: str, assigner: str, allowed_purposes: Sequence[str],
+                                 retention_seconds: float, assignee: Optional[str] = None,
+                                 issued_at: Optional[float] = None) -> Policy:
+    """Policy combining a purpose restriction with a retention duty."""
+    if retention_seconds <= 0:
+        raise ValueError("retention_seconds must be positive")
+    if not allowed_purposes:
+        raise ValueError("allowed_purposes must be non-empty")
+    purpose_constraint = Constraint(LeftOperand.PURPOSE, Operator.IS_ANY_OF, tuple(allowed_purposes))
+    delete_duty = Duty(
+        action=Action.DELETE,
+        constraints=(
+            Constraint(LeftOperand.ELAPSED_TIME, Operator.GTEQ, float(retention_seconds)),
+        ),
+    )
+    use_permission = Permission(
+        action=Action.USE, assignee=assignee, constraints=(purpose_constraint,), duties=(delete_duty,)
+    )
+    read_permission = Permission(action=Action.READ, assignee=assignee, constraints=(purpose_constraint,))
+    return Policy(
+        target=target,
+        assigner=assigner,
+        permissions=(use_permission, read_permission),
+        issued_at=issued_at,
+    )
+
+
+def open_policy(target: str, assigner: str, issued_at: Optional[float] = None) -> Policy:
+    """Unconstrained read/use policy (the pod's permissive default)."""
+    return Policy(
+        target=target,
+        assigner=assigner,
+        permissions=(
+            Permission(action=Action.READ),
+            Permission(action=Action.USE),
+        ),
+        issued_at=issued_at,
+    )
+
+
+def max_access_policy(target: str, assigner: str, max_accesses: int,
+                      assignee: Optional[str] = None, issued_at: Optional[float] = None) -> Policy:
+    """Policy allowing at most *max_accesses* uses of the stored copy."""
+    if max_accesses <= 0:
+        raise ValueError("max_accesses must be positive")
+    count_constraint = Constraint(LeftOperand.COUNT, Operator.LT, int(max_accesses))
+    use_permission = Permission(action=Action.USE, assignee=assignee, constraints=(count_constraint,))
+    read_permission = Permission(action=Action.READ, assignee=assignee)
+    delete_duty = Duty(
+        action=Action.DELETE,
+        constraints=(Constraint(LeftOperand.COUNT, Operator.GTEQ, int(max_accesses)),),
+    )
+    return Policy(
+        target=target,
+        assigner=assigner,
+        permissions=(use_permission, read_permission),
+        obligations=(delete_duty,),
+        issued_at=issued_at,
+    )
+
+
+def default_pod_policy(pod_url: str, owner: str, subscribers: Iterable[str] = (),
+                       issued_at: Optional[float] = None) -> Policy:
+    """The default policy installed at pod initiation (Fig. 2.1).
+
+    The paper's example default is "only subscribed users have access to the
+    data"; with no subscriber list the policy grants nothing beyond the
+    owner.
+    """
+    subscribers = tuple(subscribers)
+    permissions = [Permission(action=Action.READ, assignee=owner), Permission(action=Action.USE, assignee=owner)]
+    if subscribers:
+        constraint = Constraint(LeftOperand.RECIPIENT, Operator.IS_ANY_OF, subscribers)
+        permissions.append(Permission(action=Action.READ, constraints=(constraint,)))
+        permissions.append(Permission(action=Action.USE, constraints=(constraint,)))
+    return Policy(
+        target=pod_url,
+        assigner=owner,
+        permissions=tuple(permissions),
+        issued_at=issued_at,
+    )

@@ -1,0 +1,43 @@
+"""Minimal RDF / Linked Data core.
+
+Solid is built on Linked Data: pod resources, WebID profiles, access-control
+documents, and usage policies are all RDF graphs.  The reproduction cannot
+rely on ``rdflib`` (not available offline here), so this package implements
+the small subset of RDF the architecture needs:
+
+* terms (:class:`IRI`, :class:`Literal`, :class:`BlankNode`),
+* an indexed triple store (:class:`Graph`) with pattern matching,
+* well-known namespaces (:mod:`repro.rdf.namespace`),
+* a Turtle-like serializer/parser (:mod:`repro.rdf.turtle`),
+* a tiny basic-graph-pattern query engine (:mod:`repro.rdf.query`).
+"""
+
+from repro.rdf.term import IRI, Literal, BlankNode, Term, Triple
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import Namespace, RDF, RDFS, XSD, FOAF, LDP, ACL, ODRL, SOLID, DCTERMS
+from repro.rdf.turtle import serialize_turtle, parse_turtle
+from repro.rdf.query import TriplePattern, Variable, query
+
+__all__ = [
+    "IRI",
+    "Literal",
+    "BlankNode",
+    "Term",
+    "Triple",
+    "Graph",
+    "Namespace",
+    "RDF",
+    "RDFS",
+    "XSD",
+    "FOAF",
+    "LDP",
+    "ACL",
+    "ODRL",
+    "SOLID",
+    "DCTERMS",
+    "serialize_turtle",
+    "parse_turtle",
+    "TriplePattern",
+    "Variable",
+    "query",
+]

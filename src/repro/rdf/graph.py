@@ -1,0 +1,166 @@
+"""Indexed triple store.
+
+The graph keeps three hash indexes (by subject, predicate, and object) so the
+pattern matching used by the pod manager's ACL checks and the policy engine
+stays fast even when pods hold thousands of triples.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, Optional, Set, Union
+
+from repro.common.errors import ValidationError
+from repro.rdf.term import BlankNode, IRI, Literal, Term, Triple, ensure_predicate, ensure_subject
+
+SubjectTerm = Union[IRI, BlankNode]
+
+
+class Graph:
+    """A mutable set of RDF triples with subject/predicate/object indexes."""
+
+    def __init__(self, identifier: Optional[IRI] = None):
+        self.identifier = identifier
+        self._triples: Set[Triple] = set()
+        self._by_subject: Dict[SubjectTerm, Set[Triple]] = defaultdict(set)
+        self._by_predicate: Dict[IRI, Set[Triple]] = defaultdict(set)
+        self._by_object: Dict[Term, Set[Triple]] = defaultdict(set)
+
+    # -- mutation ---------------------------------------------------------
+
+    def add(self, subject: SubjectTerm, predicate: IRI, obj: Term) -> Triple:
+        """Add one triple; adding an existing triple is a no-op."""
+        triple = Triple(ensure_subject(subject), ensure_predicate(predicate), self._ensure_object(obj))
+        if triple not in self._triples:
+            self._triples.add(triple)
+            self._by_subject[triple.subject].add(triple)
+            self._by_predicate[triple.predicate].add(triple)
+            self._by_object[triple.object].add(triple)
+        return triple
+
+    def add_triple(self, triple: Triple) -> Triple:
+        """Add an already-constructed :class:`Triple`."""
+        return self.add(triple.subject, triple.predicate, triple.object)
+
+    def remove(self, subject: Optional[SubjectTerm] = None, predicate: Optional[IRI] = None,
+               obj: Optional[Term] = None) -> int:
+        """Remove every triple matching the (possibly wildcard) pattern.
+
+        Returns the number of triples removed.
+        """
+        to_remove = list(self.triples(subject, predicate, obj))
+        for triple in to_remove:
+            self._triples.discard(triple)
+            self._by_subject[triple.subject].discard(triple)
+            self._by_predicate[triple.predicate].discard(triple)
+            self._by_object[triple.object].discard(triple)
+        return len(to_remove)
+
+    def set_value(self, subject: SubjectTerm, predicate: IRI, obj: Term) -> Triple:
+        """Replace any existing (subject, predicate, *) triples with one value."""
+        self.remove(subject, predicate, None)
+        return self.add(subject, predicate, obj)
+
+    def update(self, triples: Iterable[Triple]) -> None:
+        """Add every triple from an iterable."""
+        for triple in triples:
+            self.add_triple(triple)
+
+    def clear(self) -> None:
+        """Remove every triple."""
+        self._triples.clear()
+        self._by_subject.clear()
+        self._by_predicate.clear()
+        self._by_object.clear()
+
+    # -- queries ----------------------------------------------------------
+
+    def triples(self, subject: Optional[SubjectTerm] = None, predicate: Optional[IRI] = None,
+                obj: Optional[Term] = None) -> Iterator[Triple]:
+        """Iterate over triples matching the pattern; ``None`` is a wildcard."""
+        candidates: Iterable[Triple]
+        if subject is not None:
+            candidates = self._by_subject.get(subject, set())
+        elif predicate is not None:
+            candidates = self._by_predicate.get(predicate, set())
+        elif obj is not None:
+            candidates = self._by_object.get(obj, set())
+        else:
+            candidates = self._triples
+        for triple in list(candidates):
+            if subject is not None and triple.subject != subject:
+                continue
+            if predicate is not None and triple.predicate != predicate:
+                continue
+            if obj is not None and triple.object != obj:
+                continue
+            yield triple
+
+    def value(self, subject: SubjectTerm, predicate: IRI, default: Optional[Term] = None) -> Optional[Term]:
+        """Return one object for (subject, predicate) or *default* if absent."""
+        for triple in self.triples(subject, predicate, None):
+            return triple.object
+        return default
+
+    def objects(self, subject: SubjectTerm, predicate: IRI) -> Iterator[Term]:
+        """Iterate over every object of (subject, predicate, *)."""
+        for triple in self.triples(subject, predicate, None):
+            yield triple.object
+
+    def subjects(self, predicate: Optional[IRI] = None, obj: Optional[Term] = None) -> Iterator[SubjectTerm]:
+        """Iterate over distinct subjects matching (*, predicate, obj)."""
+        seen: Set[SubjectTerm] = set()
+        for triple in self.triples(None, predicate, obj):
+            if triple.subject not in seen:
+                seen.add(triple.subject)
+                yield triple.subject
+
+    def has(self, subject: Optional[SubjectTerm] = None, predicate: Optional[IRI] = None,
+            obj: Optional[Term] = None) -> bool:
+        """Return True if at least one triple matches the pattern."""
+        for _ in self.triples(subject, predicate, obj):
+            return True
+        return False
+
+    # -- set-like protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self._triples
+
+    def __eq__(self, other: object) -> bool:
+        # Graph equality here is naive set equality; blank-node isomorphism is
+        # out of scope because the architecture never compares graphs that
+        # way.
+        return isinstance(other, Graph) and other._triples == self._triples
+
+    def __hash__(self) -> int:  # pragma: no cover - graphs are mutable
+        raise TypeError("Graph objects are mutable and unhashable")
+
+    def copy(self) -> "Graph":
+        """Return a shallow copy containing the same triples."""
+        clone = Graph(self.identifier)
+        clone.update(self._triples)
+        return clone
+
+    def __ior__(self, other: "Graph") -> "Graph":
+        self.update(other)
+        return self
+
+    def __or__(self, other: "Graph") -> "Graph":
+        merged = self.copy()
+        merged.update(other)
+        return merged
+
+    # -- helpers -----------------------------------------------------------
+
+    @staticmethod
+    def _ensure_object(obj: Term) -> Term:
+        if isinstance(obj, (IRI, BlankNode, Literal)):
+            return obj
+        raise ValidationError("triple objects must be IRIs, blank nodes, or literals")

@@ -1,0 +1,82 @@
+"""Well-known RDF namespaces used across the Solid and policy layers."""
+
+from __future__ import annotations
+
+from repro.rdf.term import IRI
+
+
+class Namespace:
+    """Factory of IRIs sharing a common prefix.
+
+    Example::
+
+        EX = Namespace("https://example.org/")
+        EX.alice          # IRI("https://example.org/alice")
+        EX["data set"]    # item access for names that are not identifiers
+    """
+
+    def __init__(self, prefix: str):
+        if not prefix:
+            raise ValueError("namespace prefix must be non-empty")
+        self.prefix = prefix
+
+    def term(self, name: str) -> IRI:
+        return IRI(f"{self.prefix}{name}")
+
+    def __getattr__(self, name: str) -> IRI:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return self.term(name)
+
+    def __getitem__(self, name: str) -> IRI:
+        return self.term(name)
+
+    def __contains__(self, iri: IRI) -> bool:
+        return isinstance(iri, IRI) and iri.value.startswith(self.prefix)
+
+    def local_name(self, iri: IRI) -> str:
+        """Return the part of *iri* after this namespace's prefix."""
+        if iri not in self:
+            raise ValueError(f"{iri} is not in namespace {self.prefix}")
+        return iri.value[len(self.prefix):]
+
+    def __repr__(self) -> str:
+        return f"Namespace({self.prefix!r})"
+
+
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+XSD = Namespace("http://www.w3.org/2001/XMLSchema#")
+FOAF = Namespace("http://xmlns.com/foaf/0.1/")
+DCTERMS = Namespace("http://purl.org/dc/terms/")
+
+# Linked Data Platform vocabulary: Solid pods organize resources in LDP
+# containers.
+LDP = Namespace("http://www.w3.org/ns/ldp#")
+
+# Web Access Control vocabulary: Solid's access-control lists.
+ACL = Namespace("http://www.w3.org/ns/auth/acl#")
+
+# ODRL vocabulary: the usage-policy model borrows its permission /
+# prohibition / duty structure from ODRL 2.2.
+ODRL = Namespace("http://www.w3.org/ns/odrl/2/")
+
+# Solid terms (pods, storage, oidcIssuer, ...).
+SOLID = Namespace("http://www.w3.org/ns/solid/terms#")
+
+# Namespace of this reproduction for architecture-specific terms
+# (usage evidence, attestation quotes, market certificates).
+REPRO = Namespace("https://w3id.org/repro/usage-control#")
+
+WELL_KNOWN_PREFIXES = {
+    "rdf": RDF,
+    "rdfs": RDFS,
+    "xsd": XSD,
+    "foaf": FOAF,
+    "dcterms": DCTERMS,
+    "ldp": LDP,
+    "acl": ACL,
+    "odrl": ODRL,
+    "solid": SOLID,
+    "repro": REPRO,
+}

@@ -1,0 +1,104 @@
+"""Basic graph pattern matching.
+
+A miniature SPARQL-like engine supporting conjunctive triple patterns with
+variables.  The Solid substrate uses it to evaluate WAC authorizations and
+the policy engine uses it to pull policy structures out of RDF documents.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
+
+from repro.rdf.graph import Graph
+from repro.rdf.term import BlankNode, IRI, Literal, Term
+
+
+class Variable:
+    """A named variable usable in any position of a triple pattern."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("variable name must be non-empty")
+        self.name = name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Variable) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("Variable", self.name))
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+PatternTerm = Union[Variable, IRI, Literal, BlankNode, None]
+Binding = Dict[str, Term]
+
+
+class TriplePattern:
+    """One triple pattern; ``None`` or a :class:`Variable` acts as a wildcard."""
+
+    __slots__ = ("subject", "predicate", "object")
+
+    def __init__(self, subject: PatternTerm, predicate: PatternTerm, obj: PatternTerm):
+        self.subject = subject
+        self.predicate = predicate
+        self.object = obj
+
+    def terms(self) -> Sequence[PatternTerm]:
+        return (self.subject, self.predicate, self.object)
+
+    def __repr__(self) -> str:
+        return f"TriplePattern({self.subject!r}, {self.predicate!r}, {self.object!r})"
+
+
+def _resolve(term: PatternTerm, binding: Binding) -> Optional[Term]:
+    """Return the concrete term for a pattern position, if determined."""
+    if term is None:
+        return None
+    if isinstance(term, Variable):
+        return binding.get(term.name)
+    return term
+
+
+def _match_pattern(graph: Graph, pattern: TriplePattern, binding: Binding) -> Iterator[Binding]:
+    subject = _resolve(pattern.subject, binding)
+    predicate = _resolve(pattern.predicate, binding)
+    obj = _resolve(pattern.object, binding)
+    for triple in graph.triples(subject, predicate, obj):  # type: ignore[arg-type]
+        extended = dict(binding)
+        consistent = True
+        for position, value in zip(pattern.terms(), triple):
+            if isinstance(position, Variable):
+                bound = extended.get(position.name)
+                if bound is None:
+                    extended[position.name] = value
+                elif bound != value:
+                    consistent = False
+                    break
+        if consistent:
+            yield extended
+
+
+def query(graph: Graph, patterns: Iterable[TriplePattern]) -> List[Binding]:
+    """Evaluate a conjunction of triple patterns and return variable bindings.
+
+    The result is a list of dictionaries mapping variable names to terms; an
+    empty pattern list yields a single empty binding (the neutral element).
+    """
+    bindings: List[Binding] = [{}]
+    for pattern in patterns:
+        next_bindings: List[Binding] = []
+        for binding in bindings:
+            next_bindings.extend(_match_pattern(graph, pattern, binding))
+        bindings = next_bindings
+        if not bindings:
+            break
+    return bindings
+
+
+def ask(graph: Graph, patterns: Iterable[TriplePattern]) -> bool:
+    """Return True when the conjunction of patterns has at least one solution."""
+    return bool(query(graph, patterns))

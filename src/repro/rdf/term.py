@@ -1,0 +1,160 @@
+"""RDF terms: IRIs, literals, and blank nodes.
+
+Terms are immutable value objects; equality and hashing follow RDF 1.1
+semantics (literals compare by lexical form, datatype, and language tag).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional, Union
+
+from repro.common.errors import ValidationError
+from repro.common.identifiers import short_id
+
+
+class IRI:
+    """An absolute or relative IRI reference."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str):
+        if not isinstance(value, str) or not value:
+            raise ValidationError("IRI value must be a non-empty string")
+        if any(ch in value for ch in (" ", "<", ">", '"')):
+            raise ValidationError(f"IRI contains forbidden characters: {value!r}")
+        self.value = value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IRI) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("IRI", self.value))
+
+    def __repr__(self) -> str:
+        return f"IRI({self.value!r})"
+
+    def __str__(self) -> str:
+        return self.value
+
+    def n3(self) -> str:
+        """Return the N3/Turtle representation ``<iri>``."""
+        return f"<{self.value}>"
+
+
+class Literal:
+    """An RDF literal with optional datatype IRI or language tag."""
+
+    __slots__ = ("value", "datatype", "language")
+
+    def __init__(self, value: Union[str, int, float, bool], datatype: Optional[IRI] = None,
+                 language: Optional[str] = None):
+        if datatype is not None and language is not None:
+            raise ValidationError("a literal cannot carry both a datatype and a language tag")
+        # Native Python values are converted to their canonical lexical form
+        # and tagged with the matching XSD datatype.
+        if isinstance(value, bool):
+            self.value = "true" if value else "false"
+            datatype = datatype or IRI("http://www.w3.org/2001/XMLSchema#boolean")
+        elif isinstance(value, int):
+            self.value = str(value)
+            datatype = datatype or IRI("http://www.w3.org/2001/XMLSchema#integer")
+        elif isinstance(value, float):
+            self.value = repr(value)
+            datatype = datatype or IRI("http://www.w3.org/2001/XMLSchema#double")
+        elif isinstance(value, str):
+            self.value = value
+        else:
+            raise ValidationError(f"unsupported literal value type: {type(value).__name__}")
+        self.datatype = datatype
+        self.language = language
+
+    def to_python(self) -> Union[str, int, float, bool]:
+        """Convert back to a native Python value based on the datatype."""
+        if self.datatype is None:
+            return self.value
+        dt = self.datatype.value
+        if dt.endswith("#integer") or dt.endswith("#int") or dt.endswith("#long"):
+            return int(self.value)
+        if dt.endswith("#double") or dt.endswith("#decimal") or dt.endswith("#float"):
+            return float(self.value)
+        if dt.endswith("#boolean"):
+            return self.value == "true"
+        return self.value
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Literal)
+            and other.value == self.value
+            and other.datatype == self.datatype
+            and other.language == self.language
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Literal", self.value, self.datatype, self.language))
+
+    def __repr__(self) -> str:
+        return f"Literal({self.value!r}, datatype={self.datatype!r}, language={self.language!r})"
+
+    def __str__(self) -> str:
+        return self.value
+
+    def n3(self) -> str:
+        """Return the N3/Turtle representation of the literal."""
+        escaped = self.value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+        rendered = f'"{escaped}"'
+        if self.language:
+            return f"{rendered}@{self.language}"
+        if self.datatype:
+            return f"{rendered}^^{self.datatype.n3()}"
+        return rendered
+
+
+class BlankNode:
+    """An RDF blank node with a local identifier."""
+
+    __slots__ = ("identifier",)
+
+    def __init__(self, identifier: Optional[str] = None):
+        self.identifier = identifier if identifier else f"b{short_id()}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BlankNode) and other.identifier == self.identifier
+
+    def __hash__(self) -> int:
+        return hash(("BlankNode", self.identifier))
+
+    def __repr__(self) -> str:
+        return f"BlankNode({self.identifier!r})"
+
+    def n3(self) -> str:
+        """Return the N3/Turtle representation ``_:id``."""
+        return f"_:{self.identifier}"
+
+
+Term = Union[IRI, Literal, BlankNode]
+
+
+class Triple(NamedTuple):
+    """A subject/predicate/object statement."""
+
+    subject: Union[IRI, BlankNode]
+    predicate: IRI
+    object: Term
+
+    def n3(self) -> str:
+        """Return the statement in N-Triples-like syntax (without final dot)."""
+        return f"{self.subject.n3()} {self.predicate.n3()} {self.object.n3()}"
+
+
+def ensure_subject(term: Term) -> Union[IRI, BlankNode]:
+    """Validate that *term* may appear in the subject position."""
+    if isinstance(term, (IRI, BlankNode)):
+        return term
+    raise ValidationError("triple subjects must be IRIs or blank nodes")
+
+
+def ensure_predicate(term: Term) -> IRI:
+    """Validate that *term* may appear in the predicate position."""
+    if isinstance(term, IRI):
+        return term
+    raise ValidationError("triple predicates must be IRIs")

@@ -1,0 +1,210 @@
+"""Turtle-like serialization.
+
+Pods exchange RDF documents; a compact text serialization makes resources
+inspectable in examples and lets the pod server store documents as text.  The
+dialect supported here is a deliberately small Turtle subset:
+
+* ``@prefix`` declarations,
+* one statement per ``.``-terminated clause, with ``;`` predicate lists,
+* IRIs in angle brackets or ``prefix:local`` form,
+* plain, language-tagged, and datatyped string literals, integers, decimals,
+  and booleans,
+* blank node labels (``_:b1``).
+
+That subset round-trips every graph the reproduction produces.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import ValidationError
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import WELL_KNOWN_PREFIXES, Namespace, XSD
+from repro.rdf.term import BlankNode, IRI, Literal, Term
+
+
+def serialize_turtle(graph: Graph, prefixes: Optional[Dict[str, Namespace]] = None) -> str:
+    """Serialize *graph* into the Turtle subset described above."""
+    prefixes = dict(WELL_KNOWN_PREFIXES if prefixes is None else prefixes)
+    used: Dict[str, Namespace] = {}
+
+    def shorten(term: Term) -> str:
+        if isinstance(term, IRI):
+            for prefix, namespace in prefixes.items():
+                if term in namespace and _is_local_name(namespace.local_name(term)):
+                    used[prefix] = namespace
+                    return f"{prefix}:{namespace.local_name(term)}"
+            return term.n3()
+        return term.n3()
+
+    body_lines: List[str] = []
+    by_subject: Dict[Term, List[Tuple[str, str]]] = {}
+    subject_order: List[Term] = []
+    for triple in graph:
+        if triple.subject not in by_subject:
+            by_subject[triple.subject] = []
+            subject_order.append(triple.subject)
+        by_subject[triple.subject].append((shorten(triple.predicate), shorten(triple.object)))
+
+    for subject in sorted(subject_order, key=lambda term: term.n3()):
+        rendered_subject = shorten(subject)
+        pairs = sorted(by_subject[subject])
+        clauses = [f"    {predicate} {obj}" for predicate, obj in pairs]
+        body_lines.append(rendered_subject + "\n" + " ;\n".join(clauses) + " .")
+
+    header_lines = [
+        f"@prefix {prefix}: <{namespace.prefix}> ."
+        for prefix, namespace in sorted(used.items())
+    ]
+    sections = []
+    if header_lines:
+        sections.append("\n".join(header_lines))
+    if body_lines:
+        sections.append("\n\n".join(body_lines))
+    return "\n\n".join(sections) + ("\n" if sections else "")
+
+
+def _is_local_name(name: str) -> bool:
+    """Only abbreviate IRIs whose local part is a simple identifier-like token."""
+    return bool(re.fullmatch(r"[A-Za-z_][A-Za-z0-9_.-]*", name))
+
+
+# -- parsing ----------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<iri><[^>]*>)
+  | (?P<string>"(?:[^"\\]|\\.)*"(?:@[A-Za-z-]+|\^\^<[^>]*>|\^\^[A-Za-z_][\w.-]*:[\w.-]+)?)
+  | (?P<bnode>_:[A-Za-z0-9_]+)
+  | (?P<prefixed>[A-Za-z_][\w.-]*:[\w.-]*)
+  | (?P<keyword>@prefix|@base|\ba\b)
+  | (?P<number>[-+]?\d+(?:\.\d+)?)
+  | (?P<boolean>\btrue\b|\bfalse\b)
+  | (?P<punct>[.;,])
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    # Strip comments (a '#' outside of an IRI or string starts a comment).
+    cleaned_lines = []
+    for line in text.splitlines():
+        cleaned_lines.append(_strip_comment(line))
+    cleaned = "\n".join(cleaned_lines)
+    for match in _TOKEN_RE.finditer(cleaned):
+        tokens.append(match.group(0))
+    return tokens
+
+
+def _strip_comment(line: str) -> str:
+    in_iri = False
+    in_string = False
+    result = []
+    i = 0
+    while i < len(line):
+        ch = line[i]
+        if ch == '"' and not in_iri:
+            in_string = not in_string
+        elif ch == "<" and not in_string:
+            in_iri = True
+        elif ch == ">" and not in_string:
+            in_iri = False
+        elif ch == "#" and not in_string and not in_iri:
+            break
+        result.append(ch)
+        i += 1
+    return "".join(result)
+
+
+def parse_turtle(text: str, graph: Optional[Graph] = None) -> Graph:
+    """Parse the Turtle subset back into a :class:`Graph`."""
+    graph = graph if graph is not None else Graph()
+    prefixes: Dict[str, str] = {}
+    tokens = _tokenize(text)
+    i = 0
+
+    def resolve(token: str) -> Term:
+        if token.startswith("<") and token.endswith(">"):
+            return IRI(token[1:-1])
+        if token.startswith("_:"):
+            return BlankNode(token[2:])
+        if token == "a":
+            return IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+        if token.startswith('"'):
+            return _parse_literal(token, prefixes)
+        if token in ("true", "false"):
+            return Literal(token == "true")
+        if re.fullmatch(r"[-+]?\d+", token):
+            return Literal(int(token))
+        if re.fullmatch(r"[-+]?\d+\.\d+", token):
+            return Literal(float(token))
+        if ":" in token:
+            prefix, _, local = token.partition(":")
+            if prefix not in prefixes:
+                raise ValidationError(f"unknown prefix {prefix!r} in Turtle document")
+            return IRI(prefixes[prefix] + local)
+        raise ValidationError(f"cannot interpret Turtle token {token!r}")
+
+    while i < len(tokens):
+        token = tokens[i]
+        if token == "@prefix":
+            prefix_token = tokens[i + 1]
+            iri_token = tokens[i + 2]
+            if not prefix_token.endswith(":") and ":" in prefix_token:
+                prefix_token = prefix_token.split(":")[0] + ":"
+            prefixes[prefix_token.rstrip(":")] = iri_token[1:-1]
+            # Skip trailing '.'
+            i += 3
+            if i < len(tokens) and tokens[i] == ".":
+                i += 1
+            continue
+        # Statement: subject predicate object (; predicate object)* .
+        subject = resolve(token)
+        i += 1
+        while True:
+            predicate = resolve(tokens[i])
+            obj = resolve(tokens[i + 1])
+            if not isinstance(predicate, IRI):
+                raise ValidationError("predicates must be IRIs")
+            graph.add(subject, predicate, obj)  # type: ignore[arg-type]
+            i += 2
+            if i >= len(tokens):
+                break
+            if tokens[i] == ";":
+                i += 1
+                # Allow a dangling ';' before the final '.'
+                if tokens[i] == ".":
+                    i += 1
+                    break
+                continue
+            if tokens[i] == ".":
+                i += 1
+                break
+            raise ValidationError(f"unexpected token {tokens[i]!r} in Turtle statement")
+    return graph
+
+
+def _parse_literal(token: str, prefixes: Dict[str, str]) -> Literal:
+    match = re.match(r'^"((?:[^"\\]|\\.)*)"', token)
+    if match is None:
+        raise ValidationError(f"malformed literal token {token!r}")
+    raw = match.group(1)
+    value = raw.replace('\\"', '"').replace("\\n", "\n").replace("\\\\", "\\")
+    rest = token[match.end():]
+    if rest.startswith("@"):
+        return Literal(value, language=rest[1:])
+    if rest.startswith("^^<"):
+        return Literal(value, datatype=IRI(rest[3:-1]))
+    if rest.startswith("^^"):
+        prefix, _, local = rest[2:].partition(":")
+        if prefix not in prefixes:
+            # The XSD prefix is so common it is resolved even if undeclared.
+            if prefix == "xsd":
+                return Literal(value, datatype=XSD.term(local))
+            raise ValidationError(f"unknown prefix {prefix!r} in literal datatype")
+        return Literal(value, datatype=IRI(prefixes[prefix] + local))
+    return Literal(value)

@@ -1,0 +1,41 @@
+"""Simulation substrate.
+
+The paper's future-work instantiation calls for evaluating the architecture
+from the perspectives of performance, scalability, and robustness.  This
+package provides the measurement machinery used by the benchmark harness:
+
+* :class:`~repro.sim.metrics.MetricsRegistry` — counters, gauges, and latency
+  histograms collected during scenario runs;
+* :class:`~repro.sim.scheduler.EventScheduler` — a discrete-event scheduler
+  driving the simulated clock (monitoring jobs, block production, expiries);
+* :class:`~repro.sim.network.NetworkModel` — a configurable latency model for
+  the pod-manager / oracle / blockchain hops;
+* :mod:`repro.sim.workload` — workload generators producing the populations
+  of owners, consumers, resources, and policies used by the sweeps.
+"""
+
+from repro.sim.metrics import MetricsRegistry, Counter, Gauge, LatencyHistogram, Timer
+from repro.sim.scheduler import EventScheduler, ScheduledEvent
+from repro.sim.network import NetworkModel, LinkSpec
+from repro.sim.workload import (
+    WorkloadConfig,
+    WorkloadGenerator,
+    SyntheticResource,
+    SyntheticParticipant,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "LatencyHistogram",
+    "Timer",
+    "EventScheduler",
+    "ScheduledEvent",
+    "NetworkModel",
+    "LinkSpec",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "SyntheticResource",
+    "SyntheticParticipant",
+]

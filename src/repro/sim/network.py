@@ -1,0 +1,109 @@
+"""Network latency model.
+
+The architecture spans several administrative domains: pod servers chosen by
+the owners, consumer devices hosting TEEs, blockchain nodes, and the oracle
+components bridging them.  The benchmarks attribute a configurable latency to
+each hop so process-level measurements (Fig. 2) reflect more than pure Python
+call overhead.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Latency characteristics of one directed link, in seconds."""
+
+    base_latency: float
+    jitter: float = 0.0
+    drop_probability: float = 0.0
+
+    def __post_init__(self):
+        if self.base_latency < 0:
+            raise ValueError("base_latency must be non-negative")
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        if not 0.0 <= self.drop_probability <= 1.0:
+            raise ValueError("drop_probability must be within [0, 1]")
+
+
+# Default hop latencies (seconds) loosely modelled on a geo-distributed
+# deployment: consumer device <-> pod server ~40 ms, off-chain oracle <->
+# blockchain node ~80 ms, intra-device TEE call ~1 ms.
+DEFAULT_LINKS: Dict[Tuple[str, str], LinkSpec] = {
+    ("client", "pod"): LinkSpec(0.040, 0.010),
+    ("pod", "client"): LinkSpec(0.040, 0.010),
+    ("oracle", "blockchain"): LinkSpec(0.080, 0.020),
+    ("blockchain", "oracle"): LinkSpec(0.080, 0.020),
+    ("client", "tee"): LinkSpec(0.001, 0.0),
+    ("tee", "client"): LinkSpec(0.001, 0.0),
+    ("pod", "oracle"): LinkSpec(0.010, 0.002),
+    ("oracle", "pod"): LinkSpec(0.010, 0.002),
+    ("tee", "oracle"): LinkSpec(0.010, 0.002),
+    ("oracle", "tee"): LinkSpec(0.010, 0.002),
+}
+
+
+class NetworkModel:
+    """Samples per-hop latencies and accumulates simulated network time.
+
+    The model does not sleep; it returns the sampled latency so callers can
+    either add it to a simulated clock or record it in a metrics histogram.
+    """
+
+    def __init__(self, links: Optional[Dict[Tuple[str, str], LinkSpec]] = None,
+                 seed: Optional[int] = None):
+        self._links = dict(DEFAULT_LINKS if links is None else links)
+        self._rng = random.Random(seed)
+        self.total_latency = 0.0
+        self.hop_count = 0
+        self.dropped = 0
+
+    def set_link(self, source: str, destination: str, spec: LinkSpec) -> None:
+        """Install or replace the latency specification for a directed link."""
+        self._links[(source, destination)] = spec
+
+    def link(self, source: str, destination: str) -> LinkSpec:
+        """Return the link spec, falling back to a symmetric or default link."""
+        key = (source, destination)
+        if key in self._links:
+            return self._links[key]
+        reverse = (destination, source)
+        if reverse in self._links:
+            return self._links[reverse]
+        return LinkSpec(0.050, 0.010)
+
+    def sample(self, source: str, destination: str) -> float:
+        """Sample one traversal of the link; returns the latency in seconds.
+
+        A dropped message is modelled as a retransmission: the latency of the
+        failed attempt is added and the message is retried until delivered.
+        """
+        spec = self.link(source, destination)
+        latency = 0.0
+        while True:
+            attempt = spec.base_latency
+            if spec.jitter:
+                attempt += self._rng.uniform(0, spec.jitter)
+            latency += attempt
+            if spec.drop_probability and self._rng.random() < spec.drop_probability:
+                self.dropped += 1
+                continue
+            break
+        self.total_latency += latency
+        self.hop_count += 1
+        return latency
+
+    def round_trip(self, source: str, destination: str) -> float:
+        """Sample a request/response round trip between two roles."""
+        return self.sample(source, destination) + self.sample(destination, source)
+
+    def reset(self) -> None:
+        """Clear accumulated statistics without touching the link table."""
+        self.total_latency = 0.0
+        self.hop_count = 0
+        self.dropped = 0

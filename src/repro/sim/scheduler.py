@@ -1,0 +1,124 @@
+"""Discrete-event scheduler.
+
+Several architecture behaviours are time-driven: the pod manager starts
+monitoring rounds "via a scheduled job" (Fig. 2.6), the TEE erases expired
+copies, and the consensus layer produces blocks at an interval.  The
+scheduler orders callbacks on a simulated timeline and advances the
+:class:`~repro.common.clock.SimulatedClock` as it executes them.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.common.clock import SimulatedClock
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """A callback scheduled at an absolute simulated time."""
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    interval: Optional[float] = field(compare=False, default=None)
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Prevent the event (and its future repetitions) from firing."""
+        self.cancelled = True
+
+
+class EventScheduler:
+    """Priority-queue scheduler bound to a :class:`SimulatedClock`."""
+
+    def __init__(self, clock: Optional[SimulatedClock] = None):
+        self.clock = clock if clock is not None else SimulatedClock()
+        self._queue: List[ScheduledEvent] = []
+        self._counter = itertools.count()
+        self.executed: List[Tuple[float, str]] = []
+
+    def schedule_at(self, timestamp: float, callback: Callable[[], None], label: str = "") -> ScheduledEvent:
+        """Schedule *callback* at an absolute simulated *timestamp*."""
+        if timestamp < self.clock.now():
+            raise ValueError("cannot schedule an event in the past")
+        event = ScheduledEvent(timestamp, next(self._counter), callback, label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_in(self, delay: float, callback: Callable[[], None], label: str = "") -> ScheduledEvent:
+        """Schedule *callback* after *delay* seconds of simulated time."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.schedule_at(self.clock.now() + delay, callback, label)
+
+    def schedule_every(self, interval: float, callback: Callable[[], None], label: str = "",
+                       start_delay: Optional[float] = None) -> ScheduledEvent:
+        """Schedule a recurring *callback* every *interval* seconds."""
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        delay = interval if start_delay is None else start_delay
+        event = self.schedule_in(delay, callback, label)
+        event.interval = interval
+        return event
+
+    @property
+    def pending(self) -> int:
+        """Number of events still waiting to fire (excluding cancelled ones)."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def run_until(self, timestamp: float) -> int:
+        """Execute every due event up to *timestamp*, advancing the clock.
+
+        Returns the number of callbacks executed.  Recurring events are
+        re-queued with their interval; cancelled events are skipped.
+        """
+        if timestamp < self.clock.now():
+            raise ValueError("cannot run the scheduler backwards")
+        executed = 0
+        while self._queue and self._queue[0].time <= timestamp:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.time > self.clock.now():
+                self.clock.set(event.time)
+            event.callback()
+            executed += 1
+            self.executed.append((event.time, event.label))
+            if event.interval is not None and not event.cancelled:
+                repeat = ScheduledEvent(
+                    event.time + event.interval,
+                    next(self._counter),
+                    event.callback,
+                    event.label,
+                    event.interval,
+                )
+                # Keep returning the same handle semantics: cancelling the
+                # original event also cancels repeats scheduled afterwards.
+                event.time = repeat.time
+                event.sequence = repeat.sequence
+                heapq.heappush(self._queue, event)
+        if timestamp > self.clock.now():
+            self.clock.set(timestamp)
+        return executed
+
+    def run_for(self, duration: float) -> int:
+        """Advance the simulation by *duration* seconds."""
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        return self.run_until(self.clock.now() + duration)
+
+    def run_next(self) -> bool:
+        """Execute only the next pending event; returns False when idle."""
+        while self._queue:
+            event = self._queue[0]
+            if event.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            self.run_until(event.time)
+            return True
+        return False

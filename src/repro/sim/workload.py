@@ -1,0 +1,170 @@
+"""Workload generation for benchmarks and scalability sweeps.
+
+The paper's motivating scenario involves two participants; the benchmark
+harness scales that scenario up to populations of data owners, consumers,
+resources, and policies.  The generator produces deterministic synthetic
+populations from a seed so every benchmark run sweeps identical workloads.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+# Purposes mirror those of the motivating scenario (medical research,
+# academic research, web analytics) plus a few generic market purposes.
+DEFAULT_PURPOSES: Sequence[str] = (
+    "medical-research",
+    "academic-research",
+    "web-analytics",
+    "marketing",
+    "service-improvement",
+    "public-interest",
+)
+
+DEFAULT_RESOURCE_KINDS: Sequence[str] = (
+    "medical-records",
+    "browsing-history",
+    "fitness-tracking",
+    "purchase-history",
+    "location-traces",
+    "social-graph",
+)
+
+
+@dataclass
+class SyntheticParticipant:
+    """A synthetic data owner or consumer."""
+
+    name: str
+    role: str  # "owner" or "consumer"
+    purposes: List[str] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.role not in ("owner", "consumer"):
+            raise ValueError("role must be 'owner' or 'consumer'")
+
+
+@dataclass
+class SyntheticResource:
+    """A synthetic dataset to be traded on the market."""
+
+    name: str
+    owner: str
+    kind: str
+    size_bytes: int
+    allowed_purposes: List[str]
+    retention_seconds: Optional[float]
+    content: bytes = b""
+
+    def __post_init__(self):
+        if self.size_bytes < 0:
+            raise ValueError("size_bytes must be non-negative")
+        if not self.content:
+            # Deterministic filler content proportional to the declared size,
+            # capped so large sweeps stay memory-friendly.
+            payload = f"{self.owner}/{self.name}:{self.kind}".encode("utf-8")
+            repeat = max(1, min(self.size_bytes, 4096) // max(1, len(payload)))
+            self.content = payload * repeat
+
+
+@dataclass
+class WorkloadConfig:
+    """Parameters of a synthetic population."""
+
+    num_owners: int = 2
+    num_consumers: int = 2
+    resources_per_owner: int = 1
+    reads_per_consumer: int = 1
+    resource_size_bytes: int = 4096
+    retention_seconds: Optional[float] = 7 * 24 * 3600.0
+    purposes: Sequence[str] = DEFAULT_PURPOSES
+    resource_kinds: Sequence[str] = DEFAULT_RESOURCE_KINDS
+    seed: int = 7
+
+    def __post_init__(self):
+        if self.num_owners < 0 or self.num_consumers < 0:
+            raise ValueError("population sizes must be non-negative")
+        if self.resources_per_owner < 0 or self.reads_per_consumer < 0:
+            raise ValueError("per-participant counts must be non-negative")
+        if self.resource_size_bytes < 0:
+            raise ValueError("resource_size_bytes must be non-negative")
+
+
+class WorkloadGenerator:
+    """Deterministic generator of participants, resources, and access plans."""
+
+    def __init__(self, config: Optional[WorkloadConfig] = None):
+        self.config = config if config is not None else WorkloadConfig()
+        self._rng = random.Random(self.config.seed)
+
+    def owners(self) -> List[SyntheticParticipant]:
+        """Return the synthetic data owners."""
+        return [
+            SyntheticParticipant(
+                name=f"owner-{index:04d}",
+                role="owner",
+                purposes=list(self.config.purposes),
+            )
+            for index in range(self.config.num_owners)
+        ]
+
+    def consumers(self) -> List[SyntheticParticipant]:
+        """Return the synthetic data consumers, each with a declared purpose."""
+        consumers = []
+        for index in range(self.config.num_consumers):
+            purpose = self._rng.choice(list(self.config.purposes))
+            consumers.append(
+                SyntheticParticipant(
+                    name=f"consumer-{index:04d}",
+                    role="consumer",
+                    purposes=[purpose],
+                )
+            )
+        return consumers
+
+    def resources(self, owners: Optional[Sequence[SyntheticParticipant]] = None) -> List[SyntheticResource]:
+        """Return the synthetic resources each owner publishes to the market."""
+        owners = list(owners) if owners is not None else self.owners()
+        resources: List[SyntheticResource] = []
+        for owner in owners:
+            for index in range(self.config.resources_per_owner):
+                kind = self._rng.choice(list(self.config.resource_kinds))
+                allowed = self._rng.sample(
+                    list(self.config.purposes),
+                    k=min(2, len(self.config.purposes)),
+                )
+                resources.append(
+                    SyntheticResource(
+                        name=f"{owner.name}-resource-{index:03d}",
+                        owner=owner.name,
+                        kind=kind,
+                        size_bytes=self.config.resource_size_bytes,
+                        allowed_purposes=allowed,
+                        retention_seconds=self.config.retention_seconds,
+                    )
+                )
+        return resources
+
+    def access_plan(self, consumers: Optional[Sequence[SyntheticParticipant]] = None,
+                    resources: Optional[Sequence[SyntheticResource]] = None) -> List[tuple]:
+        """Return (consumer, resource) pairs describing who reads what.
+
+        Each consumer performs ``reads_per_consumer`` reads over distinct
+        resources when possible; with fewer resources than reads, resources
+        repeat.
+        """
+        consumers = list(consumers) if consumers is not None else self.consumers()
+        resources = list(resources) if resources is not None else self.resources()
+        plan: List[tuple] = []
+        if not resources:
+            return plan
+        for consumer in consumers:
+            if self.config.reads_per_consumer <= len(resources):
+                chosen = self._rng.sample(resources, k=self.config.reads_per_consumer)
+            else:
+                chosen = [self._rng.choice(resources) for _ in range(self.config.reads_per_consumer)]
+            for resource in chosen:
+                plan.append((consumer, resource))
+        return plan

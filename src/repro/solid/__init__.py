@@ -1,0 +1,35 @@
+"""Solid substrate.
+
+The architecture "extends the Solid protocol, whose main goal is to support
+decentralized data storage and application development" (Section III-A).
+This package reproduces the parts of the Solid ecosystem the paper relies on:
+
+* :mod:`repro.solid.webid` — WebID identities and profile documents;
+* :mod:`repro.solid.pod` — pods as LDP container/resource trees;
+* :mod:`repro.solid.wac` — Web Access Control authorizations and checks;
+* :mod:`repro.solid.pod_manager` — the Pod Manager web application that
+  mediates every retrieval, modification, and control operation on a pod;
+* :mod:`repro.solid.client` — the client used by trusted applications to talk
+  to pod managers.
+"""
+
+from repro.solid.webid import WebID
+from repro.solid.pod import SolidPod, PodResource, ContainerListing
+from repro.solid.wac import AccessMode, Authorization, AclDocument, AgentClass
+from repro.solid.pod_manager import PodManager, AccessReceipt
+from repro.solid.client import SolidClient, SolidResponse
+
+__all__ = [
+    "WebID",
+    "SolidPod",
+    "PodResource",
+    "ContainerListing",
+    "AccessMode",
+    "Authorization",
+    "AclDocument",
+    "AgentClass",
+    "PodManager",
+    "AccessReceipt",
+    "SolidClient",
+    "SolidResponse",
+]

@@ -1,0 +1,73 @@
+"""Solid client.
+
+Trusted applications reach pod managers through this client.  It resolves a
+resource URL to the right pod manager (the architecture may involve many
+owners) and models the request/response exchange the Solid protocol would
+perform over HTTP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.common.errors import AuthorizationError, NotFoundError
+from repro.sim.network import NetworkModel
+from repro.solid.pod_manager import AccessReceipt, PodManager
+
+
+@dataclass
+class SolidResponse:
+    """Outcome of one client request."""
+
+    status: int
+    receipt: Optional[AccessReceipt] = None
+    error: Optional[str] = None
+    network_latency: float = 0.0
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+class SolidClient:
+    """Resolves resource URLs to pod managers and performs reads."""
+
+    def __init__(self, network: Optional[NetworkModel] = None):
+        self._managers: Dict[str, PodManager] = {}
+        self.network = network if network is not None else NetworkModel()
+        self.requests_sent = 0
+
+    def register_pod_manager(self, manager: PodManager) -> None:
+        """Make a pod manager reachable by its base URL."""
+        self._managers[manager.base_url] = manager
+
+    def resolve(self, resource_url: str) -> PodManager:
+        """Find the pod manager serving *resource_url*."""
+        for base_url, manager in self._managers.items():
+            if resource_url.startswith(base_url):
+                return manager
+        raise NotFoundError(f"no registered pod manager serves {resource_url}")
+
+    def get(self, resource_url: str, requester: Optional[str] = None,
+            certificate_id: Optional[str] = None, requester_address: Optional[str] = None,
+            purpose: Optional[str] = None) -> SolidResponse:
+        """Fetch a resource, returning an HTTP-like response object."""
+        self.requests_sent += 1
+        latency = self.network.round_trip("client", "pod")
+        try:
+            manager = self.resolve(resource_url)
+            path = manager.require_pod().path_for(resource_url)
+            receipt = manager.get_resource(
+                path,
+                requester=requester,
+                certificate_id=certificate_id,
+                requester_address=requester_address,
+                purpose=purpose,
+            )
+            return SolidResponse(status=200, receipt=receipt, network_latency=latency)
+        except AuthorizationError as exc:
+            return SolidResponse(status=403, error=str(exc), network_latency=latency)
+        except NotFoundError as exc:
+            return SolidResponse(status=404, error=str(exc), network_latency=latency)

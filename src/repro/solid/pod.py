@@ -1,0 +1,212 @@
+"""Solid pods: LDP container/resource trees.
+
+A pod is the personal online datastore where "users' data are kept" (paper,
+Section I).  It is modelled as a tree of LDP containers holding resources;
+every resource carries a content type, a body (bytes or an RDF graph
+serialized to Turtle), optional descriptive metadata, and a pointer to the
+ACL document governing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.common.clock import Clock, SystemClock
+from repro.common.errors import ConflictError, NotFoundError, ValidationError
+from repro.rdf.graph import Graph
+from repro.rdf.turtle import serialize_turtle
+
+TURTLE = "text/turtle"
+OCTET_STREAM = "application/octet-stream"
+JSON = "application/json"
+
+
+def normalize_path(path: str) -> str:
+    """Normalize a pod-relative path: leading slash, no duplicate slashes."""
+    if not path:
+        raise ValidationError("resource paths must be non-empty")
+    parts = [part for part in path.split("/") if part]
+    normalized = "/" + "/".join(parts)
+    if path.endswith("/") and normalized != "/":
+        normalized += "/"
+    return normalized
+
+
+def parent_container(path: str) -> str:
+    """Return the container path that holds *path*."""
+    normalized = normalize_path(path).rstrip("/")
+    if not normalized:
+        return "/"
+    head, _, _ = normalized.rpartition("/")
+    return head + "/" if head else "/"
+
+
+@dataclass
+class PodResource:
+    """A stored (non-container) resource inside a pod."""
+
+    path: str
+    content: bytes
+    content_type: str = OCTET_STREAM
+    metadata: Dict[str, str] = field(default_factory=dict)
+    created_at: float = 0.0
+    modified_at: float = 0.0
+    acl_path: Optional[str] = None
+
+    @property
+    def size(self) -> int:
+        return len(self.content)
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "contentType": self.content_type,
+            "size": self.size,
+            "metadata": dict(self.metadata),
+            "createdAt": self.created_at,
+            "modifiedAt": self.modified_at,
+            "aclPath": self.acl_path,
+        }
+
+
+@dataclass
+class ContainerListing:
+    """The contents of one container: child containers and resources."""
+
+    path: str
+    containers: List[str] = field(default_factory=list)
+    resources: List[str] = field(default_factory=list)
+
+
+class SolidPod:
+    """A personal online datastore rooted at ``base_url``."""
+
+    def __init__(self, base_url: str, owner_webid: str, clock: Optional[Clock] = None):
+        if not base_url:
+            raise ValidationError("pod base_url must be non-empty")
+        self.base_url = base_url.rstrip("/")
+        self.owner_webid = owner_webid
+        self.clock = clock if clock is not None else SystemClock()
+        self._resources: Dict[str, PodResource] = {}
+        self._containers: Dict[str, List[str]] = {"/": []}
+
+    # -- URLs and paths --------------------------------------------------------
+
+    def url_for(self, path: str) -> str:
+        """Absolute URL of a pod-relative path."""
+        return f"{self.base_url}{normalize_path(path)}"
+
+    def path_for(self, url: str) -> str:
+        """Pod-relative path of an absolute URL belonging to this pod."""
+        if not url.startswith(self.base_url):
+            raise ValidationError(f"{url} does not belong to pod {self.base_url}")
+        remainder = url[len(self.base_url):] or "/"
+        return normalize_path(remainder)
+
+    # -- containers ----------------------------------------------------------------
+
+    def create_container(self, path: str) -> str:
+        """Create a container (and, implicitly, its ancestors)."""
+        normalized = normalize_path(path)
+        if not normalized.endswith("/"):
+            normalized += "/"
+        segments = [segment for segment in normalized.split("/") if segment]
+        current = "/"
+        for segment in segments:
+            child = f"{current}{segment}/"
+            if child not in self._containers:
+                self._containers[child] = []
+                self._containers.setdefault(current, [])
+                if child not in self._containers[current]:
+                    self._containers[current].append(child)
+            current = child
+        return current
+
+    def list_container(self, path: str = "/") -> ContainerListing:
+        """List the direct members of a container."""
+        normalized = normalize_path(path)
+        if not normalized.endswith("/"):
+            normalized += "/"
+        if normalized not in self._containers:
+            raise NotFoundError(f"container {normalized} does not exist in pod {self.base_url}")
+        resources = [
+            resource_path
+            for resource_path in sorted(self._resources)
+            if parent_container(resource_path) == normalized
+        ]
+        return ContainerListing(
+            path=normalized,
+            containers=sorted(self._containers.get(normalized, [])),
+            resources=resources,
+        )
+
+    def has_container(self, path: str) -> bool:
+        normalized = normalize_path(path)
+        if not normalized.endswith("/"):
+            normalized += "/"
+        return normalized in self._containers
+
+    # -- resources ---------------------------------------------------------------------
+
+    def put_resource(self, path: str, content: bytes, content_type: str = OCTET_STREAM,
+                     metadata: Optional[Dict[str, str]] = None, overwrite: bool = True) -> PodResource:
+        """Create or replace a resource at *path*."""
+        normalized = normalize_path(path)
+        if normalized.endswith("/"):
+            raise ValidationError("resource paths must not end with '/'")
+        if not isinstance(content, (bytes, bytearray)):
+            raise ValidationError("resource content must be bytes")
+        if normalized in self._resources and not overwrite:
+            raise ConflictError(f"resource {normalized} already exists")
+        container = parent_container(normalized)
+        self.create_container(container)
+        now = self.clock.now()
+        existing = self._resources.get(normalized)
+        resource = PodResource(
+            path=normalized,
+            content=bytes(content),
+            content_type=content_type,
+            metadata=dict(metadata or {}),
+            created_at=existing.created_at if existing else now,
+            modified_at=now,
+            acl_path=existing.acl_path if existing else None,
+        )
+        self._resources[normalized] = resource
+        return resource
+
+    def put_graph(self, path: str, graph: Graph, metadata: Optional[Dict[str, str]] = None) -> PodResource:
+        """Store an RDF graph as a Turtle resource."""
+        return self.put_resource(
+            path, serialize_turtle(graph).encode("utf-8"), content_type=TURTLE, metadata=metadata
+        )
+
+    def get_resource(self, path: str) -> PodResource:
+        """Return the resource at *path* or raise :class:`NotFoundError`."""
+        normalized = normalize_path(path)
+        if normalized not in self._resources:
+            raise NotFoundError(f"resource {normalized} does not exist in pod {self.base_url}")
+        return self._resources[normalized]
+
+    def has_resource(self, path: str) -> bool:
+        return normalize_path(path) in self._resources
+
+    def delete_resource(self, path: str) -> None:
+        """Delete the resource at *path*."""
+        normalized = normalize_path(path)
+        if normalized not in self._resources:
+            raise NotFoundError(f"resource {normalized} does not exist in pod {self.base_url}")
+        del self._resources[normalized]
+
+    def set_acl_path(self, path: str, acl_path: str) -> None:
+        """Associate a resource with the ACL document stored at *acl_path*."""
+        resource = self.get_resource(path)
+        resource.acl_path = normalize_path(acl_path)
+
+    def resources(self) -> Iterator[PodResource]:
+        """Iterate over every stored resource."""
+        return iter(list(self._resources.values()))
+
+    def total_size(self) -> int:
+        """Total number of bytes stored in the pod."""
+        return sum(resource.size for resource in self._resources.values())

@@ -1,0 +1,268 @@
+"""The Pod Manager.
+
+"The Pod Manager is a web application that allows users to retrieve, modify
+and control data that are stored in a Solid Pod.  Thus, the Pod Manager
+determines whether access can be granted by checking the access control
+policies that are stored locally." (Section III-A)
+
+Beyond plain Solid behaviour, the architecture's pod manager also:
+
+* keeps the usage policy associated with each published resource;
+* verifies the market-fee certificate presented by consumers (Section IV-4);
+* emits events (pod created, resource published, policy updated, monitoring
+  requested) that the blockchain interaction module / push-in oracle turn
+  into transactions towards the DE App.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.common.clock import Clock, SystemClock
+from repro.common.errors import AuthorizationError, NotFoundError, ValidationError
+from repro.policy.model import Policy
+from repro.policy.templates import default_pod_policy
+from repro.solid.pod import OCTET_STREAM, SolidPod, normalize_path, parent_container
+from repro.solid.wac import AccessMode, AclDocument, Authorization
+from repro.solid.webid import WebID
+
+# A certificate verifier receives (certificate_id, consumer_webid_address,
+# resource_id) and returns True when the market recognises the certificate.
+CertificateVerifier = Callable[[str, str, str], bool]
+
+
+@dataclass
+class AccessReceipt:
+    """What a consumer obtains from a successful resource access."""
+
+    resource_url: str
+    content: bytes
+    content_type: str
+    policy: Optional[Policy]
+    owner_webid: str
+    served_at: float
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+
+class PodManager:
+    """Front-end mediating every operation on the pods of one data owner."""
+
+    def __init__(self, owner: WebID, base_url: Optional[str] = None,
+                 clock: Optional[Clock] = None,
+                 certificate_verifier: Optional[CertificateVerifier] = None):
+        self.owner = owner
+        self.clock = clock if clock is not None else SystemClock()
+        self.base_url = (base_url or f"https://{owner.name}.pods.example.org").rstrip("/")
+        self.certificate_verifier = certificate_verifier
+        self.pod: Optional[SolidPod] = None
+        self.acl = AclDocument()
+        self.policies: Dict[str, Policy] = {}
+        self.default_policy: Optional[Policy] = None
+        self._listeners: Dict[str, List[Callable[..., None]]] = {}
+        self.access_log: List[Dict[str, Any]] = []
+
+    # -- event wiring ----------------------------------------------------------
+
+    def on(self, event: str, callback: Callable[..., None]) -> None:
+        """Register a callback for ``pod_created``, ``resource_published``,
+        ``policy_updated``, ``monitoring_requested``, or ``access_served``."""
+        self._listeners.setdefault(event, []).append(callback)
+
+    def _fire(self, event: str, **payload: Any) -> None:
+        for callback in self._listeners.get(event, []):
+            callback(**payload)
+
+    # -- pod initiation (Fig. 2.1) ------------------------------------------------
+
+    def create_pod(self, default_policy: Optional[Policy] = None,
+                   subscribers: Optional[List[str]] = None) -> SolidPod:
+        """Initialize the owner's pod with a default ACL and usage policy."""
+        if self.pod is not None:
+            raise ValidationError(f"pod manager of {self.owner.name} already manages a pod")
+        self.pod = SolidPod(self.base_url, self.owner.iri, clock=self.clock)
+        self.pod.create_container("/data/")
+        self.pod.create_container("/policies/")
+        # The owner holds every access mode over the whole pod.
+        self.acl.add(
+            Authorization(
+                modes={AccessMode.READ, AccessMode.WRITE, AccessMode.CONTROL},
+                agents={self.owner.iri},
+                default_for={"/"},
+            )
+        )
+        self.default_policy = default_policy or default_pod_policy(
+            self.base_url, self.owner.iri, subscribers or [], issued_at=self.clock.now()
+        )
+        self.owner.link_pod(self.base_url)
+        self._fire(
+            "pod_created",
+            pod_url=self.base_url,
+            owner=self.owner,
+            default_policy=self.default_policy,
+        )
+        return self.pod
+
+    def require_pod(self) -> SolidPod:
+        if self.pod is None:
+            raise NotFoundError(f"{self.owner.name} has not initialized a pod yet")
+        return self.pod
+
+    # -- access control ---------------------------------------------------------------
+
+    def grant_access(self, webid: str, modes: List[AccessMode], resource_path: Optional[str] = None,
+                     container_path: Optional[str] = None, requester: Optional[str] = None) -> None:
+        """Add an ACL authorization (only agents with Control may do this)."""
+        actor = requester or self.owner.iri
+        target = resource_path or container_path or "/"
+        self._require_mode(actor, AccessMode.CONTROL, target)
+        self.acl.grant(webid, modes, resource_path=resource_path, container_path=container_path)
+
+    def revoke_access(self, webid: str, requester: Optional[str] = None) -> int:
+        """Remove an agent from every authorization."""
+        actor = requester or self.owner.iri
+        self._require_mode(actor, AccessMode.CONTROL, "/")
+        return self.acl.revoke_agent(webid)
+
+    def can_access(self, webid: Optional[str], mode: AccessMode, path: str) -> bool:
+        normalized = normalize_path(path)
+        return self.acl.allows(webid, mode, normalized, parent_container(normalized))
+
+    def _require_mode(self, webid: Optional[str], mode: AccessMode, path: str) -> None:
+        if not self.can_access(webid, mode, path):
+            raise AuthorizationError(
+                f"{webid or 'anonymous'} lacks {mode.value} access to {path} "
+                f"on pod {self.base_url}"
+            )
+
+    # -- resource initiation (Fig. 2.2) -----------------------------------------------------
+
+    def upload_resource(self, path: str, content: bytes, content_type: str = OCTET_STREAM,
+                        metadata: Optional[Dict[str, str]] = None,
+                        requester: Optional[str] = None) -> str:
+        """Store a resource in the pod (plain Solid write, no market publication)."""
+        pod = self.require_pod()
+        actor = requester or self.owner.iri
+        self._require_mode(actor, AccessMode.WRITE, path)
+        resource = pod.put_resource(path, content, content_type, metadata)
+        return pod.url_for(resource.path)
+
+    def publish_resource(self, path: str, policy: Policy,
+                         metadata: Optional[Dict[str, Any]] = None,
+                         requester: Optional[str] = None) -> str:
+        """Add an already-uploaded resource to the data market (Fig. 2.2).
+
+        The pod manager "first checks that [the owner] is permitted to perform
+        this action", associates the usage policy with the resource, and then
+        notifies the push-in oracle through the ``resource_published`` event.
+        """
+        pod = self.require_pod()
+        actor = requester or self.owner.iri
+        self._require_mode(actor, AccessMode.CONTROL, path)
+        resource = pod.get_resource(path)
+        resource_url = pod.url_for(resource.path)
+        self.policies[normalize_path(path)] = policy
+        self._fire(
+            "resource_published",
+            resource_id=resource_url,
+            pod_url=self.base_url,
+            location=resource_url,
+            owner=self.owner,
+            policy=policy,
+            metadata=metadata or dict(resource.metadata),
+        )
+        return resource_url
+
+    # -- resource access (Fig. 2.4) -----------------------------------------------------------
+
+    def get_resource(self, path: str, requester: Optional[str] = None,
+                     certificate_id: Optional[str] = None,
+                     requester_address: Optional[str] = None,
+                     purpose: Optional[str] = None) -> AccessReceipt:
+        """Serve a resource after checking the ACL and the market certificate."""
+        pod = self.require_pod()
+        normalized = normalize_path(path)
+        resource = pod.get_resource(normalized)
+        resource_url = pod.url_for(normalized)
+        is_owner = requester == self.owner.iri
+
+        self._require_mode(requester, AccessMode.READ, normalized)
+
+        # Published resources additionally require proof of market-fee payment
+        # from anyone who is not the owner (Section IV-4).
+        if not is_owner and normalized in self.policies and self.certificate_verifier is not None:
+            if certificate_id is None:
+                raise AuthorizationError(
+                    f"access to {resource_url} requires a market-fee certificate"
+                )
+            subject = requester_address or requester or ""
+            if not self.certificate_verifier(certificate_id, subject, resource_url):
+                raise AuthorizationError(
+                    f"certificate {certificate_id} is not valid for {resource_url}"
+                )
+
+        receipt = AccessReceipt(
+            resource_url=resource_url,
+            content=resource.content,
+            content_type=resource.content_type,
+            policy=self.policies.get(normalized, self.default_policy),
+            owner_webid=self.owner.iri,
+            served_at=self.clock.now(),
+            metadata=dict(resource.metadata),
+        )
+        self.access_log.append(
+            {
+                "resource": resource_url,
+                "requester": requester,
+                "purpose": purpose,
+                "certificate": certificate_id,
+                "served_at": receipt.served_at,
+            }
+        )
+        self._fire("access_served", receipt=receipt, requester=requester, purpose=purpose)
+        return receipt
+
+    # -- policy modification (Fig. 2.5) ------------------------------------------------------------
+
+    def get_policy(self, path: str) -> Policy:
+        """Return the usage policy currently associated with a resource."""
+        normalized = normalize_path(path)
+        if normalized not in self.policies:
+            raise NotFoundError(f"no usage policy is associated with {normalized}")
+        return self.policies[normalized]
+
+    def update_policy(self, path: str, new_policy: Policy, requester: Optional[str] = None) -> Policy:
+        """Replace a resource's usage policy and propagate it on-chain.
+
+        The pod manager "checks whether [the owner] is granted the permission
+        to change the policy.  If so, it proceeds with the update locally"
+        and then pushes the new policy to the DE App via the push-in oracle.
+        """
+        pod = self.require_pod()
+        normalized = normalize_path(path)
+        actor = requester or self.owner.iri
+        self._require_mode(actor, AccessMode.CONTROL, normalized)
+        if normalized not in self.policies:
+            raise NotFoundError(f"resource {normalized} has not been published")
+        self.policies[normalized] = new_policy
+        self._fire(
+            "policy_updated",
+            resource_id=pod.url_for(normalized),
+            policy=new_policy,
+            owner=self.owner,
+        )
+        return new_policy
+
+    # -- policy monitoring (Fig. 2.6) -----------------------------------------------------------------
+
+    def request_monitoring(self, path: str, requester: Optional[str] = None) -> str:
+        """Start a policy-monitoring round for one of the owner's resources."""
+        pod = self.require_pod()
+        normalized = normalize_path(path)
+        actor = requester or self.owner.iri
+        self._require_mode(actor, AccessMode.CONTROL, normalized)
+        if normalized not in self.policies:
+            raise NotFoundError(f"resource {normalized} has not been published")
+        resource_url = pod.url_for(normalized)
+        self._fire("monitoring_requested", resource_id=resource_url, owner=self.owner)
+        return resource_url

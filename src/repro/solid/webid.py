@@ -1,0 +1,69 @@
+"""WebID identities.
+
+In Solid every agent is identified by a WebID: an IRI that dereferences to an
+RDF profile document.  The reproduction couples a WebID with the blockchain
+key pair the agent uses to sign transactions, because the architecture
+"assume[s] that each off-chain entity has the credentials necessary to sign
+transactions and send data to the Blockchain" (Section III-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.blockchain.crypto import KeyPair
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import FOAF, RDF, SOLID
+from repro.rdf.term import IRI, Literal
+
+
+@dataclass
+class WebID:
+    """An agent identity: WebID IRI, display name, key pair, and profile graph."""
+
+    name: str
+    provider: str = "https://id.example.org"
+    keypair: KeyPair = None  # type: ignore[assignment]
+    pod_url: Optional[str] = None
+    profile: Graph = field(default_factory=Graph)
+
+    def __post_init__(self):
+        if self.keypair is None:
+            self.keypair = KeyPair.from_name(self.name)
+        self._rebuild_profile()
+
+    @property
+    def iri(self) -> str:
+        """The WebID IRI (profile document fragment identifier)."""
+        return f"{self.provider}/{self.name}/profile/card#me"
+
+    @property
+    def address(self) -> str:
+        """The blockchain address derived from the agent's key pair."""
+        return self.keypair.address
+
+    def link_pod(self, pod_url: str) -> None:
+        """Record the agent's pod as its ``solid:storage`` in the profile."""
+        self.pod_url = pod_url
+        self._rebuild_profile()
+
+    def _rebuild_profile(self) -> None:
+        self.profile = Graph(IRI(self.iri))
+        me = IRI(self.iri)
+        self.profile.add(me, RDF.type, FOAF.Person)
+        self.profile.add(me, FOAF.name, Literal(self.name))
+        self.profile.add(me, SOLID.account, Literal(self.address))
+        if self.pod_url:
+            self.profile.add(me, SOLID.storage, IRI(self.pod_url))
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "webid": self.iri,
+            "address": self.address,
+            "podUrl": self.pod_url,
+        }
+
+    def __repr__(self) -> str:
+        return f"WebID({self.iri})"

@@ -1,0 +1,43 @@
+"""Trusted Execution Environment (TEE) substrate.
+
+"A Trusted Execution Environment is composed of hardware and software that
+ensures the protection of sensitive data by providing isolated execution,
+application integrity, and data confidentiality" (Section III-C).  Real SGX /
+TrustZone hardware is unavailable here, so the package simulates the
+behaviourally relevant properties:
+
+* :mod:`repro.tee.enclave` — the enclave with its measurement, sealing key,
+  and the guarantee that stored copies are reachable only through policy
+  enforcement;
+* :mod:`repro.tee.attestation` — remote attestation quotes and their
+  verification against a registry of trusted measurements;
+* :mod:`repro.tee.storage` — the Trusted Data Storage holding sealed copies
+  of retrieved resources together with their usage policies;
+* :mod:`repro.tee.usage_log` — a hash-chained usage log from which the
+  enclave derives signed compliance evidence;
+* :mod:`repro.tee.enforcement` — the enforcement engine applying usage
+  policies to every local access and executing obligations (deletion after
+  expiry, purpose gating);
+* :mod:`repro.tee.trusted_app` — the Trusted Application, i.e. the Solid
+  client running inside the enclave on the consumer's device.
+"""
+
+from repro.tee.enclave import TrustedExecutionEnvironment
+from repro.tee.attestation import AttestationQuote, AttestationVerifier
+from repro.tee.storage import TrustedDataStorage, StoredCopy
+from repro.tee.usage_log import UsageLog, UsageEvent
+from repro.tee.enforcement import EnforcementEngine, EnforcementOutcome
+from repro.tee.trusted_app import TrustedApplication
+
+__all__ = [
+    "TrustedExecutionEnvironment",
+    "AttestationQuote",
+    "AttestationVerifier",
+    "TrustedDataStorage",
+    "StoredCopy",
+    "UsageLog",
+    "UsageEvent",
+    "EnforcementEngine",
+    "EnforcementOutcome",
+    "TrustedApplication",
+]

@@ -1,0 +1,116 @@
+"""Remote attestation.
+
+Before relying on a consumer device's policy enforcement, the architecture
+must know the device really runs a genuine trusted application inside a TEE.
+Attestation quotes bind an enclave *measurement* (a hash of the trusted
+application code), the device identity, and caller-chosen report data under a
+signature from the enclave's attestation key.  A verifier accepts a quote
+only when the measurement appears in its registry of trusted measurements and
+the signature checks out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple
+
+from repro.common.errors import AttestationError
+from repro.common.serialization import canonical_json
+from repro.blockchain.crypto import KeyPair, verify
+
+
+@dataclass(frozen=True)
+class AttestationQuote:
+    """A signed statement about the software running inside an enclave."""
+
+    device_id: str
+    measurement: str
+    report_data: str
+    timestamp: float
+    public_key: Tuple[int, int]
+    signature: Tuple[int, int]
+
+    def signed_payload(self) -> bytes:
+        return canonical_json(
+            {
+                "deviceId": self.device_id,
+                "measurement": self.measurement,
+                "reportData": self.report_data,
+                "timestamp": self.timestamp,
+            }
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "deviceId": self.device_id,
+            "measurement": self.measurement,
+            "reportData": self.report_data,
+            "timestamp": self.timestamp,
+            "publicKey": list(self.public_key),
+            "signature": list(self.signature),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AttestationQuote":
+        return cls(
+            device_id=data["deviceId"],
+            measurement=data["measurement"],
+            report_data=data["reportData"],
+            timestamp=data["timestamp"],
+            public_key=tuple(data["publicKey"]),  # type: ignore[arg-type]
+            signature=tuple(data["signature"]),  # type: ignore[arg-type]
+        )
+
+
+def produce_quote(device_id: str, measurement: str, report_data: str, timestamp: float,
+                  attestation_key: KeyPair) -> AttestationQuote:
+    """Create a quote signed with the enclave's attestation key."""
+    payload = canonical_json(
+        {
+            "deviceId": device_id,
+            "measurement": measurement,
+            "reportData": report_data,
+            "timestamp": timestamp,
+        }
+    )
+    return AttestationQuote(
+        device_id=device_id,
+        measurement=measurement,
+        report_data=report_data,
+        timestamp=timestamp,
+        public_key=attestation_key.public_key,
+        signature=attestation_key.sign(payload),
+    )
+
+
+class AttestationVerifier:
+    """Registry of trusted measurements plus quote verification."""
+
+    def __init__(self, trusted_measurements: Optional[Set[str]] = None, max_quote_age: float = 3600.0):
+        self.trusted_measurements: Set[str] = set(trusted_measurements or set())
+        self.max_quote_age = max_quote_age
+        self.verified_devices: Dict[str, str] = {}
+
+    def trust_measurement(self, measurement: str) -> None:
+        """Add an enclave measurement to the trusted set."""
+        self.trusted_measurements.add(measurement)
+
+    def verify(self, quote: AttestationQuote, now: Optional[float] = None) -> bool:
+        """Verify signature, measurement trust, and (optionally) freshness.
+
+        Raises :class:`AttestationError` describing the first failed check;
+        returns True when the quote is accepted.
+        """
+        if not verify(quote.public_key, quote.signed_payload(), quote.signature):
+            raise AttestationError(f"attestation quote for device {quote.device_id} has a bad signature")
+        if quote.measurement not in self.trusted_measurements:
+            raise AttestationError(
+                f"measurement {quote.measurement[:16]}... of device {quote.device_id} is not trusted"
+            )
+        if now is not None and now - quote.timestamp > self.max_quote_age:
+            raise AttestationError(f"attestation quote for device {quote.device_id} is stale")
+        self.verified_devices[quote.device_id] = quote.measurement
+        return True
+
+    def is_device_verified(self, device_id: str) -> bool:
+        return device_id in self.verified_devices

@@ -1,0 +1,155 @@
+"""The Trusted Execution Environment hosted on a consumer device.
+
+The enclave ties the TEE building blocks together: it derives its
+*measurement* from the trusted-application code identity, owns the sealing
+key protecting the trusted data storage, holds the attestation and
+transaction keys, and exposes the operations the rest of the architecture
+calls — storing retrieved copies, enforcing policies, producing attestation
+quotes, and assembling signed usage evidence for monitoring rounds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, Optional
+
+from repro.common.clock import Clock, SystemClock
+from repro.common.errors import ValidationError
+from repro.common.serialization import canonical_json, stable_hash
+from repro.blockchain.crypto import KeyPair
+from repro.policy.model import Policy
+from repro.tee.attestation import AttestationQuote, produce_quote
+from repro.tee.enforcement import EnforcementEngine, EnforcementOutcome
+from repro.tee.storage import StoredCopy, TrustedDataStorage
+from repro.tee.usage_log import UsageLog
+
+# Identity of the reference trusted application shipped with the
+# architecture; devices running this exact code share the measurement.
+REFERENCE_TRUSTED_APP_CODE = b"repro-usage-control-trusted-application-v1"
+
+
+def measurement_of(code: bytes) -> str:
+    """Compute the enclave measurement (hash of the trusted application code)."""
+    return hashlib.sha256(code).hexdigest()
+
+
+class TrustedExecutionEnvironment:
+    """An isolated execution and storage environment on a consumer device."""
+
+    def __init__(self, device_id: str, owner_identity: str,
+                 clock: Optional[Clock] = None,
+                 trusted_app_code: bytes = REFERENCE_TRUSTED_APP_CODE,
+                 default_purpose: Optional[str] = None):
+        if not device_id:
+            raise ValidationError("device_id must be non-empty")
+        self.device_id = device_id
+        self.owner_identity = owner_identity
+        self.clock = clock if clock is not None else SystemClock()
+        self.measurement = measurement_of(trusted_app_code)
+        # Keys never leave the enclave: one for attestation/evidence signing,
+        # one sealing key for the trusted data storage.
+        self.attestation_key = KeyPair.from_name(f"tee-attestation-{device_id}")
+        sealing_key = hashlib.sha256(f"tee-sealing-{device_id}".encode("utf-8")).digest()
+        self.storage = TrustedDataStorage(sealing_key, clock=self.clock)
+        self.usage_log = UsageLog(device_id, clock=self.clock)
+        self.enforcement = EnforcementEngine(
+            self.storage,
+            self.usage_log,
+            consumer_identity=owner_identity,
+            clock=self.clock,
+            default_purpose=default_purpose,
+        )
+
+    # -- storing retrieved resources ------------------------------------------------
+
+    def store_resource(self, resource_id: str, content: bytes, policy: Policy, owner: str,
+                       metadata: Optional[Dict[str, Any]] = None) -> StoredCopy:
+        """Seal a retrieved resource (and its policy) into the trusted storage."""
+        copy = self.storage.store(resource_id, content, policy, owner, metadata)
+        self.usage_log.record(
+            "store",
+            resource_id,
+            owner=owner,
+            policyVersion=policy.version,
+            size=len(content),
+        )
+        return copy
+
+    # -- attestation -------------------------------------------------------------------
+
+    def attest(self, report_data: str = "") -> AttestationQuote:
+        """Produce an attestation quote binding the measurement and report data."""
+        return produce_quote(
+            device_id=self.device_id,
+            measurement=self.measurement,
+            report_data=report_data,
+            timestamp=self.clock.now(),
+            attestation_key=self.attestation_key,
+        )
+
+    # -- evidence for policy monitoring (Fig. 2.6) -----------------------------------------
+
+    def usage_evidence(self, resource_id: str) -> Dict[str, Any]:
+        """Assemble signed evidence of how the stored copy has been used.
+
+        The evidence bundles the enforcement engine's compliance verdict, the
+        usage-log summary (with its tamper-evident head digest), and an
+        enclave signature over the whole payload, so the DE App and the data
+        owner can check both integrity and origin.
+        """
+        try:
+            compliance = self.enforcement.compliance_state(resource_id)
+        except Exception:
+            # The device never stored the resource: report that explicitly
+            # rather than failing the whole monitoring round.
+            compliance = {
+                "resourceId": resource_id,
+                "compliant": True,
+                "deleted": False,
+                "pendingDuties": [],
+                "accessCount": 0,
+                "policyVersion": None,
+                "elapsedSinceStorage": None,
+                "stored": False,
+            }
+        body = {
+            "deviceId": self.device_id,
+            "resourceId": resource_id,
+            "generatedAt": self.clock.now(),
+            "measurement": self.measurement,
+            "compliance": compliance,
+            "usageSummary": self.usage_log.summary_for(resource_id),
+            "compliant": bool(compliance.get("compliant", False)),
+        }
+        signature = self.attestation_key.sign(canonical_json(body))
+        return {
+            **body,
+            "evidenceId": stable_hash(body),
+            "signature": list(signature),
+            "publicKey": list(self.attestation_key.public_key),
+        }
+
+    # -- periodic housekeeping ----------------------------------------------------------------
+
+    def enforce_policies(self) -> EnforcementOutcome:
+        """Run an enforcement pass over every stored copy (scheduled job)."""
+        return self.enforcement.enforce_obligations()
+
+    def apply_policy_update(self, resource_id: str, policy: Policy) -> EnforcementOutcome:
+        """Apply a policy update pushed from the DE App."""
+        return self.enforcement.apply_policy_update(resource_id, policy)
+
+    # -- introspection -----------------------------------------------------------------------
+
+    def holds_copy(self, resource_id: str) -> bool:
+        return self.storage.has(resource_id)
+
+    def status(self) -> Dict[str, Any]:
+        """Summary of the enclave state, used by examples and diagnostics."""
+        return {
+            "deviceId": self.device_id,
+            "measurement": self.measurement,
+            "storedCopies": len(self.storage),
+            "totalBytes": self.storage.total_size(),
+            "usageEvents": len(self.usage_log),
+        }

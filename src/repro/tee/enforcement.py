@@ -1,0 +1,219 @@
+"""Usage-policy enforcement inside the TEE.
+
+The enforcement engine is what makes the architecture's promise concrete:
+after a consumer has retrieved a copy of a resource, every local use goes
+through :meth:`EnforcementEngine.authorize_use`, obligations are executed by
+:meth:`enforce_obligations` (e.g. "the Trusted Execution Environment
+automatically deletes the resource from the Trusted Data Storage after one
+week has passed, as per the policy"), and policy updates pushed from the
+DE App are applied by :meth:`apply_policy_update`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.clock import Clock, SystemClock
+from repro.common.errors import PolicyViolationError
+from repro.policy.evaluation import Decision, PolicyEngine, UsageContext
+from repro.policy.model import Action, Duty, Policy
+from repro.tee.storage import StoredCopy, TrustedDataStorage
+from repro.tee.usage_log import UsageLog
+
+
+@dataclass
+class EnforcementOutcome:
+    """What happened during one enforcement pass over the stored copies."""
+
+    checked: int = 0
+    deletions: List[str] = field(default_factory=list)
+    violations: List[str] = field(default_factory=list)
+    executed_duties: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "checked": self.checked,
+            "deletions": list(self.deletions),
+            "violations": list(self.violations),
+            "executedDuties": list(self.executed_duties),
+        }
+
+
+class EnforcementEngine:
+    """Applies usage policies to the copies held in a trusted data storage."""
+
+    def __init__(self, storage: TrustedDataStorage, usage_log: UsageLog,
+                 consumer_identity: str, clock: Optional[Clock] = None,
+                 default_purpose: Optional[str] = None):
+        self.storage = storage
+        self.usage_log = usage_log
+        self.consumer_identity = consumer_identity
+        self.clock = clock if clock is not None else SystemClock()
+        self.default_purpose = default_purpose
+        self.engine = PolicyEngine()
+        self.fulfilled_duties: Dict[str, List[str]] = {}
+
+    # -- context construction ----------------------------------------------------
+
+    def context_for(self, copy: StoredCopy, purpose: Optional[str] = None) -> UsageContext:
+        """Build the usage context the policy engine evaluates for *copy*."""
+        now = self.clock.now()
+        return UsageContext(
+            assignee=self.consumer_identity,
+            purpose=purpose or self.default_purpose,
+            now=now,
+            elapsed_since_storage=copy.age(now),
+            access_count=copy.access_count,
+        )
+
+    # -- usage authorization --------------------------------------------------------
+
+    def authorize_use(self, resource_id: str, purpose: Optional[str] = None,
+                      action: Action = Action.USE) -> Decision:
+        """Decide whether the trusted application may use the stored copy now.
+
+        A denied decision is also recorded in the usage log, because refused
+        attempts are part of the evidence the owner may inspect.
+        """
+        copy = self.storage.get(resource_id)
+        if copy.deleted:
+            raise PolicyViolationError(
+                f"the copy of {resource_id} has been deleted and can no longer be used",
+                policy_uid=copy.policy.uid,
+            )
+        context = self.context_for(copy, purpose)
+        decision = self.engine.decide(copy.policy, action, context)
+        self.usage_log.record(
+            "access" if decision.allowed else "denied_access",
+            resource_id,
+            action=action.value,
+            purpose=context.purpose,
+            allowed=decision.allowed,
+            policyVersion=copy.policy.version,
+        )
+        if decision.allowed:
+            copy.access_count += 1
+            copy.last_access_at = self.clock.now()
+        return decision
+
+    def use(self, resource_id: str, purpose: Optional[str] = None) -> bytes:
+        """Authorize and perform a use, returning the content.
+
+        Raises :class:`PolicyViolationError` when the policy denies the use.
+        """
+        decision = self.authorize_use(resource_id, purpose)
+        if not decision.allowed:
+            raise PolicyViolationError(
+                f"usage of {resource_id} denied: {'; '.join(decision.reasons)}",
+                policy_uid=decision.policy_uid,
+            )
+        copy = self.storage.get(resource_id)
+        # Obligations triggered by this very use (e.g. max-access deletion)
+        # are enforced right after the content is returned to the caller.
+        content = copy.content
+        self.enforce_obligations(resource_id)
+        return content
+
+    # -- obligations -------------------------------------------------------------------
+
+    def enforce_obligations(self, resource_id: Optional[str] = None) -> EnforcementOutcome:
+        """Execute every due duty on one copy (or on all copies).
+
+        Currently the duty vocabulary of the reproduction includes deletion
+        (executed by erasing the sealed copy) and notification (recorded in
+        the usage log); unknown duty actions are logged and reported but not
+        executed.
+        """
+        outcome = EnforcementOutcome()
+        copies = (
+            [self.storage.get(resource_id)]
+            if resource_id is not None
+            else list(self.storage.copies(include_deleted=False))
+        )
+        for copy in copies:
+            if copy.deleted:
+                continue
+            outcome.checked += 1
+            context = self.context_for(copy)
+            fulfilled = self.fulfilled_duties.setdefault(copy.resource_id, [])
+            for duty in self.engine.due_obligations(copy.policy, context):
+                if duty.uid in fulfilled:
+                    continue
+                self._execute_duty(copy, duty, outcome)
+                fulfilled.append(duty.uid)
+        return outcome
+
+    def _execute_duty(self, copy: StoredCopy, duty: Duty, outcome: EnforcementOutcome) -> None:
+        if duty.action == Action.DELETE:
+            self.storage.delete(copy.resource_id, reason=f"duty {duty.uid} (retention expired)")
+            self.usage_log.record(
+                "delete",
+                copy.resource_id,
+                dutyUid=duty.uid,
+                policyVersion=copy.policy.version,
+                reason="retention expired",
+            )
+            outcome.deletions.append(copy.resource_id)
+        elif duty.action == Action.NOTIFY:
+            self.usage_log.record("notify", copy.resource_id, dutyUid=duty.uid)
+        else:
+            self.usage_log.record(
+                "unsupported_duty", copy.resource_id, dutyUid=duty.uid, action=duty.action.value
+            )
+        outcome.executed_duties.append(duty.uid)
+
+    # -- policy updates (Fig. 2.5) ----------------------------------------------------------
+
+    def apply_policy_update(self, resource_id: str, new_policy: Policy) -> EnforcementOutcome:
+        """Install an updated policy and immediately execute any newly due duty.
+
+        This is Bob's side of the scenario: when Alice shortens the retention
+        of her browsing data from one month to one week, Bob's TEE applies
+        the change and erases the copy if the new expiry has already lapsed.
+        """
+        if not self.storage.has(resource_id) and resource_id not in self.storage.resource_ids(include_deleted=True):
+            # The device never stored (or already erased and pruned) the copy;
+            # nothing to enforce.
+            return EnforcementOutcome()
+        copy = self.storage.get(resource_id)
+        previous_version = copy.policy.version
+        self.storage.update_policy(resource_id, new_policy)
+        # Duties of the previous policy version no longer bind the copy.
+        self.fulfilled_duties[resource_id] = []
+        self.usage_log.record(
+            "policy_update",
+            resource_id,
+            previousVersion=previous_version,
+            newVersion=new_policy.version,
+        )
+        if copy.deleted:
+            return EnforcementOutcome(checked=1)
+        return self.enforce_obligations(resource_id)
+
+    # -- compliance ------------------------------------------------------------------------
+
+    def compliance_state(self, resource_id: str) -> Dict[str, object]:
+        """Evaluate whether the copy currently complies with its policy."""
+        copy = self.storage.get(resource_id)
+        context = self.context_for(copy)
+        fulfilled = list(self.fulfilled_duties.get(resource_id, []))
+        if copy.deleted:
+            compliant = True
+            pending = []
+        else:
+            pending = [
+                duty.uid
+                for duty in self.engine.due_obligations(copy.policy, context)
+                if duty.uid not in fulfilled
+            ]
+            compliant = not pending
+        return {
+            "resourceId": resource_id,
+            "compliant": compliant,
+            "deleted": copy.deleted,
+            "pendingDuties": pending,
+            "accessCount": copy.access_count,
+            "policyVersion": copy.policy.version,
+            "elapsedSinceStorage": copy.age(self.clock.now()),
+        }

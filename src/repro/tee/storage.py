@@ -1,0 +1,157 @@
+"""Trusted Data Storage.
+
+"A copy of the requested data is stored locally and managed by the Trusted
+Execution Environment through the Trusted Data Storage.  Local access to the
+Trusted Data Storage is controlled by the Trusted Execution Environment
+according to the Usage Policy." (Section III-C)
+
+Each stored copy is *sealed*: the content is kept together with an integrity
+MAC derived from the enclave's sealing key, so tampering with the stored
+bytes outside the enclave is detected on the next read.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.common.clock import Clock, SystemClock
+from repro.common.errors import IntegrityError, NotFoundError, ValidationError
+from repro.policy.model import Policy
+
+
+@dataclass
+class StoredCopy:
+    """One resource copy held inside the trusted data storage."""
+
+    resource_id: str
+    content: bytes
+    mac: str
+    policy: Policy
+    owner: str
+    stored_at: float
+    access_count: int = 0
+    last_access_at: Optional[float] = None
+    deleted: bool = False
+    deleted_at: Optional[float] = None
+    deletion_reason: Optional[str] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        return 0 if self.deleted else len(self.content)
+
+    def age(self, now: float) -> float:
+        """Seconds elapsed since the copy was stored."""
+        return max(0.0, now - self.stored_at)
+
+
+class TrustedDataStorage:
+    """Sealed storage for resource copies and their usage policies."""
+
+    def __init__(self, sealing_key: bytes, clock: Optional[Clock] = None):
+        if not sealing_key:
+            raise ValidationError("sealing key must be non-empty")
+        self._sealing_key = sealing_key
+        self.clock = clock if clock is not None else SystemClock()
+        self._copies: Dict[str, StoredCopy] = {}
+
+    # -- sealing ------------------------------------------------------------------
+
+    def _seal(self, resource_id: str, content: bytes) -> str:
+        return hmac.new(self._sealing_key, resource_id.encode("utf-8") + content, hashlib.sha256).hexdigest()
+
+    def _check_seal(self, copy: StoredCopy) -> None:
+        expected = self._seal(copy.resource_id, copy.content)
+        if not hmac.compare_digest(expected, copy.mac):
+            raise IntegrityError(
+                f"sealed copy of {copy.resource_id} failed its integrity check; "
+                "the trusted data storage has been tampered with"
+            )
+
+    # -- storage operations ----------------------------------------------------------
+
+    def store(self, resource_id: str, content: bytes, policy: Policy, owner: str,
+              metadata: Optional[Dict[str, object]] = None) -> StoredCopy:
+        """Seal and store a copy of a retrieved resource with its policy."""
+        if not resource_id:
+            raise ValidationError("resource_id must be non-empty")
+        if not isinstance(content, (bytes, bytearray)):
+            raise ValidationError("stored content must be bytes")
+        copy = StoredCopy(
+            resource_id=resource_id,
+            content=bytes(content),
+            mac=self._seal(resource_id, bytes(content)),
+            policy=policy,
+            owner=owner,
+            stored_at=self.clock.now(),
+            metadata=dict(metadata or {}),
+        )
+        self._copies[resource_id] = copy
+        return copy
+
+    def get(self, resource_id: str) -> StoredCopy:
+        """Return the stored copy (even if logically deleted) after a seal check."""
+        if resource_id not in self._copies:
+            raise NotFoundError(f"no stored copy of {resource_id}")
+        copy = self._copies[resource_id]
+        if not copy.deleted:
+            self._check_seal(copy)
+        return copy
+
+    def has(self, resource_id: str) -> bool:
+        """Return True when a live (non-deleted) copy of the resource exists."""
+        copy = self._copies.get(resource_id)
+        return copy is not None and not copy.deleted
+
+    def read(self, resource_id: str) -> bytes:
+        """Return the content of a live copy, bumping its access counter."""
+        copy = self.get(resource_id)
+        if copy.deleted:
+            raise NotFoundError(f"the copy of {resource_id} has been deleted")
+        copy.access_count += 1
+        copy.last_access_at = self.clock.now()
+        return copy.content
+
+    def update_policy(self, resource_id: str, policy: Policy) -> StoredCopy:
+        """Replace the policy attached to a stored copy (Fig. 2.5 propagation)."""
+        copy = self.get(resource_id)
+        copy.policy = policy
+        return copy
+
+    def delete(self, resource_id: str, reason: str = "owner request") -> StoredCopy:
+        """Erase the content of a stored copy (the enforcement of a delete duty).
+
+        The record itself is retained with ``deleted=True`` so the usage log
+        and compliance evidence can prove *when* and *why* the copy was
+        erased.
+        """
+        copy = self.get(resource_id)
+        if copy.deleted:
+            return copy
+        copy.content = b""
+        copy.mac = self._seal(resource_id, b"")
+        copy.deleted = True
+        copy.deleted_at = self.clock.now()
+        copy.deletion_reason = reason
+        return copy
+
+    # -- enumeration -------------------------------------------------------------------
+
+    def copies(self, include_deleted: bool = False) -> Iterator[StoredCopy]:
+        for copy in list(self._copies.values()):
+            if copy.deleted and not include_deleted:
+                continue
+            yield copy
+
+    def resource_ids(self, include_deleted: bool = False) -> List[str]:
+        return [copy.resource_id for copy in self.copies(include_deleted=include_deleted)]
+
+    def total_size(self) -> int:
+        """Bytes currently held by live copies."""
+        return sum(copy.size for copy in self.copies())
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.copies())

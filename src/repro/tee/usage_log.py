@@ -1,0 +1,139 @@
+"""Hash-chained usage log.
+
+"The Trusted Execution Environment logs resource usage, too.  This feature
+facilitates policy monitoring whereby the Blockchain regularly interacts with
+the Trusted Execution Environment in order to ensure that usage policies are
+being adhered to." (Section III-C)
+
+Every event is chained to its predecessor by hash, so a device cannot
+silently rewrite its usage history between monitoring rounds; evidence
+reports include the chain head, and verification replays the chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.common.clock import Clock, SystemClock
+from repro.common.errors import IntegrityError
+from repro.common.serialization import stable_hash
+
+GENESIS_DIGEST = "0" * 64
+
+
+@dataclass
+class UsageEvent:
+    """One entry of the usage log."""
+
+    sequence: int
+    timestamp: float
+    kind: str                      # "store", "access", "delete", "policy_update", ...
+    resource_id: str
+    details: Dict[str, Any] = field(default_factory=dict)
+    previous_digest: str = GENESIS_DIGEST
+    digest: str = ""
+
+    def compute_digest(self) -> str:
+        return stable_hash(
+            {
+                "sequence": self.sequence,
+                "timestamp": self.timestamp,
+                "kind": self.kind,
+                "resourceId": self.resource_id,
+                "details": self.details,
+                "previousDigest": self.previous_digest,
+            }
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "sequence": self.sequence,
+            "timestamp": self.timestamp,
+            "kind": self.kind,
+            "resourceId": self.resource_id,
+            "details": self.details,
+            "previousDigest": self.previous_digest,
+            "digest": self.digest,
+        }
+
+
+class UsageLog:
+    """Append-only, hash-chained record of every usage-relevant event."""
+
+    def __init__(self, device_id: str, clock: Optional[Clock] = None):
+        self.device_id = device_id
+        self.clock = clock if clock is not None else SystemClock()
+        self._events: List[UsageEvent] = []
+
+    def record(self, kind: str, resource_id: str, **details: Any) -> UsageEvent:
+        """Append an event, chaining it to the current head."""
+        previous_digest = self._events[-1].digest if self._events else GENESIS_DIGEST
+        event = UsageEvent(
+            sequence=len(self._events),
+            timestamp=self.clock.now(),
+            kind=kind,
+            resource_id=resource_id,
+            details=dict(details),
+            previous_digest=previous_digest,
+        )
+        event.digest = event.compute_digest()
+        self._events.append(event)
+        return event
+
+    # -- queries -----------------------------------------------------------------
+
+    def events(self, resource_id: Optional[str] = None, kind: Optional[str] = None) -> List[UsageEvent]:
+        """Return events, optionally filtered by resource and/or kind."""
+        selected = []
+        for event in self._events:
+            if resource_id is not None and event.resource_id != resource_id:
+                continue
+            if kind is not None and event.kind != kind:
+                continue
+            selected.append(event)
+        return selected
+
+    def __iter__(self) -> Iterator[UsageEvent]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def head_digest(self) -> str:
+        """Digest of the latest event (the value committed in evidence reports)."""
+        return self._events[-1].digest if self._events else GENESIS_DIGEST
+
+    def verify_chain(self) -> bool:
+        """Recompute every digest and link; raises on the first inconsistency."""
+        previous = GENESIS_DIGEST
+        for index, event in enumerate(self._events):
+            if event.sequence != index:
+                raise IntegrityError(f"usage log sequence broken at index {index}")
+            if event.previous_digest != previous:
+                raise IntegrityError(f"usage log chain broken at sequence {index}")
+            if event.digest != event.compute_digest():
+                raise IntegrityError(f"usage log digest mismatch at sequence {index}")
+            previous = event.digest
+        return True
+
+    def access_count(self, resource_id: str) -> int:
+        """Number of recorded accesses to *resource_id*."""
+        return len(self.events(resource_id=resource_id, kind="access"))
+
+    def summary_for(self, resource_id: str) -> Dict[str, Any]:
+        """Aggregate view of one resource's usage, used in evidence reports."""
+        events = self.events(resource_id=resource_id)
+        kinds: Dict[str, int] = {}
+        for event in events:
+            kinds[event.kind] = kinds.get(event.kind, 0) + 1
+        return {
+            "resourceId": resource_id,
+            "deviceId": self.device_id,
+            "events": len(events),
+            "byKind": kinds,
+            "firstEventAt": events[0].timestamp if events else None,
+            "lastEventAt": events[-1].timestamp if events else None,
+            "headDigest": self.head_digest,
+        }

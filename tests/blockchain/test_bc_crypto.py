@@ -1,0 +1,84 @@
+"""Tests for hashing, Merkle trees, and ECDSA signatures."""
+
+import pytest
+
+from repro.common.errors import SignatureError, ValidationError
+from repro.blockchain.crypto import (
+    KeyPair,
+    address_from_public_key,
+    merkle_proof,
+    merkle_root,
+    sha256_hex,
+    sign,
+    verify,
+    verify_merkle_proof,
+)
+
+
+def test_sha256_hex_known_vector():
+    assert sha256_hex(b"") == "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+
+
+def test_merkle_root_is_deterministic_and_order_sensitive():
+    leaves = [b"a", b"b", b"c"]
+    assert merkle_root(leaves) == merkle_root(leaves)
+    assert merkle_root(leaves) != merkle_root([b"c", b"b", b"a"])
+    assert merkle_root([]) == sha256_hex(b"")
+
+
+def test_merkle_proof_verifies_membership():
+    leaves = [b"tx-%d" % i for i in range(7)]
+    root = merkle_root(leaves)
+    for index, leaf in enumerate(leaves):
+        path = merkle_proof(leaves, index)
+        assert verify_merkle_proof(leaf, path, root)
+    assert not verify_merkle_proof(b"forged", merkle_proof(leaves, 0), root)
+
+
+def test_merkle_proof_rejects_bad_index():
+    with pytest.raises(ValidationError):
+        merkle_proof([b"a"], 3)
+
+
+def test_keypair_generation_is_deterministic_from_seed():
+    first = KeyPair.from_name("alice")
+    second = KeyPair.from_name("alice")
+    other = KeyPair.from_name("bob")
+    assert first.private_key == second.private_key
+    assert first.address == second.address
+    assert first.address != other.address
+    assert first.address.startswith("0x") and len(first.address) == 42
+
+
+def test_sign_and_verify_round_trip():
+    keypair = KeyPair.from_name("signer")
+    message = b"record resource location"
+    signature = keypair.sign(message)
+    assert keypair.verify(message, signature)
+    assert verify(keypair.public_key, message, signature)
+
+
+def test_signature_fails_for_tampered_message_or_wrong_key():
+    keypair = KeyPair.from_name("signer")
+    intruder = KeyPair.from_name("intruder")
+    signature = keypair.sign(b"original")
+    assert not keypair.verify(b"tampered", signature)
+    assert not intruder.verify(b"original", signature)
+    assert not verify(keypair.public_key, b"original", (0, 0))
+    assert not verify(keypair.public_key, b"original", None)  # type: ignore[arg-type]
+
+
+def test_signatures_are_deterministic():
+    keypair = KeyPair.from_name("signer")
+    assert keypair.sign(b"msg") == keypair.sign(b"msg")
+    assert keypair.sign(b"msg") != keypair.sign(b"other")
+
+
+def test_sign_rejects_out_of_range_private_key():
+    with pytest.raises(SignatureError):
+        sign(0, b"msg")
+
+
+def test_address_derivation_matches_keypair():
+    keypair = KeyPair.from_name("addr")
+    assert address_from_public_key(keypair.public_key) == keypair.address

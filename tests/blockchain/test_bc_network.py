@@ -1,0 +1,86 @@
+"""Tests for the multi-validator network simulation (robustness, Section V-2)."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.blockchain.crypto import KeyPair
+from repro.blockchain.network import BlockchainNetwork
+from repro.blockchain.transaction import Transaction
+
+
+def funded_network(num_validators=4) -> BlockchainNetwork:
+    sender = KeyPair.from_name("net-sender")
+    network = BlockchainNetwork(
+        num_validators=num_validators,
+        block_interval=5.0,
+        genesis_balances={sender.address: 10**9},
+    )
+    network._test_sender = sender  # type: ignore[attr-defined]
+    return network
+
+
+def transfer(network: BlockchainNetwork, nonce: int) -> Transaction:
+    sender: KeyPair = network._test_sender  # type: ignore[attr-defined]
+    recipient = KeyPair.from_name("net-recipient")
+    tx = Transaction(sender=sender.address, to=recipient.address, data={}, value=10, nonce=nonce)
+    return tx.sign(sender)
+
+
+def test_all_replicas_stay_consistent():
+    network = funded_network()
+    network.broadcast_transaction(transfer(network, 0))
+    network.produce_blocks(4)
+    heights = set(network.heights().values())
+    assert heights == {4}
+    assert network.consistent()
+
+
+def test_failed_validator_slots_are_skipped_but_chain_progresses():
+    network = funded_network(num_validators=4)
+    network.fail_validator(1)
+    produced = network.produce_blocks(8)
+    assert network.skipped_slots == 2
+    assert len(produced) == 6
+    assert network.is_available
+    assert network.consistent()
+
+
+def test_network_halts_only_when_every_validator_is_down():
+    network = funded_network(num_validators=2)
+    network.fail_validator(0)
+    network.fail_validator(1)
+    assert not network.is_available
+    assert network.produce_next_block() is None
+
+
+def test_recovered_validator_resyncs_to_reference_chain():
+    network = funded_network(num_validators=3)
+    network.produce_blocks(3)
+    network.fail_validator(2)
+    network.broadcast_transaction(transfer(network, 0))
+    network.produce_blocks(3)
+    lagging_height = network.validators[2].chain.height
+    network.recover_validator(2)
+    assert network.validators[2].chain.height > lagging_height
+    assert network.consistent()
+
+
+def test_transactions_survive_skipped_slots():
+    network = funded_network(num_validators=3)
+    network.fail_validator(0)
+    network.broadcast_transaction(transfer(network, 0))
+    blocks = network.produce_blocks(3)  # slot 1 skipped, later slots include the tx
+    included = [tx for block in blocks for tx in block.transactions]
+    assert len(included) == 1
+
+
+def test_network_requires_at_least_one_validator():
+    with pytest.raises(ValidationError):
+        BlockchainNetwork(num_validators=0)
+
+
+def test_clock_advances_with_block_interval():
+    network = funded_network(num_validators=2)
+    start = network.clock.now()
+    network.produce_blocks(4)
+    assert network.clock.now() == pytest.approx(start + 4 * 5.0)

@@ -1,0 +1,126 @@
+"""Tests for accounts, world state, and gas metering."""
+
+import pytest
+
+from repro.common.errors import InsufficientFundsError, NotFoundError, OutOfGasError, ValidationError
+from repro.blockchain.account import Account
+from repro.blockchain.gas import GasMeter, GasSchedule
+from repro.blockchain.state import WorldState
+
+
+def test_account_validation_and_funds_handling():
+    account = Account(address="0x" + "11" * 20, balance=100)
+    account.credit(50)
+    account.debit(120)
+    assert account.balance == 30
+    with pytest.raises(InsufficientFundsError):
+        account.debit(1000)
+    with pytest.raises(ValidationError):
+        Account(address="not-hex")
+    with pytest.raises(ValidationError):
+        Account(address="0xabc", balance=-1)
+
+
+def test_account_nonce_increments():
+    account = Account(address="0x" + "22" * 20)
+    assert account.bump_nonce() == 1
+    assert account.bump_nonce() == 2
+
+
+def test_world_state_account_lifecycle():
+    state = WorldState()
+    address = "0x" + "33" * 20
+    state.create_account(address, balance=10)
+    with pytest.raises(ValidationError):
+        state.create_account(address)
+    assert state.balance_of(address) == 10
+    assert state.balance_of("0x" + "44" * 20) == 0
+    with pytest.raises(NotFoundError):
+        state.get_account("0x" + "44" * 20)
+
+
+def test_world_state_transfer():
+    state = WorldState()
+    alice = "0x" + "aa" * 20
+    bob = "0x" + "bb" * 20
+    state.create_account(alice, balance=100)
+    state.transfer(alice, bob, 40)
+    assert state.balance_of(alice) == 60
+    assert state.balance_of(bob) == 40
+    with pytest.raises(InsufficientFundsError):
+        state.transfer(alice, bob, 1000)
+
+
+def test_contract_storage_requires_contract_account():
+    state = WorldState()
+    contract = "0x" + "cc" * 20
+    eoa = "0x" + "dd" * 20
+    state.create_account(contract, contract_class="DistExchangeApp")
+    state.create_account(eoa)
+    assert state.storage_write(contract, "key", {"v": 1}) is True
+    assert state.storage_write(contract, "key", {"v": 2}) is False
+    assert state.storage_read(contract, "key") == {"v": 2}
+    assert state.storage_delete(contract, "key") is True
+    assert state.storage_delete(contract, "key") is False
+    with pytest.raises(ValidationError):
+        state.storage_of(eoa)
+
+
+def test_snapshot_and_restore_roll_back_everything():
+    state = WorldState()
+    contract = "0x" + "ee" * 20
+    state.create_account(contract, balance=5, contract_class="DataMarket")
+    state.storage_write(contract, "count", 1)
+    snapshot = state.snapshot()
+    state.storage_write(contract, "count", 99)
+    state.get_account(contract).credit(100)
+    state.restore(snapshot)
+    assert state.storage_read(contract, "count") == 1
+    assert state.balance_of(contract) == 5
+
+
+def test_state_root_changes_with_state():
+    state = WorldState()
+    root_empty = state.state_root()
+    state.create_account("0x" + "ff" * 20, balance=1)
+    assert state.state_root() != root_empty
+
+
+def test_gas_meter_charges_and_limits():
+    meter = GasMeter(gas_limit=30_000)
+    meter.charge(21_000, "intrinsic")
+    assert meter.gas_remaining == 9_000
+    with pytest.raises(OutOfGasError):
+        meter.charge(20_000)
+
+
+def test_gas_meter_storage_costs_differ_for_new_and_updated_slots():
+    schedule = GasSchedule()
+    meter = GasMeter(gas_limit=100_000, schedule=schedule)
+    meter.charge_storage_write(is_new_slot=True)
+    new_cost = meter.gas_used
+    meter.charge_storage_write(is_new_slot=False)
+    assert new_cost == schedule.storage_set
+    assert meter.gas_used == schedule.storage_set + schedule.storage_update
+
+
+def test_gas_refund_is_capped():
+    meter = GasMeter(gas_limit=1_000_000)
+    meter.charge(100_000)
+    meter.refund = 50_000
+    assert meter.finalize() == 100_000 - 20_000  # refund capped at one fifth
+
+
+def test_intrinsic_gas_includes_data_and_creation():
+    schedule = GasSchedule()
+    assert schedule.intrinsic_gas(0, False) == schedule.tx_base
+    assert schedule.intrinsic_gas(10, False) == schedule.tx_base + 10 * schedule.tx_data_per_byte
+    assert schedule.intrinsic_gas(0, True) == schedule.tx_base + schedule.contract_creation
+
+
+def test_gas_meter_rejects_invalid_inputs():
+    with pytest.raises(ValidationError):
+        GasMeter(gas_limit=0)
+    meter = GasMeter(gas_limit=10)
+    with pytest.raises(ValidationError):
+        meter.charge(-5)

@@ -1,0 +1,174 @@
+"""Tests for transactions, receipts, blocks, and consensus validation."""
+
+import pytest
+
+from repro.common.errors import IntegrityError, SignatureError, ValidationError
+from repro.blockchain.block import Block, BlockHeader
+from repro.blockchain.consensus import ProofOfAuthority
+from repro.blockchain.crypto import KeyPair
+from repro.blockchain.transaction import LogEntry, Receipt, Transaction
+
+SENDER = KeyPair.from_name("tx-sender")
+VALIDATOR = KeyPair.from_name("poa-validator")
+OTHER_VALIDATOR = KeyPair.from_name("poa-validator-2")
+
+
+def signed_transaction(nonce: int = 0) -> Transaction:
+    tx = Transaction(sender=SENDER.address, to=None, data={"contract_class": "X"}, nonce=nonce)
+    return tx.sign(SENDER)
+
+
+def test_transaction_signature_round_trip():
+    tx = signed_transaction()
+    assert tx.verify_signature()
+
+
+def test_transaction_signature_fails_after_tampering():
+    tx = signed_transaction()
+    tx.value = 999
+    assert not tx.verify_signature()
+
+
+def test_transaction_rejects_signing_with_wrong_key():
+    tx = Transaction(sender=SENDER.address, to=None)
+    with pytest.raises(SignatureError):
+        tx.sign(VALIDATOR)
+
+
+def test_transaction_hash_covers_signature():
+    unsigned = Transaction(sender=SENDER.address, to=None, data={"contract_class": "X"})
+    before = unsigned.hash
+    unsigned.sign(SENDER)
+    assert unsigned.hash != before
+
+
+def test_transaction_field_validation():
+    with pytest.raises(ValidationError):
+        Transaction(sender=SENDER.address, to=None, value=-1)
+    with pytest.raises(ValidationError):
+        Transaction(sender=SENDER.address, to=None, gas_limit=0)
+    with pytest.raises(ValidationError):
+        Transaction(sender=SENDER.address, to=None, nonce=-1)
+
+
+def test_transaction_and_receipt_dict_round_trip():
+    tx = signed_transaction()
+    restored = Transaction.from_dict(tx.to_dict())
+    assert restored.hash == tx.hash
+    assert restored.verify_signature()
+
+    receipt = Receipt(
+        transaction_hash=tx.hash,
+        status=True,
+        gas_used=30_000,
+        logs=[LogEntry(address="0xabc", event="PodRegistered", data={"pod_url": "https://pod"})],
+        return_value={"ok": True},
+    )
+    restored_receipt = Receipt.from_dict(receipt.to_dict())
+    assert restored_receipt.gas_used == 30_000
+    assert restored_receipt.logs[0].event == "PodRegistered"
+
+
+def make_block(transactions, parent: BlockHeader, proposer: KeyPair) -> Block:
+    receipts = [Receipt(transaction_hash=tx.hash, status=True, gas_used=21_000) for tx in transactions]
+    header = BlockHeader(
+        number=parent.number + 1,
+        parent_hash=parent.hash,
+        timestamp=parent.timestamp + 5,
+        transactions_root=Block.compute_transactions_root(transactions),
+        receipts_root=Block.compute_receipts_root(receipts),
+        state_root="s" * 64,
+        proposer=proposer.address,
+        gas_used=21_000 * len(transactions),
+    )
+    return Block(header=header, transactions=transactions, receipts=receipts)
+
+
+def genesis_header() -> BlockHeader:
+    return BlockHeader(
+        number=0,
+        parent_hash="0x" + "00" * 32,
+        timestamp=0.0,
+        transactions_root=Block.compute_transactions_root([]),
+        receipts_root=Block.compute_receipts_root([]),
+        state_root="s" * 64,
+        proposer=VALIDATOR.address,
+    )
+
+
+def test_block_root_verification_detects_tampering():
+    consensus = ProofOfAuthority(validators=[VALIDATOR.address])
+    block = make_block([signed_transaction()], genesis_header(), VALIDATOR)
+    consensus.seal(block, VALIDATOR)
+    block.verify_roots()
+    block.transactions[0].value = 12345  # tamper after sealing
+    with pytest.raises(IntegrityError):
+        block.verify_roots()
+
+
+def test_seal_verification_detects_wrong_key():
+    consensus = ProofOfAuthority(validators=[VALIDATOR.address, OTHER_VALIDATOR.address])
+    block = make_block([], genesis_header(), VALIDATOR)
+    consensus.seal(block, VALIDATOR)
+    block.verify_seal()
+    block.proposer_public_key = OTHER_VALIDATOR.public_key
+    with pytest.raises(IntegrityError):
+        block.verify_seal()
+
+
+def test_unsealed_block_fails_verification():
+    block = make_block([], genesis_header(), VALIDATOR)
+    with pytest.raises(IntegrityError):
+        block.verify_seal()
+
+
+def test_poa_round_robin_proposer_schedule():
+    consensus = ProofOfAuthority(validators=["0xaa", "0xbb", "0xcc"])
+    assert consensus.expected_proposer(1) == "0xaa"
+    assert consensus.expected_proposer(2) == "0xbb"
+    assert consensus.expected_proposer(3) == "0xcc"
+    assert consensus.expected_proposer(4) == "0xaa"
+    assert consensus.fault_tolerance() == 1
+    with pytest.raises(ValidationError):
+        consensus.expected_proposer(0)
+
+
+def test_poa_validator_set_validation():
+    with pytest.raises(ValidationError):
+        ProofOfAuthority(validators=[])
+    with pytest.raises(ValidationError):
+        ProofOfAuthority(validators=["0xaa", "0xaa"])
+    with pytest.raises(ValidationError):
+        ProofOfAuthority(validators=["0xaa"], block_interval=0)
+
+
+def test_poa_header_validation_rules():
+    consensus = ProofOfAuthority(validators=[VALIDATOR.address])
+    parent = genesis_header()
+    good = make_block([], parent, VALIDATOR)
+    consensus.validate_header(good.header, parent)
+
+    wrong_number = make_block([], parent, VALIDATOR)
+    wrong_number.header.number = 5
+    with pytest.raises(IntegrityError):
+        consensus.validate_header(wrong_number.header, parent)
+
+    wrong_parent = make_block([], parent, VALIDATOR)
+    wrong_parent.header.parent_hash = "deadbeef"
+    with pytest.raises(IntegrityError):
+        consensus.validate_header(wrong_parent.header, parent)
+
+    early = make_block([], parent, VALIDATOR)
+    early.header.timestamp = parent.timestamp - 10
+    with pytest.raises(IntegrityError):
+        consensus.validate_header(early.header, parent)
+
+
+def test_block_dict_round_trip():
+    consensus = ProofOfAuthority(validators=[VALIDATOR.address])
+    block = make_block([signed_transaction()], genesis_header(), VALIDATOR)
+    consensus.seal(block, VALIDATOR)
+    restored = Block.from_dict(block.to_dict())
+    assert restored.hash == block.hash
+    restored.verify_roots()
+    restored.verify_seal()

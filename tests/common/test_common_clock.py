@@ -1,0 +1,54 @@
+"""Tests for the clock abstractions."""
+
+import time
+
+import pytest
+
+from repro.common.clock import DAY, HOUR, MINUTE, MONTH, WEEK, SimulatedClock, SystemClock
+
+
+def test_system_clock_tracks_wall_time():
+    clock = SystemClock()
+    before = time.time()
+    observed = clock.now()
+    after = time.time()
+    assert before <= observed <= after
+
+
+def test_simulated_clock_starts_at_given_time():
+    clock = SimulatedClock(start=100.0)
+    assert clock.now() == 100.0
+    assert clock.now_int() == 100
+
+
+def test_simulated_clock_advances():
+    clock = SimulatedClock()
+    clock.advance(10.5)
+    clock.advance(4.5)
+    assert clock.now() == 15.0
+
+
+def test_simulated_clock_rejects_backwards_motion():
+    clock = SimulatedClock(start=50.0)
+    with pytest.raises(ValueError):
+        clock.advance(-1)
+    with pytest.raises(ValueError):
+        clock.set(10.0)
+
+
+def test_simulated_clock_set_moves_forward():
+    clock = SimulatedClock(start=5.0)
+    clock.set(42.0)
+    assert clock.now() == 42.0
+
+
+def test_simulated_clock_rejects_negative_start():
+    with pytest.raises(ValueError):
+        SimulatedClock(start=-1.0)
+
+
+def test_duration_constants_are_consistent():
+    assert HOUR == 60 * MINUTE
+    assert DAY == 24 * HOUR
+    assert WEEK == 7 * DAY
+    assert MONTH == 30 * DAY

@@ -1,0 +1,57 @@
+"""Tests for the shared error hierarchy."""
+
+import pytest
+
+from repro.common.errors import (
+    AttestationError,
+    AuthorizationError,
+    ConflictError,
+    ContractError,
+    InsufficientFundsError,
+    IntegrityError,
+    NotFoundError,
+    OutOfGasError,
+    PolicyViolationError,
+    ReproError,
+    SignatureError,
+    ValidationError,
+)
+
+
+def test_every_error_derives_from_repro_error():
+    for exc_type in (
+        ValidationError,
+        AuthorizationError,
+        NotFoundError,
+        ConflictError,
+        IntegrityError,
+        PolicyViolationError,
+        InsufficientFundsError,
+        SignatureError,
+        AttestationError,
+        ContractError,
+    ):
+        assert issubclass(exc_type, ReproError)
+
+
+def test_out_of_gas_is_a_contract_error():
+    assert issubclass(OutOfGasError, ContractError)
+    error = OutOfGasError()
+    assert "gas" in str(error)
+
+
+def test_policy_violation_carries_policy_and_rule_uids():
+    error = PolicyViolationError("retention expired", policy_uid="p-1", rule_uid="r-2")
+    assert error.policy_uid == "p-1"
+    assert error.rule_uid == "r-2"
+    assert "retention expired" in str(error)
+
+
+def test_contract_error_keeps_revert_reason():
+    error = ContractError("only the owner may update the policy")
+    assert error.reason == "only the owner may update the policy"
+
+
+def test_errors_can_be_caught_as_base_class():
+    with pytest.raises(ReproError):
+        raise NotFoundError("missing")

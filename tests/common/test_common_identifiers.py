@@ -1,0 +1,44 @@
+"""Tests for identifier helpers."""
+
+import pytest
+
+from repro.common.identifiers import is_valid_uuid, new_uuid, qualified_id, short_id
+
+
+def test_new_uuid_is_valid_and_unique():
+    first = new_uuid()
+    second = new_uuid()
+    assert is_valid_uuid(first)
+    assert is_valid_uuid(second)
+    assert first != second
+
+
+def test_short_id_respects_length():
+    assert len(short_id(4)) == 4
+    assert len(short_id(12)) == 12
+
+
+def test_short_id_rejects_non_positive_length():
+    with pytest.raises(ValueError):
+        short_id(0)
+
+
+def test_qualified_id_with_plain_namespace():
+    assert qualified_id("market", "alice") == "market:alice"
+
+
+def test_qualified_id_with_iri_like_namespace():
+    assert qualified_id("https://example.org/", "alice") == "https://example.org/alice"
+    assert qualified_id("https://example.org#", "alice") == "https://example.org#alice"
+
+
+def test_qualified_id_rejects_empty_parts():
+    with pytest.raises(ValueError):
+        qualified_id("", "local")
+    with pytest.raises(ValueError):
+        qualified_id("ns", "")
+
+
+def test_is_valid_uuid_rejects_garbage():
+    assert not is_valid_uuid("not-a-uuid")
+    assert not is_valid_uuid("")

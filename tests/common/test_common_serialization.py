@@ -1,0 +1,43 @@
+"""Tests for canonical serialization."""
+
+import pytest
+
+from repro.common.serialization import canonical_json, from_canonical_json, stable_hash
+
+
+def test_canonical_json_sorts_keys():
+    assert canonical_json({"b": 1, "a": 2}) == b'{"a":2,"b":1}'
+
+
+def test_canonical_json_is_order_insensitive():
+    left = canonical_json({"x": [1, 2], "y": {"b": 1, "a": 2}})
+    right = canonical_json({"y": {"a": 2, "b": 1}, "x": [1, 2]})
+    assert left == right
+
+
+def test_round_trip_through_from_canonical_json():
+    value = {"name": "alice", "nested": {"count": 3, "flag": True}, "items": [1, 2, 3]}
+    assert from_canonical_json(canonical_json(value)) == value
+
+
+def test_objects_with_to_dict_are_serializable():
+    class Box:
+        def __init__(self, value):
+            self.value = value
+
+        def to_dict(self):
+            return {"value": self.value}
+
+    assert from_canonical_json(canonical_json(Box(7))) == {"value": 7}
+
+
+def test_unserializable_objects_raise_type_error():
+    with pytest.raises(TypeError):
+        canonical_json(object())
+
+
+def test_stable_hash_is_deterministic_and_sensitive():
+    base = stable_hash({"a": 1, "b": 2})
+    assert base == stable_hash({"b": 2, "a": 1})
+    assert base != stable_hash({"a": 1, "b": 3})
+    assert len(base) == 64

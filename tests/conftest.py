@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.clock import SimulatedClock
+from repro.blockchain.consensus import ProofOfAuthority
+from repro.blockchain.crypto import KeyPair
+from repro.blockchain.node import BlockchainNode
+from repro.blockchain.vm import ContractRegistry
+from repro.contracts.dist_exchange import DistExchangeApp
+from repro.contracts.market import DataMarket
+from repro.contracts.oracle_hub import OracleRequestHub
+from repro.core.architecture import ArchitectureConfig, UsageControlArchitecture
+from repro.oracles.base import BlockchainInteractionModule
+from repro.sim.network import NetworkModel
+
+
+@pytest.fixture
+def clock() -> SimulatedClock:
+    """A deterministic clock starting at a fixed epoch."""
+    return SimulatedClock(start=1_700_000_000.0)
+
+
+@pytest.fixture
+def validator_key() -> KeyPair:
+    return KeyPair.from_name("test-validator")
+
+
+@pytest.fixture
+def node(clock, validator_key) -> BlockchainNode:
+    """A single-validator node with every architecture contract registered."""
+    registry = ContractRegistry()
+    registry.register(DistExchangeApp)
+    registry.register(DataMarket)
+    registry.register(OracleRequestHub)
+    consensus = ProofOfAuthority(validators=[validator_key.address], block_interval=5.0)
+    return BlockchainNode(
+        consensus,
+        validator_key,
+        registry=registry,
+        clock=clock,
+        genesis_balances={validator_key.address: 10**12},
+    )
+
+
+@pytest.fixture
+def operator_module(node, validator_key) -> BlockchainInteractionModule:
+    """Interaction module of the validator/operator account."""
+    return BlockchainInteractionModule(node, validator_key, network=NetworkModel(seed=3))
+
+
+@pytest.fixture
+def architecture() -> UsageControlArchitecture:
+    """A freshly wired usage-control deployment with default configuration."""
+    return UsageControlArchitecture()
+
+
+@pytest.fixture
+def small_fee_architecture() -> UsageControlArchitecture:
+    """A deployment with tiny fees, handy for market-centric tests."""
+    return UsageControlArchitecture(
+        config=ArchitectureConfig(subscription_fee=10, access_fee=2, owner_share_percent=50)
+    )

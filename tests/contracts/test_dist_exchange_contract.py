@@ -1,0 +1,219 @@
+"""Tests for the DistExchange (DE App) contract."""
+
+import pytest
+
+from repro.common.errors import ContractError
+from repro.policy.serialization import policy_to_dict
+from repro.policy.templates import retention_policy
+from repro.oracles.base import BlockchainInteractionModule
+
+
+@pytest.fixture
+def de_app(operator_module: BlockchainInteractionModule) -> str:
+    return operator_module.deploy_contract("DistExchangeApp")
+
+
+def policy_dict(resource_id="https://pod.alice/data/r1"):
+    return policy_to_dict(retention_policy(resource_id, "https://id/alice", retention_seconds=604800))
+
+
+def register_pod(module, de_app, pod_url="https://pod.alice", owner="https://id/alice"):
+    return module.call_contract(
+        de_app, "register_pod", {"pod_url": pod_url, "owner": owner, "default_policy": policy_dict()}
+    )
+
+
+def register_resource(module, de_app, resource_id="https://pod.alice/data/r1",
+                      pod_url="https://pod.alice", owner="https://id/alice"):
+    register_pod(module, de_app, pod_url, owner)
+    return module.call_contract(
+        de_app,
+        "register_resource",
+        {
+            "resource_id": resource_id,
+            "pod_url": pod_url,
+            "location": resource_id,
+            "owner": owner,
+            "policy": policy_dict(resource_id),
+            "metadata": {"kind": "browsing"},
+        },
+    )
+
+
+def test_register_pod_and_read_back(operator_module, de_app):
+    receipt = register_pod(operator_module, de_app)
+    assert receipt.status
+    assert receipt.logs[0].event == "PodRegistered"
+    pod = operator_module.read(de_app, "get_pod", {"pod_url": "https://pod.alice"})
+    assert pod["owner"] == "https://id/alice"
+    assert operator_module.read(de_app, "list_pods") == ["https://pod.alice"]
+
+
+def test_duplicate_pod_registration_reverts(operator_module, de_app):
+    register_pod(operator_module, de_app)
+    with pytest.raises(ContractError):
+        register_pod(operator_module, de_app)
+
+
+def test_register_resource_requires_registered_pod(operator_module, de_app):
+    with pytest.raises(ContractError):
+        operator_module.call_contract(
+            de_app,
+            "register_resource",
+            {
+                "resource_id": "r1",
+                "pod_url": "https://unknown",
+                "location": "r1",
+                "owner": "https://id/alice",
+                "policy": policy_dict(),
+            },
+        )
+
+
+def test_register_resource_requires_pod_ownership(operator_module, de_app):
+    register_pod(operator_module, de_app)
+    with pytest.raises(ContractError):
+        operator_module.call_contract(
+            de_app,
+            "register_resource",
+            {
+                "resource_id": "r1",
+                "pod_url": "https://pod.alice",
+                "location": "r1",
+                "owner": "https://id/mallory",
+                "policy": policy_dict(),
+            },
+        )
+
+
+def test_resource_indexing_returns_location_and_policy(operator_module, de_app):
+    register_resource(operator_module, de_app)
+    record = operator_module.read(de_app, "get_resource", {"resource_id": "https://pod.alice/data/r1"})
+    assert record["location"] == "https://pod.alice/data/r1"
+    assert record["policy"]["target"] == "https://pod.alice/data/r1"
+    assert record["metadata"]["kind"] == "browsing"
+    assert operator_module.read(de_app, "list_resources") == ["https://pod.alice/data/r1"]
+
+
+def test_duplicate_resource_registration_reverts(operator_module, de_app):
+    register_resource(operator_module, de_app)
+    with pytest.raises(ContractError):
+        operator_module.call_contract(
+            de_app,
+            "register_resource",
+            {
+                "resource_id": "https://pod.alice/data/r1",
+                "pod_url": "https://pod.alice",
+                "location": "x",
+                "owner": "https://id/alice",
+                "policy": policy_dict(),
+            },
+        )
+
+
+def test_access_grants_are_recorded_and_revocable(operator_module, de_app):
+    register_resource(operator_module, de_app)
+    operator_module.call_contract(
+        de_app,
+        "record_access_grant",
+        {"resource_id": "https://pod.alice/data/r1", "consumer": "https://id/bob", "device_id": "bob-device"},
+    )
+    grants = operator_module.read(de_app, "get_grants", {"resource_id": "https://pod.alice/data/r1"})
+    assert len(grants) == 1 and grants[0]["active"]
+    operator_module.call_contract(
+        de_app, "revoke_grant", {"resource_id": "https://pod.alice/data/r1", "device_id": "bob-device"}
+    )
+    grants = operator_module.read(de_app, "get_grants", {"resource_id": "https://pod.alice/data/r1"})
+    assert not grants[0]["active"]
+
+
+def test_policy_update_requires_owner_and_lists_holders(operator_module, de_app):
+    register_resource(operator_module, de_app)
+    operator_module.call_contract(
+        de_app,
+        "record_access_grant",
+        {"resource_id": "https://pod.alice/data/r1", "consumer": "https://id/bob", "device_id": "bob-device"},
+    )
+    new_policy = policy_dict()
+    new_policy["version"] = 2
+    receipt = operator_module.call_contract(
+        de_app,
+        "update_policy",
+        {"resource_id": "https://pod.alice/data/r1", "policy": new_policy, "owner": "https://id/alice"},
+    )
+    event = receipt.logs[0]
+    assert event.event == "PolicyUpdated"
+    assert event.data["holders"] == ["bob-device"]
+    assert event.data["new_version"] == 2
+    with pytest.raises(ContractError):
+        operator_module.call_contract(
+            de_app,
+            "update_policy",
+            {"resource_id": "https://pod.alice/data/r1", "policy": new_policy, "owner": "https://id/mallory"},
+        )
+
+
+def test_monitoring_round_lifecycle(operator_module, de_app):
+    register_resource(operator_module, de_app)
+    operator_module.call_contract(
+        de_app,
+        "record_access_grant",
+        {"resource_id": "https://pod.alice/data/r1", "consumer": "https://id/bob", "device_id": "bob-device"},
+    )
+    receipt = operator_module.call_contract(
+        de_app, "start_monitoring", {"resource_id": "https://pod.alice/data/r1", "requested_by": "https://id/alice"}
+    )
+    round_id = receipt.return_value
+    assert receipt.logs[0].event == "MonitoringRequested"
+    assert receipt.logs[0].data["holders"] == ["bob-device"]
+
+    operator_module.call_contract(
+        de_app,
+        "record_usage_evidence",
+        {"round_id": round_id, "device_id": "bob-device", "evidence": {"compliant": True, "accessCount": 2}},
+    )
+    round_record = operator_module.read(de_app, "get_monitoring_round", {"round_id": round_id})
+    assert round_record["closed"] is True
+    evidence = operator_module.read(de_app, "get_evidence", {"resource_id": "https://pod.alice/data/r1"})
+    assert len(evidence) == 1
+    # A closed round rejects further evidence.
+    with pytest.raises(ContractError):
+        operator_module.call_contract(
+            de_app,
+            "record_usage_evidence",
+            {"round_id": round_id, "device_id": "other", "evidence": {"compliant": True}},
+        )
+
+
+def test_non_compliant_evidence_raises_violation(operator_module, de_app):
+    register_resource(operator_module, de_app)
+    operator_module.call_contract(
+        de_app,
+        "record_access_grant",
+        {"resource_id": "https://pod.alice/data/r1", "consumer": "https://id/bob", "device_id": "bob-device"},
+    )
+    receipt = operator_module.call_contract(
+        de_app, "start_monitoring", {"resource_id": "https://pod.alice/data/r1", "requested_by": "https://id/alice"}
+    )
+    operator_module.call_contract(
+        de_app,
+        "record_usage_evidence",
+        {
+            "round_id": receipt.return_value,
+            "device_id": "bob-device",
+            "evidence": {"compliant": False, "details": "copy retained past expiry"},
+        },
+    )
+    violations = operator_module.read(de_app, "get_violations", {"resource_id": "https://pod.alice/data/r1"})
+    assert len(violations) == 1
+    assert "expiry" in violations[0]["details"]
+    assert operator_module.read(de_app, "get_violations") == violations
+
+
+def test_unknown_lookups_revert(operator_module, de_app):
+    with pytest.raises(ContractError):
+        operator_module.read(de_app, "get_pod", {"pod_url": "https://nope"})
+    with pytest.raises(ContractError):
+        operator_module.read(de_app, "get_resource", {"resource_id": "nope"})
+    with pytest.raises(ContractError):
+        operator_module.read(de_app, "get_monitoring_round", {"round_id": 99})

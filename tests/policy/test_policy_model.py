@@ -1,0 +1,125 @@
+"""Tests for the usage-policy data model."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.policy.model import (
+    Action,
+    Constraint,
+    Duty,
+    LeftOperand,
+    Operator,
+    Permission,
+    Policy,
+    Prohibition,
+)
+
+
+def test_constraint_operators():
+    assert Constraint(LeftOperand.COUNT, Operator.LT, 5).evaluate(3)
+    assert not Constraint(LeftOperand.COUNT, Operator.LT, 5).evaluate(5)
+    assert Constraint(LeftOperand.COUNT, Operator.LTEQ, 5).evaluate(5)
+    assert Constraint(LeftOperand.ELAPSED_TIME, Operator.GTEQ, 10.0).evaluate(12.0)
+    assert Constraint(LeftOperand.PURPOSE, Operator.EQ, "research").evaluate("research")
+    assert Constraint(LeftOperand.PURPOSE, Operator.NEQ, "ads").evaluate("research")
+    assert Constraint(LeftOperand.PURPOSE, Operator.IS_ANY_OF, ("a", "b")).evaluate("b")
+    assert Constraint(LeftOperand.PURPOSE, Operator.IS_NONE_OF, ("a", "b")).evaluate("c")
+
+
+def test_constraint_missing_value_semantics():
+    assert not Constraint(LeftOperand.PURPOSE, Operator.EQ, "research").evaluate(None)
+    assert Constraint(LeftOperand.PURPOSE, Operator.IS_NONE_OF, ("ads",)).evaluate(None)
+
+
+def test_constraint_validation():
+    with pytest.raises(ValidationError):
+        Constraint(LeftOperand.PURPOSE, Operator.IS_ANY_OF, "not-a-collection")
+    with pytest.raises(ValidationError):
+        Constraint(LeftOperand.COUNT, Operator.LT, [1, 2])
+
+
+def test_constraint_round_trips_through_dict():
+    constraint = Constraint(LeftOperand.PURPOSE, Operator.IS_ANY_OF, ("x", "y"))
+    restored = Constraint.from_dict(constraint.to_dict())
+    assert restored.left_operand == LeftOperand.PURPOSE
+    assert restored.operator == Operator.IS_ANY_OF
+    assert set(restored.right_operand) == {"x", "y"}
+
+
+def test_rule_applies_to_assignee():
+    anyone = Permission(action=Action.READ)
+    only_bob = Permission(action=Action.READ, assignee="https://id/bob")
+    assert anyone.applies_to("https://id/alice")
+    assert only_bob.applies_to("https://id/bob")
+    assert not only_bob.applies_to("https://id/alice")
+
+
+def test_policy_requires_target_and_assigner():
+    with pytest.raises(ValidationError):
+        Policy(target="", assigner="owner")
+    with pytest.raises(ValidationError):
+        Policy(target="res", assigner="")
+    with pytest.raises(ValidationError):
+        Policy(target="res", assigner="owner", version=0)
+
+
+def test_policy_lookup_by_action_and_assignee():
+    read_all = Permission(action=Action.READ)
+    use_bob = Permission(action=Action.USE, assignee="bob")
+    no_share = Prohibition(action=Action.DISTRIBUTE)
+    policy = Policy(target="res", assigner="owner", permissions=(read_all, use_bob), prohibitions=(no_share,))
+    assert policy.permissions_for(Action.READ, "anyone") == [read_all]
+    assert policy.permissions_for(Action.USE, "bob") == [use_bob]
+    assert policy.permissions_for(Action.USE, "carol") == []
+    assert policy.prohibitions_for(Action.DISTRIBUTE, "bob") == [no_share]
+
+
+def test_policy_retention_and_purposes_extraction():
+    delete_duty = Duty(
+        action=Action.DELETE,
+        constraints=(Constraint(LeftOperand.ELAPSED_TIME, Operator.GTEQ, 604800.0),),
+    )
+    use = Permission(
+        action=Action.USE,
+        constraints=(Constraint(LeftOperand.PURPOSE, Operator.IS_ANY_OF, ("research", "teaching")),),
+        duties=(delete_duty,),
+    )
+    policy = Policy(target="res", assigner="owner", permissions=(use,))
+    assert policy.retention_seconds() == 604800.0
+    assert policy.allowed_purposes() == ["research", "teaching"]
+
+
+def test_policy_without_purpose_constraints_reports_none():
+    policy = Policy(target="res", assigner="owner", permissions=(Permission(action=Action.USE),))
+    assert policy.allowed_purposes() is None
+    assert policy.retention_seconds() is None
+
+
+def test_policy_revision_bumps_version_and_keeps_uid():
+    policy = Policy(target="res", assigner="owner", permissions=(Permission(action=Action.USE),))
+    revised = policy.revise(permissions=(Permission(action=Action.READ),))
+    assert revised.version == policy.version + 1
+    assert revised.uid == policy.uid
+    assert revised.permissions[0].action == Action.READ
+    # The original policy is untouched (immutability).
+    assert policy.permissions[0].action == Action.USE
+
+
+def test_policy_round_trips_through_dict():
+    duty = Duty(action=Action.DELETE, constraints=(Constraint(LeftOperand.ELAPSED_TIME, Operator.GTEQ, 60.0),))
+    policy = Policy(
+        target="res",
+        assigner="owner",
+        permissions=(Permission(action=Action.USE, duties=(duty,)),),
+        prohibitions=(Prohibition(action=Action.DISTRIBUTE),),
+        obligations=(Duty(action=Action.NOTIFY),),
+        version=3,
+        issued_at=1000.0,
+    )
+    restored = Policy.from_dict(policy.to_dict())
+    assert restored.uid == policy.uid
+    assert restored.version == 3
+    assert restored.issued_at == 1000.0
+    assert restored.retention_seconds() == 60.0
+    assert len(restored.prohibitions) == 1
+    assert len(restored.obligations) == 1

@@ -1,0 +1,71 @@
+"""Tests for policy serialization (dict, JSON, and RDF forms)."""
+
+import pytest
+
+from repro.common.clock import WEEK
+from repro.common.errors import ValidationError
+from repro.policy.serialization import (
+    policy_from_dict,
+    policy_from_graph,
+    policy_from_json,
+    policy_to_dict,
+    policy_to_graph,
+    policy_to_json,
+)
+from repro.policy.templates import purpose_and_retention_policy, purpose_policy, retention_policy
+from repro.rdf.graph import Graph
+
+
+def test_dict_round_trip_preserves_semantics():
+    policy = purpose_and_retention_policy(
+        "https://pod/data/r", "https://id/owner", ["research"], retention_seconds=WEEK, issued_at=123.0
+    )
+    restored = policy_from_dict(policy_to_dict(policy))
+    assert restored.uid == policy.uid
+    assert restored.target == policy.target
+    assert restored.retention_seconds() == WEEK
+    assert restored.allowed_purposes() == ["research"]
+    assert restored.issued_at == 123.0
+
+
+def test_json_round_trip():
+    policy = retention_policy("https://pod/data/r", "https://id/owner", retention_seconds=WEEK)
+    restored = policy_from_json(policy_to_json(policy))
+    assert restored.uid == policy.uid
+    assert restored.retention_seconds() == WEEK
+
+
+def test_policy_from_dict_rejects_non_dict():
+    with pytest.raises(ValidationError):
+        policy_from_dict("not a dict")  # type: ignore[arg-type]
+
+
+def test_rdf_round_trip_retention_policy():
+    policy = retention_policy("https://pod/data/r", "https://id/owner", retention_seconds=WEEK, issued_at=50.0)
+    graph = policy_to_graph(policy)
+    restored = policy_from_graph(graph)
+    assert restored.target == policy.target
+    assert restored.assigner == policy.assigner
+    assert restored.retention_seconds() == WEEK
+    assert restored.version == policy.version
+    assert restored.issued_at == 50.0
+
+
+def test_rdf_round_trip_purpose_policy_keeps_prohibitions():
+    policy = purpose_policy("https://pod/data/r", "https://id/owner", ["research", "teaching"])
+    restored = policy_from_graph(policy_to_graph(policy))
+    assert set(restored.allowed_purposes()) == {"research", "teaching"}
+    assert len(restored.prohibitions) == len(policy.prohibitions)
+
+
+def test_rdf_serialization_produces_odrl_terms():
+    policy = purpose_policy("https://pod/data/r", "https://id/owner", ["research"])
+    graph = policy_to_graph(policy)
+    rendered = {triple.predicate.value for triple in graph}
+    assert any(value.endswith("odrl/2/permission") for value in rendered)
+    assert any(value.endswith("odrl/2/constraint") for value in rendered)
+
+
+def test_policy_from_graph_requires_a_policy_node():
+    with pytest.raises(ValidationError):
+        policy_from_graph(Graph())

@@ -1,0 +1,114 @@
+"""Tests for policy templates, conflict detection, and merging."""
+
+import pytest
+
+from repro.common.clock import MONTH, WEEK
+from repro.policy.conflict import detect_conflicts, detect_cross_conflicts, is_tightening, merge_policies
+from repro.policy.model import Action, Permission, Policy, Prohibition
+from repro.policy.templates import (
+    default_pod_policy,
+    max_access_policy,
+    open_policy,
+    purpose_and_retention_policy,
+    purpose_policy,
+    retention_policy,
+)
+
+
+def test_retention_policy_structure():
+    policy = retention_policy("res", "owner", retention_seconds=WEEK)
+    assert policy.retention_seconds() == WEEK
+    assert {p.action for p in policy.permissions} == {Action.USE, Action.READ}
+
+
+def test_purpose_policy_structure():
+    policy = purpose_policy("res", "owner", ["medical-research"])
+    assert policy.allowed_purposes() == ["medical-research"]
+    assert any(p.action == Action.DISTRIBUTE for p in policy.prohibitions)
+
+
+def test_combined_policy_has_both_dimensions():
+    policy = purpose_and_retention_policy("res", "owner", ["research"], retention_seconds=MONTH)
+    assert policy.retention_seconds() == MONTH
+    assert policy.allowed_purposes() == ["research"]
+
+
+def test_open_policy_is_unconstrained():
+    policy = open_policy("res", "owner")
+    assert policy.allowed_purposes() is None
+    assert policy.retention_seconds() is None
+
+
+def test_default_pod_policy_with_subscribers():
+    policy = default_pod_policy("https://pod", "owner", subscribers=["https://id/a", "https://id/b"])
+    assert len(policy.permissions) == 4
+    bare = default_pod_policy("https://pod", "owner")
+    assert len(bare.permissions) == 2
+
+
+def test_template_argument_validation():
+    with pytest.raises(ValueError):
+        retention_policy("res", "owner", retention_seconds=0)
+    with pytest.raises(ValueError):
+        purpose_policy("res", "owner", [])
+    with pytest.raises(ValueError):
+        max_access_policy("res", "owner", max_accesses=0)
+    with pytest.raises(ValueError):
+        purpose_and_retention_policy("res", "owner", [], retention_seconds=10)
+
+
+def test_detect_conflicts_finds_permit_prohibit_overlap():
+    policy = Policy(
+        target="res",
+        assigner="owner",
+        permissions=(Permission(action=Action.USE, assignee="bob"),),
+        prohibitions=(Prohibition(action=Action.USE),),
+    )
+    conflicts = detect_conflicts(policy)
+    assert len(conflicts) == 1
+    assert conflicts[0].action == Action.USE
+    assert conflicts[0].assignee == "bob"
+    assert "deny-overrides" in conflicts[0].description
+
+
+def test_non_overlapping_assignees_do_not_conflict():
+    policy = Policy(
+        target="res",
+        assigner="owner",
+        permissions=(Permission(action=Action.USE, assignee="alice"),),
+        prohibitions=(Prohibition(action=Action.USE, assignee="bob"),),
+    )
+    assert detect_conflicts(policy) == []
+
+
+def test_cross_conflicts_between_base_and_overlay():
+    base = Policy(target="res", assigner="owner", prohibitions=(Prohibition(action=Action.DISTRIBUTE),))
+    overlay = Policy(target="res", assigner="owner", permissions=(Permission(action=Action.DISTRIBUTE),))
+    assert len(detect_cross_conflicts(base, overlay)) == 1
+
+
+def test_merge_policies_unions_rules_and_bumps_version():
+    base = default_pod_policy("https://pod", "owner")
+    overlay = purpose_policy("https://pod/data/r1", "owner", ["research"])
+    merged = merge_policies(base, overlay)
+    assert merged.target == "https://pod/data/r1"
+    assert merged.version == max(base.version, overlay.version) + 1
+    assert len(merged.permissions) == len(base.permissions) + len(overlay.permissions)
+
+
+def test_is_tightening_for_retention_and_purpose():
+    month = retention_policy("res", "owner", retention_seconds=MONTH)
+    week = retention_policy("res", "owner", retention_seconds=WEEK)
+    assert is_tightening(month, week)
+    assert not is_tightening(week, month)
+
+    wide = purpose_policy("res", "owner", ["research", "teaching"])
+    narrow = purpose_policy("res", "owner", ["research"])
+    assert is_tightening(wide, narrow)
+    assert not is_tightening(narrow, wide)
+
+
+def test_dropping_retention_is_not_tightening():
+    with_retention = retention_policy("res", "owner", retention_seconds=WEEK)
+    without = open_policy("res", "owner")
+    assert not is_tightening(with_retention, without)

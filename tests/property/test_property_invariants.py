@@ -1,0 +1,192 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.serialization import canonical_json, from_canonical_json, stable_hash
+from repro.blockchain.crypto import KeyPair, merkle_proof, merkle_root, verify_merkle_proof
+from repro.policy.model import Action, Constraint, Duty, LeftOperand, Operator, Permission, Policy, Prohibition
+from repro.policy.evaluation import PolicyEngine, UsageContext
+from repro.rdf.graph import Graph
+from repro.rdf.term import IRI, Literal
+from repro.rdf.turtle import parse_turtle, serialize_turtle
+from repro.tee.usage_log import UsageLog
+
+# -- canonical serialization ----------------------------------------------------------------
+
+json_values = st.recursive(
+    st.none() | st.booleans() | st.integers(-10**9, 10**9) | st.text(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=16,
+)
+
+
+@given(json_values)
+@settings(max_examples=60)
+def test_canonical_json_round_trips(value):
+    assert from_canonical_json(canonical_json(value)) == value
+
+
+@given(json_values, json_values)
+@settings(max_examples=60)
+def test_stable_hash_equality_follows_canonical_form(left, right):
+    # The invariant is on the canonical byte form, not Python ``==`` (which,
+    # e.g., treats False == 0 while JSON distinguishes them).
+    if canonical_json(left) == canonical_json(right):
+        assert stable_hash(left) == stable_hash(right)
+    else:
+        assert stable_hash(left) != stable_hash(right)
+
+
+# -- merkle trees ------------------------------------------------------------------------------
+
+leaves_strategy = st.lists(st.binary(min_size=0, max_size=32), min_size=1, max_size=16)
+
+
+@given(leaves_strategy, st.data())
+@settings(max_examples=40)
+def test_merkle_proofs_verify_for_every_leaf(leaves, data):
+    index = data.draw(st.integers(min_value=0, max_value=len(leaves) - 1))
+    root = merkle_root(leaves)
+    proof = merkle_proof(leaves, index)
+    assert verify_merkle_proof(leaves[index], proof, root)
+
+
+@given(leaves_strategy)
+@settings(max_examples=40)
+def test_merkle_root_changes_when_a_leaf_changes(leaves):
+    root = merkle_root(leaves)
+    mutated = list(leaves)
+    mutated[0] = mutated[0] + b"\x01"
+    assert merkle_root(mutated) != root
+
+
+# -- signatures -----------------------------------------------------------------------------------
+
+@given(st.binary(min_size=0, max_size=64), st.text(min_size=1, max_size=10))
+@settings(max_examples=20, deadline=None)
+def test_signatures_verify_and_bind_to_message(message, seed_name):
+    keypair = KeyPair.from_name(seed_name)
+    signature = keypair.sign(message)
+    assert keypair.verify(message, signature)
+    assert not keypair.verify(message + b"x", signature)
+
+
+# -- RDF graph / turtle ---------------------------------------------------------------------------
+
+iri_strategy = st.integers(0, 50).map(lambda i: IRI(f"https://example.org/node{i}"))
+literal_strategy = (
+    st.integers(-1000, 1000).map(Literal)
+    | st.text(alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd"), max_codepoint=0x7F), max_size=12).map(Literal)
+)
+triple_strategy = st.tuples(iri_strategy, iri_strategy, iri_strategy | literal_strategy)
+
+
+@given(st.lists(triple_strategy, max_size=25))
+@settings(max_examples=40)
+def test_turtle_round_trip_preserves_any_graph(triples):
+    graph = Graph()
+    for subject, predicate, obj in triples:
+        graph.add(subject, predicate, obj)
+    assert parse_turtle(serialize_turtle(graph)) == graph
+
+
+@given(st.lists(triple_strategy, max_size=25))
+@settings(max_examples=40)
+def test_graph_add_is_idempotent_and_remove_inverts(triples):
+    graph = Graph()
+    for subject, predicate, obj in triples:
+        graph.add(subject, predicate, obj)
+        graph.add(subject, predicate, obj)
+    assert len(graph) <= len(triples)
+    for subject, predicate, obj in triples:
+        graph.remove(subject, predicate, obj)
+    assert len(graph) == 0
+
+
+# -- policy engine -----------------------------------------------------------------------------------
+
+purposes = st.sampled_from(["medical-research", "web-analytics", "marketing", "teaching"])
+
+
+@given(
+    allowed=st.lists(purposes, min_size=1, max_size=3, unique=True),
+    requested=purposes,
+)
+@settings(max_examples=60)
+def test_purpose_policy_allows_exactly_the_allowed_purposes(allowed, requested):
+    from repro.policy.templates import purpose_policy
+
+    policy = purpose_policy("res", "owner", allowed)
+    decision = PolicyEngine().decide(policy, Action.USE, UsageContext(purpose=requested))
+    assert decision.allowed == (requested in allowed)
+
+
+@given(
+    retention=st.floats(min_value=1.0, max_value=10_000.0, allow_nan=False),
+    elapsed=st.floats(min_value=0.0, max_value=20_000.0, allow_nan=False),
+)
+@settings(max_examples=60)
+def test_retention_duty_is_due_exactly_after_expiry(retention, elapsed):
+    from repro.policy.templates import retention_policy
+
+    policy = retention_policy("res", "owner", retention_seconds=retention)
+    due = PolicyEngine().due_obligations(policy, UsageContext(elapsed_since_storage=elapsed))
+    assert bool(due) == (elapsed >= retention)
+
+
+@given(st.data())
+@settings(max_examples=40)
+def test_prohibition_always_overrides_permission(data):
+    action = data.draw(st.sampled_from([Action.USE, Action.READ, Action.DISTRIBUTE]))
+    assignee = data.draw(st.sampled_from([None, "https://id/x", "https://id/y"]))
+    policy = Policy(
+        target="res",
+        assigner="owner",
+        permissions=(Permission(action=action, assignee=assignee),),
+        prohibitions=(Prohibition(action=action),),
+    )
+    decision = PolicyEngine().decide(policy, action, UsageContext(assignee=assignee or "https://id/x"))
+    assert not decision.allowed
+
+
+# -- usage log hash chain ------------------------------------------------------------------------------
+
+
+@given(st.lists(st.tuples(st.sampled_from(["store", "access", "delete"]), st.integers(0, 5)), max_size=30))
+@settings(max_examples=40)
+def test_usage_log_chain_always_verifies(events):
+    log = UsageLog("device-prop")
+    for kind, resource_index in events:
+        log.record(kind, f"res-{resource_index}")
+    assert log.verify_chain()
+    assert len(log) == len(events)
+    total = sum(1 for kind, _ in events if kind == "access")
+    assert sum(log.access_count(f"res-{i}") for i in range(6)) == total
+
+
+# -- policy serialization ---------------------------------------------------------------------------------
+
+
+@given(
+    retention=st.floats(min_value=60.0, max_value=10**7, allow_nan=False),
+    allowed=st.lists(purposes, min_size=1, max_size=3, unique=True),
+    version_bumps=st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=40)
+def test_policy_dict_round_trip_preserves_decisions(retention, allowed, version_bumps):
+    from repro.policy.serialization import policy_from_dict, policy_to_dict
+    from repro.policy.templates import purpose_and_retention_policy
+
+    policy = purpose_and_retention_policy("res", "owner", allowed, retention_seconds=retention)
+    for _ in range(version_bumps):
+        policy = policy.revise()
+    restored = policy_from_dict(policy_to_dict(policy))
+    engine = PolicyEngine()
+    for purpose in ["medical-research", "marketing"]:
+        context = UsageContext(purpose=purpose, elapsed_since_storage=0.0)
+        assert engine.decide(policy, Action.USE, context).allowed == engine.decide(
+            restored, Action.USE, context
+        ).allowed
+    assert restored.version == policy.version
+    assert restored.retention_seconds() == policy.retention_seconds()

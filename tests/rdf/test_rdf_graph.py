@@ -1,0 +1,93 @@
+"""Tests for the indexed triple store."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import FOAF, RDF
+from repro.rdf.term import IRI, Literal
+
+ALICE = IRI("https://example.org/alice")
+BOB = IRI("https://example.org/bob")
+
+
+def make_graph() -> Graph:
+    graph = Graph()
+    graph.add(ALICE, RDF.type, FOAF.Person)
+    graph.add(ALICE, FOAF.name, Literal("Alice"))
+    graph.add(ALICE, FOAF.knows, BOB)
+    graph.add(BOB, RDF.type, FOAF.Person)
+    return graph
+
+
+def test_add_and_len_deduplicate():
+    graph = make_graph()
+    assert len(graph) == 4
+    graph.add(ALICE, FOAF.knows, BOB)
+    assert len(graph) == 4
+
+
+def test_pattern_matching_by_each_position():
+    graph = make_graph()
+    assert len(list(graph.triples(ALICE, None, None))) == 3
+    assert len(list(graph.triples(None, RDF.type, None))) == 2
+    assert len(list(graph.triples(None, None, FOAF.Person))) == 2
+    assert len(list(graph.triples(ALICE, RDF.type, FOAF.Person))) == 1
+    assert list(graph.triples(BOB, FOAF.name, None)) == []
+
+
+def test_value_and_objects_and_subjects():
+    graph = make_graph()
+    assert graph.value(ALICE, FOAF.name) == Literal("Alice")
+    assert graph.value(BOB, FOAF.name) is None
+    assert set(graph.objects(ALICE, FOAF.knows)) == {BOB}
+    assert set(graph.subjects(RDF.type, FOAF.Person)) == {ALICE, BOB}
+
+
+def test_remove_with_wildcards():
+    graph = make_graph()
+    removed = graph.remove(ALICE, None, None)
+    assert removed == 3
+    assert len(graph) == 1
+    assert not graph.has(ALICE)
+
+
+def test_set_value_replaces_existing():
+    graph = make_graph()
+    graph.set_value(ALICE, FOAF.name, Literal("Alice Liddell"))
+    assert graph.value(ALICE, FOAF.name) == Literal("Alice Liddell")
+    assert len(list(graph.triples(ALICE, FOAF.name, None))) == 1
+
+
+def test_copy_and_union():
+    graph = make_graph()
+    other = Graph()
+    other.add(BOB, FOAF.name, Literal("Bob"))
+    merged = graph | other
+    assert len(merged) == 5
+    assert len(graph) == 4
+    graph |= other
+    assert len(graph) == 5
+
+
+def test_clear_empties_graph():
+    graph = make_graph()
+    graph.clear()
+    assert len(graph) == 0
+    assert not graph.has()
+
+
+def test_invalid_terms_are_rejected():
+    graph = Graph()
+    with pytest.raises(ValidationError):
+        graph.add(Literal("x"), FOAF.name, Literal("y"))  # type: ignore[arg-type]
+    with pytest.raises(ValidationError):
+        graph.add(ALICE, Literal("p"), Literal("y"))  # type: ignore[arg-type]
+    with pytest.raises(ValidationError):
+        graph.add(ALICE, FOAF.name, "plain string")  # type: ignore[arg-type]
+
+
+def test_graphs_are_unhashable_but_comparable():
+    assert make_graph() == make_graph()
+    with pytest.raises(TypeError):
+        hash(make_graph())

@@ -1,0 +1,69 @@
+"""Tests for RDF terms."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.rdf.term import BlankNode, IRI, Literal, Triple
+
+
+def test_iri_equality_and_hash():
+    assert IRI("https://example.org/a") == IRI("https://example.org/a")
+    assert IRI("https://example.org/a") != IRI("https://example.org/b")
+    assert len({IRI("x:a"), IRI("x:a"), IRI("x:b")}) == 2
+
+
+def test_iri_rejects_invalid_values():
+    with pytest.raises(ValidationError):
+        IRI("")
+    with pytest.raises(ValidationError):
+        IRI("has space")
+    with pytest.raises(ValidationError):
+        IRI("<angle>")
+
+
+def test_iri_n3_rendering():
+    assert IRI("https://example.org/a").n3() == "<https://example.org/a>"
+
+
+def test_literal_native_value_conversion():
+    assert Literal(5).to_python() == 5
+    assert Literal(2.5).to_python() == 2.5
+    assert Literal(True).to_python() is True
+    assert Literal("hello").to_python() == "hello"
+
+
+def test_literal_datatype_and_language_are_exclusive():
+    with pytest.raises(ValidationError):
+        Literal("ciao", datatype=IRI("http://www.w3.org/2001/XMLSchema#string"), language="it")
+
+
+def test_literal_language_tag_rendering():
+    literal = Literal("ciao", language="it")
+    assert literal.n3() == '"ciao"@it'
+
+
+def test_literal_escaping_in_n3():
+    literal = Literal('say "hi"\nplease')
+    assert literal.n3() == '"say \\"hi\\"\\nplease"'
+
+
+def test_literal_equality_considers_datatype():
+    assert Literal("5") != Literal(5)
+    assert Literal(5) == Literal(5)
+
+
+def test_blank_node_identity():
+    named = BlankNode("b1")
+    assert named == BlankNode("b1")
+    assert named.n3() == "_:b1"
+    assert BlankNode() != BlankNode()
+
+
+def test_triple_n3_rendering():
+    triple = Triple(IRI("x:s"), IRI("x:p"), Literal(1))
+    assert triple.n3() == '<x:s> <x:p> "1"^^<http://www.w3.org/2001/XMLSchema#integer>'
+
+
+def test_literal_rejects_unsupported_types():
+    with pytest.raises(ValidationError):
+        Literal([1, 2, 3])  # type: ignore[arg-type]

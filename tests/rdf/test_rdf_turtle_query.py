@@ -1,0 +1,108 @@
+"""Tests for Turtle serialization and the BGP query engine."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import FOAF, Namespace, RDF
+from repro.rdf.query import TriplePattern, Variable, ask, query
+from repro.rdf.term import IRI, Literal
+from repro.rdf.turtle import parse_turtle, serialize_turtle
+
+EX = Namespace("https://example.org/")
+
+
+def sample_graph() -> Graph:
+    graph = Graph()
+    graph.add(EX.alice, RDF.type, FOAF.Person)
+    graph.add(EX.alice, FOAF.name, Literal("Alice"))
+    graph.add(EX.alice, FOAF.age, Literal(30))
+    graph.add(EX.alice, FOAF.knows, EX.bob)
+    graph.add(EX.bob, RDF.type, FOAF.Person)
+    graph.add(EX.bob, FOAF.name, Literal("Bob", language="en"))
+    return graph
+
+
+def test_turtle_round_trip_preserves_triples():
+    graph = sample_graph()
+    text = serialize_turtle(graph)
+    parsed = parse_turtle(text)
+    assert parsed == graph
+
+
+def test_turtle_uses_prefixes_for_known_namespaces():
+    text = serialize_turtle(sample_graph())
+    assert "@prefix foaf:" in text
+    assert "foaf:Person" in text
+
+
+def test_parse_turtle_with_explicit_prefixes_and_comments():
+    text = """
+    @prefix ex: <https://example.org/> .
+    @prefix foaf: <http://xmlns.com/foaf/0.1/> .
+    # a comment line
+    ex:carol a foaf:Person ;
+        foaf:name "Carol" ;
+        foaf:age 25 .
+    """
+    graph = parse_turtle(text)
+    assert graph.value(EX.carol, FOAF.name) == Literal("Carol")
+    assert graph.value(EX.carol, FOAF.age).to_python() == 25
+    assert graph.has(EX.carol, RDF.type, FOAF.Person)
+
+
+def test_parse_turtle_rejects_unknown_prefix():
+    with pytest.raises(ValidationError):
+        parse_turtle('unknown:s <x:p> "v" .')
+
+
+def test_parse_turtle_handles_typed_and_boolean_literals():
+    text = (
+        '@prefix ex: <https://example.org/> .\n'
+        'ex:thing ex:weight "2.5"^^<http://www.w3.org/2001/XMLSchema#double> ;\n'
+        '    ex:active true .\n'
+    )
+    graph = parse_turtle(text)
+    assert graph.value(EX.thing, EX.weight).to_python() == 2.5
+    assert graph.value(EX.thing, EX.active).to_python() is True
+
+
+def test_query_single_pattern_binds_variables():
+    graph = sample_graph()
+    person = Variable("person")
+    results = query(graph, [TriplePattern(person, RDF.type, FOAF.Person)])
+    assert {binding["person"] for binding in results} == {EX.alice, EX.bob}
+
+
+def test_query_joins_across_patterns():
+    graph = sample_graph()
+    person, name, friend = Variable("p"), Variable("n"), Variable("f")
+    results = query(
+        graph,
+        [
+            TriplePattern(person, FOAF.knows, friend),
+            TriplePattern(friend, FOAF.name, name),
+        ],
+    )
+    assert len(results) == 1
+    assert results[0]["f"] == EX.bob
+    assert results[0]["n"] == Literal("Bob", language="en")
+
+
+def test_query_with_no_solutions_and_empty_patterns():
+    graph = sample_graph()
+    assert query(graph, [TriplePattern(EX.carol, RDF.type, FOAF.Person)]) == []
+    assert query(graph, []) == [{}]
+
+
+def test_ask_reports_existence():
+    graph = sample_graph()
+    assert ask(graph, [TriplePattern(EX.alice, FOAF.knows, Variable("x"))])
+    assert not ask(graph, [TriplePattern(EX.bob, FOAF.knows, Variable("x"))])
+
+
+def test_shared_variable_must_bind_consistently():
+    graph = sample_graph()
+    same = Variable("same")
+    # someone who knows themselves: nobody.
+    assert query(graph, [TriplePattern(same, FOAF.knows, same)]) == []

@@ -1,0 +1,79 @@
+"""Tests for the metrics registry."""
+
+import pytest
+
+from repro.sim.metrics import Counter, Gauge, LatencyHistogram, MetricsRegistry
+
+
+def test_counter_increments_and_rejects_decrease():
+    counter = Counter("txs")
+    counter.increment()
+    counter.increment(4)
+    assert counter.value == 5
+    with pytest.raises(ValueError):
+        counter.increment(-1)
+
+
+def test_gauge_moves_both_ways():
+    gauge = Gauge("pending")
+    gauge.set(10)
+    gauge.increment(5)
+    gauge.decrement(3)
+    assert gauge.value == 12
+
+
+def test_histogram_summary_statistics():
+    histogram = LatencyHistogram("latency")
+    for value in [1.0, 2.0, 3.0, 4.0, 5.0]:
+        histogram.observe(value)
+    summary = histogram.summary()
+    assert summary["count"] == 5
+    assert summary["mean"] == pytest.approx(3.0)
+    assert summary["min"] == 1.0
+    assert summary["max"] == 5.0
+    assert summary["p50"] == 3.0
+
+
+def test_histogram_percentile_bounds():
+    histogram = LatencyHistogram("latency")
+    assert histogram.percentile(95) == 0.0
+    histogram.observe(7.0)
+    assert histogram.percentile(0) == 7.0
+    assert histogram.percentile(100) == 7.0
+    with pytest.raises(ValueError):
+        histogram.percentile(150)
+
+
+def test_histogram_rejects_negative_observations():
+    histogram = LatencyHistogram("latency")
+    with pytest.raises(ValueError):
+        histogram.observe(-0.1)
+
+
+def test_registry_reuses_metrics_by_name():
+    registry = MetricsRegistry()
+    assert registry.counter("a") is registry.counter("a")
+    assert registry.gauge("b") is registry.gauge("b")
+    assert registry.histogram("c") is registry.histogram("c")
+
+
+def test_registry_timer_records_elapsed_time():
+    registry = MetricsRegistry()
+    with registry.timer("op") as timer:
+        sum(range(1000))
+    assert timer.elapsed is not None and timer.elapsed >= 0
+    assert registry.histogram("op").count == 1
+
+
+def test_registry_report_and_reset():
+    registry = MetricsRegistry()
+    registry.counter("txs").increment(3)
+    registry.gauge("pending").set(2)
+    registry.histogram("latency").observe(0.5)
+    report = registry.report()
+    assert report["counters"]["txs"] == 3
+    assert report["gauges"]["pending"] == 2
+    assert report["histograms"]["latency"]["count"] == 1
+    assert len(list(registry)) == 3
+    registry.reset()
+    assert registry.report() == {"counters": {}, "gauges": {}, "histograms": {}}

@@ -1,0 +1,60 @@
+"""Tests for the network latency model."""
+
+import pytest
+
+from repro.sim.network import LinkSpec, NetworkModel
+
+
+def test_link_spec_validation():
+    with pytest.raises(ValueError):
+        LinkSpec(base_latency=-1)
+    with pytest.raises(ValueError):
+        LinkSpec(base_latency=0.1, jitter=-0.1)
+    with pytest.raises(ValueError):
+        LinkSpec(base_latency=0.1, drop_probability=1.5)
+
+
+def test_sample_respects_base_latency_and_jitter():
+    model = NetworkModel(seed=1)
+    model.set_link("a", "b", LinkSpec(base_latency=0.1, jitter=0.05))
+    for _ in range(20):
+        latency = model.sample("a", "b")
+        assert 0.1 <= latency <= 0.15 + 1e-9
+    assert model.hop_count == 20
+    assert model.total_latency > 0
+
+
+def test_unknown_link_falls_back_to_reverse_then_default():
+    model = NetworkModel(links={("x", "y"): LinkSpec(0.2)}, seed=2)
+    assert model.link("y", "x").base_latency == 0.2
+    assert model.link("p", "q").base_latency == 0.05
+
+
+def test_round_trip_is_sum_of_both_directions():
+    model = NetworkModel(links={("a", "b"): LinkSpec(0.1), ("b", "a"): LinkSpec(0.3)}, seed=3)
+    assert model.round_trip("a", "b") == pytest.approx(0.4)
+
+
+def test_dropped_messages_are_retried_and_counted():
+    model = NetworkModel(links={("a", "b"): LinkSpec(0.1, drop_probability=0.5)}, seed=4)
+    latency = model.sample("a", "b")
+    # At least one traversal happened; retries only add latency.
+    assert latency >= 0.1
+    model_reliable = NetworkModel(links={("a", "b"): LinkSpec(0.1)}, seed=4)
+    model_reliable.sample("a", "b")
+    assert model.dropped >= 0
+
+
+def test_reset_clears_statistics_but_keeps_links():
+    model = NetworkModel(seed=5)
+    model.sample("client", "pod")
+    model.reset()
+    assert model.total_latency == 0
+    assert model.hop_count == 0
+    assert model.link("client", "pod").base_latency > 0
+
+
+def test_default_links_cover_architecture_hops():
+    model = NetworkModel(seed=6)
+    for pair in (("client", "pod"), ("oracle", "blockchain"), ("tee", "oracle")):
+        assert model.sample(*pair) > 0

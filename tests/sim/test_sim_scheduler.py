@@ -1,0 +1,83 @@
+"""Tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.common.clock import SimulatedClock
+from repro.sim.scheduler import EventScheduler
+
+
+def test_events_run_in_time_order():
+    scheduler = EventScheduler(SimulatedClock())
+    order = []
+    scheduler.schedule_at(10, lambda: order.append("b"), label="b")
+    scheduler.schedule_at(5, lambda: order.append("a"), label="a")
+    scheduler.schedule_at(20, lambda: order.append("c"), label="c")
+    executed = scheduler.run_until(15)
+    assert executed == 2
+    assert order == ["a", "b"]
+    assert scheduler.clock.now() == 15
+    assert scheduler.pending == 1
+
+
+def test_schedule_in_uses_relative_delay():
+    scheduler = EventScheduler(SimulatedClock(start=100))
+    fired = []
+    scheduler.schedule_in(5, lambda: fired.append(scheduler.clock.now()))
+    scheduler.run_for(10)
+    assert fired == [105]
+    assert scheduler.clock.now() == 110
+
+
+def test_recurring_events_repeat_until_cancelled():
+    scheduler = EventScheduler(SimulatedClock())
+    ticks = []
+    handle = scheduler.schedule_every(10, lambda: ticks.append(scheduler.clock.now()), label="tick")
+    scheduler.run_until(35)
+    assert ticks == [10, 20, 30]
+    handle.cancel()
+    scheduler.run_until(100)
+    assert ticks == [10, 20, 30]
+
+
+def test_cancelled_event_does_not_fire():
+    scheduler = EventScheduler(SimulatedClock())
+    fired = []
+    handle = scheduler.schedule_at(5, lambda: fired.append(1))
+    handle.cancel()
+    scheduler.run_until(10)
+    assert fired == []
+
+
+def test_cannot_schedule_in_the_past():
+    scheduler = EventScheduler(SimulatedClock(start=50))
+    with pytest.raises(ValueError):
+        scheduler.schedule_at(10, lambda: None)
+    with pytest.raises(ValueError):
+        scheduler.schedule_in(-1, lambda: None)
+    with pytest.raises(ValueError):
+        scheduler.schedule_every(0, lambda: None)
+
+
+def test_run_next_executes_single_event():
+    scheduler = EventScheduler(SimulatedClock())
+    fired = []
+    scheduler.schedule_at(3, lambda: fired.append("x"))
+    scheduler.schedule_at(9, lambda: fired.append("y"))
+    assert scheduler.run_next() is True
+    assert fired == ["x"]
+    assert scheduler.clock.now() == 3
+    assert scheduler.run_next() is True
+    assert scheduler.run_next() is False
+
+
+def test_events_scheduled_during_execution_are_honoured():
+    scheduler = EventScheduler(SimulatedClock())
+    order = []
+
+    def first():
+        order.append("first")
+        scheduler.schedule_in(1, lambda: order.append("nested"))
+
+    scheduler.schedule_at(5, first)
+    scheduler.run_until(10)
+    assert order == ["first", "nested"]

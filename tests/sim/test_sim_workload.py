@@ -1,0 +1,68 @@
+"""Tests for the workload generator."""
+
+import pytest
+
+from repro.sim.workload import SyntheticParticipant, SyntheticResource, WorkloadConfig, WorkloadGenerator
+
+
+def test_participant_role_validation():
+    with pytest.raises(ValueError):
+        SyntheticParticipant(name="x", role="broker")
+
+
+def test_resource_content_is_generated_and_bounded():
+    resource = SyntheticResource(
+        name="r", owner="o", kind="k", size_bytes=10_000_000,
+        allowed_purposes=["marketing"], retention_seconds=60.0,
+    )
+    assert resource.content
+    assert len(resource.content) <= 4096 + 64
+
+
+def test_generator_produces_requested_population():
+    config = WorkloadConfig(num_owners=3, num_consumers=5, resources_per_owner=2, seed=1)
+    generator = WorkloadGenerator(config)
+    owners = generator.owners()
+    consumers = generator.consumers()
+    resources = generator.resources(owners)
+    assert len(owners) == 3
+    assert len(consumers) == 5
+    assert len(resources) == 6
+    assert all(owner.role == "owner" for owner in owners)
+    assert all(consumer.role == "consumer" for consumer in consumers)
+    assert all(consumer.purposes for consumer in consumers)
+
+
+def test_generator_is_deterministic_for_a_seed():
+    first = WorkloadGenerator(WorkloadConfig(num_owners=2, num_consumers=2, seed=42))
+    second = WorkloadGenerator(WorkloadConfig(num_owners=2, num_consumers=2, seed=42))
+    assert [c.purposes for c in first.consumers()] == [c.purposes for c in second.consumers()]
+    assert [r.kind for r in first.resources()] == [r.kind for r in second.resources()]
+
+
+def test_access_plan_reads_per_consumer():
+    config = WorkloadConfig(num_owners=2, num_consumers=3, resources_per_owner=2, reads_per_consumer=2, seed=9)
+    generator = WorkloadGenerator(config)
+    plan = generator.access_plan()
+    assert len(plan) == 6
+    for consumer, resource in plan:
+        assert consumer.role == "consumer"
+        assert resource.owner.startswith("owner-")
+
+
+def test_access_plan_with_more_reads_than_resources_repeats():
+    config = WorkloadConfig(num_owners=1, num_consumers=1, resources_per_owner=1, reads_per_consumer=5, seed=3)
+    plan = WorkloadGenerator(config).access_plan()
+    assert len(plan) == 5
+
+
+def test_access_plan_with_no_resources_is_empty():
+    config = WorkloadConfig(num_owners=0, num_consumers=2, resources_per_owner=0, seed=3)
+    assert WorkloadGenerator(config).access_plan() == []
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        WorkloadConfig(num_owners=-1)
+    with pytest.raises(ValueError):
+        WorkloadConfig(resource_size_bytes=-5)

@@ -1,0 +1,127 @@
+"""Tests for pods (LDP trees) and WebIDs."""
+
+import pytest
+
+from repro.common.clock import SimulatedClock
+from repro.common.errors import ConflictError, NotFoundError, ValidationError
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import FOAF, SOLID
+from repro.rdf.term import IRI, Literal
+from repro.solid.pod import SolidPod, normalize_path, parent_container
+from repro.solid.webid import WebID
+
+
+def make_pod() -> SolidPod:
+    return SolidPod("https://alice.pods.example.org", "https://id/alice#me", clock=SimulatedClock(100))
+
+
+def test_path_normalization():
+    assert normalize_path("data/file.txt") == "/data/file.txt"
+    assert normalize_path("/data//file.txt") == "/data/file.txt"
+    assert normalize_path("/data/sub/") == "/data/sub/"
+    with pytest.raises(ValidationError):
+        normalize_path("")
+
+
+def test_parent_container():
+    assert parent_container("/data/file.txt") == "/data/"
+    assert parent_container("/file.txt") == "/"
+    assert parent_container("/a/b/c.txt") == "/a/b/"
+
+
+def test_put_and_get_resource():
+    pod = make_pod()
+    resource = pod.put_resource("/data/notes.txt", b"hello", content_type="text/plain",
+                                metadata={"kind": "note"})
+    assert resource.size == 5
+    assert pod.get_resource("/data/notes.txt").content == b"hello"
+    assert pod.has_resource("data/notes.txt")
+    assert pod.url_for("/data/notes.txt") == "https://alice.pods.example.org/data/notes.txt"
+    assert pod.path_for("https://alice.pods.example.org/data/notes.txt") == "/data/notes.txt"
+
+
+def test_put_resource_creates_parent_containers():
+    pod = make_pod()
+    pod.put_resource("/a/b/c/file.bin", b"x")
+    assert pod.has_container("/a/")
+    assert pod.has_container("/a/b/")
+    listing = pod.list_container("/a/b/c/")
+    assert listing.resources == ["/a/b/c/file.bin"]
+
+
+def test_overwrite_control():
+    pod = make_pod()
+    pod.put_resource("/data/f.txt", b"v1")
+    pod.put_resource("/data/f.txt", b"v2")
+    assert pod.get_resource("/data/f.txt").content == b"v2"
+    with pytest.raises(ConflictError):
+        pod.put_resource("/data/f.txt", b"v3", overwrite=False)
+
+
+def test_timestamps_track_creation_and_modification():
+    clock = SimulatedClock(100)
+    pod = SolidPod("https://p", "owner", clock=clock)
+    pod.put_resource("/f.txt", b"v1")
+    clock.advance(50)
+    pod.put_resource("/f.txt", b"v2")
+    resource = pod.get_resource("/f.txt")
+    assert resource.created_at == 100
+    assert resource.modified_at == 150
+
+
+def test_delete_resource():
+    pod = make_pod()
+    pod.put_resource("/data/f.txt", b"x")
+    pod.delete_resource("/data/f.txt")
+    assert not pod.has_resource("/data/f.txt")
+    with pytest.raises(NotFoundError):
+        pod.get_resource("/data/f.txt")
+    with pytest.raises(NotFoundError):
+        pod.delete_resource("/data/f.txt")
+
+
+def test_put_graph_serializes_to_turtle():
+    pod = make_pod()
+    graph = Graph()
+    graph.add(IRI("https://id/alice#me"), FOAF.name, Literal("Alice"))
+    resource = pod.put_graph("/profile/card", graph)
+    assert resource.content_type == "text/turtle"
+    assert b"Alice" in resource.content
+
+
+def test_resource_validation():
+    pod = make_pod()
+    with pytest.raises(ValidationError):
+        pod.put_resource("/container/", b"x")
+    with pytest.raises(ValidationError):
+        pod.put_resource("/f.txt", "not bytes")  # type: ignore[arg-type]
+    with pytest.raises(ValidationError):
+        pod.path_for("https://other.example.org/f.txt")
+
+
+def test_total_size_and_listing():
+    pod = make_pod()
+    pod.put_resource("/data/a.bin", b"aa")
+    pod.put_resource("/data/b.bin", b"bbbb")
+    assert pod.total_size() == 6
+    assert pod.list_container("/data/").resources == ["/data/a.bin", "/data/b.bin"]
+    with pytest.raises(NotFoundError):
+        pod.list_container("/missing/")
+
+
+def test_set_acl_path():
+    pod = make_pod()
+    pod.put_resource("/data/a.bin", b"a")
+    pod.set_acl_path("/data/a.bin", "/data/a.bin.acl")
+    assert pod.get_resource("/data/a.bin").acl_path == "/data/a.bin.acl"
+
+
+def test_webid_profile_links_pod_and_keys():
+    webid = WebID("alice")
+    assert webid.iri.endswith("/alice/profile/card#me")
+    assert webid.address.startswith("0x")
+    assert webid.profile.value(IRI(webid.iri), FOAF.name) == Literal("alice")
+    webid.link_pod("https://alice.pods.example.org")
+    assert webid.pod_url == "https://alice.pods.example.org"
+    assert webid.profile.value(IRI(webid.iri), SOLID.storage) == IRI("https://alice.pods.example.org")
+    assert WebID("alice").address == webid.address  # deterministic keys per name

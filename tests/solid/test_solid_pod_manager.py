@@ -1,0 +1,144 @@
+"""Tests for the pod manager and the Solid client."""
+
+import pytest
+
+from repro.common.clock import SimulatedClock, WEEK
+from repro.common.errors import AuthorizationError, NotFoundError, ValidationError
+from repro.policy.templates import retention_policy
+from repro.solid.client import SolidClient
+from repro.solid.pod_manager import PodManager
+from repro.solid.wac import AccessMode
+from repro.solid.webid import WebID
+
+
+@pytest.fixture
+def clock() -> SimulatedClock:
+    return SimulatedClock(1000.0)
+
+
+@pytest.fixture
+def manager(clock) -> PodManager:
+    manager = PodManager(WebID("alice"), clock=clock)
+    manager.create_pod()
+    return manager
+
+
+def publish(manager: PodManager, path="/data/browsing.csv") -> str:
+    manager.upload_resource(path, b"a,b\n1,2\n", content_type="text/csv")
+    policy = retention_policy(manager.base_url + path, manager.owner.iri, retention_seconds=WEEK)
+    return manager.publish_resource(path, policy)
+
+
+def test_create_pod_sets_up_defaults_and_fires_event(clock):
+    manager = PodManager(WebID("alice"), clock=clock)
+    events = []
+    manager.on("pod_created", lambda **kwargs: events.append(kwargs))
+    pod = manager.create_pod()
+    assert pod.has_container("/data/")
+    assert manager.default_policy is not None
+    assert manager.owner.pod_url == manager.base_url
+    assert len(events) == 1 and events[0]["pod_url"] == manager.base_url
+    with pytest.raises(ValidationError):
+        manager.create_pod()
+
+
+def test_owner_has_full_access_consumers_need_grants(manager):
+    consumer = WebID("bob")
+    assert manager.can_access(manager.owner.iri, AccessMode.WRITE, "/data/x.csv")
+    assert not manager.can_access(consumer.iri, AccessMode.READ, "/data/x.csv")
+    manager.grant_access(consumer.iri, [AccessMode.READ], resource_path="/data/x.csv")
+    assert manager.can_access(consumer.iri, AccessMode.READ, "/data/x.csv")
+    assert manager.revoke_access(consumer.iri) == 1
+    assert not manager.can_access(consumer.iri, AccessMode.READ, "/data/x.csv")
+
+
+def test_upload_requires_write_permission(manager):
+    intruder = WebID("mallory")
+    with pytest.raises(AuthorizationError):
+        manager.upload_resource("/data/hack.txt", b"x", requester=intruder.iri)
+
+
+def test_publish_resource_fires_event_and_stores_policy(manager):
+    events = []
+    manager.on("resource_published", lambda **kwargs: events.append(kwargs))
+    resource_id = publish(manager)
+    assert resource_id == manager.base_url + "/data/browsing.csv"
+    assert manager.get_policy("/data/browsing.csv").retention_seconds() == WEEK
+    assert len(events) == 1
+    assert events[0]["resource_id"] == resource_id
+
+
+def test_get_resource_checks_acl_and_certificate(manager):
+    resource_id = publish(manager)
+    consumer = WebID("bob")
+    # Owner reads without a certificate.
+    receipt = manager.get_resource("/data/browsing.csv", requester=manager.owner.iri)
+    assert receipt.content.startswith(b"a,b")
+
+    manager.grant_access(consumer.iri, [AccessMode.READ], resource_path="/data/browsing.csv")
+    # Without a certificate verifier configured, ACL is enough.
+    receipt = manager.get_resource("/data/browsing.csv", requester=consumer.iri)
+    assert receipt.policy is not None
+
+    # With a verifier, a certificate becomes mandatory for non-owners.
+    manager.certificate_verifier = lambda cert, subject, resource: cert == "valid"
+    with pytest.raises(AuthorizationError):
+        manager.get_resource("/data/browsing.csv", requester=consumer.iri)
+    with pytest.raises(AuthorizationError):
+        manager.get_resource("/data/browsing.csv", requester=consumer.iri, certificate_id="bogus")
+    receipt = manager.get_resource("/data/browsing.csv", requester=consumer.iri, certificate_id="valid")
+    assert receipt.resource_url == resource_id
+    assert len(manager.access_log) >= 1
+
+
+def test_get_resource_denies_without_read_access(manager):
+    publish(manager)
+    with pytest.raises(AuthorizationError):
+        manager.get_resource("/data/browsing.csv", requester=WebID("bob").iri)
+
+
+def test_update_policy_requires_publication_and_control(manager):
+    with pytest.raises(NotFoundError):
+        manager.update_policy("/data/browsing.csv", retention_policy("x", "y", 10))
+    publish(manager)
+    events = []
+    manager.on("policy_updated", lambda **kwargs: events.append(kwargs))
+    new_policy = retention_policy(manager.base_url + "/data/browsing.csv", manager.owner.iri, 2 * WEEK)
+    manager.update_policy("/data/browsing.csv", new_policy)
+    assert manager.get_policy("/data/browsing.csv").retention_seconds() == 2 * WEEK
+    assert len(events) == 1
+    with pytest.raises(AuthorizationError):
+        manager.update_policy("/data/browsing.csv", new_policy, requester=WebID("mallory").iri)
+
+
+def test_request_monitoring_fires_event(manager):
+    publish(manager)
+    events = []
+    manager.on("monitoring_requested", lambda **kwargs: events.append(kwargs))
+    resource_id = manager.request_monitoring("/data/browsing.csv")
+    assert events[0]["resource_id"] == resource_id
+    with pytest.raises(NotFoundError):
+        manager.request_monitoring("/data/other.csv")
+
+
+def test_solid_client_resolves_and_fetches(manager):
+    publish(manager)
+    consumer = WebID("bob")
+    manager.grant_access(consumer.iri, [AccessMode.READ], resource_path="/data/browsing.csv")
+    client = SolidClient()
+    client.register_pod_manager(manager)
+    response = client.get(manager.base_url + "/data/browsing.csv", requester=consumer.iri)
+    assert response.ok and response.receipt.content.startswith(b"a,b")
+    assert response.network_latency > 0
+
+    denied = client.get(manager.base_url + "/data/browsing.csv", requester=WebID("carol").iri)
+    assert denied.status == 403
+    missing = client.get(manager.base_url + "/data/nope.csv", requester=consumer.iri)
+    assert missing.status == 404
+    with pytest.raises(NotFoundError):
+        client.resolve("https://unknown.example.org/x")
+
+
+def test_policy_lookup_requires_publication(manager):
+    with pytest.raises(NotFoundError):
+        manager.get_policy("/data/browsing.csv")

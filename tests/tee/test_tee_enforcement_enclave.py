@@ -1,0 +1,158 @@
+"""Tests for policy enforcement, attestation, the enclave, and the trusted app."""
+
+import pytest
+
+from repro.common.clock import DAY, SimulatedClock, WEEK
+from repro.common.errors import AttestationError, PolicyViolationError
+from repro.policy.templates import max_access_policy, purpose_policy, retention_policy
+from repro.tee.attestation import AttestationVerifier, produce_quote
+from repro.tee.enclave import REFERENCE_TRUSTED_APP_CODE, TrustedExecutionEnvironment, measurement_of
+from repro.blockchain.crypto import KeyPair, verify
+
+
+@pytest.fixture
+def clock() -> SimulatedClock:
+    return SimulatedClock(1_000_000.0)
+
+
+@pytest.fixture
+def tee(clock) -> TrustedExecutionEnvironment:
+    return TrustedExecutionEnvironment(
+        "bob-device", "https://id/bob#me", clock=clock, default_purpose="web-analytics"
+    )
+
+
+def retention(seconds=WEEK):
+    return retention_policy("res-1", "https://id/alice#me", retention_seconds=seconds)
+
+
+def test_enforcement_allows_use_before_expiry_and_deletes_after(tee, clock):
+    tee.store_resource("res-1", b"browsing data", retention(), owner="https://id/alice#me")
+    assert tee.enforcement.use("res-1") == b"browsing data"
+    clock.advance(WEEK + 60)
+    outcome = tee.enforce_policies()
+    assert outcome.deletions == ["res-1"]
+    assert not tee.holds_copy("res-1")
+    with pytest.raises(PolicyViolationError):
+        tee.enforcement.use("res-1")
+
+
+def test_purpose_gating(clock):
+    tee = TrustedExecutionEnvironment("alice-device", "https://id/alice#me", clock=clock)
+    policy = purpose_policy("res-2", "https://id/bob#me", ["medical-research"])
+    tee.store_resource("res-2", b"medical data", policy, owner="https://id/bob#me")
+    assert tee.enforcement.use("res-2", purpose="medical-research") == b"medical data"
+    with pytest.raises(PolicyViolationError):
+        tee.enforcement.use("res-2", purpose="marketing")
+    denied_events = tee.usage_log.events(resource_id="res-2", kind="denied_access")
+    assert len(denied_events) == 1
+
+
+def test_max_access_policy_triggers_deletion(tee):
+    policy = max_access_policy("res-3", "https://id/alice#me", max_accesses=2)
+    tee.store_resource("res-3", b"limited", policy, owner="https://id/alice#me")
+    tee.enforcement.use("res-3")
+    tee.enforcement.use("res-3")
+    # The second use reached the cap, and the obligation deleted the copy.
+    assert not tee.holds_copy("res-3")
+
+
+def test_policy_update_applies_new_retention(tee, clock):
+    tee.store_resource("res-1", b"data", retention(30 * DAY), owner="o")
+    clock.advance(2 * DAY)
+    outcome = tee.apply_policy_update("res-1", retention(WEEK).revise())
+    assert outcome.deletions == []  # only 2 days elapsed, nothing due yet
+    clock.advance(6 * DAY)
+    outcome = tee.enforce_policies()
+    assert outcome.deletions == ["res-1"]
+    update_events = tee.usage_log.events(resource_id="res-1", kind="policy_update")
+    assert len(update_events) == 1
+
+
+def test_policy_update_with_already_lapsed_expiry_deletes_immediately(tee, clock):
+    tee.store_resource("res-1", b"data", retention(30 * DAY), owner="o")
+    clock.advance(10 * DAY)
+    outcome = tee.apply_policy_update("res-1", retention(WEEK).revise())
+    assert outcome.deletions == ["res-1"]
+    assert not tee.holds_copy("res-1")
+
+
+def test_policy_update_for_unknown_resource_is_noop(tee):
+    outcome = tee.apply_policy_update("never-stored", retention())
+    assert outcome.checked == 0 and outcome.deletions == []
+
+
+def test_compliance_state_reports_pending_duties(tee, clock):
+    tee.store_resource("res-1", b"data", retention(WEEK), owner="o")
+    assert tee.enforcement.compliance_state("res-1")["compliant"] is True
+    clock.advance(WEEK + 1)
+    state = tee.enforcement.compliance_state("res-1")
+    assert state["compliant"] is False and state["pendingDuties"]
+    tee.enforce_policies()
+    state = tee.enforcement.compliance_state("res-1")
+    assert state["compliant"] is True and state["deleted"] is True
+
+
+def test_usage_evidence_is_signed_and_verifiable(tee, clock):
+    tee.store_resource("res-1", b"data", retention(WEEK), owner="o")
+    tee.enforcement.use("res-1")
+    evidence = tee.usage_evidence("res-1")
+    assert evidence["compliant"] is True
+    assert evidence["deviceId"] == "bob-device"
+    assert evidence["usageSummary"]["byKind"]["access"] == 1
+    # The signature binds the body under the enclave's attestation key.
+    from repro.common.serialization import canonical_json
+
+    body = {k: v for k, v in evidence.items() if k not in ("evidenceId", "signature", "publicKey")}
+    assert verify(tuple(evidence["publicKey"]), canonical_json(body), tuple(evidence["signature"]))
+
+
+def test_usage_evidence_for_unknown_resource_reports_not_stored(tee):
+    evidence = tee.usage_evidence("missing-res")
+    assert evidence["compliant"] is True
+    assert evidence["compliance"]["stored"] is False
+
+
+def test_attestation_quote_verification(tee, clock):
+    verifier = AttestationVerifier()
+    quote = tee.attest(report_data="nonce-123")
+    with pytest.raises(AttestationError):
+        verifier.verify(quote)  # measurement not yet trusted
+    verifier.trust_measurement(tee.measurement)
+    assert verifier.verify(quote, now=clock.now())
+    assert verifier.is_device_verified("bob-device")
+
+
+def test_attestation_rejects_stale_and_forged_quotes(tee, clock):
+    verifier = AttestationVerifier(trusted_measurements={tee.measurement}, max_quote_age=60)
+    quote = tee.attest()
+    with pytest.raises(AttestationError):
+        verifier.verify(quote, now=clock.now() + 3600)
+    forged = produce_quote(
+        "bob-device", tee.measurement, "", clock.now(), KeyPair.from_name("attacker")
+    )
+    tampered = type(forged)(
+        device_id=forged.device_id,
+        measurement=forged.measurement,
+        report_data="changed",
+        timestamp=forged.timestamp,
+        public_key=forged.public_key,
+        signature=forged.signature,
+    )
+    with pytest.raises(AttestationError):
+        verifier.verify(tampered)
+
+
+def test_measurement_depends_on_trusted_app_code(clock):
+    standard = TrustedExecutionEnvironment("d1", "o", clock=clock)
+    modified = TrustedExecutionEnvironment("d2", "o", clock=clock, trusted_app_code=b"malicious build")
+    assert standard.measurement == measurement_of(REFERENCE_TRUSTED_APP_CODE)
+    assert standard.measurement != modified.measurement
+
+
+def test_enclave_status_summary(tee):
+    tee.store_resource("res-1", b"1234", retention(), owner="o")
+    status = tee.status()
+    assert status["storedCopies"] == 1
+    assert status["totalBytes"] == 4
+    assert status["usageEvents"] >= 1

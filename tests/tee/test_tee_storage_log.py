@@ -1,0 +1,128 @@
+"""Tests for the trusted data storage and the hash-chained usage log."""
+
+import pytest
+
+from repro.common.clock import SimulatedClock, WEEK
+from repro.common.errors import IntegrityError, NotFoundError, ValidationError
+from repro.policy.templates import retention_policy
+from repro.tee.storage import TrustedDataStorage
+from repro.tee.usage_log import GENESIS_DIGEST, UsageLog
+
+
+@pytest.fixture
+def clock() -> SimulatedClock:
+    return SimulatedClock(1000.0)
+
+
+@pytest.fixture
+def storage(clock) -> TrustedDataStorage:
+    return TrustedDataStorage(sealing_key=b"sealing-key", clock=clock)
+
+
+POLICY = retention_policy("res-1", "https://id/alice", retention_seconds=WEEK)
+
+
+def test_store_and_read_bumps_access_count(storage):
+    storage.store("res-1", b"payload", POLICY, owner="https://id/alice")
+    assert storage.read("res-1") == b"payload"
+    assert storage.read("res-1") == b"payload"
+    assert storage.get("res-1").access_count == 2
+    assert storage.has("res-1")
+    assert storage.total_size() == 7
+    assert len(storage) == 1
+
+
+def test_sealed_copy_detects_tampering(storage):
+    copy = storage.store("res-1", b"payload", POLICY, owner="o")
+    copy.content = b"tampered"
+    with pytest.raises(IntegrityError):
+        storage.read("res-1")
+
+
+def test_delete_erases_content_but_keeps_record(storage, clock):
+    storage.store("res-1", b"payload", POLICY, owner="o")
+    clock.advance(10)
+    copy = storage.delete("res-1", reason="retention expired")
+    assert copy.deleted and copy.deleted_at == 1010.0
+    assert copy.deletion_reason == "retention expired"
+    assert not storage.has("res-1")
+    with pytest.raises(NotFoundError):
+        storage.read("res-1")
+    # Deleting twice is idempotent.
+    assert storage.delete("res-1").deleted
+    assert storage.resource_ids() == []
+    assert storage.resource_ids(include_deleted=True) == ["res-1"]
+
+
+def test_policy_update_on_stored_copy(storage):
+    storage.store("res-1", b"payload", POLICY, owner="o")
+    new_policy = retention_policy("res-1", "https://id/alice", retention_seconds=2 * WEEK)
+    copy = storage.update_policy("res-1", new_policy)
+    assert copy.policy.retention_seconds() == 2 * WEEK
+
+
+def test_storage_validation(storage):
+    with pytest.raises(ValidationError):
+        storage.store("", b"x", POLICY, owner="o")
+    with pytest.raises(ValidationError):
+        storage.store("res", "not bytes", POLICY, owner="o")  # type: ignore[arg-type]
+    with pytest.raises(NotFoundError):
+        storage.get("missing")
+    with pytest.raises(ValidationError):
+        TrustedDataStorage(sealing_key=b"")
+
+
+def test_copy_age_tracks_clock(storage, clock):
+    copy = storage.store("res-1", b"x", POLICY, owner="o")
+    clock.advance(500)
+    assert copy.age(clock.now()) == 500
+
+
+# -- usage log ------------------------------------------------------------------------
+
+
+def test_usage_log_chains_events(clock):
+    log = UsageLog("device-1", clock=clock)
+    first = log.record("store", "res-1", size=10)
+    second = log.record("access", "res-1", purpose="research")
+    assert first.previous_digest == GENESIS_DIGEST
+    assert second.previous_digest == first.digest
+    assert log.head_digest == second.digest
+    assert log.verify_chain()
+    assert len(log) == 2
+
+
+def test_usage_log_detects_tampering(clock):
+    log = UsageLog("device-1", clock=clock)
+    log.record("store", "res-1")
+    log.record("access", "res-1")
+    list(log)[0].details["injected"] = True
+    with pytest.raises(IntegrityError):
+        log.verify_chain()
+
+
+def test_usage_log_filters_and_counts(clock):
+    log = UsageLog("device-1", clock=clock)
+    log.record("store", "res-1")
+    log.record("access", "res-1")
+    log.record("access", "res-1")
+    log.record("access", "res-2")
+    assert log.access_count("res-1") == 2
+    assert log.access_count("res-2") == 1
+    assert len(log.events(resource_id="res-1")) == 3
+    assert len(log.events(kind="store")) == 1
+
+
+def test_usage_log_summary(clock):
+    log = UsageLog("device-1", clock=clock)
+    log.record("store", "res-1")
+    clock.advance(60)
+    log.record("access", "res-1")
+    summary = log.summary_for("res-1")
+    assert summary["events"] == 2
+    assert summary["byKind"] == {"store": 1, "access": 1}
+    assert summary["firstEventAt"] == 1000.0
+    assert summary["lastEventAt"] == 1060.0
+    assert summary["headDigest"] == log.head_digest
+    empty = log.summary_for("res-unknown")
+    assert empty["events"] == 0 and empty["firstEventAt"] is None
