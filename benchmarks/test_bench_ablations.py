@@ -58,6 +58,7 @@ def test_ablation_block_interval(benchmark, report, block_interval):
 # -- ablation 2: monitoring mode -------------------------------------------------------------
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("holders", [2, 4])
 def test_ablation_monitoring_pull_vs_push(benchmark, report, holders):
     """Transactions per monitoring round: pull-based (paper) vs push-based."""

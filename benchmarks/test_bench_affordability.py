@@ -15,6 +15,8 @@ subscription model relies on).
 
 from __future__ import annotations
 
+import pytest
+
 from repro.common.clock import WEEK
 from repro.core.processes import (
     market_onboarding,
@@ -68,6 +70,7 @@ def test_e7_gas_cost_per_operation(benchmark, report):
     assert costs["register_resource + market listing (push-in)"] > costs["register_pod (push-in)"] * 0.5
 
 
+@pytest.mark.slow
 def test_e7_owner_break_even_accesses(benchmark, report):
     """How many paid accesses until owner earnings cover the owner's gas bill."""
     architecture = fresh_architecture(access_fee=10_000, owner_share_percent=80)

@@ -12,6 +12,8 @@ Two comparisons:
 
 from __future__ import annotations
 
+import pytest
+
 from repro.common.clock import DAY, MONTH, WEEK
 from repro.core.baseline import BaselineSolidDeployment
 from repro.core.processes import resource_access
@@ -81,6 +83,7 @@ def test_e11_baseline_access_latency(benchmark, report):
     assert network_seconds > 0
 
 
+@pytest.mark.slow
 def test_e11_architecture_access_latency(benchmark, report):
     """Usage-controlled access: certificate, ACL + certificate check, TEE sealing, grant tx."""
     architecture = fresh_architecture()

@@ -73,6 +73,7 @@ def test_e2_resource_initiation(benchmark, report):
     assert trace.gas_used > 0
 
 
+@pytest.mark.slow
 def test_e3_resource_indexing_scales_with_registry_size(benchmark, report):
     """E3 (Fig. 2.3): pull-out lookup latency with a populated registry."""
     architecture = fresh_architecture()
@@ -100,6 +101,7 @@ def test_e3_resource_indexing_scales_with_registry_size(benchmark, report):
     assert trace.gas_used == 0
 
 
+@pytest.mark.slow
 def test_e4_resource_access(benchmark, report):
     """E4 (Fig. 2.4): ACL + certificate checks, transfer into the TEE, grant recording."""
     architecture = fresh_architecture()
@@ -118,6 +120,7 @@ def test_e4_resource_access(benchmark, report):
     assert trace.transactions >= 2  # certificate purchase + access grant
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("holders", [1, 4, 8])
 def test_e5_policy_modification_vs_holders(benchmark, report, holders):
     """E5 (Fig. 2.5): policy update propagation to N copy-holding devices."""
@@ -144,6 +147,7 @@ def test_e5_policy_modification_vs_holders(benchmark, report, holders):
     assert trace.transactions == 1  # one on-chain update reaches every holder
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("holders", [1, 4, 8])
 def test_e6_policy_monitoring_vs_holders(benchmark, report, holders):
     """E6 (Fig. 2.6): a full monitoring round against N copy-holding devices."""

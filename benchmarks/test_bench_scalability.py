@@ -23,6 +23,7 @@ from bench_helpers import (
 )
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("num_consumers", [1, 4, 8])
 def test_e12_access_throughput_vs_consumers(benchmark, report, num_consumers):
     """Total cost of N consumers each retrieving the shared resource."""
@@ -62,6 +63,7 @@ def test_e12_publication_cost_vs_resources(benchmark, report, num_resources):
     assert len(architecture.dist_exchange_read("list_resources")) == num_resources
 
 
+@pytest.mark.slow
 def test_e12_per_operation_cost_is_population_independent(benchmark, report):
     """Gas per access stays flat as the population grows (linear total cost)."""
     per_consumer_costs = []

@@ -26,6 +26,7 @@ from bench_helpers import deploy_consumer, deploy_owner_with_resource, fresh_arc
 from repro.core.processes import resource_access
 
 
+@pytest.mark.slow
 def test_e9_chain_verification_and_tamper_detection(benchmark, report):
     """Full-chain re-validation cost, and detection of a tampered policy record."""
     architecture = fresh_architecture()
@@ -51,6 +52,7 @@ def test_e9_chain_verification_and_tamper_detection(benchmark, report):
     report("E9 tamper detection", detected=True, tampered_block=target_block.number)
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("failed", [0, 1, 2])
 def test_e9_availability_under_validator_failures(benchmark, report, failed):
     """Blocks produced over 12 slots with ``failed`` of 4 validators down."""

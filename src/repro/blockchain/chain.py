@@ -5,11 +5,20 @@ state, and the contract VM.  It exposes exactly the operations the node and
 the benchmarks need: append validated blocks, look up blocks/transactions/
 receipts, verify the whole chain (the tamper-evidence property of
 Section V-2), and rebuild the state by replaying blocks.
+
+Appending a block maintains a set of indexes so lookups never scan the chain:
+
+* ``tx hash -> (block number, position)`` behind :meth:`transaction_by_hash`;
+* per-sender and per-recipient ``(transaction, receipt)`` lists behind
+  :meth:`transactions_with_receipts` (the explorer's audit queries);
+* per-address and per-event log lists behind :meth:`logs_for`;
+* running aggregates (transaction/failure/gas counters, gas grouped by
+  sender and by method) behind the O(1) statistics accessors.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.common.clock import Clock, SystemClock
 from repro.common.errors import IntegrityError, NotFoundError, ValidationError
@@ -17,7 +26,7 @@ from repro.blockchain.block import Block, BlockHeader
 from repro.blockchain.consensus import ProofOfAuthority
 from repro.blockchain.gas import GasSchedule
 from repro.blockchain.state import WorldState
-from repro.blockchain.transaction import Receipt, Transaction
+from repro.blockchain.transaction import LogEntry, Receipt, Transaction
 from repro.blockchain.vm import BlockContext, ContractRegistry, ContractVM
 
 GENESIS_PARENT_HASH = "0x" + "00" * 32
@@ -37,6 +46,19 @@ class Blockchain:
         self._receipts_by_tx: Dict[str, Receipt] = {}
         self._blocks_by_hash: Dict[str, Block] = {}
         self._genesis_balances = dict(genesis_balances or {})
+        # -- chain indexes, maintained by _index_block -----------------------
+        self._tx_locations: Dict[str, Tuple[int, int]] = {}
+        self._tx_receipts: List[Tuple[Transaction, Receipt]] = []
+        self._tx_receipts_by_sender: Dict[str, List[Tuple[Transaction, Receipt]]] = {}
+        self._tx_receipts_by_recipient: Dict[str, List[Tuple[Transaction, Receipt]]] = {}
+        self._logs: List[LogEntry] = []
+        self._logs_by_address: Dict[str, List[LogEntry]] = {}
+        self._logs_by_event: Dict[str, List[LogEntry]] = {}
+        self._transaction_count = 0
+        self._failed_transaction_count = 0
+        self._total_gas = 0
+        self._gas_by_sender: Dict[str, int] = {}
+        self._gas_by_method: Dict[str, int] = {}
         self._create_genesis()
 
     # -- genesis -----------------------------------------------------------
@@ -83,11 +105,86 @@ class Blockchain:
         return self._receipts_by_tx[transaction_hash]
 
     def transaction_by_hash(self, transaction_hash: str) -> Transaction:
-        for block in self.blocks:
-            for tx in block.transactions:
-                if tx.hash == transaction_hash:
-                    return tx
-        raise NotFoundError(f"no transaction with hash {transaction_hash}")
+        location = self._tx_locations.get(transaction_hash)
+        if location is None:
+            raise NotFoundError(f"no transaction with hash {transaction_hash}")
+        number, position = location
+        return self.blocks[number].transactions[position]
+
+    def transaction_location(self, transaction_hash: str) -> Tuple[int, int]:
+        """Return ``(block number, position in block)`` of a transaction."""
+        location = self._tx_locations.get(transaction_hash)
+        if location is None:
+            raise NotFoundError(f"no transaction with hash {transaction_hash}")
+        return location
+
+    # -- indexed queries -------------------------------------------------------
+
+    def transactions_with_receipts(self, sender: Optional[str] = None,
+                                   to: Optional[str] = None) -> List[Tuple[Transaction, Receipt]]:
+        """Return ``(transaction, receipt)`` pairs in chain order.
+
+        Uses the per-sender / per-recipient indexes, so filtered queries cost
+        O(matching transactions) instead of O(chain).
+        """
+        if sender is not None:
+            pairs = self._tx_receipts_by_sender.get(sender, [])
+            if to is not None:
+                return [(tx, receipt) for tx, receipt in pairs if tx.to == to]
+            return list(pairs)
+        if to is not None:
+            return list(self._tx_receipts_by_recipient.get(to, []))
+        return list(self._tx_receipts)
+
+    def logs_for(self, address: Optional[str] = None, event: Optional[str] = None,
+                 from_block: int = 0) -> List[LogEntry]:
+        """Return logs in chain order, narrowed via the log indexes."""
+        if address is not None and event is not None:
+            by_address = self._logs_by_address.get(address, [])
+            by_event = self._logs_by_event.get(event, [])
+            candidates = by_address if len(by_address) <= len(by_event) else by_event
+        elif address is not None:
+            candidates = self._logs_by_address.get(address, [])
+        elif event is not None:
+            candidates = self._logs_by_event.get(event, [])
+        else:
+            candidates = self._logs
+        return [
+            log for log in candidates
+            if (address is None or log.address == address)
+            and (event is None or log.event == event)
+            and (log.block_number is None or log.block_number >= from_block)
+        ]
+
+    def all_logs(self) -> List[LogEntry]:
+        """Return every event log recorded on the chain, in order."""
+        return list(self._logs)
+
+    def total_gas_used(self) -> int:
+        """Sum of the gas consumed by every block (the affordability metric)."""
+        return self._total_gas
+
+    def transaction_count(self) -> int:
+        return self._transaction_count
+
+    def failed_transaction_count(self) -> int:
+        return self._failed_transaction_count
+
+    def log_count(self) -> int:
+        return len(self._logs)
+
+    def gas_by_sender(self) -> Dict[str, int]:
+        """Total gas consumed, grouped by transaction sender (O(senders))."""
+        return dict(self._gas_by_sender)
+
+    def gas_by_method(self) -> Dict[str, int]:
+        """Total gas consumed, grouped by called method (O(methods))."""
+        return dict(self._gas_by_method)
+
+    @staticmethod
+    def method_key(tx: Transaction) -> str:
+        """Grouping key used by the per-method gas aggregates."""
+        return tx.data.get("method") or ("<deploy>" if tx.is_contract_creation else "<transfer>")
 
     # -- block production ---------------------------------------------------------
 
@@ -122,6 +219,8 @@ class Blockchain:
             timestamp=block_timestamp,
             transactions_root=Block.compute_transactions_root(included),
             receipts_root=Block.compute_receipts_root(receipts),
+            # The incremental root only re-hashes accounts touched by the
+            # transactions above; append_block then reuses the cached value.
             state_root=self.state.state_root(),
             proposer=proposer,
             gas_used=gas_used,
@@ -131,40 +230,109 @@ class Blockchain:
     def append_block(self, block: Block) -> Block:
         """Validate a sealed block against the head and append it."""
         self.consensus.validate_block(block, self.head.header)
+        # state_root() returns the root cached by build_block — no state is
+        # re-hashed here as long as nothing mutated the state in between.
         if block.header.state_root != self.state.state_root():
             raise IntegrityError(
                 f"block {block.number} commits to a state root that does not match the local state"
             )
         self.blocks.append(block)
         self._blocks_by_hash[block.hash] = block
-        for receipt in block.receipts:
-            self._receipts_by_tx[receipt.transaction_hash] = receipt
+        self._index_block(block)
         return block
+
+    def _index_block(self, block: Block) -> None:
+        """Fold a newly appended block into the chain indexes."""
+        self._total_gas += block.header.gas_used
+        for position, (tx, receipt) in enumerate(zip(block.transactions, block.receipts)):
+            self._receipts_by_tx[receipt.transaction_hash] = receipt
+            self._tx_locations[tx.hash] = (block.number, position)
+            pair = (tx, receipt)
+            self._tx_receipts.append(pair)
+            self._tx_receipts_by_sender.setdefault(tx.sender, []).append(pair)
+            if tx.to is not None:
+                self._tx_receipts_by_recipient.setdefault(tx.to, []).append(pair)
+            self._transaction_count += 1
+            if not receipt.status:
+                self._failed_transaction_count += 1
+            self._gas_by_sender[tx.sender] = self._gas_by_sender.get(tx.sender, 0) + receipt.gas_used
+            key = self.method_key(tx)
+            self._gas_by_method[key] = self._gas_by_method.get(key, 0) + receipt.gas_used
+            for log in receipt.logs:
+                self._logs.append(log)
+                self._logs_by_address.setdefault(log.address, []).append(log)
+                self._logs_by_event.setdefault(log.event, []).append(log)
 
     # -- verification ----------------------------------------------------------
 
-    def verify_chain(self) -> bool:
+    def verify_chain(self, replay: bool = False) -> bool:
         """Re-validate every block link, Merkle root, and seal.
 
         Raises :class:`IntegrityError` on the first inconsistency; returns
         True when the whole chain checks out.  This is the mechanism behind
         the paper's tamper-evidence claim: any retroactive modification of a
         recorded resource location or usage policy breaks a hash or a seal.
+
+        With ``replay=True`` the chain is additionally re-executed from
+        genesis (:meth:`replay`), which catches semantic forgeries that
+        survive re-sealing — a header carrying a ``gas_used`` that does not
+        match its receipts, or a ``state_root`` that does not match the
+        state produced by its transactions.
         """
         parent: Optional[BlockHeader] = None
         for block in self.blocks:
             self.consensus.validate_block(block, parent)
             parent = block.header
+        if replay:
+            self.replay()
         return True
 
-    def all_logs(self) -> List:
-        """Return every event log recorded on the chain, in order."""
-        logs = []
-        for block in self.blocks:
-            for receipt in block.receipts:
-                logs.extend(receipt.logs)
-        return logs
+    def replay(self) -> WorldState:
+        """Rebuild the world state from genesis, checking every header.
 
-    def total_gas_used(self) -> int:
-        """Sum of the gas consumed by every block (the affordability metric)."""
-        return sum(block.header.gas_used for block in self.blocks)
+        Re-executes each block's transactions on a fresh state (sharing this
+        chain's contract registry and gas schedule) and raises
+        :class:`IntegrityError` when a header's ``gas_used`` differs from
+        the replayed receipts, when the replayed receipts do not hash to the
+        header's ``receipts_root``, or when the replayed state does not hash
+        to the header's ``state_root``.  Returns the rebuilt state.
+        """
+        state = WorldState()
+        for address, balance in self._genesis_balances.items():
+            state.create_account(address, balance=balance)
+        vm = ContractVM(state, self.vm.registry, self.vm.schedule)
+        genesis = self.blocks[0]
+        if genesis.header.state_root != state.state_root():
+            raise IntegrityError("genesis state_root does not match the genesis balances")
+        for block in self.blocks[1:]:
+            context = BlockContext(
+                number=block.number,
+                timestamp=block.header.timestamp,
+                proposer=block.header.proposer,
+            )
+            replayed: List[Receipt] = []
+            gas_total = 0
+            for tx in block.transactions:
+                receipt = vm.execute_transaction(tx, context)
+                receipt.block_number = block.number
+                for index, log in enumerate(receipt.logs):
+                    log.block_number = block.number
+                    log.transaction_hash = tx.hash
+                    log.log_index = index
+                replayed.append(receipt)
+                gas_total += receipt.gas_used
+            if gas_total != block.header.gas_used:
+                raise IntegrityError(
+                    f"block {block.number} header claims gas_used={block.header.gas_used} "
+                    f"but its transactions consume {gas_total}"
+                )
+            if Block.compute_receipts_root(replayed) != block.header.receipts_root:
+                raise IntegrityError(
+                    f"block {block.number} receipts do not match the replayed execution"
+                )
+            if block.header.state_root != state.state_root():
+                raise IntegrityError(
+                    f"block {block.number} commits to a state root that does not match "
+                    f"the state produced by replaying its transactions"
+                )
+        return state

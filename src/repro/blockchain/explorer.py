@@ -67,7 +67,11 @@ class BlockStatistics:
 
 
 class ChainExplorer:
-    """Read-only analytics over a :class:`~repro.blockchain.chain.Blockchain`."""
+    """Read-only analytics over a :class:`~repro.blockchain.chain.Blockchain`.
+
+    Every query is served from the chain's transaction/log indexes and
+    running aggregates, so no method scans the block list.
+    """
 
     def __init__(self, chain: Blockchain):
         self.chain = chain
@@ -76,76 +80,50 @@ class ChainExplorer:
 
     def transactions(self, sender: Optional[str] = None, to: Optional[str] = None) -> List[Transaction]:
         """All transactions, optionally filtered by sender and/or recipient."""
-        selected = []
-        for block in self.chain.blocks:
-            for tx in block.transactions:
-                if sender is not None and tx.sender != sender:
-                    continue
-                if to is not None and tx.to != to:
-                    continue
-                selected.append(tx)
-        return selected
+        return [tx for tx, _ in self.chain.transactions_with_receipts(sender=sender, to=to)]
 
     def receipts(self, status: Optional[bool] = None) -> List[Receipt]:
         """All receipts, optionally filtered by execution status."""
-        selected = []
-        for block in self.chain.blocks:
-            for receipt in block.receipts:
-                if status is not None and receipt.status != status:
-                    continue
-                selected.append(receipt)
-        return selected
+        return [
+            receipt for _, receipt in self.chain.transactions_with_receipts()
+            if status is None or receipt.status == status
+        ]
 
     def events(self, address: Optional[str] = None, event: Optional[str] = None) -> List[LogEntry]:
         """Event history, optionally filtered by contract address and event name."""
-        selected = []
-        for log in self.chain.all_logs():
-            if address is not None and log.address != address:
-                continue
-            if event is not None and log.event != event:
-                continue
-            selected.append(log)
-        return selected
+        return self.chain.logs_for(address=address, event=event)
 
     # -- aggregates -------------------------------------------------------------------
 
     def account_activity(self, address: str) -> AccountActivity:
         """Audit trail of one account: what it sent, called, created, and paid."""
         activity = AccountActivity(address=address)
-        for block in self.chain.blocks:
-            for tx, receipt in zip(block.transactions, block.receipts):
-                if tx.sender != address:
-                    continue
-                activity.transactions_sent += 1
-                activity.gas_used += receipt.gas_used
-                activity.fees_paid += receipt.gas_used * tx.gas_price
-                activity.value_sent += tx.value
-                if not receipt.status:
-                    activity.transactions_failed += 1
-                if receipt.contract_address:
-                    activity.contracts_created.append(receipt.contract_address)
-                method = tx.data.get("method")
-                if method:
-                    activity.methods_called[method] = activity.methods_called.get(method, 0) + 1
+        for tx, receipt in self.chain.transactions_with_receipts(sender=address):
+            activity.transactions_sent += 1
+            activity.gas_used += receipt.gas_used
+            activity.fees_paid += receipt.gas_used * tx.gas_price
+            activity.value_sent += tx.value
+            if not receipt.status:
+                activity.transactions_failed += 1
+            if receipt.contract_address:
+                activity.contracts_created.append(receipt.contract_address)
+            method = tx.data.get("method")
+            if method:
+                activity.methods_called[method] = activity.methods_called.get(method, 0) + 1
         return activity
 
     def gas_by_sender(self) -> Dict[str, int]:
         """Total gas consumed, grouped by transaction sender."""
-        totals: Dict[str, int] = {}
-        for block in self.chain.blocks:
-            for tx, receipt in zip(block.transactions, block.receipts):
-                totals[tx.sender] = totals.get(tx.sender, 0) + receipt.gas_used
-        return totals
+        return self.chain.gas_by_sender()
 
     def gas_by_method(self, contract_address: Optional[str] = None) -> Dict[str, int]:
         """Total gas consumed, grouped by contract method (the affordability table)."""
+        if contract_address is None:
+            return self.chain.gas_by_method()
         totals: Dict[str, int] = {}
-        for block in self.chain.blocks:
-            for tx, receipt in zip(block.transactions, block.receipts):
-                if contract_address is not None and tx.to != contract_address:
-                    continue
-                key = tx.data.get("method") or ("<deploy>" if tx.is_contract_creation else "<transfer>")
-                totals[key] = totals.get(key, 0) + receipt.gas_used
+        for tx, receipt in self.chain.transactions_with_receipts(to=contract_address):
+            key = self.chain.method_key(tx)
+            totals[key] = totals.get(key, 0) + receipt.gas_used
         return totals
 
     def event_counts(self, address: Optional[str] = None) -> Dict[str, int]:
@@ -156,10 +134,10 @@ class ChainExplorer:
         return counts
 
     def statistics(self) -> BlockStatistics:
-        """Chain-level aggregates."""
-        transactions = sum(len(block.transactions) for block in self.chain.blocks)
-        failed = len(self.receipts(status=False))
-        events = len(self.chain.all_logs())
+        """Chain-level aggregates (all O(1) thanks to the running counters)."""
+        transactions = self.chain.transaction_count()
+        failed = self.chain.failed_transaction_count()
+        events = self.chain.log_count()
         blocks = len(self.chain.blocks)
         total_gas = self.chain.total_gas_used()
         return BlockStatistics(

@@ -158,13 +158,12 @@ class BlockchainNode:
 
     def get_logs(self, address: Optional[str] = None, event: Optional[str] = None,
                  from_block: int = 0) -> List[LogEntry]:
-        """Return historical logs matching the given criteria."""
-        matching = []
-        probe = EventFilter(address=address, event=event, from_block=from_block)
-        for log in self.chain.all_logs():
-            if probe.matches(log):
-                matching.append(log)
-        return matching
+        """Return historical logs matching the given criteria.
+
+        Served from the chain's per-address / per-event log indexes instead
+        of scanning every block.
+        """
+        return self.chain.logs_for(address=address, event=event, from_block=from_block)
 
     def add_filter(self, address: Optional[str] = None, event: Optional[str] = None,
                    callback: Optional[Callable[[LogEntry], None]] = None,

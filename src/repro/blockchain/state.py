@@ -1,19 +1,66 @@
-"""World state: accounts and contract storage.
+"""World state: accounts, contract storage, change journal, and cached roots.
 
 The world state is the mapping every full node maintains and agrees on via
 consensus.  Contract storage is a per-address dictionary of JSON-serializable
-values; a state root (hash of the canonical serialization) is included in
-every block header so tampering with state is detectable.
+values; a state root (hash committing to every account and storage slot) is
+included in every block header so tampering with state is detectable.
+
+Two properties keep the hot paths independent of the world size:
+
+* **Change journal** — every mutation made through the :class:`WorldState`
+  API records an undo entry while a frame opened by :meth:`begin` is active.
+  A failed transaction calls :meth:`rollback` and reverts in O(touched
+  slots); the seed implementation deep-copied the entire state per
+  transaction instead.
+* **Incremental state root** — :meth:`state_root` keeps a per-account digest
+  cache and a commutative accumulator over those digests.  Mutations mark
+  accounts dirty; recomputing the root only re-hashes the dirty accounts, so
+  producing a block costs O(accounts touched since the last block), not
+  O(world).  Repeated calls with no intervening mutation return the cached
+  root string without any hashing at all.
+
+Storage values have **value semantics**: reads return structural copies and
+writes store structural copies.  Contract code therefore cannot alias the
+canonical storage and mutate it behind the journal's back — the only way to
+change state is through the journaled API.
 """
 
 from __future__ import annotations
 
 import copy
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.common.errors import NotFoundError, ValidationError
 from repro.common.serialization import stable_hash
 from repro.blockchain.account import Account
+
+_MISSING = object()
+
+# The accumulator adds per-account digests modulo 2**256.  Addition is
+# commutative, which is what makes the root incrementally maintainable:
+# replacing one account's digest subtracts the old leaf and adds the new one
+# without touching the rest of the world.
+#
+# Trade-off: a commutative sum is NOT collision-resistant against an
+# adversary who controls account contents (a generalized-birthday / k-sum
+# search can find digest deltas summing to zero well below 2**128 effort).
+# For this simulation the root is a cheap integrity commitment, not a
+# cryptographic accumulator; full semantic tamper-evidence comes from
+# Blockchain.verify_chain(replay=True), which re-executes every transaction
+# and does not rely on root collision resistance.  A production chain would
+# use a Merkle trie here.
+_ROOT_MODULUS = 1 << 256
+
+
+def copy_jsonlike(value: Any) -> Any:
+    """Structural copy of a JSON-like value (dicts, lists, tuples, scalars)."""
+    if isinstance(value, dict):
+        return {key: copy_jsonlike(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [copy_jsonlike(item) for item in value]
+    if isinstance(value, tuple):
+        return tuple(copy_jsonlike(item) for item in value)
+    return value
 
 
 class WorldState:
@@ -22,6 +69,77 @@ class WorldState:
     def __init__(self):
         self._accounts: Dict[str, Account] = {}
         self._storage: Dict[str, Dict[str, Any]] = {}
+        # Undo log: tuples describing how to revert each mutation, recorded
+        # only while at least one frame is open.
+        self._journal: List[Tuple] = []
+        # Stack of journal lengths, one entry per open frame.
+        self._frames: List[int] = []
+        # Addresses whose cached digest is stale.
+        self._dirty: set = set()
+        # address -> hex digest of (account, storage), valid unless dirty.
+        self._digests: Dict[str, str] = {}
+        # Sum of the digest integers of every account, mod _ROOT_MODULUS.
+        self._root_acc: int = 0
+        # Cached state_root() string; None whenever any account is dirty.
+        self._root_value: Optional[str] = None
+
+    # -- journal ------------------------------------------------------------
+
+    def begin(self) -> int:
+        """Open a journal frame; returns the new frame depth."""
+        self._frames.append(len(self._journal))
+        return len(self._frames)
+
+    def commit(self) -> None:
+        """Close the innermost frame, keeping its changes.
+
+        Changes merge into the enclosing frame; committing the outermost
+        frame discards the undo entries (they can no longer be rolled back).
+        """
+        if not self._frames:
+            raise ValidationError("commit() without a matching begin()")
+        self._frames.pop()
+        if not self._frames:
+            self._journal.clear()
+
+    def rollback(self) -> None:
+        """Revert every change made since the innermost :meth:`begin`."""
+        if not self._frames:
+            raise ValidationError("rollback() without a matching begin()")
+        mark = self._frames.pop()
+        while len(self._journal) > mark:
+            entry = self._journal.pop()
+            kind = entry[0]
+            if kind == "create":
+                address = entry[1]
+                del self._accounts[address]
+                self._storage.pop(address, None)
+            elif kind == "balance":
+                self._accounts[entry[1]].balance = entry[2]
+            elif kind == "nonce":
+                self._accounts[entry[1]].nonce = entry[2]
+            elif kind == "slot":
+                _, address, key, old = entry
+                storage = self._storage.get(address)
+                if storage is not None:
+                    if old is _MISSING:
+                        storage.pop(key, None)
+                    else:
+                        storage[key] = old
+            self._touch(entry[1])
+
+    @property
+    def journal_depth(self) -> int:
+        """Number of currently open journal frames."""
+        return len(self._frames)
+
+    def _record(self, entry: Tuple) -> None:
+        if self._frames:
+            self._journal.append(entry)
+
+    def _touch(self, address: str) -> None:
+        self._dirty.add(address)
+        self._root_value = None
 
     # -- accounts -----------------------------------------------------------
 
@@ -31,9 +149,11 @@ class WorldState:
         if address in self._accounts:
             raise ValidationError(f"account {address} already exists")
         account = Account(address=address, balance=balance, contract_class=contract_class)
+        self._record(("create", address))
         self._accounts[address] = account
         if contract_class is not None:
             self._storage[address] = {}
+        self._touch(address)
         return account
 
     def get_or_create_account(self, address: str) -> Account:
@@ -43,7 +163,13 @@ class WorldState:
         return self._accounts[address]
 
     def get_account(self, address: str) -> Account:
-        """Return the account at *address* or raise :class:`NotFoundError`."""
+        """Return the account at *address* or raise :class:`NotFoundError`.
+
+        The returned object is the live account record; mutate it only
+        through the journaled :meth:`credit` / :meth:`debit` /
+        :meth:`bump_nonce` / :meth:`set_balance` methods so rollback and the
+        root cache stay correct.
+        """
         if address not in self._accounts:
             raise NotFoundError(f"unknown account {address}")
         return self._accounts[address]
@@ -54,10 +180,44 @@ class WorldState:
     def accounts(self) -> Iterator[Account]:
         return iter(self._accounts.values())
 
+    def account_count(self) -> int:
+        return len(self._accounts)
+
     def balance_of(self, address: str) -> int:
         """Return the balance of *address* (0 for unknown accounts)."""
         account = self._accounts.get(address)
         return account.balance if account else 0
+
+    def credit(self, address: str, amount: int) -> None:
+        """Add *amount* to the balance of *address* (journaled)."""
+        account = self.get_or_create_account(address)
+        self._record(("balance", address, account.balance))
+        account.credit(amount)
+        self._touch(address)
+
+    def debit(self, address: str, amount: int) -> None:
+        """Remove *amount* from the balance of *address* (journaled)."""
+        account = self.get_account(address)
+        self._record(("balance", address, account.balance))
+        account.debit(amount)
+        self._touch(address)
+
+    def set_balance(self, address: str, balance: int) -> None:
+        """Overwrite the balance of *address* (journaled)."""
+        if balance < 0:
+            raise ValidationError("balance must be non-negative")
+        account = self.get_account(address)
+        self._record(("balance", address, account.balance))
+        account.balance = balance
+        self._touch(address)
+
+    def bump_nonce(self, address: str) -> int:
+        """Increment and return the nonce of *address* (journaled)."""
+        account = self.get_account(address)
+        self._record(("nonce", address, account.nonce))
+        result = account.bump_nonce()
+        self._touch(address)
+        return result
 
     def transfer(self, sender: str, recipient: str, amount: int) -> None:
         """Move *amount* from *sender* to *recipient*."""
@@ -65,57 +225,116 @@ class WorldState:
             raise ValidationError("transfer amount must be non-negative")
         if amount == 0:
             return
-        self.get_account(sender).debit(amount)
-        self.get_or_create_account(recipient).credit(amount)
+        self.debit(sender, amount)
+        self.credit(recipient, amount)
 
     # -- contract storage -----------------------------------------------------
 
-    def storage_of(self, address: str) -> Dict[str, Any]:
-        """Return the mutable storage dictionary of contract *address*."""
+    def _contract_storage(self, address: str) -> Dict[str, Any]:
+        """Return the live storage dictionary of contract *address*."""
         account = self.get_account(address)
         if not account.is_contract:
             raise ValidationError(f"account {address} is not a contract")
         return self._storage.setdefault(address, {})
 
+    def storage_of(self, address: str) -> Dict[str, Any]:
+        """Return a structural copy of the storage of contract *address*."""
+        return copy_jsonlike(self._contract_storage(address))
+
+    def storage_keys(self, address: str) -> List[str]:
+        """Return the slot keys of contract *address* without copying values."""
+        return list(self._contract_storage(address).keys())
+
     def storage_read(self, address: str, key: str, default: Any = None) -> Any:
-        return self.storage_of(address).get(key, default)
+        """Read a storage slot; the returned value is a structural copy."""
+        storage = self._contract_storage(address)
+        if key not in storage:
+            return default
+        return copy_jsonlike(storage[key])
 
     def storage_write(self, address: str, key: str, value: Any) -> bool:
         """Write a storage slot; returns True when the slot was previously empty."""
-        storage = self.storage_of(address)
+        storage = self._contract_storage(address)
         is_new = key not in storage
-        storage[key] = value
+        self._record(("slot", address, key, _MISSING if is_new else storage[key]))
+        storage[key] = copy_jsonlike(value)
+        self._touch(address)
         return is_new
 
     def storage_delete(self, address: str, key: str) -> bool:
         """Delete a storage slot; returns True when the slot existed."""
-        storage = self.storage_of(address)
+        storage = self._contract_storage(address)
         if key in storage:
+            self._record(("slot", address, key, storage[key]))
             del storage[key]
+            self._touch(address)
             return True
         return False
 
     # -- snapshots and roots ----------------------------------------------------
 
     def snapshot(self) -> "WorldState":
-        """Return a deep copy used to roll back failed transactions."""
+        """Return a full deep copy of the state.
+
+        Retained as a checkpoint utility for tools and tests; the
+        per-transaction execution path uses the O(touched-slots) journal
+        (:meth:`begin` / :meth:`commit` / :meth:`rollback`) instead.
+        """
         clone = WorldState()
         clone._accounts = {addr: Account.from_dict(acc.to_dict()) for addr, acc in self._accounts.items()}
         clone._storage = copy.deepcopy(self._storage)
+        clone._dirty = set(clone._accounts)
         return clone
 
     def restore(self, snapshot: "WorldState") -> None:
-        """Restore this state to a previously taken *snapshot*."""
+        """Restore this state to a previously taken *snapshot*.
+
+        Discards any open journal frames and invalidates every cached
+        digest (the snapshot's content replaces the world wholesale).
+        """
         self._accounts = snapshot._accounts
         self._storage = snapshot._storage
+        self._journal.clear()
+        self._frames.clear()
+        self._digests.clear()
+        self._root_acc = 0
+        self._dirty = set(self._accounts)
+        self._root_value = None
+
+    def _account_digest(self, address: str) -> str:
+        """Digest committing to one account's record and storage."""
+        account = self._accounts[address]
+        return stable_hash(
+            {
+                "address": address,
+                "account": account.to_dict(),
+                "storage": self._storage.get(address),
+            }
+        )
 
     def state_root(self) -> str:
-        """Return a hash committing to every account and storage slot."""
-        payload = {
-            "accounts": {addr: acc.to_dict() for addr, acc in sorted(self._accounts.items())},
-            "storage": {addr: slots for addr, slots in sorted(self._storage.items())},
-        }
-        return stable_hash(payload)
+        """Return a hash committing to every account and storage slot.
+
+        Only accounts touched since the previous call are re-hashed; with no
+        intervening mutation the cached root string is returned as-is.
+        """
+        if self._root_value is None:
+            for address in self._dirty:
+                previous = self._digests.pop(address, None)
+                if previous is not None:
+                    self._root_acc = (self._root_acc - int(previous, 16)) % _ROOT_MODULUS
+                if address in self._accounts:
+                    digest = self._account_digest(address)
+                    self._digests[address] = digest
+                    self._root_acc = (self._root_acc + int(digest, 16)) % _ROOT_MODULUS
+            self._dirty.clear()
+            self._root_value = stable_hash(
+                {
+                    "accounts": len(self._accounts),
+                    "digest": format(self._root_acc, "064x"),
+                }
+            )
+        return self._root_value
 
     def to_dict(self) -> dict:
         return {

@@ -8,9 +8,10 @@ under gas metering:
 * every storage read/write/delete goes through a :class:`StorageProxy` that
   charges the gas schedule;
 * events are emitted through the execution context and become receipt logs;
-* any exception raised by contract code reverts the transaction — the state
-  snapshot taken before execution is restored and the receipt carries the
-  revert reason.
+* any exception raised by contract code reverts the transaction — the
+  journal frame opened before execution is rolled back (O(touched slots),
+  see :meth:`~repro.blockchain.state.WorldState.rollback`) and the receipt
+  carries the revert reason.
 """
 
 from __future__ import annotations
@@ -104,16 +105,27 @@ class StorageProxy:
 
     def keys(self) -> List[str]:
         self._charge("read")
-        return list(self._state.storage_of(self._address).keys())
+        return self._state.storage_keys(self._address)
 
     def items(self) -> List[tuple]:
         self._charge("read")
         return list(self._state.storage_of(self._address).items())
 
     def setdefault(self, key: str, default: Any) -> Any:
-        if key in self:
-            return self[key]
-        self[key] = default
+        """Return the stored value for *key*, writing *default* on a miss.
+
+        Charges exactly one storage read on a hit, and one read plus one
+        write on a miss.  (The seed routed this through ``__contains__``
+        followed by ``__getitem__``, metering the read twice on a hit.)
+        """
+        self._charge("read")
+        value = self._state.storage_read(self._address, key, _MISSING)
+        if value is not _MISSING:
+            return value
+        if self._context.read_only:
+            raise ContractError("storage writes are not allowed in read-only calls")
+        is_new = self._state.storage_write(self._address, key, default)
+        self._charge("write", is_new=is_new)
         return default
 
 
@@ -257,7 +269,6 @@ class ContractVM:
                 ),
             )
 
-        snapshot = self.state.snapshot()
         meter = GasMeter(tx.gas_limit, self.schedule)
         context = ExecutionContext(
             sender=tx.sender,
@@ -267,10 +278,10 @@ class ContractVM:
             gas_meter=meter,
         )
         contract_address: Optional[str] = None
+        frame_depth = self.state.begin()
         try:
-            sender_account = self.state.get_or_create_account(tx.sender)
             meter.charge(self.schedule.intrinsic_gas(tx.data_size, tx.is_contract_creation), "intrinsic")
-            sender_account.bump_nonce()
+            self.state.bump_nonce(tx.sender)
 
             if tx.is_contract_creation:
                 contract_address = self._deploy(tx, context)
@@ -280,7 +291,9 @@ class ContractVM:
 
             gas_used = meter.finalize()
             self._charge_gas_fee(tx, gas_used)
-            return Receipt(
+            # Built before commit() so nothing in the try block can raise
+            # once the frame is closed.
+            receipt = Receipt(
                 transaction_hash=tx.hash,
                 status=True,
                 gas_used=gas_used,
@@ -288,18 +301,19 @@ class ContractVM:
                 contract_address=contract_address,
                 return_value=_jsonable(return_value),
             )
+            self.state.commit()
+            return receipt
         except (ContractError, ValidationError, NotFoundError, InsufficientFundsError, OutOfGasError) as exc:
-            self.state.restore(snapshot)
+            self.state.rollback()
             # The sender still pays for the gas burned by the failed attempt
-            # (re-applied on the restored state), and its nonce advances so the
-            # transaction cannot be replayed.
+            # (re-applied on the reverted state), and its nonce advances so
+            # the transaction cannot be replayed.
             gas_used = min(meter.gas_used, tx.gas_limit)
-            sender_account = self.state.get_or_create_account(tx.sender)
-            sender_account.bump_nonce()
+            self.state.bump_nonce(tx.sender)
             try:
                 self._charge_gas_fee(tx, gas_used)
             except InsufficientFundsError:
-                sender_account.balance = 0
+                self.state.set_balance(tx.sender, 0)
             return Receipt(
                 transaction_hash=tx.hash,
                 status=False,
@@ -308,6 +322,15 @@ class ContractVM:
                 contract_address=None,
                 error=str(exc),
             )
+        except BaseException:
+            # An exception outside the revert taxonomy (a bug in contract
+            # code or the VM) must not leak an open journal frame: undo the
+            # partial execution — including any frames the contract itself
+            # leaked — before propagating.  Frames below ours (e.g. after a
+            # successful commit) are left alone.
+            while self.state.journal_depth >= frame_depth:
+                self.state.rollback()
+            raise
 
     def _deploy(self, tx: Transaction, context: ExecutionContext) -> str:
         class_name = tx.data.get("contract_class")
@@ -370,7 +393,7 @@ class ContractVM:
     def _charge_gas_fee(self, tx: Transaction, gas_used: int) -> None:
         fee = gas_used * tx.gas_price
         if fee:
-            self.state.get_account(tx.sender).debit(fee)
+            self.state.debit(tx.sender, fee)
 
 
 def _jsonable(value: Any) -> Any:

@@ -65,6 +65,14 @@ class ArchitectureConfig:
             self.gas_schedule = GasSchedule()
         if self.initial_participant_funds <= 0:
             raise ValidationError("participants need positive initial funds")
+        if not 0 <= self.owner_share_percent <= 100:
+            raise ValidationError("owner_share_percent must be within [0, 100]")
+        if self.subscription_fee < 0:
+            raise ValidationError("subscription_fee must be non-negative")
+        if self.access_fee < 0:
+            raise ValidationError("access_fee must be non-negative")
+        if self.block_interval <= 0:
+            raise ValidationError("block_interval must be positive")
 
 
 class UsageControlArchitecture:

@@ -1,0 +1,163 @@
+"""Failed-transaction semantics: what a revert must and must not change.
+
+Regression guard for the snapshot -> journal swap in the VM: a reverted
+transaction must leave every untouched account byte-identical, still bump
+the sender nonce, charge only the metered gas, and emit no logs.
+"""
+
+import pytest
+
+from repro.common.clock import SimulatedClock
+from repro.blockchain.consensus import ProofOfAuthority
+from repro.blockchain.crypto import KeyPair
+from repro.blockchain.node import BlockchainNode
+from repro.blockchain.transaction import Transaction
+from repro.blockchain.vm import ContractRegistry, SmartContract
+
+VALIDATOR = KeyPair.from_name("revert-validator")
+USER = KeyPair.from_name("revert-user")
+BYSTANDER = KeyPair.from_name("revert-bystander")
+
+
+class Flaky(SmartContract):
+    """Writes storage, emits an event, moves funds — then reverts on demand."""
+
+    def constructor(self, **_):
+        self.storage["writes"] = 0
+
+    def write_then_fail(self, fail: bool = True):
+        self.storage["writes"] = self.storage.get("writes", 0) + 1
+        self.storage["scratch"] = {"left": "overs"}
+        self.emit("Wrote", count=self.storage["writes"])
+        self.require(not fail, "asked to fail")
+        return self.storage["writes"]
+
+
+def make_node() -> BlockchainNode:
+    registry = ContractRegistry()
+    registry.register(Flaky)
+    consensus = ProofOfAuthority(validators=[VALIDATOR.address], block_interval=1.0)
+    return BlockchainNode(
+        consensus,
+        VALIDATOR,
+        registry=registry,
+        clock=SimulatedClock(start=1000.0),
+        genesis_balances={
+            VALIDATOR.address: 10**12,
+            USER.address: 10**10,
+            BYSTANDER.address: 777,
+        },
+    )
+
+
+def send(node, keypair, to, data, value=0):
+    tx = Transaction(
+        sender=keypair.address, to=to, data=data, value=value,
+        nonce=node.next_nonce(keypair.address),
+    )
+    tx.sign(keypair)
+    tx_hash = node.submit_transaction(tx)
+    node.produce_block()
+    return node.get_receipt(tx_hash)
+
+
+@pytest.fixture
+def deployed():
+    node = make_node()
+    receipt = send(node, USER, None, {"contract_class": "Flaky"})
+    assert receipt.status
+    return node, receipt.contract_address
+
+
+def test_reverted_transaction_leaves_untouched_accounts_byte_identical(deployed):
+    node, address = deployed
+    state = node.chain.state
+    untouched_before = {
+        addr: account.to_dict()
+        for addr, account in ((a.address, a) for a in state.accounts())
+        if addr != USER.address
+    }
+    storage_before = state.storage_of(address)
+    receipt = send(node, USER, address, {"method": "write_then_fail", "args": {"fail": True}})
+    assert not receipt.status
+    untouched_after = {
+        addr: account.to_dict()
+        for addr, account in ((a.address, a) for a in state.accounts())
+        if addr != USER.address
+    }
+    assert untouched_after == untouched_before
+    assert state.storage_of(address) == storage_before
+
+
+def test_reverted_transaction_still_bumps_the_sender_nonce(deployed):
+    node, address = deployed
+    nonce_before = node.chain.state.get_account(USER.address).nonce
+    receipt = send(node, USER, address, {"method": "write_then_fail", "args": {"fail": True}})
+    assert not receipt.status
+    assert node.chain.state.get_account(USER.address).nonce == nonce_before + 1
+
+
+def test_reverted_transaction_charges_exactly_the_metered_gas(deployed):
+    node, address = deployed
+    balance_before = node.get_balance(USER.address)
+    receipt = send(node, USER, address, {"method": "write_then_fail", "args": {"fail": True}})
+    assert not receipt.status
+    assert receipt.gas_used > 0
+    # gas_price of the helper transaction is the default 1.
+    assert node.get_balance(USER.address) == balance_before - receipt.gas_used
+
+
+def test_reverted_transaction_emits_no_logs_and_delivers_none(deployed):
+    node, address = deployed
+    seen = []
+    node.add_filter(address=address, callback=seen.append)
+    receipt = send(node, USER, address, {"method": "write_then_fail", "args": {"fail": True}})
+    assert not receipt.status
+    assert receipt.logs == []
+    assert seen == []
+    assert node.get_logs(address=address) == []
+
+
+def test_success_and_revert_interleave_cleanly(deployed):
+    node, address = deployed
+    ok = send(node, USER, address, {"method": "write_then_fail", "args": {"fail": False}})
+    assert ok.status and ok.return_value == 1
+    bad = send(node, USER, address, {"method": "write_then_fail", "args": {"fail": True}})
+    assert not bad.status
+    # The revert rolled back to the post-success state, not to genesis.
+    assert node.chain.state.storage_read(address, "writes") == 1
+    ok_again = send(node, USER, address, {"method": "write_then_fail", "args": {"fail": False}})
+    assert ok_again.status and ok_again.return_value == 2
+
+
+def test_unexpected_exception_rolls_back_and_closes_the_journal_frame():
+    """A non-revert exception (contract bug) must not leak an open frame."""
+    node = make_node()
+    receipt = send(node, USER, None, {"contract_class": "Flaky"})
+    address = receipt.contract_address
+    state = node.chain.state
+    before = state.to_dict()
+    depth_before = state.journal_depth
+    tx = Transaction(
+        sender=USER.address, to=address,
+        data={"method": "write_then_fail", "args": {"no_such_kwarg": 1}},
+        nonce=node.next_nonce(USER.address),
+    )
+    from repro.blockchain.vm import BlockContext
+    with pytest.raises(TypeError):
+        node.chain.vm.execute_transaction(tx, BlockContext(number=99, timestamp=2000.0))
+    assert state.journal_depth == depth_before
+    assert state.to_dict() == before
+
+
+def test_failed_value_transfer_rolls_back_the_recipient_creation():
+    node = make_node()
+    ghost = "0x" + "d3" * 20
+    state = node.chain.state
+    assert not state.has_account(ghost)
+    # The recipient account is created inside the journal frame, then the
+    # transfer fails on insufficient funds; the creation must be undone.
+    receipt = send(node, USER, ghost, {}, value=node.get_balance(USER.address) + 1)
+    assert not receipt.status
+    assert not state.has_account(ghost)
+    assert state.get_account(USER.address).nonce == 1

@@ -1,0 +1,153 @@
+"""Tests for the WorldState change journal and the incremental state root."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.blockchain.state import WorldState
+
+CONTRACT = "0x" + "c0" * 20
+ALICE = "0x" + "a1" * 20
+BOB = "0x" + "b2" * 20
+
+
+def populated_state() -> WorldState:
+    state = WorldState()
+    state.create_account(ALICE, balance=1_000)
+    state.create_account(CONTRACT, balance=50, contract_class="DataMarket")
+    state.storage_write(CONTRACT, "count", 7)
+    state.storage_write(CONTRACT, "owners", {"r1": ALICE})
+    return state
+
+
+def test_rollback_reverts_storage_balances_nonces_and_creations():
+    state = populated_state()
+    before = state.to_dict()
+    state.begin()
+    state.storage_write(CONTRACT, "count", 99)
+    state.storage_write(CONTRACT, "fresh", [1, 2, 3])
+    state.storage_delete(CONTRACT, "owners")
+    state.transfer(ALICE, BOB, 400)          # creates BOB inside the frame
+    state.bump_nonce(ALICE)
+    state.set_balance(CONTRACT, 0)
+    state.rollback()
+    assert state.to_dict() == before
+    assert not state.has_account(BOB)
+
+
+def test_commit_keeps_changes_and_clears_the_undo_log():
+    state = populated_state()
+    state.begin()
+    state.storage_write(CONTRACT, "count", 8)
+    state.commit()
+    assert state.storage_read(CONTRACT, "count") == 8
+    assert state.journal_depth == 0
+    with pytest.raises(ValidationError):
+        state.rollback()
+    with pytest.raises(ValidationError):
+        state.commit()
+
+
+def test_nested_frames_roll_back_independently():
+    state = populated_state()
+    state.begin()
+    state.storage_write(CONTRACT, "count", 10)
+    state.begin()
+    state.storage_write(CONTRACT, "count", 20)
+    state.transfer(ALICE, CONTRACT, 100)
+    state.rollback()                          # inner frame only
+    assert state.storage_read(CONTRACT, "count") == 10
+    assert state.balance_of(ALICE) == 1_000
+    state.commit()
+    assert state.storage_read(CONTRACT, "count") == 10
+
+
+def test_inner_commit_merges_into_outer_frame():
+    state = populated_state()
+    state.begin()
+    state.begin()
+    state.storage_write(CONTRACT, "count", 33)
+    state.commit()                            # merges into the outer frame
+    state.rollback()                          # outer rollback undoes it
+    assert state.storage_read(CONTRACT, "count") == 7
+
+
+def test_storage_values_are_isolated_from_caller_mutations():
+    state = populated_state()
+    record = {"active": True}
+    state.storage_write(CONTRACT, "record", record)
+    record["active"] = False                  # caller keeps mutating its copy
+    assert state.storage_read(CONTRACT, "record") == {"active": True}
+    read_back = state.storage_read(CONTRACT, "record")
+    read_back["active"] = False               # mutating a read does not stick
+    assert state.storage_read(CONTRACT, "record") == {"active": True}
+    assert state.storage_of(CONTRACT)["record"] == {"active": True}
+
+
+def test_rollback_restores_the_pre_frame_value_despite_aliasing():
+    state = populated_state()
+    owners = state.storage_read(CONTRACT, "owners")
+    state.begin()
+    owners["r2"] = BOB                        # mutate the read copy...
+    state.storage_write(CONTRACT, "owners", owners)  # ...and write it back
+    state.rollback()
+    assert state.storage_read(CONTRACT, "owners") == {"r1": ALICE}
+
+
+def test_state_root_matches_a_freshly_built_state_with_the_same_content():
+    # The incrementally maintained root must be history-independent.
+    state = populated_state()
+    state.begin()
+    state.storage_write(CONTRACT, "count", 123)
+    state.transfer(ALICE, BOB, 1)
+    state.rollback()
+    state.storage_write(CONTRACT, "count", 42)
+
+    fresh = WorldState()
+    fresh.create_account(ALICE, balance=1_000)
+    fresh.create_account(CONTRACT, balance=50, contract_class="DataMarket")
+    fresh.storage_write(CONTRACT, "count", 42)
+    fresh.storage_write(CONTRACT, "owners", {"r1": ALICE})
+    assert state.state_root() == fresh.state_root()
+
+
+def test_state_root_is_cached_and_invalidated_by_mutations():
+    state = populated_state()
+    root = state.state_root()
+    assert state.state_root() is root         # cached string is reused as-is
+    state.storage_write(CONTRACT, "count", 8)
+    changed = state.state_root()
+    assert changed != root
+    state.storage_write(CONTRACT, "count", 7)
+    assert state.state_root() == root         # same content, same root
+
+
+def test_state_root_unchanged_by_a_rolled_back_frame():
+    state = populated_state()
+    root = state.state_root()
+    state.begin()
+    state.storage_write(CONTRACT, "count", 1000)
+    state.create_account(BOB, balance=5)
+    state.rollback()
+    assert state.state_root() == root
+
+
+def test_snapshot_restore_and_journal_rollback_agree():
+    # The legacy full-copy checkpoint and the journal must revert to the
+    # exact same state (regression guard for the snapshot -> journal swap).
+    state = populated_state()
+    checkpoint = state.snapshot()
+    state.begin()
+    state.storage_write(CONTRACT, "count", 5)
+    state.transfer(ALICE, BOB, 10)
+    state.bump_nonce(ALICE)
+    state.rollback()
+    journal_view = state.to_dict()
+    journal_root = state.state_root()
+
+    mutated = populated_state()
+    mutated.storage_write(CONTRACT, "count", 5)
+    mutated.transfer(ALICE, BOB, 10)
+    mutated.bump_nonce(ALICE)
+    mutated.restore(checkpoint)
+    assert mutated.to_dict() == journal_view
+    assert mutated.state_root() == journal_root

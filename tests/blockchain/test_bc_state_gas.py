@@ -124,3 +124,29 @@ def test_gas_meter_rejects_invalid_inputs():
     meter = GasMeter(gas_limit=10)
     with pytest.raises(ValidationError):
         meter.charge(-5)
+
+
+def test_storage_proxy_setdefault_gas_costs_are_pinned():
+    """setdefault charges one read on a hit, one read + one write on a miss.
+
+    The seed implementation routed the hit path through ``__contains__`` and
+    ``__getitem__``, double-charging the storage read.
+    """
+    from repro.blockchain.vm import ExecutionContext, StorageProxy
+
+    schedule = GasSchedule()
+    state = WorldState()
+    contract = "0x" + "77" * 20
+    state.create_account(contract, contract_class="DataMarket")
+    meter = GasMeter(gas_limit=1_000_000, schedule=schedule)
+    context = ExecutionContext(sender="0x" + "00" * 20, contract_address=contract, gas_meter=meter)
+    proxy = StorageProxy(state, contract, context)
+
+    stored = proxy.setdefault("slot", {"v": 1})         # miss: read + fresh write
+    assert stored == {"v": 1}
+    assert meter.gas_used == schedule.storage_read + schedule.storage_set
+
+    before = meter.gas_used
+    value = proxy.setdefault("slot", {"v": 2})          # hit: exactly one read
+    assert value == {"v": 1}
+    assert meter.gas_used == before + schedule.storage_read

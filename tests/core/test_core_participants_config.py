@@ -27,6 +27,25 @@ def test_architecture_config_validation():
     assert config.gas_schedule is not None
 
 
+def test_architecture_config_rejects_broken_market_parameters():
+    with pytest.raises(ValidationError):
+        ArchitectureConfig(owner_share_percent=101)
+    with pytest.raises(ValidationError):
+        ArchitectureConfig(owner_share_percent=-1)
+    with pytest.raises(ValidationError):
+        ArchitectureConfig(subscription_fee=-5)
+    with pytest.raises(ValidationError):
+        ArchitectureConfig(access_fee=-1)
+    with pytest.raises(ValidationError):
+        ArchitectureConfig(block_interval=0)
+    with pytest.raises(ValidationError):
+        ArchitectureConfig(block_interval=-2.5)
+    # Boundary values stay accepted.
+    assert ArchitectureConfig(owner_share_percent=0).owner_share_percent == 0
+    assert ArchitectureConfig(owner_share_percent=100).owner_share_percent == 100
+    assert ArchitectureConfig(subscription_fee=0, access_fee=0).access_fee == 0
+
+
 def test_architecture_respects_custom_fees():
     architecture = UsageControlArchitecture(
         config=ArchitectureConfig(subscription_fee=7, access_fee=3, owner_share_percent=50)
