@@ -76,6 +76,10 @@ class BlockchainNode:
         self.validator_key = validator_key
         self.chain = Blockchain(consensus, registry, schedule, clock, genesis_balances)
         self.pending: List[Transaction] = []
+        self._pending_by_sender: Dict[str, int] = {}
+        # The TransactionBatch currently deferring submissions, if any;
+        # batches are exclusive per node (see BlockchainInteractionModule.batch).
+        self.active_batch: Optional[object] = None
         self.filters: List[EventFilter] = []
         self.require_signatures = require_signatures
         self.blocks_produced = 0
@@ -97,19 +101,20 @@ class BlockchainNode:
         if self.require_signatures and not tx.verify_signature():
             raise SignatureError(f"transaction {tx.hash} carries an invalid signature")
         self.pending.append(tx)
+        self._pending_by_sender[tx.sender] = self._pending_by_sender.get(tx.sender, 0) + 1
         return tx.hash
 
     def next_nonce(self, address: str) -> int:
         """Nonce the next transaction from *address* should carry.
 
-        Accounts for transactions already sitting in the pending pool so a
-        sender can queue several transactions for the same block.
+        Accounts for transactions already sitting in the pending pool (via a
+        per-sender counter, so queueing N transactions costs O(N), not
+        O(N^2)) so a sender can queue several transactions for one block.
         """
         on_chain = 0
         if self.chain.state.has_account(address):
             on_chain = self.chain.state.get_account(address).nonce
-        pending_from_sender = sum(1 for tx in self.pending if tx.sender == address)
-        return on_chain + pending_from_sender
+        return on_chain + self._pending_by_sender.get(address, 0)
 
     # -- block production ------------------------------------------------------------
 
@@ -124,6 +129,7 @@ class BlockchainNode:
             )
         transactions = list(self.pending)
         self.pending.clear()
+        self._pending_by_sender.clear()
         block = self.chain.build_block(transactions, proposer, timestamp)
         self.consensus.seal(block, self.validator_key)
         self.chain.append_block(block)

@@ -5,19 +5,27 @@ consensus.  Contract storage is a per-address dictionary of JSON-serializable
 values; a state root (hash committing to every account and storage slot) is
 included in every block header so tampering with state is detectable.
 
-Two properties keep the hot paths independent of the world size:
+Three properties keep the hot paths independent of the world size:
 
 * **Change journal** — every mutation made through the :class:`WorldState`
   API records an undo entry while a frame opened by :meth:`begin` is active.
   A failed transaction calls :meth:`rollback` and reverts in O(touched
   slots); the seed implementation deep-copied the entire state per
   transaction instead.
-* **Incremental state root** — :meth:`state_root` keeps a per-account digest
-  cache and a commutative accumulator over those digests.  Mutations mark
-  accounts dirty; recomputing the root only re-hashes the dirty accounts, so
-  producing a block costs O(accounts touched since the last block), not
-  O(world).  Repeated calls with no intervening mutation return the cached
-  root string without any hashing at all.
+* **Per-entry slot operations** — :meth:`storage_read_entry`,
+  :meth:`storage_write_entry`, :meth:`storage_delete_entry`, and
+  :meth:`storage_append` touch a single entry of a dict- or list-valued
+  slot.  They copy and journal O(one entry), so contracts that keep an
+  index in one slot (``pending requests``, ``round responses``) pay for the
+  entry they touch, not for the whole collection.
+* **Incremental state root** — :meth:`state_root` keeps a digest per
+  *storage slot* plus a per-account commutative accumulator over those slot
+  digests, and a second accumulator over the account digests.  Mutations
+  mark (account, slot) pairs dirty; recomputing the root only re-hashes the
+  dirty slots, so producing a block costs O(slots touched since the last
+  block), not O(world) and not O(an account's whole storage).  Repeated
+  calls with no intervening mutation return the cached root string without
+  any hashing at all.
 
 Storage values have **value semantics**: reads return structural copies and
 writes store structural copies.  Contract code therefore cannot alias the
@@ -28,7 +36,7 @@ change state is through the journaled API.
 from __future__ import annotations
 
 import copy
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.common.errors import NotFoundError, ValidationError
 from repro.common.serialization import stable_hash
@@ -36,10 +44,10 @@ from repro.blockchain.account import Account
 
 _MISSING = object()
 
-# The accumulator adds per-account digests modulo 2**256.  Addition is
-# commutative, which is what makes the root incrementally maintainable:
-# replacing one account's digest subtracts the old leaf and adds the new one
-# without touching the rest of the world.
+# The accumulators add digests modulo 2**256.  Addition is commutative, which
+# is what makes the root incrementally maintainable: replacing one slot's
+# digest subtracts the old leaf and adds the new one without touching the
+# rest of the world.
 #
 # Trade-off: a commutative sum is NOT collision-resistant against an
 # adversary who controls account contents (a generalized-birthday / k-sum
@@ -75,9 +83,19 @@ class WorldState:
         # Stack of journal lengths, one entry per open frame.
         self._frames: List[int] = []
         # Addresses whose cached digest is stale.
-        self._dirty: set = set()
-        # address -> hex digest of (account, storage), valid unless dirty.
-        self._digests: Dict[str, str] = {}
+        self._dirty: Set[str] = set()
+        # address -> set of slot keys whose digest is stale.  An address
+        # dirty with no entry here has only account-level changes (balance/
+        # nonce); the "recompute every slot" path triggers when the address
+        # is missing from _slot_digests (fresh account, or after restore()
+        # cleared the caches).
+        self._dirty_slots: Dict[str, Set[str]] = {}
+        # address -> slot key -> integer digest of (key, value).
+        self._slot_digests: Dict[str, Dict[str, int]] = {}
+        # address -> sum of its slot digests, mod _ROOT_MODULUS.
+        self._storage_acc: Dict[str, int] = {}
+        # address -> integer digest of (account record, storage accumulator).
+        self._digests: Dict[str, int] = {}
         # Sum of the digest integers of every account, mod _ROOT_MODULUS.
         self._root_acc: int = 0
         # Cached state_root() string; None whenever any account is dirty.
@@ -110,23 +128,41 @@ class WorldState:
         while len(self._journal) > mark:
             entry = self._journal.pop()
             kind = entry[0]
+            address = entry[1]
             if kind == "create":
-                address = entry[1]
                 del self._accounts[address]
                 self._storage.pop(address, None)
+                self._touch(address)
             elif kind == "balance":
-                self._accounts[entry[1]].balance = entry[2]
+                self._accounts[address].balance = entry[2]
+                self._touch(address)
             elif kind == "nonce":
-                self._accounts[entry[1]].nonce = entry[2]
+                self._accounts[address].nonce = entry[2]
+                self._touch(address)
             elif kind == "slot":
-                _, address, key, old = entry
+                _, _, key, old = entry
                 storage = self._storage.get(address)
                 if storage is not None:
                     if old is _MISSING:
                         storage.pop(key, None)
                     else:
                         storage[key] = old
-            self._touch(entry[1])
+                self._touch(address, key)
+            elif kind == "entry":
+                _, _, key, entry_key, old = entry
+                storage = self._storage.get(address)
+                if storage is not None and isinstance(storage.get(key), dict):
+                    if old is _MISSING:
+                        storage[key].pop(entry_key, None)
+                    else:
+                        storage[key][entry_key] = old
+                self._touch(address, key)
+            elif kind == "pop":
+                _, _, key = entry
+                storage = self._storage.get(address)
+                if storage is not None and isinstance(storage.get(key), list) and storage[key]:
+                    storage[key].pop()
+                self._touch(address, key)
 
     @property
     def journal_depth(self) -> int:
@@ -137,8 +173,12 @@ class WorldState:
         if self._frames:
             self._journal.append(entry)
 
-    def _touch(self, address: str) -> None:
+    def _touch(self, address: str, key: Optional[str] = None) -> None:
         self._dirty.add(address)
+        if key is not None and address in self._dirty_slots:
+            self._dirty_slots[address].add(key)
+        elif key is not None:
+            self._dirty_slots[address] = {key}
         self._root_value = None
 
     # -- accounts -----------------------------------------------------------
@@ -258,7 +298,7 @@ class WorldState:
         is_new = key not in storage
         self._record(("slot", address, key, _MISSING if is_new else storage[key]))
         storage[key] = copy_jsonlike(value)
-        self._touch(address)
+        self._touch(address, key)
         return is_new
 
     def storage_delete(self, address: str, key: str) -> bool:
@@ -267,9 +307,90 @@ class WorldState:
         if key in storage:
             self._record(("slot", address, key, storage[key]))
             del storage[key]
-            self._touch(address)
+            self._touch(address, key)
             return True
         return False
+
+    # -- per-entry slot operations ---------------------------------------------
+
+    def _mapping_slot(self, address: str, key: str, create: bool) -> Optional[Dict[str, Any]]:
+        """Return the live dict behind a mapping-valued slot (or None)."""
+        storage = self._contract_storage(address)
+        if key not in storage:
+            if not create:
+                return None
+            self._record(("slot", address, key, _MISSING))
+            storage[key] = {}
+        slot = storage[key]
+        if not isinstance(slot, dict):
+            raise ValidationError(f"storage slot {key!r} of {address} does not hold a mapping")
+        return slot
+
+    def storage_read_entry(self, address: str, key: str, entry_key: str,
+                           default: Any = None) -> Any:
+        """Read one entry of a dict-valued slot; copies O(that entry)."""
+        slot = self._mapping_slot(address, key, create=False)
+        if slot is None or entry_key not in slot:
+            return default
+        return copy_jsonlike(slot[entry_key])
+
+    def storage_has_entry(self, address: str, key: str, entry_key: str) -> bool:
+        """Membership test on a dict-valued slot without copying any value."""
+        slot = self._mapping_slot(address, key, create=False)
+        return slot is not None and entry_key in slot
+
+    def storage_entry_count(self, address: str, key: str) -> int:
+        """Number of entries of a dict- or list-valued slot (0 when absent)."""
+        storage = self._contract_storage(address)
+        slot = storage.get(key)
+        if slot is None:
+            return 0
+        if not isinstance(slot, (dict, list)):
+            raise ValidationError(f"storage slot {key!r} of {address} is not a collection")
+        return len(slot)
+
+    def storage_write_entry(self, address: str, key: str, entry_key: str, value: Any) -> bool:
+        """Write one entry of a dict-valued slot; returns True when the entry is new.
+
+        Journals only the previous entry value, so rollback and the root
+        cache cost O(one entry) instead of O(the whole slot).
+        """
+        slot = self._mapping_slot(address, key, create=True)
+        assert slot is not None
+        is_new = entry_key not in slot
+        self._record(("entry", address, key, entry_key, _MISSING if is_new else slot[entry_key]))
+        slot[entry_key] = copy_jsonlike(value)
+        self._touch(address, key)
+        return is_new
+
+    def storage_delete_entry(self, address: str, key: str, entry_key: str) -> bool:
+        """Delete one entry of a dict-valued slot; returns True when it existed."""
+        slot = self._mapping_slot(address, key, create=False)
+        if slot is None or entry_key not in slot:
+            return False
+        self._record(("entry", address, key, entry_key, slot[entry_key]))
+        del slot[entry_key]
+        self._touch(address, key)
+        return True
+
+    def storage_append(self, address: str, key: str, value: Any) -> Tuple[int, bool]:
+        """Append to a list-valued slot; returns ``(new length, slot was new)``.
+
+        The undo entry is a single "pop", so appending to a long on-chain
+        list never copies or journals the existing elements.
+        """
+        storage = self._contract_storage(address)
+        is_new_slot = key not in storage
+        if is_new_slot:
+            self._record(("slot", address, key, _MISSING))
+            storage[key] = []
+        slot = storage[key]
+        if not isinstance(slot, list):
+            raise ValidationError(f"storage slot {key!r} of {address} does not hold a list")
+        self._record(("pop", address, key))
+        slot.append(copy_jsonlike(value))
+        self._touch(address, key)
+        return len(slot), is_new_slot
 
     # -- snapshots and roots ----------------------------------------------------
 
@@ -297,36 +418,83 @@ class WorldState:
         self._journal.clear()
         self._frames.clear()
         self._digests.clear()
+        self._slot_digests.clear()
+        self._storage_acc.clear()
+        self._dirty_slots.clear()
         self._root_acc = 0
         self._dirty = set(self._accounts)
         self._root_value = None
 
-    def _account_digest(self, address: str) -> str:
+    @staticmethod
+    def _slot_digest(key: str, value: Any) -> int:
+        """Integer digest committing to one storage slot."""
+        return int(stable_hash({"key": key, "value": value}), 16)
+
+    def _refresh_storage_accumulator(self, address: str) -> int:
+        """Bring the per-slot digests of *address* up to date; return the sum."""
+        storage = self._storage.get(address, {})
+        slot_digests = self._slot_digests.get(address)
+        acc = self._storage_acc.get(address, 0)
+        if slot_digests is None:
+            # No cache yet (fresh account or post-restore): hash every slot.
+            slot_digests = {key: self._slot_digest(key, value) for key, value in storage.items()}
+            self._slot_digests[address] = slot_digests
+            acc = sum(slot_digests.values()) % _ROOT_MODULUS
+        else:
+            dirty_keys = self._dirty_slots.get(address, ())
+            for key in dirty_keys:
+                previous = slot_digests.pop(key, None)
+                if previous is not None:
+                    acc = (acc - previous) % _ROOT_MODULUS
+                if key in storage:
+                    digest = self._slot_digest(key, storage[key])
+                    slot_digests[key] = digest
+                    acc = (acc + digest) % _ROOT_MODULUS
+        self._storage_acc[address] = acc
+        self._dirty_slots.pop(address, None)
+        return acc
+
+    def _account_digest(self, address: str) -> int:
         """Digest committing to one account's record and storage."""
         account = self._accounts[address]
-        return stable_hash(
-            {
-                "address": address,
-                "account": account.to_dict(),
-                "storage": self._storage.get(address),
-            }
+        storage_acc = self._refresh_storage_accumulator(address)
+        return int(
+            stable_hash(
+                {
+                    "address": address,
+                    "account": account.to_dict(),
+                    "storage": format(storage_acc, "064x"),
+                }
+            ),
+            16,
         )
+
+    def _drop_account_digest(self, address: str) -> None:
+        previous = self._digests.pop(address, None)
+        if previous is not None:
+            self._root_acc = (self._root_acc - previous) % _ROOT_MODULUS
+        self._slot_digests.pop(address, None)
+        self._storage_acc.pop(address, None)
+        self._dirty_slots.pop(address, None)
 
     def state_root(self) -> str:
         """Return a hash committing to every account and storage slot.
 
-        Only accounts touched since the previous call are re-hashed; with no
-        intervening mutation the cached root string is returned as-is.
+        Only the slots and accounts touched since the previous call are
+        re-hashed; with no intervening mutation the cached root string is
+        returned as-is.
         """
         if self._root_value is None:
             for address in self._dirty:
                 previous = self._digests.pop(address, None)
                 if previous is not None:
-                    self._root_acc = (self._root_acc - int(previous, 16)) % _ROOT_MODULUS
+                    self._root_acc = (self._root_acc - previous) % _ROOT_MODULUS
                 if address in self._accounts:
                     digest = self._account_digest(address)
                     self._digests[address] = digest
-                    self._root_acc = (self._root_acc + int(digest, 16)) % _ROOT_MODULUS
+                    self._root_acc = (self._root_acc + digest) % _ROOT_MODULUS
+                else:
+                    self._drop_account_digest(address)
             self._dirty.clear()
             self._root_value = stable_hash(
                 {

@@ -61,6 +61,11 @@ class Transaction:
     gas_price: int = 1
     signature: Optional[Tuple[int, int]] = None
     public_key: Optional[Tuple[int, int]] = None
+    # Cached hash string; hashing canonicalizes the whole payload, which for
+    # batch transactions is O(batch size) — block production asks for the
+    # hash once per receipt log, so it must not be recomputed every time.
+    # sign() invalidates the cache (the hash covers the signature).
+    _hash_cache: Optional[str] = field(default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self):
         if self.value < 0:
@@ -91,11 +96,13 @@ class Transaction:
     @property
     def hash(self) -> str:
         """Transaction hash (includes the signature when present)."""
-        payload = {
-            "body": self.signing_payload().decode("utf-8"),
-            "signature": list(self.signature) if self.signature else None,
-        }
-        return sha256_hex(canonical_json(payload))
+        if self._hash_cache is None:
+            payload = {
+                "body": self.signing_payload().decode("utf-8"),
+                "signature": list(self.signature) if self.signature else None,
+            }
+            self._hash_cache = sha256_hex(canonical_json(payload))
+        return self._hash_cache
 
     @property
     def is_contract_creation(self) -> bool:
@@ -111,6 +118,7 @@ class Transaction:
             raise SignatureError("signing key does not match the transaction sender")
         self.signature = keypair.sign(self.signing_payload())
         self.public_key = keypair.public_key
+        self._hash_cache = None
         return self
 
     def verify_signature(self) -> bool:

@@ -128,6 +128,61 @@ class StorageProxy:
         self._charge("write", is_new=is_new)
         return default
 
+    # -- per-entry operations ---------------------------------------------------
+    #
+    # These touch one entry of a dict- or list-valued slot.  They cost the
+    # same gas as a whole-slot access (one read, or one write priced by
+    # entry freshness) but copy and journal O(one entry), which is what
+    # keeps contract methods that maintain large on-chain collections
+    # independent of the collection size.
+
+    def get_entry(self, key: str, entry_key: str, default: Any = None) -> Any:
+        """Read one entry of a dict-valued slot (one metered read)."""
+        self._charge("read")
+        return self._state.storage_read_entry(self._address, key, str(entry_key), default)
+
+    def has_entry(self, key: str, entry_key: str) -> bool:
+        """Membership test on a dict-valued slot (one metered read)."""
+        self._charge("read")
+        return self._state.storage_has_entry(self._address, key, str(entry_key))
+
+    def entry_count(self, key: str) -> int:
+        """Number of entries in a dict- or list-valued slot (one metered read)."""
+        self._charge("read")
+        return self._state.storage_entry_count(self._address, key)
+
+    def set_entry(self, key: str, entry_key: str, value: Any) -> bool:
+        """Write one entry of a dict-valued slot; returns True when it is new.
+
+        A fresh entry is priced like a fresh slot; overwriting an existing
+        entry is priced like a slot update.
+        """
+        if self._context.read_only:
+            raise ContractError("storage writes are not allowed in read-only calls")
+        is_new = self._state.storage_write_entry(self._address, key, str(entry_key), value)
+        self._charge("write", is_new=is_new)
+        return is_new
+
+    def delete_entry(self, key: str, entry_key: str) -> bool:
+        """Delete one entry of a dict-valued slot; returns True when it existed."""
+        if self._context.read_only:
+            raise ContractError("storage writes are not allowed in read-only calls")
+        existed = self._state.storage_delete_entry(self._address, key, str(entry_key))
+        self._charge("delete" if existed else "read")
+        return existed
+
+    def append(self, key: str, value: Any) -> int:
+        """Append to a list-valued slot; returns the new length.
+
+        Journals a single "pop" undo entry, so appending to a long list
+        never copies the existing elements.
+        """
+        if self._context.read_only:
+            raise ContractError("storage writes are not allowed in read-only calls")
+        length, is_new_slot = self._state.storage_append(self._address, key, value)
+        self._charge("write", is_new=is_new_slot)
+        return length
+
 
 _MISSING = object()
 

@@ -12,11 +12,18 @@ contract implements that machinery:
   managers through a read-only call;
 * an earnings ledger crediting owners for each certificate bought over their
   resources, with withdrawal of accumulated remuneration.
+
+Storage layout: certificates live in per-entity ``certificate:{id}`` slots;
+subscribers, resource owners, earnings, and access counts are mappings
+manipulated one entry at a time (``set_entry`` / ``get_entry``), and the
+figures :meth:`market_statistics` reports are maintained as running
+aggregates — so every market operation touches O(1) entries no matter how
+many subscribers or certificates the market has accumulated.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Optional
 
 from repro.common.serialization import stable_hash
 from repro.contracts.base import SmartContract
@@ -33,11 +40,16 @@ class DataMarket(SmartContract):
         self.storage["access_fee"] = int(access_fee)
         self.storage["owner_share_percent"] = int(owner_share_percent)
         self.storage["subscribers"] = {}
-        self.storage["certificates"] = {}
+        self.storage["certificate_index"] = {}
         self.storage["earnings"] = {}
         self.storage["operator_earnings"] = 0
         self.storage["resource_owners"] = {}
         self.storage["access_counts"] = {}
+        # Running aggregates behind market_statistics().
+        self.storage["subscriber_count"] = 0
+        self.storage["certificate_count"] = 0
+        self.storage["listed_count"] = 0
+        self.storage["outstanding_owner_earnings"] = 0
 
     # -- configuration -------------------------------------------------------
 
@@ -66,9 +78,9 @@ class DataMarket(SmartContract):
         """Associate a resource with the owner who should earn from its accesses."""
         self.require(bool(resource_id), "resource_id must be non-empty")
         self.require(bool(owner), "owner must be non-empty")
-        owners = self.storage.get("resource_owners", {})
-        owners[resource_id] = owner
-        self.storage["resource_owners"] = owners
+        is_new = self.storage.set_entry("resource_owners", resource_id, owner)
+        if is_new:
+            self.storage["listed_count"] = self.storage.get("listed_count", 0) + 1
         self.emit("ResourceListed", resource_id=resource_id, owner=owner)
         return resource_id
 
@@ -79,30 +91,30 @@ class DataMarket(SmartContract):
         subscriber = account or self.msg_sender
         fee = self.storage.get("subscription_fee", 0)
         self.require(self.msg_value >= fee, f"subscription requires a payment of {fee}")
-        subscribers = self.storage.get("subscribers", {})
-        subscribers[subscriber] = {
+        record = {
             "since": self.block_timestamp,
             "paid": self.msg_value,
             "active": True,
         }
-        self.storage["subscribers"] = subscribers
+        is_new = self.storage.set_entry("subscribers", subscriber, record)
+        if is_new:
+            self.storage["subscriber_count"] = self.storage.get("subscriber_count", 0) + 1
         self.storage["operator_earnings"] = self.storage.get("operator_earnings", 0) + self.msg_value
         self.emit("Subscribed", account=subscriber, paid=self.msg_value)
-        return subscribers[subscriber]
+        return record
 
     def is_subscribed(self, account: str) -> bool:
         """Return True when *account* holds an active subscription."""
-        record = self.storage.get("subscribers", {}).get(account)
+        record = self.storage.get_entry("subscribers", account)
         return bool(record and record.get("active"))
 
     def cancel_subscription(self, account: Optional[str] = None) -> bool:
         """Deactivate a subscription (no refund)."""
         subscriber = account or self.msg_sender
-        subscribers = self.storage.get("subscribers", {})
-        record = subscribers.get(subscriber)
+        record = self.storage.get_entry("subscribers", subscriber)
         self.require(record is not None, f"{subscriber} is not subscribed")
         record["active"] = False
-        self.storage["subscribers"] = subscribers
+        self.storage.set_entry("subscribers", subscriber, record)
         self.emit("SubscriptionCancelled", account=subscriber)
         return True
 
@@ -117,17 +129,18 @@ class DataMarket(SmartContract):
         """
         buyer = consumer or self.msg_sender
         self.require(self.is_subscribed(buyer), f"{buyer} must be subscribed to the market")
-        owners = self.storage.get("resource_owners", {})
-        self.require(resource_id in owners, f"resource {resource_id} is not listed on the market")
+        owner = self.storage.get_entry("resource_owners", resource_id)
+        self.require(owner is not None, f"resource {resource_id} is not listed on the market")
         fee = self.storage.get("access_fee", 0)
         self.require(self.msg_value >= fee, f"access to {resource_id} requires a payment of {fee}")
 
+        issued = self.storage.get("certificate_count", 0)
         certificate_id = stable_hash(
             {
                 "consumer": buyer,
                 "resource_id": resource_id,
                 "issued_at": self.block_timestamp,
-                "nonce": len(self.storage.get("certificates", {})),
+                "nonce": issued,
             }
         )
         certificate = {
@@ -138,22 +151,24 @@ class DataMarket(SmartContract):
             "fee_paid": self.msg_value,
             "revoked": False,
         }
-        certificates = self.storage.get("certificates", {})
-        certificates[certificate_id] = certificate
-        self.storage["certificates"] = certificates
+        self.storage[f"certificate:{certificate_id}"] = certificate
+        self.storage.set_entry("certificate_index", certificate_id, True)
+        self.storage["certificate_count"] = issued + 1
 
         # Split the fee between the resource owner and the market operator.
-        owner = owners[resource_id]
         owner_share = self.msg_value * self.storage.get("owner_share_percent", 0) // 100
-        earnings = self.storage.get("earnings", {})
-        earnings[owner] = earnings.get(owner, 0) + owner_share
-        self.storage["earnings"] = earnings
+        self.storage.set_entry(
+            "earnings", owner, self.storage.get_entry("earnings", owner, 0) + owner_share
+        )
+        self.storage["outstanding_owner_earnings"] = (
+            self.storage.get("outstanding_owner_earnings", 0) + owner_share
+        )
         self.storage["operator_earnings"] = (
             self.storage.get("operator_earnings", 0) + (self.msg_value - owner_share)
         )
-        counts = self.storage.get("access_counts", {})
-        counts[resource_id] = counts.get(resource_id, 0) + 1
-        self.storage["access_counts"] = counts
+        self.storage.set_entry(
+            "access_counts", resource_id, self.storage.get_entry("access_counts", resource_id, 0) + 1
+        )
 
         self.emit(
             "CertificateIssued",
@@ -165,7 +180,7 @@ class DataMarket(SmartContract):
 
     def verify_certificate(self, certificate_id: str, consumer: str, resource_id: str) -> bool:
         """Check that a certificate exists, matches, and has not been revoked."""
-        certificate = self.storage.get("certificates", {}).get(certificate_id)
+        certificate = self.storage.get(f"certificate:{certificate_id}")
         if certificate is None:
             return False
         return (
@@ -177,10 +192,10 @@ class DataMarket(SmartContract):
     def revoke_certificate(self, certificate_id: str) -> bool:
         """Operator-only revocation of a previously issued certificate."""
         self.require(self.msg_sender == self.storage.get("operator"), "only the operator may revoke certificates")
-        certificates = self.storage.get("certificates", {})
-        self.require(certificate_id in certificates, f"unknown certificate {certificate_id}")
-        certificates[certificate_id]["revoked"] = True
-        self.storage["certificates"] = certificates
+        certificate = self.storage.get(f"certificate:{certificate_id}")
+        self.require(certificate is not None, f"unknown certificate {certificate_id}")
+        certificate["revoked"] = True
+        self.storage[f"certificate:{certificate_id}"] = certificate
         self.emit("CertificateRevoked", certificate_id=certificate_id)
         return True
 
@@ -188,31 +203,66 @@ class DataMarket(SmartContract):
 
     def earnings_of(self, owner: str) -> int:
         """Accumulated, not-yet-withdrawn earnings of a data owner."""
-        return self.storage.get("earnings", {}).get(owner, 0)
+        return self.storage.get_entry("earnings", owner, 0)
 
     def access_count(self, resource_id: str) -> int:
         """Number of certificates purchased for a resource."""
-        return self.storage.get("access_counts", {}).get(resource_id, 0)
+        return self.storage.get_entry("access_counts", resource_id, 0)
 
     def withdraw_earnings(self, owner: Optional[str] = None) -> int:
         """Transfer an owner's accumulated earnings to their account."""
         beneficiary = owner or self.msg_sender
         self.require(beneficiary == self.msg_sender, "owners may only withdraw their own earnings")
-        earnings = self.storage.get("earnings", {})
-        amount = earnings.get(beneficiary, 0)
+        amount = self.storage.get_entry("earnings", beneficiary, 0)
         self.require(amount > 0, "nothing to withdraw")
-        earnings[beneficiary] = 0
-        self.storage["earnings"] = earnings
+        self.storage.set_entry("earnings", beneficiary, 0)
+        self.storage["outstanding_owner_earnings"] = (
+            self.storage.get("outstanding_owner_earnings", 0) - amount
+        )
         self.transfer(beneficiary, amount)
         self.emit("EarningsWithdrawn", owner=beneficiary, amount=amount)
         return amount
 
     def market_statistics(self) -> Dict[str, Any]:
-        """Aggregate figures used by the affordability benchmark."""
+        """Aggregate figures used by the affordability benchmark (all O(1))."""
         return {
-            "subscribers": len(self.storage.get("subscribers", {})),
-            "certificates": len(self.storage.get("certificates", {})),
-            "listed_resources": len(self.storage.get("resource_owners", {})),
+            "subscribers": self.storage.get("subscriber_count", 0),
+            "certificates": self.storage.get("certificate_count", 0),
+            "listed_resources": self.storage.get("listed_count", 0),
             "operator_earnings": self.storage.get("operator_earnings", 0),
-            "total_owner_earnings": sum(self.storage.get("earnings", {}).values()),
+            "total_owner_earnings": self.storage.get("outstanding_owner_earnings", 0),
         }
+
+    # -- legacy-layout migration ---------------------------------------------------------
+
+    def migrate_storage(self) -> Dict[str, int]:
+        """One-shot conversion of the pre-composite (monolithic ``certificates``) layout.
+
+        Splits every certificate into its ``certificate:{id}`` slot and
+        seeds the running aggregates behind :meth:`market_statistics` from
+        the legacy mappings (which keep their slot names — the per-entry
+        operations work on them unchanged).  Operator-only; idempotent.
+        """
+        self.require(
+            self.msg_sender == self.storage.get("operator"),
+            "only the operator may migrate storage",
+        )
+        migrated = {"certificates": 0}
+        certificates = self.storage.get("certificates")
+        if certificates is not None:
+            for certificate_id, certificate in certificates.items():
+                self.storage[f"certificate:{certificate_id}"] = certificate
+                self.storage.set_entry("certificate_index", certificate_id, True)
+                migrated["certificates"] += 1
+            del self.storage["certificates"]
+            # Seed the running aggregates (kept up to date incrementally
+            # from here on; the legacy certificate-id nonce was
+            # len(certificates), which certificate_count continues).
+            self.storage["subscriber_count"] = len(self.storage.get("subscribers", {}))
+            self.storage["certificate_count"] = migrated["certificates"]
+            self.storage["listed_count"] = len(self.storage.get("resource_owners", {}))
+            self.storage["outstanding_owner_earnings"] = sum(
+                self.storage.get("earnings", {}).values()
+            )
+        self.emit("StorageMigrated", **migrated)
+        return migrated

@@ -6,6 +6,13 @@ usage evidence).  The hub contract keeps an explicit request queue: contracts
 (or the DE App workflow acting through the pod manager) enqueue requests, the
 off-chain oracle component watches the ``OracleRequest`` events, obtains the
 answer from the real world, and posts it back with :meth:`fulfill_request`.
+
+Storage layout: each request lives in its own ``request:{id}`` slot and the
+identifiers of unfulfilled requests are kept in a ``pending_index`` mapping
+(``id -> kind``), so enqueueing, fulfilling, and listing pending requests
+all touch O(1) / O(pending) entries regardless of how many requests the hub
+has ever processed.  :meth:`create_requests` enqueues a whole monitoring
+round's worth of requests in a single transaction.
 """
 
 from __future__ import annotations
@@ -19,22 +26,21 @@ class OracleRequestHub(SmartContract):
     """Request/response queue connecting on-chain consumers to off-chain providers."""
 
     def constructor(self, **_: Any) -> None:
+        self.storage["administrator"] = self.msg_sender
         self.storage["next_request_id"] = 1
-        self.storage["requests"] = {}
+        self.storage["pending_index"] = {}
         self.storage["authorized_providers"] = {}
 
     # -- provider management -----------------------------------------------------
 
     def authorize_provider(self, provider: str) -> bool:
         """Allow an off-chain provider address to fulfill requests."""
-        providers = self.storage.get("authorized_providers", {})
-        providers[provider] = True
-        self.storage["authorized_providers"] = providers
+        self.storage.set_entry("authorized_providers", provider, True)
         self.emit("ProviderAuthorized", provider=provider)
         return True
 
     def is_authorized(self, provider: str) -> bool:
-        return bool(self.storage.get("authorized_providers", {}).get(provider, False))
+        return bool(self.storage.get_entry("authorized_providers", provider, False))
 
     # -- request lifecycle ----------------------------------------------------------
 
@@ -42,10 +48,27 @@ class OracleRequestHub(SmartContract):
                        target: Optional[str] = None) -> int:
         """Enqueue an oracle request; emits ``OracleRequest`` for off-chain watchers."""
         self.require(bool(kind), "request kind must be non-empty")
+        return self._enqueue(kind, payload, target)
+
+    def create_requests(self, requests: List[Dict[str, Any]]) -> List[int]:
+        """Batch variant of :meth:`create_request`: one transaction, many requests.
+
+        Each item carries ``kind``, ``payload``, and optionally ``target``.
+        Returns the identifiers in input order; one ``OracleRequest`` event
+        is emitted per request, so off-chain watchers see the same stream
+        as with individual transactions.
+        """
+        for request in requests:
+            self.require(bool(request.get("kind")), "request kind must be non-empty")
+        return [
+            self._enqueue(request["kind"], request.get("payload", {}), request.get("target"))
+            for request in requests
+        ]
+
+    def _enqueue(self, kind: str, payload: Dict[str, Any], target: Optional[str]) -> int:
         request_id = self.storage.get("next_request_id", 1)
         self.storage["next_request_id"] = request_id + 1
-        requests = self.storage.get("requests", {})
-        requests[str(request_id)] = {
+        self.storage[f"request:{request_id}"] = {
             "kind": kind,
             "payload": payload,
             "target": target,
@@ -56,7 +79,7 @@ class OracleRequestHub(SmartContract):
             "fulfilled_by": None,
             "fulfilled_at": None,
         }
-        self.storage["requests"] = requests
+        self.storage.set_entry("pending_index", str(request_id), kind)
         self.emit("OracleRequest", request_id=request_id, kind=kind, payload=payload, target=target)
         return request_id
 
@@ -65,16 +88,15 @@ class OracleRequestHub(SmartContract):
         """Record the off-chain answer to a pending request."""
         responder = provider or self.msg_sender
         self.require(self.is_authorized(responder), f"{responder} is not an authorized oracle provider")
-        requests = self.storage.get("requests", {})
-        key = str(request_id)
-        self.require(key in requests, f"unknown oracle request {request_id}")
-        record = requests[key]
+        record = self.storage.get(f"request:{request_id}")
+        self.require(record is not None, f"unknown oracle request {request_id}")
         self.require(not record["fulfilled"], f"oracle request {request_id} is already fulfilled")
         record["fulfilled"] = True
         record["response"] = response
         record["fulfilled_by"] = responder
         record["fulfilled_at"] = self.block_timestamp
-        self.storage["requests"] = requests
+        self.storage[f"request:{request_id}"] = record
+        self.storage.delete_entry("pending_index", str(request_id))
         self.emit("OracleResponse", request_id=request_id, response=response, provider=responder)
         return record
 
@@ -82,18 +104,48 @@ class OracleRequestHub(SmartContract):
 
     def get_request(self, request_id: int) -> Dict[str, Any]:
         """Return the full state of one oracle request."""
-        requests = self.storage.get("requests", {})
-        key = str(request_id)
-        self.require(key in requests, f"unknown oracle request {request_id}")
-        return requests[key]
+        record = self.storage.get(f"request:{request_id}")
+        self.require(record is not None, f"unknown oracle request {request_id}")
+        return record
 
     def pending_requests(self, kind: Optional[str] = None) -> List[int]:
-        """Return the identifiers of requests that still await fulfillment."""
-        pending = []
-        for key, record in self.storage.get("requests", {}).items():
-            if record["fulfilled"]:
-                continue
-            if kind is not None and record["kind"] != kind:
-                continue
-            pending.append(int(key))
+        """Return the identifiers of requests that still await fulfillment.
+
+        Served from the ``pending_index`` mapping: the cost is O(pending),
+        not O(every request ever created).
+        """
+        pending = [
+            int(request_id)
+            for request_id, request_kind in self.storage.get("pending_index", {}).items()
+            if kind is None or request_kind == kind
+        ]
         return sorted(pending)
+
+    # -- legacy-layout migration ---------------------------------------------------------
+
+    def migrate_storage(self) -> Dict[str, int]:
+        """One-shot conversion of the pre-composite (monolithic ``requests``) layout.
+
+        Administrator-only; hubs deployed before this layout never recorded
+        a deployer, so a contract without an ``administrator`` slot accepts
+        the migration from any caller (the conversion is content-preserving
+        and idempotent) and records the migrating sender as administrator.
+        """
+        administrator = self.storage.get("administrator")
+        self.require(
+            administrator is None or self.msg_sender == administrator,
+            "only the administrator may migrate storage",
+        )
+        if administrator is None:
+            self.storage["administrator"] = self.msg_sender
+        migrated = {"requests": 0}
+        requests = self.storage.get("requests")
+        if requests is not None:
+            for request_id, record in requests.items():
+                self.storage[f"request:{request_id}"] = record
+                if not record.get("fulfilled"):
+                    self.storage.set_entry("pending_index", str(request_id), record["kind"])
+                migrated["requests"] += 1
+            del self.storage["requests"]
+        self.emit("StorageMigrated", **migrated)
+        return migrated

@@ -126,6 +126,9 @@ class UsageControlArchitecture:
 
         self.owners: Dict[str, DataOwner] = {}
         self.consumers: Dict[str, DataConsumer] = {}
+        # device_id -> consumer, so monitoring and violation handling resolve
+        # a device in O(1) instead of scanning every registered consumer.
+        self.consumers_by_device: Dict[str, DataConsumer] = {}
 
     # -- funding ------------------------------------------------------------------------
 
@@ -209,8 +212,13 @@ class UsageControlArchitecture:
         )
         self._wire_consumer(consumer)
         self.consumers[name] = consumer
+        self.consumers_by_device[consumer.device_id] = consumer
         self.metrics.counter("participants.consumers").increment()
         return consumer
+
+    def consumer_for_device(self, device_id: str) -> Optional[DataConsumer]:
+        """Return the consumer operating *device_id* (O(1) map lookup)."""
+        return self.consumers_by_device.get(device_id)
 
     # -- wiring ---------------------------------------------------------------------------------
 
@@ -257,6 +265,9 @@ class UsageControlArchitecture:
         def on_monitoring_requested(resource_id: str, owner_webid: WebID) -> None:
             receipt = owner.push_in.push_monitoring_request(resource_id, owner_webid.iri)
             owner.receipts.append(receipt)
+            # start_monitoring returns the round id; remember it so the
+            # monitoring coordinator does not re-scan the event history.
+            owner.monitoring_round_ids[resource_id] = receipt.return_value
             self.metrics.counter("process.policy_monitoring").increment()
 
         owner.pod_manager.on(

@@ -15,15 +15,27 @@ The :class:`MonitoringCoordinator` drives that loop for a deployment: it
 opens the round through the owner's pod manager, relays the DE App's evidence
 requests to the copy-holding devices through the oracle request hub, records
 the answers on-chain, and assembles a :class:`MonitoringReport`.
+
+By default the coordinator runs **batched**: the evidence requests for every
+holder are enqueued with one ``create_requests`` transaction, the devices'
+fulfillments are confirmed in one block through
+``BlockchainInteractionModule.batch()``, and the collected evidence is
+recorded with one ``record_usage_evidence_batch`` transaction — so a round
+seals a small constant number of blocks instead of O(holders).  The
+transaction-per-device flow is kept behind ``batched=False`` (it produces
+byte-identical reports and on-chain records, which the equivalence tests
+pin).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.common.errors import NotFoundError
-from repro.core.participants import DataConsumer, DataOwner
+from repro.core.participants import DataConsumer, DataOwner, consumer_for_device
+
+NO_EVIDENCE = {"compliant": False, "details": "no evidence provided"}
 
 
 @dataclass
@@ -56,9 +68,10 @@ class MonitoringReport:
 class MonitoringCoordinator:
     """Drives monitoring rounds across the DE App, oracles, and consumer TEEs."""
 
-    def __init__(self, architecture):
+    def __init__(self, architecture, batched: bool = True):
         # Imported lazily by type to avoid a circular import with architecture.
         self.architecture = architecture
+        self.batched = batched
         self.reports: List[MonitoringReport] = []
 
     # -- single round -------------------------------------------------------------
@@ -67,66 +80,116 @@ class MonitoringCoordinator:
         """Execute one complete monitoring round for *resource_path*."""
         arch = self.architecture
         resource_id = owner.request_monitoring(resource_path)
-        round_id = self._latest_round_id(resource_id)
+        round_id = self._round_id_for(owner, resource_id)
         round_record = arch.dist_exchange_read("get_monitoring_round", {"round_id": round_id})
         holders: List[str] = list(round_record["holders"])
+        report = MonitoringReport(round_id=round_id, resource_id=resource_id, holders=holders)
+
+        if self.batched:
+            self._collect_evidence_batched(report)
+        else:
+            self._collect_evidence_sequential(report)
+
+        report.violations = arch.dist_exchange_read("get_violations", {"resource_id": resource_id})
+        self.reports.append(report)
+        return report
+
+    # -- batched flow (constant blocks per round) ---------------------------------------
+
+    def _collect_evidence_batched(self, report: MonitoringReport) -> None:
+        """One transaction per phase: request fan-out, fulfillments, recording."""
+        arch = self.architecture
+        if not report.holders:
+            return
+        gas_limit = self._batch_gas_limit(len(report.holders))
 
         # The DE App requests evidence from every copy holder via the pull-in
-        # oracle: one request per device on the oracle hub.
+        # oracle: one transaction enqueues the whole round on the hub.
+        receipt = arch.operator_module.call_contract(
+            arch.oracle_hub_address,
+            "create_requests",
+            {
+                "requests": [
+                    {
+                        "kind": "usage_evidence",
+                        "payload": {
+                            "resource_id": report.resource_id,
+                            "device_id": device_id,
+                            "round_id": report.round_id,
+                        },
+                        "target": device_id,
+                    }
+                    for device_id in report.holders
+                ]
+            },
+            gas_limit=gas_limit,
+        )
+        request_ids: Dict[str, int] = dict(zip(report.holders, receipt.return_value))
+
+        # Each device's off-chain pull-in component answers its own request;
+        # the fulfillment transactions of every reachable device are sealed
+        # in a single block.
+        served: List[Tuple[str, int, Optional[DataConsumer]]] = [
+            (device_id, request_id, self._consumer_for_device(device_id))
+            for device_id, request_id in request_ids.items()
+        ]
+        modules = {id(c.module): c.module for _, _, c in served if c is not None}
+        with arch.operator_module.batch(*modules.values()):
+            for _, request_id, consumer in served:
+                if consumer is not None:
+                    consumer.pull_in.serve_request(request_id)
+
+        # The collected evidence is recorded in the DE App with one batch
+        # transaction; it emits the same per-device EvidenceRecorded events
+        # (delivered to the owner by the push-out oracle) as the
+        # transaction-per-device flow.
+        evidence_items = []
+        for device_id, request_id in request_ids.items():
+            evidence = self._fetch_response(request_id)
+            self._classify(report, device_id, evidence)
+            evidence_items.append({"device_id": device_id, "evidence": evidence})
+        arch.operator_module.call_contract(
+            arch.dist_exchange_address,
+            "record_usage_evidence_batch",
+            {"round_id": report.round_id, "evidence_items": evidence_items},
+            gas_limit=gas_limit,
+        )
+
+    # -- sequential flow (one transaction per device) ----------------------------------------
+
+    def _collect_evidence_sequential(self, report: MonitoringReport) -> None:
+        arch = self.architecture
         request_ids: Dict[str, int] = {}
-        for device_id in holders:
+        for device_id in report.holders:
             receipt = arch.operator_module.call_contract(
                 arch.oracle_hub_address,
                 "create_request",
                 {
                     "kind": "usage_evidence",
-                    "payload": {"resource_id": resource_id, "device_id": device_id, "round_id": round_id},
+                    "payload": {
+                        "resource_id": report.resource_id,
+                        "device_id": device_id,
+                        "round_id": report.round_id,
+                    },
                     "target": device_id,
                 },
             )
             request_ids[device_id] = receipt.return_value
 
-        # Each device's off-chain pull-in component answers its own request.
         for device_id, request_id in request_ids.items():
             consumer = self._consumer_for_device(device_id)
             if consumer is None:
                 continue
             consumer.pull_in.serve_request(request_id)
 
-        # The collected evidence is recorded in the DE App, which emits
-        # EvidenceRecorded events that the push-out oracle delivers to the
-        # owner's pod manager.
-        report = MonitoringReport(round_id=round_id, resource_id=resource_id, holders=holders)
         for device_id, request_id in request_ids.items():
-            record = arch.node.call(arch.oracle_hub_address, "get_request", {"request_id": request_id})
-            if not record["fulfilled"]:
-                report.non_compliant_devices.append(device_id)
-                report.evidence[device_id] = {"compliant": False, "details": "no evidence provided"}
-                arch.operator_module.call_contract(
-                    arch.dist_exchange_address,
-                    "record_usage_evidence",
-                    {
-                        "round_id": round_id,
-                        "device_id": device_id,
-                        "evidence": {"compliant": False, "details": "no evidence provided"},
-                    },
-                )
-                continue
-            evidence = record["response"]
-            report.evidence[device_id] = evidence
+            evidence = self._fetch_response(request_id)
+            self._classify(report, device_id, evidence)
             arch.operator_module.call_contract(
                 arch.dist_exchange_address,
                 "record_usage_evidence",
-                {"round_id": round_id, "device_id": device_id, "evidence": evidence},
+                {"round_id": report.round_id, "device_id": device_id, "evidence": evidence},
             )
-            if evidence.get("compliant", False):
-                report.compliant_devices.append(device_id)
-            else:
-                report.non_compliant_devices.append(device_id)
-
-        report.violations = arch.dist_exchange_read("get_violations", {"resource_id": resource_id})
-        self.reports.append(report)
-        return report
 
     # -- scheduled monitoring ------------------------------------------------------------
 
@@ -142,6 +205,40 @@ class MonitoringCoordinator:
 
     # -- helpers -----------------------------------------------------------------------------
 
+    @staticmethod
+    def _batch_gas_limit(item_count: int) -> int:
+        """Gas limit for a round-sized batch transaction."""
+        return 2_000_000 + 120_000 * item_count
+
+    def _fetch_response(self, request_id: int) -> Dict[str, Any]:
+        """Return a request's response, or the no-evidence marker when unanswered."""
+        record = self.architecture.node.call(
+            self.architecture.oracle_hub_address, "get_request", {"request_id": request_id}
+        )
+        if not record["fulfilled"]:
+            return dict(NO_EVIDENCE)
+        return record["response"]
+
+    @staticmethod
+    def _classify(report: MonitoringReport, device_id: str, evidence: Dict[str, Any]) -> None:
+        report.evidence[device_id] = evidence
+        if evidence.get("compliant", False):
+            report.compliant_devices.append(device_id)
+        else:
+            report.non_compliant_devices.append(device_id)
+
+    def _round_id_for(self, owner: DataOwner, resource_id: str) -> int:
+        """Round id of the round just opened through the owner's push-in oracle.
+
+        The architecture wiring records the ``start_monitoring`` return value
+        on the owner; the historical ``MonitoringRequested`` log scan is kept
+        only as a fallback for custom wirings.
+        """
+        round_id = owner.monitoring_round_ids.get(resource_id)
+        if round_id is not None:
+            return round_id
+        return self._latest_round_id(resource_id)
+
     def _latest_round_id(self, resource_id: str) -> int:
         logs = self.architecture.node.get_logs(
             address=self.architecture.dist_exchange_address, event="MonitoringRequested"
@@ -152,7 +249,4 @@ class MonitoringCoordinator:
         return matching[-1].data["round_id"]
 
     def _consumer_for_device(self, device_id: str) -> Optional[DataConsumer]:
-        for consumer in self.architecture.consumers.values():
-            if consumer.device_id == device_id:
-                return consumer
-        return None
+        return consumer_for_device(self.architecture, device_id)

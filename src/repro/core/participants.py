@@ -28,6 +28,22 @@ from repro.tee.enclave import TrustedExecutionEnvironment
 from repro.tee.trusted_app import TrustedApplication
 
 
+def consumer_for_device(architecture, device_id: str) -> Optional["DataConsumer"]:
+    """Resolve the consumer operating *device_id* on an architecture.
+
+    Uses the architecture's O(1) device map when it has one
+    (``UsageControlArchitecture.consumer_for_device``); scanning the
+    consumer registry is kept as a fallback for custom wirings.
+    """
+    finder = getattr(architecture, "consumer_for_device", None)
+    if finder is not None:
+        return finder(device_id)
+    for consumer in architecture.consumers.values():
+        if consumer.device_id == device_id:
+            return consumer
+    return None
+
+
 @dataclass
 class DataOwner:
     """A data owner: WebID, pod manager, and the owner-side oracle components."""
@@ -40,6 +56,10 @@ class DataOwner:
     market_address: str
     monitoring_evidence: List[LogEntry] = field(default_factory=list)
     receipts: List[Receipt] = field(default_factory=list)
+    # resource_id -> id of the latest monitoring round opened by this owner
+    # (recorded by the architecture wiring from the start_monitoring return
+    # value, so coordinators never re-scan MonitoringRequested logs).
+    monitoring_round_ids: Dict[str, int] = field(default_factory=dict)
 
     @property
     def name(self) -> str:

@@ -53,9 +53,9 @@ class _Instrumented:
         self._start_wall = time.perf_counter()
         self._start_latency = self.architecture.network.total_latency
         self._start_gas = self.architecture.total_gas_used()
-        self._start_txs = sum(
-            len(block.transactions) for block in self.architecture.node.chain.blocks
-        )
+        # Served by the chain's running aggregate (O(1)); the seed summed
+        # len(block.transactions) over the whole chain on every entry/exit.
+        self._start_txs = self.architecture.node.chain.transaction_count()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
@@ -63,8 +63,7 @@ class _Instrumented:
         self.latency = self.architecture.network.total_latency - self._start_latency
         self.gas = self.architecture.total_gas_used() - self._start_gas
         self.transactions = (
-            sum(len(block.transactions) for block in self.architecture.node.chain.blocks)
-            - self._start_txs
+            self.architecture.node.chain.transaction_count() - self._start_txs
         )
 
     def trace(self, **details: Any) -> ProcessTrace:

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.blockchain.transaction import LogEntry
-from repro.core.participants import DataOwner
+from repro.core.participants import DataOwner, consumer_for_device
 
 
 @dataclass
@@ -112,10 +112,7 @@ class ViolationResponder:
         return response
 
     def _consumer_for_device(self, device_id: str):
-        for consumer in self.architecture.consumers.values():
-            if consumer.device_id == device_id:
-                return consumer
-        return None
+        return consumer_for_device(self.architecture, device_id)
 
     def _revoke_certificates(self, consumer, resource_id: str) -> List[str]:
         """Ask the market operator to revoke the consumer's certificates for the resource."""

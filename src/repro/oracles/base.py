@@ -9,18 +9,79 @@ The :class:`BlockchainInteractionModule` is exactly that: it owns the
 entity's key pair, assembles and signs transactions, submits them to a
 blockchain node, and (in the default single-node deployment) asks the node to
 produce a block so the caller immediately obtains a receipt.
+
+For workflows that confirm many transactions at once (a monitoring round
+over thousands of copy holders), auto-mining one block per transaction is
+the dominant cost.  :meth:`BlockchainInteractionModule.batch` opens a
+:class:`TransactionBatch`: every enrolled module submits with auto-mining
+off, a single block is produced when the context exits, and the placeholder
+receipts handed out during the batch are resolved in place.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
-from repro.common.errors import ContractError, ReproError
+from repro.common.errors import ContractError, ReproError, ValidationError
 from repro.sim.network import NetworkModel
 from repro.blockchain.crypto import KeyPair
 from repro.blockchain.node import BlockchainNode
 from repro.blockchain.transaction import Receipt, Transaction
+
+
+class TransactionBatch:
+    """Transactions deferred by one or more interaction modules, mined once.
+
+    While a batch is active, enrolled modules return *placeholder* receipts
+    (``gas_used=0``, no logs).  :meth:`flush` produces a single block for
+    everything submitted, copies each confirmed receipt's fields onto the
+    placeholder the caller is holding, updates the modules' gas accounting,
+    and raises :class:`ContractError` if any batched transaction reverted.
+    """
+
+    def __init__(self, node: BlockchainNode):
+        self.node = node
+        self._tracked: List[Tuple["BlockchainInteractionModule", Receipt]] = []
+        self.flushed = False
+
+    def track(self, module: "BlockchainInteractionModule", placeholder: Receipt) -> None:
+        self._tracked.append((module, placeholder))
+
+    @property
+    def size(self) -> int:
+        """Number of transactions deferred so far."""
+        return len(self._tracked)
+
+    def flush(self) -> List[Receipt]:
+        """Mine one block and resolve every placeholder receipt in place."""
+        self.flushed = True
+        if not self._tracked:
+            return []
+        if self.node.pending:
+            self.node.produce_block()
+        resolved: List[Receipt] = []
+        failures: List[str] = []
+        for module, placeholder in self._tracked:
+            receipt = self.node.get_receipt(placeholder.transaction_hash)
+            placeholder.status = receipt.status
+            placeholder.gas_used = receipt.gas_used
+            placeholder.logs = receipt.logs
+            placeholder.contract_address = receipt.contract_address
+            placeholder.return_value = receipt.return_value
+            placeholder.error = receipt.error
+            placeholder.block_number = receipt.block_number
+            module.gas_spent += receipt.gas_used
+            resolved.append(placeholder)
+            if not receipt.status:
+                failures.append(receipt.error or "transaction reverted")
+        self._tracked.clear()
+        if failures:
+            raise ContractError(
+                f"{len(failures)} batched transaction(s) reverted; first error: {failures[0]}"
+            )
+        return resolved
 
 
 class BlockchainInteractionModule:
@@ -36,6 +97,7 @@ class BlockchainInteractionModule:
         self.default_gas_limit = default_gas_limit
         self.transactions_sent = 0
         self.gas_spent = 0
+        self.current_batch: Optional[TransactionBatch] = None
 
     @property
     def address(self) -> str:
@@ -59,8 +121,12 @@ class BlockchainInteractionModule:
         tx_hash = self.node.submit_transaction(tx)
         self.transactions_sent += 1
         if not self.auto_mine:
-            # The caller will mine later; return a placeholder pending receipt.
-            return Receipt(transaction_hash=tx_hash, status=True, gas_used=0)
+            # The caller (or the active batch) will mine later; return a
+            # placeholder pending receipt resolved at flush time.
+            receipt = Receipt(transaction_hash=tx_hash, status=True, gas_used=0)
+            if self.current_batch is not None:
+                self.current_batch.track(self, receipt)
+            return receipt
         self.node.produce_block()
         receipt = self.node.get_receipt(tx_hash)
         self.gas_spent += receipt.gas_used
@@ -91,6 +157,46 @@ class BlockchainInteractionModule:
         if not receipt.contract_address:
             raise ReproError("contract deployment produced no address")
         return receipt.contract_address
+
+    # -- batching ---------------------------------------------------------------------
+
+    @contextmanager
+    def batch(self, *modules: "BlockchainInteractionModule") -> Iterator[TransactionBatch]:
+        """Defer this module's (and *modules*') transactions into one block.
+
+        Inside the context every enrolled module submits with auto-mining
+        off and receives placeholder receipts.  On a clean exit the batch
+        mines a single block, resolves the placeholders in place, and
+        raises :class:`ContractError` when any batched transaction
+        reverted.  If the body raises, nothing is mined — the submitted
+        transactions stay in the node's pending pool for the next block.
+
+        Batches do not nest: the node's pending pool is shared, so an inner
+        flush would mine an outer batch's deferred transactions early and
+        silently break the abort guarantee above.  Opening a batch while
+        another is active on the same node raises
+        :class:`~repro.common.errors.ValidationError`.
+        """
+        participants = (self,) + modules
+        for module in participants:
+            if module.node is not self.node:
+                raise ValidationError("batched modules must share a blockchain node")
+        if getattr(self.node, "active_batch", None) is not None:
+            raise ValidationError("a transaction batch is already active on this node")
+        batch = TransactionBatch(self.node)
+        self.node.active_batch = batch
+        saved = [(module, module.auto_mine, module.current_batch) for module in participants]
+        for module in participants:
+            module.auto_mine = False
+            module.current_batch = batch
+        try:
+            yield batch
+        finally:
+            self.node.active_batch = None
+            for module, auto_mine, previous_batch in saved:
+                module.auto_mine = auto_mine
+                module.current_batch = previous_batch
+        batch.flush()
 
     # -- reads ------------------------------------------------------------------------
 

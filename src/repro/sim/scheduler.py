@@ -5,14 +5,21 @@ monitoring rounds "via a scheduled job" (Fig. 2.6), the TEE erases expired
 copies, and the consensus layer produces blocks at an interval.  The
 scheduler orders callbacks on a simulated timeline and advances the
 :class:`~repro.common.clock.SimulatedClock` as it executes them.
+
+Bookkeeping is O(1) per event: :attr:`EventScheduler.pending` is a live
+counter maintained on scheduling, cancellation, and execution (the seed
+re-counted the whole queue), and the execution history is a bounded deque
+(``history_limit`` entries, disable with ``record_history=False``) so
+long-running simulations do not accumulate an unbounded log.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Deque, List, Optional, Tuple
 
 from repro.common.clock import SimulatedClock
 
@@ -27,27 +34,35 @@ class ScheduledEvent:
     label: str = field(compare=False, default="")
     interval: Optional[float] = field(compare=False, default=None)
     cancelled: bool = field(compare=False, default=False)
+    scheduler: Optional["EventScheduler"] = field(compare=False, default=None, repr=False)
 
     def cancel(self) -> None:
         """Prevent the event (and its future repetitions) from firing."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self.scheduler is not None:
+                self.scheduler._on_cancelled()
 
 
 class EventScheduler:
     """Priority-queue scheduler bound to a :class:`SimulatedClock`."""
 
-    def __init__(self, clock: Optional[SimulatedClock] = None):
+    def __init__(self, clock: Optional[SimulatedClock] = None,
+                 record_history: bool = True, history_limit: Optional[int] = 10_000):
         self.clock = clock if clock is not None else SimulatedClock()
         self._queue: List[ScheduledEvent] = []
         self._counter = itertools.count()
-        self.executed: List[Tuple[float, str]] = []
+        self._live = 0
+        self.record_history = record_history
+        self.executed: Deque[Tuple[float, str]] = deque(maxlen=history_limit)
 
     def schedule_at(self, timestamp: float, callback: Callable[[], None], label: str = "") -> ScheduledEvent:
         """Schedule *callback* at an absolute simulated *timestamp*."""
         if timestamp < self.clock.now():
             raise ValueError("cannot schedule an event in the past")
-        event = ScheduledEvent(timestamp, next(self._counter), callback, label)
+        event = ScheduledEvent(timestamp, next(self._counter), callback, label, scheduler=self)
         heapq.heappush(self._queue, event)
+        self._live += 1
         return event
 
     def schedule_in(self, delay: float, callback: Callable[[], None], label: str = "") -> ScheduledEvent:
@@ -68,8 +83,14 @@ class EventScheduler:
 
     @property
     def pending(self) -> int:
-        """Number of events still waiting to fire (excluding cancelled ones)."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of events still waiting to fire (excluding cancelled ones).
+
+        A live counter — querying it costs O(1) regardless of queue size.
+        """
+        return self._live
+
+    def _on_cancelled(self) -> None:
+        self._live -= 1
 
     def run_until(self, timestamp: float) -> int:
         """Execute every due event up to *timestamp*, advancing the clock.
@@ -83,12 +104,19 @@ class EventScheduler:
         while self._queue and self._queue[0].time <= timestamp:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                # Already subtracted from the live count at cancel() time.
                 continue
             if event.time > self.clock.now():
                 self.clock.set(event.time)
+            self._live -= 1
+            # While the callback runs the event is no longer pending; detach
+            # it from the live count so cancelling from inside the callback
+            # does not double-decrement.
+            event.scheduler = None
             event.callback()
             executed += 1
-            self.executed.append((event.time, event.label))
+            if self.record_history:
+                self.executed.append((event.time, event.label))
             if event.interval is not None and not event.cancelled:
                 repeat = ScheduledEvent(
                     event.time + event.interval,
@@ -101,7 +129,9 @@ class EventScheduler:
                 # original event also cancels repeats scheduled afterwards.
                 event.time = repeat.time
                 event.sequence = repeat.sequence
+                event.scheduler = self
                 heapq.heappush(self._queue, event)
+                self._live += 1
         if timestamp > self.clock.now():
             self.clock.set(timestamp)
         return executed

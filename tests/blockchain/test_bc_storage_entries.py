@@ -1,0 +1,203 @@
+"""Per-entry storage operations: semantics, journaling, gas, and root cache."""
+
+import pytest
+
+from repro.common.errors import ContractError, ValidationError
+from repro.blockchain.gas import GasMeter, GasSchedule
+from repro.blockchain.state import WorldState
+from repro.blockchain.vm import BlockContext, ContractVM, ExecutionContext, SmartContract, StorageProxy
+
+ADDR = "0x" + "aa" * 20
+
+
+@pytest.fixture
+def state() -> WorldState:
+    state = WorldState()
+    state.create_account(ADDR, contract_class="Dummy")
+    return state
+
+
+# -- WorldState entry primitives ----------------------------------------------------------
+
+
+def test_entry_read_write_delete_roundtrip(state):
+    assert state.storage_write_entry(ADDR, "index", "a", {"v": 1}) is True
+    assert state.storage_write_entry(ADDR, "index", "a", {"v": 2}) is False
+    assert state.storage_write_entry(ADDR, "index", "b", 7) is True
+    assert state.storage_read_entry(ADDR, "index", "a") == {"v": 2}
+    assert state.storage_read_entry(ADDR, "index", "missing", "dflt") == "dflt"
+    assert state.storage_has_entry(ADDR, "index", "b")
+    assert state.storage_entry_count(ADDR, "index") == 2
+    assert state.storage_delete_entry(ADDR, "index", "a") is True
+    assert state.storage_delete_entry(ADDR, "index", "a") is False
+    assert state.storage_read(ADDR, "index") == {"b": 7}
+
+
+def test_entry_values_have_value_semantics(state):
+    payload = {"nested": [1, 2]}
+    state.storage_write_entry(ADDR, "index", "a", payload)
+    payload["nested"].append(3)                      # caller-side mutation
+    read = state.storage_read_entry(ADDR, "index", "a")
+    assert read == {"nested": [1, 2]}
+    read["nested"].append(9)                         # reader-side mutation
+    assert state.storage_read_entry(ADDR, "index", "a") == {"nested": [1, 2]}
+
+
+def test_append_and_rollback(state):
+    length, was_new = state.storage_append(ADDR, "log", "one")
+    assert (length, was_new) == (1, True)
+    state.begin()
+    assert state.storage_append(ADDR, "log", "two") == (2, False)
+    state.storage_write_entry(ADDR, "index", "k", 1)
+    state.rollback()
+    assert state.storage_read(ADDR, "log") == ["one"]
+    assert state.storage_read(ADDR, "index") is None
+
+
+def test_entry_rollback_restores_previous_values(state):
+    state.storage_write_entry(ADDR, "index", "kept", "old")
+    state.begin()
+    state.storage_write_entry(ADDR, "index", "kept", "new")
+    state.storage_write_entry(ADDR, "index", "fresh", 1)
+    state.storage_delete_entry(ADDR, "index", "kept")
+    state.rollback()
+    assert state.storage_read(ADDR, "index") == {"kept": "old"}
+
+
+def test_mixed_slot_and_entry_journaling_rolls_back_cleanly(state):
+    state.storage_write(ADDR, "slot", {"a": 1})
+    state.begin()
+    state.storage_write_entry(ADDR, "slot", "a", 2)       # entry-level change
+    state.storage_write(ADDR, "slot", {"replaced": True})  # then whole-slot overwrite
+    state.storage_write_entry(ADDR, "slot", "late", 3)
+    state.rollback()
+    assert state.storage_read(ADDR, "slot") == {"a": 1}
+
+
+def test_entry_ops_reject_non_mapping_slots(state):
+    state.storage_write(ADDR, "scalar", 42)
+    with pytest.raises(ValidationError):
+        state.storage_write_entry(ADDR, "scalar", "k", 1)
+    with pytest.raises(ValidationError):
+        state.storage_append(ADDR, "scalar", 1)
+
+
+def test_state_root_tracks_entry_level_mutations(state):
+    root_before = state.state_root()
+    state.storage_write_entry(ADDR, "index", "a", 1)
+    root_with_entry = state.state_root()
+    assert root_with_entry != root_before
+    # Same content built through whole-slot writes hashes identically.
+    fresh = WorldState()
+    fresh.create_account(ADDR, contract_class="Dummy")
+    fresh.storage_write(ADDR, "index", {"a": 1})
+    assert fresh.state_root() == root_with_entry
+    # Removing the entry (leaving an empty mapping) changes the root again,
+    # and matches a fresh state holding an empty mapping.
+    state.storage_delete_entry(ADDR, "index", "a")
+    fresh2 = WorldState()
+    fresh2.create_account(ADDR, contract_class="Dummy")
+    fresh2.storage_write(ADDR, "index", {})
+    assert state.state_root() == fresh2.state_root()
+
+
+def test_state_root_unchanged_by_rolled_back_entry_ops(state):
+    state.storage_write_entry(ADDR, "index", "a", 1)
+    state.storage_append(ADDR, "log", "x")
+    root = state.state_root()
+    state.begin()
+    state.storage_write_entry(ADDR, "index", "a", 99)
+    state.storage_append(ADDR, "log", "y")
+    state.storage_delete_entry(ADDR, "index", "a")
+    state.rollback()
+    assert state.state_root() == root
+
+
+# -- StorageProxy gas metering -------------------------------------------------------------
+
+
+def make_proxy(state, gas_limit=10_000_000, read_only=False):
+    meter = GasMeter(gas_limit)
+    context = ExecutionContext(
+        sender="0x" + "01" * 20, contract_address=ADDR, gas_meter=meter, read_only=read_only
+    )
+    return StorageProxy(state, ADDR, context), meter
+
+
+def test_entry_gas_costs_match_slot_costs(state):
+    schedule = GasSchedule()
+    proxy, meter = make_proxy(state)
+    proxy.set_entry("index", "a", 1)
+    assert meter.gas_used == schedule.storage_set            # fresh entry = fresh slot price
+    proxy.set_entry("index", "a", 2)
+    assert meter.gas_used == schedule.storage_set + schedule.storage_update
+    proxy.get_entry("index", "a")
+    proxy.has_entry("index", "a")
+    proxy.entry_count("index")
+    assert meter.gas_used == schedule.storage_set + schedule.storage_update + 3 * schedule.storage_read
+    before = meter.gas_used
+    proxy.append("log", "x")
+    assert meter.gas_used == before + schedule.storage_set   # append created the slot
+    proxy.append("log", "y")
+    assert meter.gas_used == before + schedule.storage_set + schedule.storage_update
+
+
+def test_entry_writes_rejected_in_read_only_context(state):
+    proxy, _ = make_proxy(state, read_only=True)
+    with pytest.raises(ContractError):
+        proxy.set_entry("index", "a", 1)
+    with pytest.raises(ContractError):
+        proxy.append("log", "x")
+    with pytest.raises(ContractError):
+        proxy.delete_entry("index", "a")
+
+
+class _EntryContract(SmartContract):
+    """Toy contract exercising entry ops through the transaction path."""
+
+    def constructor(self, **_):
+        self.storage["index"] = {}
+
+    def put(self, key, value):
+        self.storage.set_entry("index", key, value)
+        self.storage.append("log", key)
+        return value
+
+    def put_and_fail(self, key, value):
+        self.storage.set_entry("index", key, value)
+        self.storage.append("log", key)
+        self.require(False, "revert after entry writes")
+
+
+def test_failed_transaction_rolls_back_entry_writes():
+    from repro.blockchain.transaction import Transaction
+
+    state = WorldState()
+    sender = "0x" + "02" * 20
+    state.create_account(sender, balance=10**9)
+    vm = ContractVM(state)
+    vm.registry.register(_EntryContract)
+    block = BlockContext(number=1, timestamp=1.0)
+
+    deploy = Transaction(sender=sender, to=None, data={"contract_class": "_EntryContract"}, nonce=0)
+    receipt = vm.execute_transaction(deploy, block)
+    address = receipt.contract_address
+
+    ok = Transaction(sender=sender, to=address,
+                     data={"method": "put", "args": {"key": "a", "value": 1}}, nonce=1)
+    assert vm.execute_transaction(ok, block).status
+    root = state.state_root()
+
+    bad = Transaction(sender=sender, to=address,
+                      data={"method": "put_and_fail", "args": {"key": "b", "value": 2}}, nonce=2)
+    failed = vm.execute_transaction(bad, block)
+    assert not failed.status
+    assert state.storage_read(address, "index") == {"a": 1}
+    assert state.storage_read(address, "log") == ["a"]
+    # Only the sender's nonce/balance moved; the contract's storage root
+    # contribution is unchanged (same content as before the failed call).
+    fresh = WorldState()
+    fresh_sender = state.get_account(sender)
+    assert fresh_sender.nonce == 3
+    assert state.state_root() != root  # nonce/balance changed...
+    assert state.storage_read(address, "index") == {"a": 1}  # ...but storage did not

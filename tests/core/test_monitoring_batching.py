@@ -1,0 +1,228 @@
+"""Batched monitoring rounds: equivalence with the per-transaction flow.
+
+The batched coordinator must be an *optimization only*: the report it
+assembles and the on-chain record it leaves (monitoring round state,
+evidence lists, violations, per-device events) must be identical to the
+transaction-per-device flow.  These tests run both flows on twin
+deployments and compare, and pin that a batched round seals a small
+constant number of blocks.
+"""
+
+import pytest
+
+from repro.common.clock import MONTH, WEEK
+from repro.common.errors import ContractError
+from repro.core.monitoring import MonitoringCoordinator
+from repro.core.processes import (
+    market_onboarding,
+    pod_initiation,
+    resource_access,
+    resource_initiation,
+)
+from repro.core.architecture import UsageControlArchitecture
+from repro.policy.templates import retention_policy
+
+PATH = "/data/shared.csv"
+CONTENT = b"k,v\n" * 16
+DEVICES = ("dev-a", "dev-b", "dev-c")
+
+
+def build_deployment(retention_seconds=MONTH):
+    """A deployment with one owner and three copy-holding consumers."""
+    architecture = UsageControlArchitecture()
+    owner = architecture.register_owner("alice")
+    pod_initiation(architecture, owner)
+    policy = retention_policy(
+        owner.pod_manager.base_url + PATH, owner.webid.iri,
+        retention_seconds=retention_seconds, issued_at=architecture.clock.now(),
+    )
+    resource_initiation(architecture, owner, PATH, CONTENT, policy)
+    resource_id = owner.pod_manager.require_pod().url_for(PATH)
+    for index, device in enumerate(DEVICES):
+        consumer = architecture.register_consumer(f"consumer-{index}", device_id=device)
+        market_onboarding(architecture, consumer)
+        resource_access(architecture, consumer, owner, resource_id)
+    return architecture, owner, resource_id
+
+
+def normalize(value):
+    """Strip per-run randomness from evidence payloads.
+
+    Duty identifiers are fresh UUIDs on every run (and ``evidenceId`` /
+    ``signature`` are derived from them), so even two identical sequential
+    runs differ in these fields; equivalence is judged on everything else.
+    """
+    if isinstance(value, dict):
+        return {
+            key: len(item) if key == "pendingDuties" else normalize(item)
+            for key, item in value.items()
+            if key not in ("evidenceId", "signature")
+        }
+    if isinstance(value, list):
+        return [normalize(item) for item in value]
+    return value
+
+
+def on_chain_record(architecture, resource_id, round_id):
+    return normalize({
+        "round": architecture.dist_exchange_read("get_monitoring_round", {"round_id": round_id}),
+        "evidence": architecture.dist_exchange_read("get_evidence", {"resource_id": resource_id}),
+        "violations": architecture.dist_exchange_read("get_violations", {"resource_id": resource_id}),
+        "events": [
+            log.data
+            for log in architecture.node.get_logs(
+                address=architecture.dist_exchange_address, event="EvidenceRecorded"
+            )
+        ],
+    })
+
+
+@pytest.mark.parametrize("retention", [MONTH, WEEK], ids=["compliant", "violating"])
+def test_batched_round_equals_sequential_round(retention):
+    """Same reports and identical on-chain records, compliant or not."""
+    arch_batched, owner_b, resource_b = build_deployment(retention)
+    arch_sequential, owner_s, resource_s = build_deployment(retention)
+    if retention == WEEK:
+        # Let the retention lapse without enforcement: every device violates.
+        arch_batched.advance_time(2 * WEEK)
+        arch_sequential.advance_time(2 * WEEK)
+
+    batched = MonitoringCoordinator(arch_batched, batched=True).run_round(owner_b, PATH)
+    sequential = MonitoringCoordinator(arch_sequential, batched=False).run_round(owner_s, PATH)
+
+    assert normalize(batched.to_dict()) == normalize(sequential.to_dict())
+    assert normalize(batched.evidence) == normalize(sequential.evidence)
+    assert on_chain_record(arch_batched, resource_b, batched.round_id) == on_chain_record(
+        arch_sequential, resource_s, sequential.round_id
+    )
+    # The owner's pod manager received the same evidence notifications.
+    assert [normalize(log.data) for log in owner_b.evidence_for(resource_b)] == [
+        normalize(log.data) for log in owner_s.evidence_for(resource_s)
+    ]
+
+
+def test_batched_round_seals_a_constant_number_of_blocks():
+    architecture, owner, _ = build_deployment()
+    coordinator = MonitoringCoordinator(architecture)
+    height_before = architecture.node.chain.height
+    report = coordinator.run_round(owner, PATH)
+    blocks = architecture.node.chain.height - height_before
+    assert len(report.holders) == len(DEVICES)
+    assert blocks <= 5
+    # The sequential flow needs transactions (and blocks) per device.
+    height_before = architecture.node.chain.height
+    MonitoringCoordinator(architecture, batched=False).run_round(owner, PATH)
+    assert architecture.node.chain.height - height_before > blocks
+
+
+def test_round_id_comes_from_wiring_not_log_scan():
+    architecture, owner, resource_id = build_deployment()
+    report = MonitoringCoordinator(architecture).run_round(owner, PATH)
+    assert owner.monitoring_round_ids[resource_id] == report.round_id
+    second = MonitoringCoordinator(architecture).run_round(owner, PATH)
+    assert second.round_id == report.round_id + 1
+    assert owner.monitoring_round_ids[resource_id] == second.round_id
+
+
+def test_consumer_for_device_map_resolves_without_scanning():
+    architecture, _, _ = build_deployment()
+    consumer = architecture.consumer_for_device("dev-b")
+    assert consumer is not None and consumer.device_id == "dev-b"
+    assert architecture.consumer_for_device("unknown-device") is None
+
+
+def test_chain_verifies_after_batched_rounds():
+    architecture, owner, _ = build_deployment()
+    MonitoringCoordinator(architecture).run_round(owner, PATH)
+    assert architecture.node.chain.verify_chain(replay=True)
+
+
+# -- the batch() transaction context -----------------------------------------------------
+
+
+def test_batch_context_confirms_many_transactions_in_one_block(operator_module, node):
+    de_app = operator_module.deploy_contract("DistExchangeApp")
+    height_before = node.chain.height
+    with operator_module.batch() as batch:
+        first = operator_module.call_contract(
+            de_app,
+            "register_pod",
+            {"pod_url": "https://pod.x", "owner": "https://id/x", "default_policy": {}},
+        )
+        second = operator_module.call_contract(
+            de_app,
+            "register_pod",
+            {"pod_url": "https://pod.y", "owner": "https://id/y", "default_policy": {}},
+        )
+        assert first.gas_used == 0 and not first.logs      # placeholder until flush
+        assert batch.size == 2
+    assert node.chain.height == height_before + 1          # one block for both
+    assert first.gas_used > 0 and first.return_value == "https://pod.x"
+    assert second.return_value == "https://pod.y"
+    assert first.logs[0].event == "PodRegistered"
+
+
+def test_batch_context_reports_reverts_and_restores_auto_mine(operator_module):
+    de_app = operator_module.deploy_contract("DistExchangeApp")
+    with pytest.raises(ContractError, match="reverted"):
+        with operator_module.batch():
+            operator_module.call_contract(
+                de_app,
+                "register_pod",
+                {"pod_url": "https://pod.x", "owner": "https://id/x", "default_policy": {}},
+            )
+            operator_module.call_contract(
+                de_app,
+                "register_pod",
+                {"pod_url": "https://pod.x", "owner": "https://id/x", "default_policy": {}},
+            )
+    assert operator_module.auto_mine and operator_module.current_batch is None
+    # The successful registration is on-chain; the duplicate reverted.
+    assert operator_module.read(de_app, "list_pods") == ["https://pod.x"]
+
+
+def test_batch_context_accounts_gas_on_flush(operator_module):
+    de_app = operator_module.deploy_contract("DistExchangeApp")
+    spent_before = operator_module.gas_spent
+    with operator_module.batch():
+        operator_module.call_contract(
+            de_app,
+            "register_pod",
+            {"pod_url": "https://pod.gas", "owner": "https://id/x", "default_policy": {}},
+        )
+    assert operator_module.gas_spent > spent_before
+
+
+def test_batch_context_rejects_modules_on_other_nodes(operator_module):
+    from repro.common.errors import ValidationError
+    from repro.blockchain.consensus import ProofOfAuthority
+    from repro.blockchain.crypto import KeyPair
+    from repro.blockchain.node import BlockchainNode
+    from repro.oracles.base import BlockchainInteractionModule
+
+    other_key = KeyPair.from_name("other-validator")
+    other_node = BlockchainNode(
+        ProofOfAuthority(validators=[other_key.address], block_interval=5.0), other_key
+    )
+    other_module = BlockchainInteractionModule(other_node, other_key)
+    with pytest.raises(ValidationError):
+        with operator_module.batch(other_module):
+            pass
+
+
+def test_batches_do_not_nest(operator_module):
+    from repro.common.errors import ValidationError
+
+    de_app = operator_module.deploy_contract("DistExchangeApp")
+    with operator_module.batch():
+        operator_module.call_contract(
+            de_app,
+            "register_pod",
+            {"pod_url": "https://pod.outer", "owner": "https://id/x", "default_policy": {}},
+        )
+        with pytest.raises(ValidationError, match="already active"):
+            with operator_module.batch():
+                pass
+    # The outer batch still flushed normally after the rejected inner one.
+    assert operator_module.read(de_app, "list_pods") == ["https://pod.outer"]
+    assert operator_module.node.active_batch is None

@@ -81,3 +81,53 @@ def test_events_scheduled_during_execution_are_honoured():
     scheduler.schedule_at(5, first)
     scheduler.run_until(10)
     assert order == ["first", "nested"]
+
+
+def test_pending_is_a_live_counter():
+    scheduler = EventScheduler(SimulatedClock())
+    handles = [scheduler.schedule_at(t, lambda: None) for t in (5, 10, 15)]
+    assert scheduler.pending == 3
+    handles[1].cancel()
+    assert scheduler.pending == 2
+    handles[1].cancel()                      # double-cancel must not double-count
+    assert scheduler.pending == 2
+    scheduler.run_until(7)
+    assert scheduler.pending == 1
+    scheduler.run_until(20)
+    assert scheduler.pending == 0
+
+
+def test_pending_counts_recurring_events_across_repeats():
+    scheduler = EventScheduler(SimulatedClock())
+    handle = scheduler.schedule_every(10, lambda: None)
+    assert scheduler.pending == 1
+    scheduler.run_until(35)                  # fired three times, still queued
+    assert scheduler.pending == 1
+    handle.cancel()
+    assert scheduler.pending == 0
+    scheduler.run_until(100)
+    assert scheduler.pending == 0
+
+
+def test_recurring_event_cancelled_from_its_own_callback():
+    scheduler = EventScheduler(SimulatedClock())
+    ticks = []
+    handle = scheduler.schedule_every(10, lambda: (ticks.append(1), handle.cancel()))
+    scheduler.run_until(50)
+    assert ticks == [1]
+    assert scheduler.pending == 0
+
+
+def test_execution_history_is_bounded():
+    scheduler = EventScheduler(SimulatedClock(), history_limit=3)
+    for t in range(1, 7):
+        scheduler.schedule_at(t, lambda: None, label=f"e{t}")
+    scheduler.run_until(10)
+    assert [label for _, label in scheduler.executed] == ["e4", "e5", "e6"]
+
+
+def test_execution_history_can_be_disabled():
+    scheduler = EventScheduler(SimulatedClock(), record_history=False)
+    scheduler.schedule_at(1, lambda: None, label="quiet")
+    assert scheduler.run_until(5) == 1
+    assert len(scheduler.executed) == 0
