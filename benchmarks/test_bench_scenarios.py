@@ -1,0 +1,74 @@
+"""Scenario-driven benchmarks: per-phase gas and block accounting.
+
+Instead of a bespoke driver per experiment, these benchmarks reuse the
+scenario engine: a spec is executed once and its :class:`StepStats` break
+the run down into phases (setup, access, monitoring, ...), which is where
+the affordability figures come from.  A workload-derived spec scales the
+same measurement to a synthetic population from a single seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.runner import ScenarioRunner
+from repro.core.scenario_library import SCENARIO_LIBRARY, market_rush_spec
+from repro.core.spec import spec_from_workload
+from repro.sim.workload import WorkloadConfig
+
+
+def test_scenario_phase_accounting_replaces_bespoke_drivers(report):
+    """One scenario run yields the per-phase gas/tx/block rows directly."""
+    result = ScenarioRunner(market_rush_spec()).run()
+    gas = result.gas_by_phase()
+    blocks = result.blocks_by_phase()
+    transactions = result.transactions_by_phase()
+    for phase in sorted(gas):
+        report(
+            f"scenario-phase:{phase}",
+            gas=gas[phase],
+            transactions=transactions.get(phase, 0),
+            blocks=blocks.get(phase, 0),
+        )
+    assert sum(gas.values()) == result.facts["total_gas_used"]
+    assert sum(blocks.values()) == result.facts["chain_height"]
+    # Monitoring stays batched: a constant number of blocks per round.
+    monitor_steps = [s for s in result.steps if s.phase == "monitor"]
+    assert monitor_steps and all(s.blocks <= 5 for s in monitor_steps)
+
+
+@pytest.mark.parametrize("name", ["negligent-holder", "byzantine-oracle"])
+def test_adversarial_scenarios_cost_no_extra_blocks(report, name):
+    """Detecting a violation costs the same round shape as a clean round."""
+    result = ScenarioRunner(SCENARIO_LIBRARY[name]()).run()
+    monitor_steps = [s for s in result.steps if s.phase == "monitor"]
+    for step in monitor_steps:
+        report(f"{name}:monitor", gas=step.gas_used, blocks=step.blocks,
+               flagged=len(step.details["observed"]))
+    assert all(s.blocks <= 5 for s in monitor_steps)
+    assert result.ledger.matches
+
+
+def test_workload_scenario_scales_from_one_seed(report):
+    """A population-scale scenario reproduces (and re-measures) from a seed."""
+    config = WorkloadConfig(num_owners=2, num_consumers=6, resources_per_owner=2,
+                            reads_per_consumer=2, seed=17)
+    spec = spec_from_workload(config, random.Random(17), violator_fraction=0.3,
+                              name="bench-workload")
+    result = ScenarioRunner(spec).run()
+    assert result.ledger.matches
+    gas = result.gas_by_phase()
+    report(
+        "workload-scenario",
+        consumers=len(spec.consumers()),
+        resources=len(spec.resources),
+        setup_gas=gas.get("setup", 0),
+        access_gas=gas.get("access", 0),
+        monitor_gas=gas.get("monitor", 0),
+        violations=len(result.ledger.observed),
+    )
+    rerun = ScenarioRunner(spec).run()
+    assert rerun.facts["chain_height"] == result.facts["chain_height"]
+    assert [v.key for v in rerun.ledger.observed] == [v.key for v in result.ledger.observed]

@@ -32,7 +32,10 @@ from repro.core.baseline import BaselineSolidDeployment
 from repro.core.monitoring import MonitoringCoordinator, MonitoringReport
 from repro.core.participants import DataConsumer, DataOwner
 from repro.core.processes import ProcessTrace
+from repro.core.runner import BaselineScenarioRunner, ScenarioRunner
 from repro.core.scenario import ScenarioResult, run_alice_bob_scenario
+from repro.core.scenario_library import SCENARIO_LIBRARY, get_scenario
+from repro.core.spec import Behavior, ParticipantSpec, ResourceSpec, ScenarioSpec
 from repro.policy.model import Action, Constraint, Duty, Operator, Permission, Policy, Prohibition
 from repro.policy.templates import (
     max_access_policy,
@@ -55,6 +58,14 @@ __all__ = [
     "ProcessTrace",
     "ScenarioResult",
     "run_alice_bob_scenario",
+    "BaselineScenarioRunner",
+    "ScenarioRunner",
+    "SCENARIO_LIBRARY",
+    "get_scenario",
+    "Behavior",
+    "ParticipantSpec",
+    "ResourceSpec",
+    "ScenarioSpec",
     "Action",
     "Constraint",
     "Duty",

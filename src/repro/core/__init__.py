@@ -11,9 +11,25 @@ Alice & Bob end-to-end scenario.
 from repro.core.architecture import UsageControlArchitecture, ArchitectureConfig
 from repro.core.participants import DataOwner, DataConsumer
 from repro.core.processes import ProcessTrace
-from repro.core.monitoring import MonitoringCoordinator, MonitoringReport
+from repro.core.monitoring import MonitoringCoordinator, MonitoringReport, verify_evidence
 from repro.core.baseline import BaselineSolidDeployment
+from repro.core.spec import (
+    Behavior,
+    ParticipantSpec,
+    ResourceSpec,
+    ScenarioSpec,
+    Step,
+    spec_from_workload,
+)
+from repro.core.runner import (
+    BaselineScenarioRunner,
+    ScenarioRunner,
+    StepStats,
+    ViolationLedger,
+    ViolationRecord,
+)
 from repro.core.scenario import run_alice_bob_scenario, ScenarioResult
+from repro.core.scenario_library import SCENARIO_LIBRARY, alice_bob_spec, get_scenario
 from repro.core.violations import ViolationResponder, ViolationResponse
 
 __all__ = [
@@ -26,7 +42,22 @@ __all__ = [
     "ProcessTrace",
     "MonitoringCoordinator",
     "MonitoringReport",
+    "verify_evidence",
     "BaselineSolidDeployment",
+    "Behavior",
+    "ParticipantSpec",
+    "ResourceSpec",
+    "ScenarioSpec",
+    "Step",
+    "spec_from_workload",
+    "BaselineScenarioRunner",
+    "ScenarioRunner",
+    "StepStats",
+    "ViolationLedger",
+    "ViolationRecord",
     "run_alice_bob_scenario",
     "ScenarioResult",
+    "SCENARIO_LIBRARY",
+    "alice_bob_spec",
+    "get_scenario",
 ]

@@ -35,7 +35,7 @@ from repro.contracts.dist_exchange import DistExchangeApp
 from repro.contracts.market import DataMarket
 from repro.contracts.oracle_hub import OracleRequestHub
 from repro.oracles.base import BlockchainInteractionModule
-from repro.oracles.pull_in import PullInOracle
+from repro.oracles.pull_in import FAULT_UNRESPONSIVE, PullInOracle
 from repro.oracles.pull_out import PullOutOracle
 from repro.oracles.push_in import PushInOracle
 from repro.oracles.push_out import PushOutOracle
@@ -219,6 +219,22 @@ class UsageControlArchitecture:
     def consumer_for_device(self, device_id: str) -> Optional[DataConsumer]:
         """Return the consumer operating *device_id* (O(1) map lookup)."""
         return self.consumers_by_device.get(device_id)
+
+    def disconnect_consumer(self, name: str) -> DataConsumer:
+        """Take a consumer's device offline for the architecture's callbacks.
+
+        The device stops receiving push-out notifications (policy updates,
+        evidence events) and its pull-in component no longer answers
+        monitoring requests — modelling a powered-off or churned device.
+        Its local TEE keeps working, and the consumer stays registered so
+        on-chain records (grants, certificates) still name it.
+        """
+        if name not in self.consumers:
+            raise ValidationError(f"no consumer named {name} is registered")
+        consumer = self.consumers[name]
+        consumer.push_out.unsubscribe_all()
+        consumer.pull_in.inject_fault(FAULT_UNRESPONSIVE)
+        return consumer
 
     # -- wiring ---------------------------------------------------------------------------------
 

@@ -25,17 +25,61 @@ seals a small constant number of blocks instead of O(holders).  The
 transaction-per-device flow is kept behind ``batched=False`` (it produces
 byte-identical reports and on-chain records, which the equivalence tests
 pin).
+
+Evidence claiming compliance is **verified** before it is recorded: the
+enclave signature must check out over the body, the measurement must be
+trusted by the deployment's attestation verifier, and the evidence must
+have been generated after the round opened (:func:`verify_evidence`).  A
+faulty or Byzantine oracle component that replays stale evidence or forges
+a compliant verdict is therefore recorded as a violation, with the
+rejection reason on-chain.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.common.errors import NotFoundError
+from repro.common.serialization import canonical_json, stable_hash
+from repro.blockchain.crypto import verify as verify_signature
 from repro.core.participants import DataConsumer, DataOwner, consumer_for_device
 
 NO_EVIDENCE = {"compliant": False, "details": "no evidence provided"}
+
+# Evidence fields added on top of the signed body by the enclave.
+_EVIDENCE_ENVELOPE = ("evidenceId", "signature", "publicKey")
+
+
+def verify_evidence(evidence: Dict[str, Any], not_before: Optional[float] = None,
+                    trusted_measurements: Optional[Set[str]] = None) -> Tuple[bool, str]:
+    """Check that a piece of usage evidence is genuine and fresh.
+
+    The enclave signs the evidence body with its attestation key
+    (:meth:`~repro.tee.enclave.TrustedExecutionEnvironment.usage_evidence`);
+    a faulty or Byzantine oracle component relaying the evidence can replay
+    an old answer or rewrite the body, but it cannot re-sign.  Returns
+    ``(ok, reason)`` — *reason* is empty when the evidence checks out.
+    """
+    signature = evidence.get("signature")
+    public_key = evidence.get("publicKey")
+    if not signature or not public_key:
+        return False, "evidence carries no enclave signature"
+    body = {key: value for key, value in evidence.items() if key not in _EVIDENCE_ENVELOPE}
+    if evidence.get("evidenceId") != stable_hash(body):
+        return False, "evidence digest does not match its body"
+    try:
+        if not verify_signature(tuple(public_key), canonical_json(body), tuple(signature)):
+            return False, "invalid enclave signature"
+    except (TypeError, ValueError):
+        return False, "malformed enclave signature"
+    if trusted_measurements is not None and body.get("measurement") not in trusted_measurements:
+        return False, "evidence from an untrusted enclave measurement"
+    if not_before is not None:
+        generated_at = body.get("generatedAt")
+        if not isinstance(generated_at, (int, float)) or generated_at < not_before:
+            return False, "stale evidence (generated before the round opened)"
+    return True, ""
 
 
 @dataclass
@@ -79,6 +123,9 @@ class MonitoringCoordinator:
     def run_round(self, owner: DataOwner, resource_path: str) -> MonitoringReport:
         """Execute one complete monitoring round for *resource_path*."""
         arch = self.architecture
+        # Evidence generated before the round opened is a replay by
+        # definition; remember the opening time for the freshness check.
+        opened_at = arch.clock.now()
         resource_id = owner.request_monitoring(resource_path)
         round_id = self._round_id_for(owner, resource_id)
         round_record = arch.dist_exchange_read("get_monitoring_round", {"round_id": round_id})
@@ -86,9 +133,9 @@ class MonitoringCoordinator:
         report = MonitoringReport(round_id=round_id, resource_id=resource_id, holders=holders)
 
         if self.batched:
-            self._collect_evidence_batched(report)
+            self._collect_evidence_batched(report, opened_at)
         else:
-            self._collect_evidence_sequential(report)
+            self._collect_evidence_sequential(report, opened_at)
 
         report.violations = arch.dist_exchange_read("get_violations", {"resource_id": resource_id})
         self.reports.append(report)
@@ -96,7 +143,7 @@ class MonitoringCoordinator:
 
     # -- batched flow (constant blocks per round) ---------------------------------------
 
-    def _collect_evidence_batched(self, report: MonitoringReport) -> None:
+    def _collect_evidence_batched(self, report: MonitoringReport, opened_at: float) -> None:
         """One transaction per phase: request fan-out, fulfillments, recording."""
         arch = self.architecture
         if not report.holders:
@@ -145,8 +192,7 @@ class MonitoringCoordinator:
         # transaction-per-device flow.
         evidence_items = []
         for device_id, request_id in request_ids.items():
-            evidence = self._fetch_response(request_id)
-            self._classify(report, device_id, evidence)
+            evidence = self._classify(report, device_id, self._fetch_response(request_id), opened_at)
             evidence_items.append({"device_id": device_id, "evidence": evidence})
         arch.operator_module.call_contract(
             arch.dist_exchange_address,
@@ -157,7 +203,7 @@ class MonitoringCoordinator:
 
     # -- sequential flow (one transaction per device) ----------------------------------------
 
-    def _collect_evidence_sequential(self, report: MonitoringReport) -> None:
+    def _collect_evidence_sequential(self, report: MonitoringReport, opened_at: float) -> None:
         arch = self.architecture
         request_ids: Dict[str, int] = {}
         for device_id in report.holders:
@@ -183,8 +229,7 @@ class MonitoringCoordinator:
             consumer.pull_in.serve_request(request_id)
 
         for device_id, request_id in request_ids.items():
-            evidence = self._fetch_response(request_id)
-            self._classify(report, device_id, evidence)
+            evidence = self._classify(report, device_id, self._fetch_response(request_id), opened_at)
             arch.operator_module.call_contract(
                 arch.dist_exchange_address,
                 "record_usage_evidence",
@@ -219,13 +264,36 @@ class MonitoringCoordinator:
             return dict(NO_EVIDENCE)
         return record["response"]
 
-    @staticmethod
-    def _classify(report: MonitoringReport, device_id: str, evidence: Dict[str, Any]) -> None:
+    def _classify(self, report: MonitoringReport, device_id: str,
+                  evidence: Dict[str, Any], opened_at: float) -> Dict[str, Any]:
+        """Verify and classify one device's evidence; returns what to record.
+
+        Evidence claiming compliance must carry a valid, fresh enclave
+        signature from a trusted measurement; otherwise it is rejected and
+        recorded as non-compliant (so the DE App registers the violation),
+        with the rejection reason in ``details``.
+        """
+        if evidence.get("compliant", False):
+            ok, reason = verify_evidence(
+                evidence,
+                not_before=opened_at,
+                trusted_measurements=self._trusted_measurements(),
+            )
+            if not ok:
+                evidence = dict(evidence)
+                evidence["compliant"] = False
+                evidence["details"] = f"evidence rejected: {reason}"
         report.evidence[device_id] = evidence
         if evidence.get("compliant", False):
             report.compliant_devices.append(device_id)
         else:
             report.non_compliant_devices.append(device_id)
+        return evidence
+
+    def _trusted_measurements(self) -> Set[str]:
+        # Fail loudly if the deployment ever loses its attestation verifier:
+        # silently skipping the measurement check would weaken verification.
+        return self.architecture.attestation_verifier.trusted_measurements
 
     def _round_id_for(self, owner: DataOwner, resource_id: str) -> int:
         """Round id of the round just opened through the owner's push-in oracle.

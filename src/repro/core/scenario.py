@@ -12,183 +12,36 @@ pursuits; the paper requires that:
 * Bob's purpose change does not cut off Alice, because her application is in
   the medical/academic research domain for a university hospital.
 
-:func:`run_alice_bob_scenario` executes the whole story against a freshly
-wired :class:`~repro.core.architecture.UsageControlArchitecture` and returns
-a :class:`ScenarioResult` with the assertions-ready facts plus the traces of
-every process run along the way.
+The story is expressed declaratively as
+:func:`repro.core.scenario_library.alice_bob_spec` and executed by the
+:class:`~repro.core.runner.ScenarioRunner`; :func:`run_alice_bob_scenario`
+is the convenience wrapper that runs it and surfaces the paper's assertion
+points as attributes (plus the per-process traces and per-phase gas/block
+accounting every scenario run carries).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Optional
 
-from repro.common.clock import DAY, WEEK, MONTH
-from repro.policy.templates import purpose_and_retention_policy, purpose_policy, retention_policy
-from repro.core.architecture import ArchitectureConfig, UsageControlArchitecture
-from repro.core.monitoring import MonitoringCoordinator, MonitoringReport
-from repro.core.processes import (
-    ProcessTrace,
-    market_onboarding,
-    pod_initiation,
-    policy_modification,
-    policy_monitoring,
-    resource_access,
-    resource_indexing,
-    resource_initiation,
-)
+from repro.core.architecture import ArchitectureConfig
+from repro.core.runner import ScenarioResult, ScenarioRunner
+from repro.core.scenario_library import alice_bob_spec
 
 ALICE_BROWSING_PATH = "/data/browsing-history.csv"
 BOB_MEDICAL_PATH = "/data/medical-records.ttl"
 
-
-@dataclass
-class ScenarioResult:
-    """Everything the scenario produced, ready for assertions and reporting."""
-
-    architecture: UsageControlArchitecture
-    traces: List[ProcessTrace] = field(default_factory=list)
-    monitoring_reports: List[MonitoringReport] = field(default_factory=list)
-    alice_can_still_use_bobs_data: Optional[bool] = None
-    bob_copy_deleted_after_update: Optional[bool] = None
-    bob_use_blocked_after_deletion: Optional[bool] = None
-    alice_resource_id: Optional[str] = None
-    bob_resource_id: Optional[str] = None
-    facts: Dict[str, object] = field(default_factory=dict)
-
-    def trace_for(self, process: str) -> List[ProcessTrace]:
-        return [trace for trace in self.traces if trace.process == process]
+__all__ = ["ScenarioResult", "run_alice_bob_scenario", "ALICE_BROWSING_PATH", "BOB_MEDICAL_PATH"]
 
 
 def run_alice_bob_scenario(config: Optional[ArchitectureConfig] = None,
                            monitor: bool = True) -> ScenarioResult:
     """Run the full motivating use case and return its observable outcomes."""
-    architecture = UsageControlArchitecture(config=config)
-    result = ScenarioResult(architecture=architecture)
-    coordinator = MonitoringCoordinator(architecture)
-
-    # -- registration: owners are also consumers in the scenario ------------------
-    alice_owner = architecture.register_owner("alice")
-    bob_owner = architecture.register_owner("bob")
-    alice_consumer = architecture.register_consumer(
-        "alice-app", purpose="medical-research", device_id="alice-device"
-    )
-    bob_consumer = architecture.register_consumer(
-        "bob-app", purpose="web-analytics", device_id="bob-device"
-    )
-
-    # -- process 1: pod initiation --------------------------------------------------
-    result.traces.append(pod_initiation(architecture, alice_owner))
-    result.traces.append(pod_initiation(architecture, bob_owner))
-
-    # -- process 2: resource initiation ----------------------------------------------
-    now = architecture.clock.now()
-    alice_policy = retention_policy(
-        target=alice_owner.pod_manager.base_url + ALICE_BROWSING_PATH,
-        assigner=alice_owner.webid.iri,
-        retention_seconds=MONTH,
-        issued_at=now,
-    )
-    bob_policy = purpose_policy(
-        target=bob_owner.pod_manager.base_url + BOB_MEDICAL_PATH,
-        assigner=bob_owner.webid.iri,
-        allowed_purposes=("medical-research", "medical-treatment"),
-        issued_at=now,
-    )
-    result.traces.append(
-        resource_initiation(
-            architecture,
-            alice_owner,
-            ALICE_BROWSING_PATH,
-            b"timestamp,url\n2026-01-01T10:00:00Z,https://example.org\n" * 64,
-            alice_policy,
-            metadata={"kind": "browsing-history"},
-        )
-    )
-    result.traces.append(
-        resource_initiation(
-            architecture,
-            bob_owner,
-            BOB_MEDICAL_PATH,
-            b"@prefix ex: <https://example.org/> . ex:bob ex:bloodPressure 120 .\n" * 32,
-            bob_policy,
-            metadata={"kind": "medical-records"},
-        )
-    )
-    alice_resource_id = alice_owner.pod_manager.require_pod().url_for(ALICE_BROWSING_PATH)
-    bob_resource_id = bob_owner.pod_manager.require_pod().url_for(BOB_MEDICAL_PATH)
-    result.alice_resource_id = alice_resource_id
-    result.bob_resource_id = bob_resource_id
-
-    # -- market onboarding ------------------------------------------------------------
-    result.traces.append(market_onboarding(architecture, alice_consumer))
-    result.traces.append(market_onboarding(architecture, bob_consumer))
-
-    # -- process 3: resource indexing ---------------------------------------------------
-    result.traces.append(resource_indexing(architecture, alice_consumer, bob_resource_id))
-    result.traces.append(resource_indexing(architecture, bob_consumer, alice_resource_id))
-
-    # -- process 4: resource access -------------------------------------------------------
-    result.traces.append(
-        resource_access(architecture, alice_consumer, bob_owner, bob_resource_id)
-    )
-    result.traces.append(
-        resource_access(architecture, bob_consumer, alice_owner, alice_resource_id)
-    )
-    result.facts["bob_holds_alice_copy_initially"] = bob_consumer.holds_copy(alice_resource_id)
-    result.facts["alice_holds_bob_copy_initially"] = alice_consumer.holds_copy(bob_resource_id)
-
-    # Both consumers use the retrieved data on their trusted devices.
-    alice_consumer.use_resource(bob_resource_id, purpose="medical-research")
-    bob_consumer.use_resource(alice_resource_id, purpose="web-analytics")
-
-    # -- two days pass; the owners revise their policies (process 5) ---------------------------
-    architecture.advance_time(2 * DAY)
-    revised_alice_policy = retention_policy(
-        target=alice_resource_id,
-        assigner=alice_owner.webid.iri,
-        retention_seconds=WEEK,
-        issued_at=architecture.clock.now(),
-    ).revise()  # bump to version 2 so the update is recognisable downstream
-    result.traces.append(
-        policy_modification(architecture, alice_owner, ALICE_BROWSING_PATH, revised_alice_policy)
-    )
-    revised_bob_policy = purpose_and_retention_policy(
-        target=bob_resource_id,
-        assigner=bob_owner.webid.iri,
-        allowed_purposes=("academic-research", "medical-research"),
-        retention_seconds=6 * MONTH,
-        issued_at=architecture.clock.now(),
-    ).revise()
-    result.traces.append(
-        policy_modification(architecture, bob_owner, BOB_MEDICAL_PATH, revised_bob_policy)
-    )
-
-    # Bob's purpose change keeps Alice's medical-research application granted.
-    result.alice_can_still_use_bobs_data = alice_consumer.trusted_app.can_use(
-        bob_resource_id, purpose="medical-research"
-    )
-
-    # -- the new expiry lapses: one week after storage (five more days) -------------------------
-    architecture.advance_time(6 * DAY)
-    bob_consumer.tee.enforce_policies()
-    result.bob_copy_deleted_after_update = not bob_consumer.holds_copy(alice_resource_id)
-    result.bob_use_blocked_after_deletion = not bob_consumer.trusted_app.can_use(alice_resource_id)
-
-    # -- process 6: policy monitoring -------------------------------------------------------------
-    if monitor:
-        monitoring_trace = policy_monitoring(
-            architecture, alice_owner, ALICE_BROWSING_PATH, coordinator
-        )
-        result.traces.append(monitoring_trace)
-        result.monitoring_reports = list(coordinator.reports)
-        bob_monitoring_trace = policy_monitoring(
-            architecture, bob_owner, BOB_MEDICAL_PATH, coordinator
-        )
-        result.traces.append(bob_monitoring_trace)
-        result.monitoring_reports = list(coordinator.reports)
-
-    result.facts["total_gas_used"] = architecture.total_gas_used()
-    result.facts["chain_height"] = architecture.node.chain.height
-    result.facts["chain_valid"] = architecture.node.chain.verify_chain()
+    spec = alice_bob_spec(monitor_rounds=monitor)
+    result = ScenarioRunner(spec, config=config).run()
+    result.alice_resource_id = result.resource_ids[f"alice:{ALICE_BROWSING_PATH}"]
+    result.bob_resource_id = result.resource_ids[f"bob:{BOB_MEDICAL_PATH}"]
+    result.alice_can_still_use_bobs_data = bool(result.facts["alice_can_still_use_bobs_data"])
+    result.bob_copy_deleted_after_update = bool(result.facts["bob_copy_deleted_after_update"])
+    result.bob_use_blocked_after_deletion = bool(result.facts["bob_use_blocked_after_deletion"])
     return result

@@ -1,0 +1,413 @@
+"""The named scenario library.
+
+Every scenario the repo tells about the architecture, expressed as a
+:class:`~repro.core.spec.ScenarioSpec` and collected in
+:data:`SCENARIO_LIBRARY`.  The catalog covers the happy path (the paper's
+Alice & Bob story, a multi-party market), every adversarial behavior
+profile (negligent holder, unreachable device, Byzantine and stale
+oracles, late payer, mid-retention churn), and the owner-side revocation
+playbook.  ``python examples/adversarial_scenarios.py`` runs the whole
+catalog and prints each expected-vs-observed violation ledger.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.common.clock import DAY, HOUR, MONTH, WEEK
+from repro.core.spec import (
+    Behavior,
+    ParticipantSpec,
+    ResourceSpec,
+    ScenarioSpec,
+    access,
+    advance,
+    check_can_use,
+    check_holds,
+    churn,
+    enforce,
+    index,
+    monitor,
+    revise_policy,
+    use,
+)
+
+SpecFactory = Callable[[], ScenarioSpec]
+
+
+def alice_bob_spec(monitor_rounds: bool = True) -> ScenarioSpec:
+    """The motivating Alice & Bob use case (Section II) as a declarative spec.
+
+    Faithful, step for step, to the original hand-coded driver — the
+    pinned results of ``run_alice_bob_scenario`` come from running this
+    spec.  Housekeeping is off because the story scripts Bob's enforcement
+    pass explicitly.
+    """
+    alice_res = "alice:/data/browsing-history.csv"
+    bob_res = "bob:/data/medical-records.ttl"
+    timeline: List = [
+        index("alice-app", bob_res),
+        index("bob-app", alice_res),
+        access("alice-app", bob_res),
+        access("bob-app", alice_res),
+        check_holds("bob-app", alice_res, "bob_holds_alice_copy_initially"),
+        check_holds("alice-app", bob_res, "alice_holds_bob_copy_initially"),
+        use("alice-app", bob_res, purpose="medical-research"),
+        use("bob-app", alice_res, purpose="web-analytics"),
+        advance(2 * DAY),
+        revise_policy(alice_res, retention_seconds=WEEK),
+        revise_policy(
+            bob_res,
+            allowed_purposes=("academic-research", "medical-research"),
+            retention_seconds=6 * MONTH,
+        ),
+        check_can_use(
+            "alice-app", bob_res, "alice_can_still_use_bobs_data", purpose="medical-research"
+        ),
+        advance(6 * DAY),
+        enforce("bob-app"),
+        check_holds("bob-app", alice_res, "bob_copy_deleted_after_update", negate=True),
+        check_can_use("bob-app", alice_res, "bob_use_blocked_after_deletion", negate=True),
+    ]
+    if monitor_rounds:
+        timeline += [monitor(alice_res), monitor(bob_res)]
+    return ScenarioSpec(
+        name="alice-bob",
+        description=(
+            "Alice shortens retention, Bob narrows purposes; Bob's TEE erases "
+            "Alice's data after the new expiry while Alice keeps her access."
+        ),
+        participants=(
+            ParticipantSpec("alice", "owner"),
+            ParticipantSpec("bob", "owner"),
+            ParticipantSpec(
+                "alice-app", "consumer", purpose="medical-research", device_id="alice-device"
+            ),
+            ParticipantSpec(
+                "bob-app", "consumer", purpose="web-analytics", device_id="bob-device"
+            ),
+        ),
+        resources=(
+            ResourceSpec(
+                owner="alice",
+                path="/data/browsing-history.csv",
+                retention_seconds=MONTH,
+                content=b"timestamp,url\n2026-01-01T10:00:00Z,https://example.org\n" * 64,
+                metadata={"kind": "browsing-history"},
+            ),
+            ResourceSpec(
+                owner="bob",
+                path="/data/medical-records.ttl",
+                allowed_purposes=("medical-research", "medical-treatment"),
+                content=b"@prefix ex: <https://example.org/> . ex:bob ex:bloodPressure 120 .\n" * 32,
+                metadata={"kind": "medical-records"},
+            ),
+        ),
+        timeline=tuple(timeline),
+        housekeeping=False,
+    ).validate()
+
+
+def negligent_holder_spec() -> ScenarioSpec:
+    """A policy-violating consumer keeps an expired copy; monitoring catches it."""
+    res = "olivia:/data/browsing.csv"
+    return ScenarioSpec(
+        name="negligent-holder",
+        description=(
+            "Two consumers hold a one-week-retention copy; the negligent one "
+            "never runs its enforcement pass and is flagged after expiry."
+        ),
+        participants=(
+            ParticipantSpec("olivia", "owner"),
+            ParticipantSpec("carol-app", "consumer", purpose="web-analytics"),
+            ParticipantSpec(
+                "dave-app", "consumer", purpose="web-analytics", behavior=Behavior.VIOLATING
+            ),
+        ),
+        resources=(ResourceSpec(owner="olivia", path="/data/browsing.csv",
+                                retention_seconds=WEEK),),
+        timeline=(
+            access("carol-app", res),
+            access("dave-app", res),
+            use("carol-app", res),
+            use("dave-app", res),
+            advance(9 * DAY),
+            monitor(res),
+            check_holds("carol-app", res, "compliant_copy_deleted", negate=True),
+            check_holds("dave-app", res, "negligent_copy_survives"),
+        ),
+    ).validate()
+
+
+def unreachable_device_spec() -> ScenarioSpec:
+    """A device that never answers monitoring yields a no-evidence violation."""
+    res = "owen:/data/fitness.json"
+    return ScenarioSpec(
+        name="unreachable-device",
+        description=(
+            "A non-responsive device holds a copy: no policy pushes reach it "
+            "and monitoring records 'no evidence provided' as a violation."
+        ),
+        participants=(
+            ParticipantSpec("owen", "owner"),
+            ParticipantSpec("hattie-app", "consumer", purpose="service-improvement"),
+            ParticipantSpec(
+                "ghost-app",
+                "consumer",
+                purpose="service-improvement",
+                behavior=Behavior.NON_RESPONSIVE,
+            ),
+        ),
+        resources=(ResourceSpec(owner="owen", path="/data/fitness.json",
+                                retention_seconds=MONTH),),
+        timeline=(
+            access("hattie-app", res),
+            access("ghost-app", res),
+            advance(DAY),
+            monitor(res),
+        ),
+    ).validate()
+
+
+def byzantine_oracle_spec() -> ScenarioSpec:
+    """A tampering oracle forges compliance; the signature check rejects it."""
+    res = "ursula:/data/purchases.csv"
+    return ScenarioSpec(
+        name="byzantine-oracle",
+        description=(
+            "A Byzantine pull-in component rewrites its device's evidence to "
+            "claim compliance and hide the usage trail; lacking the enclave "
+            "key, the forged body fails verification and is recorded as a "
+            "violation."
+        ),
+        participants=(
+            ParticipantSpec("ursula", "owner"),
+            ParticipantSpec("honest-app", "consumer", purpose="marketing"),
+            ParticipantSpec(
+                "forger-app", "consumer", purpose="marketing",
+                behavior=Behavior.TAMPERING_ORACLE,
+            ),
+        ),
+        resources=(ResourceSpec(owner="ursula", path="/data/purchases.csv",
+                                retention_seconds=MONTH),),
+        timeline=(
+            access("honest-app", res),
+            access("forger-app", res),
+            use("forger-app", res),
+            advance(DAY),
+            monitor(res),
+        ),
+    ).validate()
+
+
+def stale_oracle_spec() -> ScenarioSpec:
+    """A stale oracle replays old evidence; the freshness check flags round two."""
+    res = "sam:/data/locations.csv"
+    return ScenarioSpec(
+        name="stale-oracle-replay",
+        description=(
+            "The device's oracle replays its first (validly signed) answer in "
+            "every later round; the first round passes, the replay is flagged "
+            "as stale."
+        ),
+        participants=(
+            ParticipantSpec("sam", "owner"),
+            ParticipantSpec(
+                "replay-app", "consumer", purpose="public-interest",
+                behavior=Behavior.STALE_ORACLE,
+            ),
+        ),
+        resources=(ResourceSpec(owner="sam", path="/data/locations.csv",
+                                retention_seconds=6 * MONTH),),
+        timeline=(
+            access("replay-app", res),
+            advance(DAY),
+            monitor(res),      # fresh answer, cached by the faulty oracle
+            advance(3 * DAY),
+            monitor(res),      # replayed answer: stale, flagged
+        ),
+    ).validate()
+
+
+def late_payer_spec() -> ScenarioSpec:
+    """A consumer pays late: refused without the fee, served after, never flagged."""
+    res = "petra:/data/social-graph.json"
+    return ScenarioSpec(
+        name="late-payer",
+        description=(
+            "The consumer's first retrieval is refused for lack of a market-fee "
+            "certificate; after subscribing and paying it is served normally "
+            "and stays compliant — tardiness is not a policy violation."
+        ),
+        participants=(
+            ParticipantSpec("petra", "owner"),
+            ParticipantSpec(
+                "frugal-app", "consumer", purpose="academic-research",
+                behavior=Behavior.LATE_PAYER,
+            ),
+        ),
+        resources=(
+            ResourceSpec(
+                owner="petra",
+                path="/data/social-graph.json",
+                allowed_purposes=("academic-research",),
+            ),
+        ),
+        timeline=(
+            access("frugal-app", res),
+            use("frugal-app", res),
+            advance(2 * DAY),
+            monitor(res),
+            check_holds("frugal-app", res, "late_payer_holds_copy"),
+        ),
+    ).validate()
+
+
+def churned_pod_spec() -> ScenarioSpec:
+    """A device churns mid-retention; the revised policy can no longer reach it."""
+    res = "clara:/data/medical.ttl"
+    return ScenarioSpec(
+        name="churn-mid-retention",
+        description=(
+            "Both devices hold a copy; one churns.  The owner then shortens "
+            "retention: the live device erases its copy, the churned one "
+            "neither applies the update nor answers monitoring."
+        ),
+        participants=(
+            ParticipantSpec("clara", "owner"),
+            ParticipantSpec("steady-app", "consumer", purpose="medical-research"),
+            ParticipantSpec(
+                "flaky-app", "consumer", purpose="medical-research",
+                behavior=Behavior.CHURNED,
+            ),
+        ),
+        resources=(ResourceSpec(owner="clara", path="/data/medical.ttl",
+                                retention_seconds=MONTH),),
+        timeline=(
+            access("steady-app", res),
+            access("flaky-app", res),
+            advance(2 * DAY),
+            churn("flaky-app"),
+            revise_policy(res, retention_seconds=DAY),
+            check_holds("steady-app", res, "live_copy_erased_on_update", negate=True),
+            check_holds("flaky-app", res, "churned_copy_survives"),
+            monitor(res),
+        ),
+    ).validate()
+
+
+def revocation_playbook_spec() -> ScenarioSpec:
+    """Detected violators are revoked and excluded from the next round."""
+    res = "rita:/data/browsing.csv"
+    return ScenarioSpec(
+        name="revocation-playbook",
+        description=(
+            "With violation response enabled, the owner's responder revokes "
+            "the flagged device's grant, ACL entry, and certificate; the "
+            "second monitoring round only reaches the compliant device."
+        ),
+        participants=(
+            ParticipantSpec("rita", "owner"),
+            ParticipantSpec("good-app", "consumer", purpose="web-analytics"),
+            ParticipantSpec(
+                "bad-app", "consumer", purpose="web-analytics",
+                behavior=Behavior.VIOLATING,
+            ),
+        ),
+        resources=(ResourceSpec(owner="rita", path="/data/browsing.csv",
+                                retention_seconds=WEEK),),
+        timeline=(
+            access("good-app", res),
+            access("bad-app", res),
+            advance(8 * DAY),
+            monitor(res),   # bad-app flagged; responder revokes it
+            advance(DAY),
+            monitor(res),   # bad-app no longer a holder
+        ),
+        respond_to_violations=True,
+    ).validate()
+
+
+def bounded_use_spec() -> ScenarioSpec:
+    """A max-access policy: the TEE deletes the copy at the use ceiling."""
+    res = "max:/data/panel.csv"
+    return ScenarioSpec(
+        name="bounded-use",
+        description=(
+            "The policy allows three uses; the third use triggers the "
+            "deletion duty inside the TEE, and the next use is refused."
+        ),
+        participants=(
+            ParticipantSpec("max", "owner"),
+            ParticipantSpec("metered-app", "consumer", purpose="marketing"),
+        ),
+        resources=(ResourceSpec(owner="max", path="/data/panel.csv", max_accesses=3),),
+        timeline=(
+            access("metered-app", res),
+            use("metered-app", res),
+            use("metered-app", res),
+            use("metered-app", res),
+            use("metered-app", res),   # refused: the copy is gone
+            check_holds("metered-app", res, "copy_deleted_at_ceiling", negate=True),
+            monitor(res),
+        ),
+    ).validate()
+
+
+def market_rush_spec() -> ScenarioSpec:
+    """A busy honest market: several owners, consumers, and clean rounds."""
+    r1 = "oak:/data/browsing.csv"
+    r2 = "oak:/data/fitness.json"
+    r3 = "pine:/data/purchases.csv"
+    return ScenarioSpec(
+        name="market-rush",
+        description=(
+            "Two owners, three honest consumers, overlapping accesses and "
+            "uses; every monitoring round is compliant and the money adds up."
+        ),
+        participants=(
+            ParticipantSpec("oak", "owner"),
+            ParticipantSpec("pine", "owner"),
+            ParticipantSpec("app-1", "consumer", purpose="web-analytics"),
+            ParticipantSpec("app-2", "consumer", purpose="marketing"),
+            ParticipantSpec("app-3", "consumer", purpose="service-improvement"),
+        ),
+        resources=(
+            ResourceSpec(owner="oak", path="/data/browsing.csv", retention_seconds=MONTH),
+            ResourceSpec(owner="oak", path="/data/fitness.json", retention_seconds=MONTH),
+            ResourceSpec(owner="pine", path="/data/purchases.csv", retention_seconds=MONTH),
+        ),
+        timeline=(
+            access("app-1", r1),
+            access("app-2", r1),
+            access("app-2", r3),
+            access("app-3", r2),
+            access("app-3", r3),
+            use("app-1", r1),
+            use("app-2", r3),
+            use("app-3", r2),
+            advance(12 * HOUR),
+            monitor(r1),
+            monitor(r2),
+            monitor(r3),
+        ),
+    ).validate()
+
+
+SCENARIO_LIBRARY: Dict[str, SpecFactory] = {
+    "alice-bob": alice_bob_spec,
+    "negligent-holder": negligent_holder_spec,
+    "unreachable-device": unreachable_device_spec,
+    "byzantine-oracle": byzantine_oracle_spec,
+    "stale-oracle-replay": stale_oracle_spec,
+    "late-payer": late_payer_spec,
+    "churn-mid-retention": churned_pod_spec,
+    "revocation-playbook": revocation_playbook_spec,
+    "bounded-use": bounded_use_spec,
+    "market-rush": market_rush_spec,
+}
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Build the named scenario spec (raises KeyError for unknown names)."""
+    return SCENARIO_LIBRARY[name]()

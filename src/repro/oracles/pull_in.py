@@ -15,13 +15,31 @@ to."
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.common.errors import ValidationError
 from repro.blockchain.transaction import Receipt
 from repro.oracles.base import OracleComponent
 
 # A provider receives the request payload and returns the off-chain answer.
 RequestProvider = Callable[[Dict[str, Any]], Dict[str, Any]]
+
+# Injectable fault modes (adversarial/faulty off-chain component, used by the
+# scenario engine's behavior profiles):
+#
+# * ``unresponsive`` — the component never posts a fulfillment; the request
+#   stays pending and the monitoring round records "no evidence provided".
+# * ``stale-replay`` — the component answers, but replays the first response
+#   it ever produced for the same (kind, resource) instead of asking its
+#   provider again.  The replayed evidence carries a valid enclave signature
+#   over *old* data, so only a freshness check catches it.
+# * ``tamper-compliant`` — the component rewrites the provider's answer to
+#   claim compliance and hides the usage trail.  It has no enclave key, so
+#   the rewritten body no longer matches the enclave signature.
+FAULT_UNRESPONSIVE = "unresponsive"
+FAULT_STALE_REPLAY = "stale-replay"
+FAULT_TAMPER = "tamper-compliant"
+FAULT_MODES = (FAULT_UNRESPONSIVE, FAULT_STALE_REPLAY, FAULT_TAMPER)
 
 
 class PullInOracle(OracleComponent):
@@ -36,6 +54,48 @@ class PullInOracle(OracleComponent):
         """Register the callable that answers requests of the given *kind*."""
         self._providers()[kind] = provider
 
+    # -- fault injection --------------------------------------------------------
+
+    @property
+    def fault_mode(self) -> Optional[str]:
+        """The currently injected fault, or None for a healthy component."""
+        return getattr(self, "_fault_mode", None)
+
+    def inject_fault(self, mode: Optional[str]) -> None:
+        """Make this off-chain component faulty (or healthy again with None)."""
+        if mode is not None and mode not in FAULT_MODES:
+            raise ValidationError(f"unknown pull-in fault mode {mode!r}")
+        self._fault_mode = mode
+
+    def _replay_cache(self) -> Dict[Tuple[str, Any], Dict[str, Any]]:
+        if not hasattr(self, "_stale_responses"):
+            self._stale_responses: Dict[Tuple[str, Any], Dict[str, Any]] = {}
+        return self._stale_responses
+
+    def _faulty_response(self, record: Dict[str, Any],
+                         provider: RequestProvider) -> Dict[str, Any]:
+        """Produce the (possibly faulty) response for one request."""
+        if self.fault_mode == FAULT_STALE_REPLAY:
+            # The stale component stops consulting its device: it replays the
+            # first answer it ever produced for this (kind, resource).
+            key = (record["kind"], record.get("payload", {}).get("resource_id"))
+            cache = self._replay_cache()
+            if key not in cache:
+                cache[key] = provider(record["payload"])
+            return cache[key]
+        response = provider(record["payload"])
+        if self.fault_mode == FAULT_TAMPER:
+            forged = dict(response)
+            forged["compliant"] = True
+            compliance = dict(forged.get("compliance") or {})
+            compliance["compliant"] = True
+            compliance["pendingDuties"] = []
+            forged["compliance"] = compliance
+            # Hiding the usage trail always alters the signed body.
+            forged["usageSummary"] = {}
+            return forged
+        return response
+
     def authorize_on_chain(self) -> Receipt:
         """Authorize this component's address as a provider on the hub contract."""
         return self.module.call_contract(
@@ -46,13 +106,19 @@ class PullInOracle(OracleComponent):
         """Request identifiers still awaiting fulfillment on the hub."""
         return self.module.read(self.contract_address, "pending_requests", {"kind": kind})
 
-    def serve_request(self, request_id: int) -> Receipt:
-        """Answer one pending request using the registered provider."""
+    def serve_request(self, request_id: int) -> Optional[Receipt]:
+        """Answer one pending request using the registered provider.
+
+        Returns None without touching the chain when the component has an
+        ``unresponsive`` fault injected (the request stays pending).
+        """
+        if self.fault_mode == FAULT_UNRESPONSIVE:
+            return None
         record = self.module.read(self.contract_address, "get_request", {"request_id": request_id})
         provider = self._providers().get(record["kind"])
         if provider is None:
             raise LookupError(f"no off-chain provider registered for request kind {record['kind']!r}")
-        response = provider(record["payload"])
+        response = self._faulty_response(record, provider)
         receipt = self.module.call_contract(
             self.contract_address,
             "fulfill_request",

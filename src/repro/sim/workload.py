@@ -93,11 +93,18 @@ class WorkloadConfig:
 
 
 class WorkloadGenerator:
-    """Deterministic generator of participants, resources, and access plans."""
+    """Deterministic generator of participants, resources, and access plans.
 
-    def __init__(self, config: Optional[WorkloadConfig] = None):
+    All randomness flows through one :class:`random.Random` instance — by
+    default seeded from ``config.seed``, or injected via *rng* so a larger
+    harness (e.g. the scenario runner) can thread a single seeded stream
+    through every random choice and reproduce a whole run from one seed.
+    """
+
+    def __init__(self, config: Optional[WorkloadConfig] = None,
+                 rng: Optional[random.Random] = None):
         self.config = config if config is not None else WorkloadConfig()
-        self._rng = random.Random(self.config.seed)
+        self._rng = rng if rng is not None else random.Random(self.config.seed)
 
     def owners(self) -> List[SyntheticParticipant]:
         """Return the synthetic data owners."""

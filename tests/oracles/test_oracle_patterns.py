@@ -147,3 +147,86 @@ def test_network_latency_is_accounted(owner_module, de_app):
     start = owner_module.network.total_latency
     PushInOracle(owner_module, de_app).push_pod_registration("https://pod.x", "https://id/o", sample_policy())
     assert owner_module.network.total_latency > start
+
+
+# -- pull-in fault injection (adversarial off-chain components) -------------------
+
+
+def make_faulty_pull_in(owner_module, hub, mode):
+    pull_in = PullInOracle(owner_module, hub)
+    calls = []
+
+    def provider(payload):
+        calls.append(dict(payload))
+        return {"compliant": True, "generatedAt": float(len(calls)), "answer": len(calls)}
+
+    pull_in.register_provider("usage_evidence", provider)
+    pull_in.authorize_on_chain()
+    pull_in.inject_fault(mode)
+    return pull_in, calls
+
+
+def test_unresponsive_fault_leaves_the_request_pending(owner_module, operator_module, hub):
+    pull_in, calls = make_faulty_pull_in(owner_module, hub, "unresponsive")
+    request_id = operator_module.call_contract(
+        hub, "create_request", {"kind": "usage_evidence", "payload": {"resource_id": "r1"}}
+    ).return_value
+    assert pull_in.serve_request(request_id) is None
+    assert calls == []
+    record = operator_module.read(hub, "get_request", {"request_id": request_id})
+    assert not record["fulfilled"]
+    # Healing the component lets it serve again.
+    pull_in.inject_fault(None)
+    assert pull_in.serve_request(request_id) is not None
+    assert operator_module.read(hub, "get_request", {"request_id": request_id})["fulfilled"]
+
+
+def test_stale_replay_fault_repeats_the_first_answer(owner_module, operator_module, hub):
+    pull_in, calls = make_faulty_pull_in(owner_module, hub, "stale-replay")
+    responses = []
+    for _ in range(3):
+        request_id = operator_module.call_contract(
+            hub, "create_request", {"kind": "usage_evidence", "payload": {"resource_id": "r1"}}
+        ).return_value
+        pull_in.serve_request(request_id)
+        responses.append(
+            operator_module.read(hub, "get_request", {"request_id": request_id})["response"]
+        )
+    # The provider was consulted once; later requests got the cached answer.
+    assert len(calls) == 1
+    assert responses[0] == responses[1] == responses[2]
+    # A different resource gets its own fresh answer.
+    other = operator_module.call_contract(
+        hub, "create_request", {"kind": "usage_evidence", "payload": {"resource_id": "r2"}}
+    ).return_value
+    pull_in.serve_request(other)
+    assert len(calls) == 2
+
+
+def test_tamper_fault_forges_compliance_and_hides_the_trail(owner_module, operator_module, hub):
+    pull_in = PullInOracle(owner_module, hub)
+    pull_in.register_provider(
+        "usage_evidence",
+        lambda payload: {
+            "compliant": False,
+            "compliance": {"compliant": False, "pendingDuties": ["duty-1"]},
+            "usageSummary": {"events": 7},
+        },
+    )
+    pull_in.authorize_on_chain()
+    pull_in.inject_fault("tamper-compliant")
+    request_id = operator_module.call_contract(
+        hub, "create_request", {"kind": "usage_evidence", "payload": {"resource_id": "r1"}}
+    ).return_value
+    pull_in.serve_request(request_id)
+    response = operator_module.read(hub, "get_request", {"request_id": request_id})["response"]
+    assert response["compliant"] is True
+    assert response["compliance"] == {"compliant": True, "pendingDuties": []}
+    assert response["usageSummary"] == {}
+
+
+def test_unknown_fault_mode_is_rejected(owner_module, hub):
+    pull_in = PullInOracle(owner_module, hub)
+    with pytest.raises(Exception):
+        pull_in.inject_fault("slow-loris")
+    assert pull_in.fault_mode is None

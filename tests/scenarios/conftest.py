@@ -1,0 +1,49 @@
+"""Hypothesis profiles and failure artifacts for the conformance suite.
+
+Two profiles are registered:
+
+* ``scenarios-dev`` (default) — a handful of derandomized examples so the
+  suite stays fast and deterministic inside the tier-1 run;
+* ``scenarios-ci`` — ≥50 derandomized examples with the deadline disabled,
+  selected by the CI ``scenarios`` job via ``SCENARIO_PROFILE``;
+* ``scenarios-explore`` — randomized examples for hunting new model/engine
+  divergences (``SCENARIO_PROFILE=scenarios-explore``).
+
+When an invariant fails, the offending :class:`ScenarioSpec` is serialized
+to ``tests/scenarios/failures/`` (uploaded as a CI artifact) so the exact
+spec can be replayed with ``ScenarioSpec.from_dict``.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+_SUPPRESSED = [
+    HealthCheck.too_slow,
+    HealthCheck.data_too_large,
+    HealthCheck.filter_too_much,
+    HealthCheck.large_base_example,
+]
+
+settings.register_profile(
+    "scenarios-ci",
+    max_examples=60,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=_SUPPRESSED,
+)
+settings.register_profile(
+    "scenarios-dev",
+    max_examples=8,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=_SUPPRESSED,
+)
+# Non-derandomized exploration for hunting new model/engine divergences.
+settings.register_profile(
+    "scenarios-explore",
+    max_examples=100,
+    deadline=None,
+    suppress_health_check=_SUPPRESSED,
+)
+settings.load_profile(os.environ.get("SCENARIO_PROFILE", "scenarios-dev"))

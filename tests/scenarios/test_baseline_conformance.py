@@ -1,0 +1,77 @@
+"""Baseline vs. monitored deployment on the same spec (the paper's comparison).
+
+Solid with plain access control cannot detect a single violation the
+monitored architecture catches: the same adversarial spec run through
+:class:`BaselineScenarioRunner` yields zero detections while the offending
+copies keep circulating.
+"""
+
+import pytest
+
+from repro.core.runner import BaselineScenarioRunner, ScenarioRunner
+from repro.core.scenario_library import (
+    SCENARIO_LIBRARY,
+    alice_bob_spec,
+    churned_pod_spec,
+    negligent_holder_spec,
+)
+
+ADVERSARIAL = ["negligent-holder", "churn-mid-retention", "revocation-playbook"]
+
+
+@pytest.mark.parametrize("name", ADVERSARIAL)
+def test_baseline_misses_what_the_monitored_run_catches(name):
+    spec = SCENARIO_LIBRARY[name]()
+    monitored = ScenarioRunner(spec).run()
+    baseline = BaselineScenarioRunner(spec).run()
+
+    assert monitored.ledger.matches
+    assert len(monitored.ledger.observed) >= 1
+    # The baseline detected nothing, on the exact same story.
+    assert baseline.facts["violations_detected"] == 0
+    assert all(
+        snapshot["violationsDetected"] == 0 for snapshot in baseline.stale_copy_snapshots
+    )
+    # ... and every copy survives: nothing enforces retention off-TEE.
+    assert baseline.facts["surviving_copies"] >= len(
+        {(s.participant, s.resource) for s in spec.timeline if s.kind == "access"}
+    )
+
+
+def test_baseline_keeps_stale_copies_after_policy_revision():
+    """`stale_copies` is the only signal the baseline has — and it is advisory."""
+    spec = churned_pod_spec()
+    baseline = BaselineScenarioRunner(spec).run()
+    # The monitor step ran after the owner shortened retention: every copy
+    # downloaded under policy v1 is now stale, for live and churned alike.
+    (snapshot,) = baseline.stale_copy_snapshots
+    assert sorted(snapshot["staleConsumers"]) == ["flaky-app", "steady-app"]
+
+
+def test_baseline_never_erases_the_negligent_copy():
+    spec = negligent_holder_spec()
+    monitored = ScenarioRunner(spec).run()
+    baseline = BaselineScenarioRunner(spec).run()
+    # Monitored: the compliant device erased its expired copy, the negligent
+    # one was flagged on-chain.  Baseline: both copies survive, nothing flagged.
+    assert monitored.facts["compliant_copy_deleted"] is True
+    assert baseline.deployment.consumers["carol-app"].holds_copy(
+        baseline.resource_ids["olivia:/data/browsing.csv"]
+    )
+    assert baseline.deployment.consumers["dave-app"].holds_copy(
+        baseline.resource_ids["olivia:/data/browsing.csv"]
+    )
+
+
+def test_baseline_runs_the_full_catalog_without_detecting_anything():
+    for name, factory in SCENARIO_LIBRARY.items():
+        baseline = BaselineScenarioRunner(factory()).run()
+        assert baseline.facts["violations_detected"] == 0, name
+
+
+def test_alice_bob_baseline_keeps_the_copy_the_tee_erases():
+    spec = alice_bob_spec()
+    monitored = ScenarioRunner(spec).run()
+    baseline = BaselineScenarioRunner(spec).run()
+    assert monitored.facts["bob_copy_deleted_after_update"] is True
+    assert baseline.facts["bob_copy_deleted_after_update"] is False

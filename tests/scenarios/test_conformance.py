@@ -1,0 +1,258 @@
+"""Randomized end-to-end conformance: generated specs, global invariants.
+
+Hypothesis generates :class:`ScenarioSpec` values over every behavior
+profile; the runner executes each against a fresh deployment and the
+invariants below are asserted globally:
+
+1.  **No missed violations** — every violation the spec's shadow model
+    scripts is observed by the monitoring round that should catch it.
+2.  **No honest actor penalized** — nothing beyond the scripted violations
+    is ever flagged.
+3.  **Evidence on chain** — every scripted violation left both a violation
+    record and a piece of recorded evidence in the DE App.
+4.  **Local enforcement conforms** — every use/holds outcome inside the
+    TEEs matches the model's prediction.
+5.  **Chain replays clean** — ``verify_chain(replay=True)`` re-executes the
+    whole run from genesis without an inconsistency.
+6.  **Conservation of value** — account balances plus burned gas equal the
+    genesis supply.
+7.  **Complete rounds** — every monitoring report carries evidence (or the
+    explicit no-evidence marker) for each holder.
+
+Failing specs are dumped to ``tests/scenarios/failures/`` for replay.
+"""
+
+import json
+from pathlib import Path
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.clock import DAY, HOUR, WEEK
+from repro.common.serialization import stable_hash
+from repro.core.runner import ScenarioRunner
+from repro.core.spec import (
+    Behavior,
+    ParticipantSpec,
+    ResourceSpec,
+    ScenarioSpec,
+    Step,
+    access,
+    advance,
+    check_holds,
+    churn,
+    enforce,
+    monitor,
+    revise_policy,
+    use,
+)
+
+FAILURES_DIR = Path(__file__).parent / "failures"
+
+
+def dump_failing_spec(spec) -> Path:
+    """Persist a failing generated spec for replay; returns the file path."""
+    FAILURES_DIR.mkdir(exist_ok=True)
+    payload = spec.to_dict()
+    path = FAILURES_DIR / f"{spec.name}-{stable_hash(payload)[:12]}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+PURPOSES = ("medical-research", "web-analytics", "marketing", "academic-research")
+RETENTIONS = (6 * HOUR, DAY, WEEK, None)
+DURATIONS = (6 * HOUR, DAY, 3 * DAY, 9 * DAY)
+
+CONSUMER_BEHAVIORS = st.sampled_from(
+    [
+        Behavior.HONEST,
+        Behavior.HONEST,  # honest twice: keep populations mostly well-behaved
+        Behavior.VIOLATING,
+        Behavior.NON_RESPONSIVE,
+        Behavior.STALE_ORACLE,
+        Behavior.TAMPERING_ORACLE,
+        Behavior.LATE_PAYER,
+        Behavior.CHURNED,
+    ]
+)
+
+
+@st.composite
+def scenario_specs(draw) -> ScenarioSpec:
+    num_owners = draw(st.integers(1, 2))
+    num_consumers = draw(st.integers(1, 3))
+    owners = [ParticipantSpec(f"owner-{i}", "owner") for i in range(num_owners)]
+    consumers = [
+        ParticipantSpec(
+            f"app-{i}",
+            "consumer",
+            purpose=draw(st.sampled_from(PURPOSES)),
+            behavior=draw(CONSUMER_BEHAVIORS),
+        )
+        for i in range(num_consumers)
+    ]
+
+    resources = []
+    for owner in owners:
+        for index in range(draw(st.integers(1, 2))):
+            retention = draw(st.sampled_from(RETENTIONS))
+            purposes = (
+                draw(st.sampled_from([None, ("medical-research", "academic-research"),
+                                      ("web-analytics", "marketing")]))
+            )
+            resources.append(
+                ResourceSpec(
+                    owner=owner.name,
+                    path=f"/data/resource-{index}.bin",
+                    retention_seconds=retention,
+                    allowed_purposes=purposes,
+                )
+            )
+
+    # Every consumer accesses a non-empty subset of the resources, once each.
+    accessed = []
+    timeline = []
+    for consumer in consumers:
+        subset = draw(
+            st.lists(st.sampled_from(resources), min_size=1,
+                     max_size=len(resources), unique_by=lambda r: r.key)
+        )
+        for resource in subset:
+            timeline.append(access(consumer.name, resource.key))
+            accessed.append((consumer.name, resource.key))
+
+    # A middle section of uses, time advances, revisions, and enforcement.
+    middle = []
+    for _ in range(draw(st.integers(2, 6))):
+        op = draw(st.sampled_from(["advance", "use", "revise", "enforce"]))
+        if op == "advance":
+            middle.append(advance(draw(st.sampled_from(DURATIONS))))
+        elif op == "use" and accessed:
+            name, key = draw(st.sampled_from(accessed))
+            middle.append(use(name, key, purpose=draw(st.sampled_from(PURPOSES + (None,)))))
+        elif op == "revise":
+            resource = draw(st.sampled_from(resources))
+            middle.append(
+                revise_policy(
+                    resource.key,
+                    retention_seconds=draw(st.sampled_from([6 * HOUR, DAY, WEEK])),
+                )
+            )
+        elif op == "enforce":
+            candidates = [c for c in consumers if c.behavior is Behavior.HONEST]
+            if candidates:
+                middle.append(enforce(draw(st.sampled_from(candidates)).name))
+    # Churned devices go offline somewhere in the middle of the story.
+    for consumer in consumers:
+        if consumer.behavior is Behavior.CHURNED:
+            position = draw(st.integers(0, len(middle)))
+            middle.insert(position, churn(consumer.name))
+    timeline.extend(middle)
+
+    # Optionally monitor mid-story, always monitor everything at the end.
+    if draw(st.booleans()) and accessed:
+        timeline.append(monitor(draw(st.sampled_from(resources)).key))
+        timeline.append(advance(draw(st.sampled_from(DURATIONS))))
+    monitored = {key for _, key in accessed}
+    for resource in resources:
+        if resource.key in monitored:
+            timeline.append(monitor(resource.key))
+
+    # Final audit of every copy: the TEEs' state must match the model.
+    for position, (name, key) in enumerate(accessed):
+        timeline.append(check_holds(name, key, fact=f"holds_{position}"))
+
+    return ScenarioSpec(
+        name="generated",
+        participants=tuple(owners + consumers),
+        resources=tuple(resources),
+        timeline=tuple(timeline),
+        seed=draw(st.integers(0, 2**32 - 1)),
+    ).validate()
+
+
+def assert_invariants(spec: ScenarioSpec) -> None:
+    result = ScenarioRunner(spec).run()
+
+    # 1. every scripted violation was observed by its round
+    assert result.ledger.missing == [], [v.to_dict() for v in result.ledger.missing]
+    # 2. nothing beyond the script was flagged (no honest actor penalized)
+    assert result.ledger.unexpected == [], [v.to_dict() for v in result.ledger.unexpected]
+
+    # 3. the on-chain record agrees with the ledger, violation for violation,
+    #    and every scripted violation has recorded evidence behind it
+    on_chain = sorted(
+        (v["resource_id"], v["device_id"]) for v in result.on_chain_violations
+    )
+    from_ledger = sorted(
+        (v.resource_id, v.device_id) for v in result.ledger.observed
+    )
+    assert on_chain == from_ledger
+    for record in result.ledger.expected:
+        evidence = result.architecture.dist_exchange_read(
+            "get_evidence", {"resource_id": record.resource_id}
+        )
+        assert any(
+            item["device_id"] == record.device_id and item["round_id"] == record.round_id
+            for item in evidence
+        ), record.to_dict()
+
+    # 4. the TEEs' local decisions all matched the shadow model
+    assert result.mispredictions == [], result.mispredictions
+
+    # 5. the chain replays clean from genesis
+    assert result.verify_chain_replay() is True
+
+    # 6. balances plus burned gas equal the genesis supply
+    assert result.facts["balance_conservation"]["holds"] is True
+
+    # 7. every monitoring round accounted for every holder
+    for report in result.monitoring_reports:
+        assert set(report.evidence) == set(report.holders)
+        assert sorted(report.compliant_devices + report.non_compliant_devices) == sorted(
+            report.holders
+        )
+
+
+@given(scenario_specs())
+def test_generated_scenarios_uphold_all_invariants(spec):
+    try:
+        assert_invariants(spec)
+    except Exception:
+        path = dump_failing_spec(spec)
+        print(f"failing spec saved to {path}")
+        raise
+
+
+@given(scenario_specs())
+@settings(max_examples=5, deadline=None)
+def test_scenarios_reproduce_from_their_seed(spec):
+    """Two runs of one spec agree on every observable outcome."""
+
+    def fingerprint(result):
+        return {
+            "ledger": result.ledger.to_dict(),
+            "reports": [
+                (r.round_id, sorted(r.holders), sorted(r.non_compliant_devices))
+                for r in result.monitoring_reports
+            ],
+            "height": result.facts["chain_height"],
+            "transactions": result.architecture.node.chain.transaction_count(),
+            "outcomes": [
+                (s.phase, s.details.get("allowed"), s.details.get("holds"))
+                for s in result.steps
+            ],
+        }
+
+    try:
+        first = fingerprint(ScenarioRunner(spec).run())
+        second = fingerprint(ScenarioRunner(spec).run())
+        assert first == second
+    except Exception:
+        dump_failing_spec(spec)
+        raise
+
+
+@given(scenario_specs())
+@settings(max_examples=5, deadline=None)
+def test_generated_specs_round_trip_through_json(spec):
+    assert ScenarioSpec.from_dict(spec.to_dict()) == spec
