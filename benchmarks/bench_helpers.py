@@ -2,6 +2,11 @@
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+from typing import List, Optional, Sequence
+
 from repro.common.clock import WEEK
 from repro.core.architecture import ArchitectureConfig, UsageControlArchitecture
 from repro.core.processes import (
@@ -14,6 +19,57 @@ from repro.policy.templates import retention_policy
 
 RESOURCE_PATH = "/data/dataset.bin"
 RESOURCE_CONTENT = b"row,value\n" * 128
+
+# -- machine-readable benchmark artifacts --------------------------------------
+#
+# Every benchmark file emits its measured rows as BENCH_<name>.json at the
+# repo root (override the directory with BENCH_OUTPUT_DIR) in one shared
+# schema, so the perf trajectory across PRs is diffable by tooling:
+#
+#   {"benchmark": <name>,
+#    "results": [{"metric": ..., "populations": [...], "values": [...],
+#                 "pinned_ratio": <asserted bound or null>}, ...]}
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def bench_row(metric: str, populations: Sequence, values: Sequence,
+              pinned_ratio: Optional[float] = None) -> dict:
+    """One shared-schema result row: a metric swept across populations."""
+    if len(populations) != len(values):
+        raise ValueError(f"{metric}: populations and values must align")
+    return {
+        "metric": metric,
+        "populations": list(populations),
+        "values": list(values),
+        "pinned_ratio": pinned_ratio,
+    }
+
+
+def emit_bench_json(name: str, rows: List[dict]) -> Path:
+    """Write (or merge into) ``BENCH_<name>.json`` in the shared schema.
+
+    Rows replace same-metric rows from earlier runs and are otherwise
+    appended, so the fast and slow splits of one benchmark accumulate into
+    a single artifact.
+    """
+    directory = Path(os.environ.get("BENCH_OUTPUT_DIR", REPO_ROOT))
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    payload = {"benchmark": name, "results": []}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+            if existing.get("benchmark") == name:
+                payload = existing
+        except (ValueError, OSError):
+            pass
+    merged = {row["metric"]: row for row in payload.get("results", [])}
+    for row in rows:
+        merged[row["metric"]] = row
+    payload["results"] = [merged[metric] for metric in sorted(merged)]
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def fresh_architecture(**config_kwargs) -> UsageControlArchitecture:

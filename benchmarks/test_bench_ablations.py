@@ -123,4 +123,10 @@ def test_ablation_policy_storage_full_vs_hash(benchmark, report):
     report("ablation policy storage", full_policy_gas=full_receipt.gas_used,
            hash_anchor_gas=hash_receipt.gas_used,
            saving_percent=round(100 * (1 - hash_receipt.gas_used / full_receipt.gas_used)))
+    from bench_helpers import bench_row, emit_bench_json
+
+    emit_bench_json("ablations", [
+        bench_row("policy_storage_gas", ["full-policy", "hash-anchor"],
+                  [full_receipt.gas_used, hash_receipt.gas_used]),
+    ])
     assert hash_receipt.gas_used < full_receipt.gas_used

@@ -7,90 +7,122 @@ business model could offer an incentive mechanism that allows users to
 overcome the sharing costs and earn a remuneration upon access to their
 data."
 
-The benchmark produces (a) a gas-cost table for every on-chain operation an
-owner or consumer performs and (b) the number of paid accesses after which an
-owner's market earnings cover their own on-chain spending (the break-even the
-subscription model relies on).
+Both measurements are ScenarioSpec-native: one declarative scenario is
+executed by the :class:`~repro.core.runner.ScenarioRunner` and the per-phase
+:class:`~repro.core.runner.StepStats` provide every row — the per-operation
+gas table comes from the labelled setup/access/monitor phases, and the
+break-even point falls out of the owner's measured on-chain spend versus
+their per-access market earnings.  Rows are emitted to
+``BENCH_affordability.json`` in the shared benchmark schema.
 """
 
 from __future__ import annotations
 
-import pytest
-
-from repro.common.clock import WEEK
-from repro.core.processes import (
-    market_onboarding,
-    pod_initiation,
-    resource_access,
-    resource_initiation,
+from repro.common.clock import DAY, WEEK
+from repro.core.runner import ScenarioRunner
+from repro.core.spec import (
+    ParticipantSpec,
+    ResourceSpec,
+    ScenarioSpec,
+    access,
+    advance,
+    monitor,
+    revise_policy,
+    use,
 )
-from repro.policy.templates import retention_policy
 
-from bench_helpers import RESOURCE_CONTENT, deploy_consumer, fresh_architecture
+from bench_helpers import bench_row, emit_bench_json
 
-
-def gas_cost_table() -> dict:
-    """Run each on-chain operation once and collect its gas cost."""
-    architecture = fresh_architecture()
-    owner = architecture.register_owner("owner")
-    costs = {}
-
-    trace = pod_initiation(architecture, owner)
-    costs["register_pod (push-in)"] = trace.gas_used
-
-    path = "/data/dataset.bin"
-    policy = retention_policy(owner.pod_manager.base_url + path, owner.webid.iri, WEEK)
-    trace = resource_initiation(architecture, owner, path, RESOURCE_CONTENT, policy)
-    costs["register_resource + market listing (push-in)"] = trace.gas_used
-    resource_id = owner.pod_manager.require_pod().url_for(path)
-
-    consumer = architecture.register_consumer("consumer", purpose="web-analytics")
-    trace = market_onboarding(architecture, consumer)
-    costs["market subscription"] = trace.gas_used
-
-    trace = resource_access(architecture, consumer, owner, resource_id)
-    costs["resource access (certificate + grant)"] = trace.gas_used
-
-    new_policy = retention_policy(resource_id, owner.webid.iri, WEEK / 2).revise()
-    before = architecture.total_gas_used()
-    owner.update_policy(path, new_policy)
-    costs["update_policy (push-in)"] = architecture.total_gas_used() - before
-
-    return costs
+ACCESS_FEE = 10_000
+OWNER_SHARE_PERCENT = 80  # the architecture default
 
 
-def test_e7_gas_cost_per_operation(benchmark, report):
-    costs = benchmark.pedantic(gas_cost_table, rounds=1, iterations=1)
+def affordability_spec(consumers: int = 30) -> ScenarioSpec:
+    """One owner, one priced resource, *consumers* paying readers."""
+    res = "vera:/data/dataset.bin"
+    names = [f"reader-{index:03d}" for index in range(consumers)]
+    timeline = [access(name, res) for name in names]
+    timeline += [use(name, res) for name in names]
+    timeline += [
+        revise_policy(res, retention_seconds=WEEK / 2),
+        advance(DAY),
+        monitor(res),
+    ]
+    return ScenarioSpec(
+        name="affordability",
+        description="gas per operation and owner break-even under paid access",
+        participants=(
+            ParticipantSpec("vera", "owner"),
+            *(ParticipantSpec(name, "consumer", purpose="web-analytics") for name in names),
+        ),
+        resources=(ResourceSpec(owner="vera", path="/data/dataset.bin",
+                                retention_seconds=WEEK),),
+        timeline=tuple(timeline),
+        access_fee=ACCESS_FEE,
+    ).validate()
+
+
+def test_e7_gas_cost_per_operation(report):
+    """Per-operation gas, read straight off the scenario's phase accounting."""
+    consumers = 12
+    result = ScenarioRunner(affordability_spec(consumers)).run()
+    by_label = {}
+    for stats in result.steps:
+        entry = by_label.setdefault(stats.label.split(":", 1)[0] if stats.phase != "setup"
+                                    else stats.label, {"gas": 0, "count": 0})
+        entry["gas"] += stats.gas_used
+        entry["count"] += 1
+
+    costs = {
+        "pod registration (push-in)": by_label["setup:pods"]["gas"],
+        "resource registration + market listing (push-in)": by_label["setup:resources"]["gas"],
+        "market subscription (per consumer)": by_label["setup:onboarding"]["gas"] // consumers,
+        "resource access (certificate + grant)": by_label["access"]["gas"] // consumers,
+        "policy update (push-in)": by_label["revise_policy"]["gas"],
+        "monitoring round (per holder)": (
+            by_label["monitor"]["gas"] // max(1, len(result.monitoring_reports[-1].holders))
+        ),
+    }
     for operation, gas in costs.items():
         report("E7 gas", operation=operation, gas=gas)
-    # Shape assertions: every metadata write costs gas; the resource access
-    # path (two small transactions) is cheaper than resource registration
-    # (which stores the whole policy on-chain).
+    emit_bench_json(
+        "affordability",
+        [bench_row("gas_per_operation", list(costs), list(costs.values()))],
+    )
+    # Shape assertions: every metadata write costs gas; the per-consumer
+    # access path (two small transactions) is cheaper than resource
+    # registration (which stores the whole policy on-chain).
     assert all(gas > 0 for gas in costs.values())
-    assert costs["register_resource + market listing (push-in)"] > costs["register_pod (push-in)"] * 0.5
+    assert costs["resource access (certificate + grant)"] < costs[
+        "resource registration + market listing (push-in)"
+    ]
+    # The run's phase accounting is complete: phases sum to the chain totals.
+    assert sum(result.gas_by_phase().values()) == result.facts["total_gas_used"]
 
 
-@pytest.mark.slow
-def test_e7_owner_break_even_accesses(benchmark, report):
-    """How many paid accesses until owner earnings cover the owner's gas bill."""
-    architecture = fresh_architecture(access_fee=10_000, owner_share_percent=80)
-    owner = architecture.register_owner("owner")
-    pod_initiation(architecture, owner)
-    path = "/data/dataset.bin"
-    policy = retention_policy(owner.pod_manager.base_url + path, owner.webid.iri, WEEK)
-    resource_initiation(architecture, owner, path, RESOURCE_CONTENT, policy)
-    resource_id = owner.pod_manager.require_pod().url_for(path)
+def test_e7_owner_break_even_accesses(report):
+    """Paid accesses needed until market earnings cover the owner's gas bill."""
+    consumers = 40
+    result = ScenarioRunner(affordability_spec(consumers)).run()
+    owner = result.architecture.owners["vera"]
 
-    owner_gas_spent = owner.module.gas_spent  # gas the owner paid to set up pod + resource
-    earnings = 0
-    accesses = 0
-    while earnings < owner_gas_spent and accesses < 200:
-        consumer = deploy_consumer(architecture, f"consumer-{accesses:03d}")
-        resource_access(architecture, consumer, owner, resource_id)
-        earnings = owner.market_earnings()
-        accesses += 1
+    earnings = owner.market_earnings()
+    per_access = ACCESS_FEE * OWNER_SHARE_PERCENT // 100
+    assert earnings == consumers * per_access
 
-    report("E7 break-even", owner_setup_gas=owner_gas_spent, access_fee=10_000,
-           owner_share="80%", accesses_to_break_even=accesses, earnings=earnings)
-    assert 0 < accesses < 200
-    assert earnings >= owner_gas_spent
+    # The owner's up-front on-chain spend: pod + resource registration (the
+    # setup phases are entirely owner-paid transactions).
+    owner_setup_gas = sum(
+        stats.gas_used for stats in result.steps
+        if stats.label in ("setup:pods", "setup:resources")
+    )
+    break_even = -(-owner_setup_gas // per_access)  # ceil division
+    report("E7 break-even", owner_setup_gas=owner_setup_gas, access_fee=ACCESS_FEE,
+           owner_share=f"{OWNER_SHARE_PERCENT}%", accesses_to_break_even=break_even,
+           earnings=earnings)
+    emit_bench_json(
+        "affordability",
+        [bench_row("break_even_accesses", [consumers], [break_even])],
+    )
+    assert 0 < break_even <= consumers
+    assert earnings >= owner_setup_gas

@@ -16,15 +16,13 @@ per-holder time stays flat as the holder count grows.
 
 This sweep registers synthetic copy-holding devices with one batched
 ``record_access_grants`` transaction and then measures complete monitoring
-rounds.  Set ``BENCH_MONITORING_JSON`` to a path to also emit the measured
-rows as a JSON artifact (the CI workflow uploads it as
-``BENCH_monitoring.json`` to track the perf trajectory).
+rounds.  The measured rows are emitted to ``BENCH_monitoring.json`` at the
+repo root in the shared benchmark schema (the CI workflow uploads it to
+track the perf trajectory).
 """
 
 from __future__ import annotations
 
-import json
-import os
 import time
 
 import pytest
@@ -33,6 +31,8 @@ from repro.common.clock import MONTH
 from repro.core.architecture import UsageControlArchitecture
 from repro.core.monitoring import MonitoringCoordinator
 from repro.policy.templates import retention_policy
+
+from bench_helpers import bench_row, emit_bench_json
 
 PATH = "/data/telemetry.csv"
 CONTENT = b"t,v\n" * 8
@@ -93,19 +93,19 @@ def _measure_round(holders: int, rounds: int = 2):
 
 
 def _emit_json(label: str, rows, ratio: float) -> None:
-    """Append this sweep's rows to the BENCH_MONITORING_JSON artifact."""
-    path = os.environ.get("BENCH_MONITORING_JSON")
-    if not path:
-        return
-    data = {"benchmark": "monitoring_scaling", "runs": []}
-    if os.path.exists(path):
-        with open(path) as handle:
-            data = json.load(handle)
-    data.setdefault("runs", []).append(
-        {"sweep": label, "rows": rows, "per_holder_ratio": ratio}
+    """Emit this sweep's rows to BENCH_monitoring.json (shared schema)."""
+    holders = [row["holders"] for row in rows]
+    emit_bench_json(
+        "monitoring",
+        [
+            bench_row(f"us_per_holder[{label}]", holders,
+                      [row["us_per_holder"] for row in rows], pinned_ratio=ratio),
+            bench_row(f"gas_per_holder[{label}]", holders,
+                      [row["gas_per_holder"] for row in rows]),
+            bench_row(f"blocks_per_round[{label}]", holders,
+                      [row["blocks_per_round"] for row in rows]),
+        ],
     )
-    with open(path, "w") as handle:
-        json.dump(data, handle, indent=2)
 
 
 def _sweep(label: str, sizes, report):

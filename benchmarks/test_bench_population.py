@@ -1,0 +1,106 @@
+"""Population-scale scenario benchmark: 100 → 2,000 consumers, mixed profiles.
+
+The paper's headline claim is that decentralized usage-control monitoring
+stays affordable as the population of consumers and copy holders grows.
+This sweep runs the :func:`~repro.core.scenario_library.population_spec`
+family — built via ``spec_from_workload`` from a single seed, with the PR 3
+behavior-profile mix (honest majority plus violating, non-responsive,
+stale/tampering-oracle, late-paying, and churning minorities) — and
+measures, per population size:
+
+* wall-clock per participant for the whole scenario (must stay flat);
+* wall-clock of the monitoring phase (every resource's full round);
+* gas per holder and blocks per round (both must stay flat — PR 2's
+  batched-round guarantee at population scale);
+* the expected-vs-observed violation ledger must close exactly.
+
+Rows are emitted to ``BENCH_population.json`` at the repo root in the
+shared benchmark schema; CI uploads the file as an artifact.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.runner import ScenarioRunner
+from repro.core.scenario_library import population_spec
+
+from bench_helpers import bench_row, emit_bench_json
+
+MAX_BLOCKS_PER_ROUND = 5
+SEED = 2026
+
+
+def _measure_population(consumers: int) -> dict:
+    """Run one population scenario and distill the scaling row."""
+    spec = population_spec(num_consumers=consumers, seed=SEED)
+    started = time.perf_counter()
+    result = ScenarioRunner(spec).run()
+    wall = time.perf_counter() - started
+
+    assert result.ledger.matches, {
+        "missing": [v.to_dict() for v in result.ledger.missing],
+        "unexpected": [v.to_dict() for v in result.ledger.unexpected],
+    }
+    assert result.mispredictions == []
+
+    monitor_steps = [s for s in result.steps if s.phase == "monitor"]
+    assert monitor_steps
+    holders = sum(s.details["holders"] for s in monitor_steps)
+    monitor_gas = sum(s.gas_used for s in monitor_steps)
+    return {
+        "consumers": consumers,
+        "wall_s": round(wall, 2),
+        "ms_per_participant": round(wall / consumers * 1e3, 2),
+        "monitor_phase_s": round(sum(s.wall_clock_seconds for s in monitor_steps), 2),
+        "gas_per_holder": monitor_gas // max(1, holders),
+        "blocks_per_round": max(s.blocks for s in monitor_steps),
+        "violations": len(result.ledger.observed),
+    }
+
+
+def _sweep(label: str, sizes, report, ratio_bound: float):
+    rows = [_measure_population(consumers) for consumers in sizes]
+    ratio = round(rows[-1]["ms_per_participant"] / rows[0]["ms_per_participant"], 2)
+    for row in rows:
+        report(f"population {row['consumers']} consumers", **row)
+    report(f"population {label}", per_participant_ratio=ratio)
+    populations = [row["consumers"] for row in rows]
+    emit_bench_json(
+        "population",
+        [
+            bench_row(f"ms_per_participant[{label}]", populations,
+                      [row["ms_per_participant"] for row in rows], pinned_ratio=ratio),
+            bench_row(f"monitor_phase_s[{label}]", populations,
+                      [row["monitor_phase_s"] for row in rows]),
+            bench_row(f"gas_per_holder[{label}]", populations,
+                      [row["gas_per_holder"] for row in rows]),
+            bench_row(f"blocks_per_round[{label}]", populations,
+                      [row["blocks_per_round"] for row in rows]),
+            bench_row(f"violations_detected[{label}]", populations,
+                      [row["violations"] for row in rows]),
+        ],
+    )
+    for row in rows:
+        assert row["blocks_per_round"] <= MAX_BLOCKS_PER_ROUND
+    assert ratio <= ratio_bound, rows
+    return rows, ratio
+
+
+def test_population_cost_flat_from_100_to_300_consumers(report):
+    """Fast guard (CI split): 3x the population, flat per-participant cost."""
+    _sweep("100->300", (100, 300), report, ratio_bound=1.5)
+
+
+@pytest.mark.slow
+def test_population_cost_flat_from_500_to_2000_consumers(report):
+    """Acceptance sweep: 500 -> 2,000 consumers, mixed behavior profiles.
+
+    Per-participant wall-clock must stay flat (ratio <= 1.3) and the
+    2,000-consumer scenario's complete monitoring phase — a full round over
+    every resource, ~1,000 holders each — must finish in under 60 seconds.
+    """
+    rows, _ = _sweep("500->2000", (500, 1000, 2000), report, ratio_bound=1.3)
+    assert rows[-1]["monitor_phase_s"] < 60.0, rows[-1]

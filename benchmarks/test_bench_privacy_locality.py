@@ -71,6 +71,12 @@ def test_e8_remote_pod_reads(benchmark, locality_setup, report):
     report("E8 remote reads", reads=READS,
            simulated_network_seconds=round(network_seconds, 4),
            per_read_ms=round(per_read_ms, 2), path=path)
+    from bench_helpers import bench_row, emit_bench_json
+
+    emit_bench_json("privacy_locality", [
+        bench_row("network_seconds_per_25_reads", ["local-tee", "remote-pod"],
+                  [0.0, round(network_seconds, 4)]),
+    ])
     # Every remote read pays a client<->pod round trip; the local path pays none.
     assert network_seconds > 0.0
     assert per_read_ms >= 50  # two ~40 ms hops per round trip in the default model

@@ -47,6 +47,12 @@ def test_e1_pod_initiation(benchmark, report):
     trace = benchmark.pedantic(run, rounds=3, iterations=1)
     report("E1 pod_initiation", transactions=trace.transactions, gas=trace.gas_used,
            network_ms=round(trace.simulated_network_seconds * 1000, 1))
+    from bench_helpers import bench_row, emit_bench_json
+
+    emit_bench_json("processes", [
+        bench_row("pod_initiation", ["transactions", "gas"],
+                  [trace.transactions, trace.gas_used]),
+    ])
     assert trace.transactions == 1
     assert trace.gas_used > 0
 
@@ -69,6 +75,12 @@ def test_e2_resource_initiation(benchmark, report):
     trace = benchmark.pedantic(run, rounds=5, iterations=1)
     report("E2 resource_initiation", transactions=trace.transactions, gas=trace.gas_used,
            network_ms=round(trace.simulated_network_seconds * 1000, 1))
+    from bench_helpers import bench_row, emit_bench_json
+
+    emit_bench_json("processes", [
+        bench_row("resource_initiation", ["transactions", "gas"],
+                  [trace.transactions, trace.gas_used]),
+    ])
     assert trace.transactions == 2  # register_resource + market listing
     assert trace.gas_used > 0
 

@@ -60,6 +60,12 @@ def test_e12_publication_cost_vs_resources(benchmark, report, num_resources):
     report(f"E12 resources={num_resources}", total_gas=gas,
            gas_per_resource=gas // num_resources,
            indexed=len(architecture.dist_exchange_read("list_resources")))
+    from bench_helpers import bench_row, emit_bench_json
+
+    emit_bench_json("scalability", [
+        bench_row(f"publication_gas_per_resource[n={num_resources}]",
+                  [num_resources], [gas // num_resources]),
+    ])
     assert len(architecture.dist_exchange_read("list_resources")) == num_resources
 
 

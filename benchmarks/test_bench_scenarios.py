@@ -21,6 +21,8 @@ from repro.sim.workload import WorkloadConfig
 
 def test_scenario_phase_accounting_replaces_bespoke_drivers(report):
     """One scenario run yields the per-phase gas/tx/block rows directly."""
+    from bench_helpers import bench_row, emit_bench_json
+
     result = ScenarioRunner(market_rush_spec()).run()
     gas = result.gas_by_phase()
     blocks = result.blocks_by_phase()
@@ -32,6 +34,15 @@ def test_scenario_phase_accounting_replaces_bespoke_drivers(report):
             transactions=transactions.get(phase, 0),
             blocks=blocks.get(phase, 0),
         )
+    phases = sorted(gas)
+    emit_bench_json(
+        "scenarios",
+        [
+            bench_row("market_rush_gas_by_phase", phases, [gas[p] for p in phases]),
+            bench_row("market_rush_blocks_by_phase", phases,
+                      [blocks.get(p, 0) for p in phases]),
+        ],
+    )
     assert sum(gas.values()) == result.facts["total_gas_used"]
     assert sum(blocks.values()) == result.facts["chain_height"]
     # Monitoring stays batched: a constant number of blocks per round.

@@ -37,6 +37,11 @@ def test_e9_chain_verification_and_tamper_detection(benchmark, report):
 
     verified = benchmark.pedantic(chain.verify_chain, rounds=3, iterations=1)
     report("E9 verify_chain", blocks=chain.height + 1, verified=verified)
+    from bench_helpers import bench_row, emit_bench_json
+
+    emit_bench_json("security", [
+        bench_row("verify_chain_blocks", [chain.height + 1], [1 if verified else 0]),
+    ])
     assert verified
 
     # Retroactively modify the recorded usage policy inside an old transaction:

@@ -26,7 +26,7 @@ from repro.blockchain.block import Block, BlockHeader
 from repro.blockchain.consensus import ProofOfAuthority
 from repro.blockchain.gas import GasSchedule
 from repro.blockchain.state import WorldState
-from repro.blockchain.transaction import LogEntry, Receipt, Transaction
+from repro.blockchain.transaction import LogEntry, Receipt, Transaction, verify_transactions
 from repro.blockchain.vm import BlockContext, ContractRegistry, ContractVM
 
 GENESIS_PARENT_HASH = "0x" + "00" * 32
@@ -296,6 +296,13 @@ class Blockchain:
         the replayed receipts, when the replayed receipts do not hash to the
         header's ``receipts_root``, or when the replayed state does not hash
         to the header's ``state_root``.  Returns the rebuilt state.
+
+        Every transaction that carries signature material is additionally
+        re-verified — one amortized :func:`verify_transactions` pass per
+        block — so a forged signature smuggled into a block (e.g. by a
+        deployment running with ``require_signatures=False``) is rejected
+        even though its Merkle roots and seal are internally consistent.
+        Unsigned transactions are tolerated for exactly those deployments.
         """
         state = WorldState()
         for address, balance in self._genesis_balances.items():
@@ -305,6 +312,16 @@ class Blockchain:
         if genesis.header.state_root != state.state_root():
             raise IntegrityError("genesis state_root does not match the genesis balances")
         for block in self.blocks[1:]:
+            signed = [tx for tx in block.transactions
+                      if tx.signature is not None or tx.public_key is not None]
+            if signed:
+                forged = [tx.hash for tx, ok in zip(signed, verify_transactions(signed))
+                          if not ok]
+                if forged:
+                    raise IntegrityError(
+                        f"block {block.number} contains transaction(s) with forged "
+                        f"signatures: {forged[:3]}"
+                    )
             context = BlockContext(
                 number=block.number,
                 timestamp=block.header.timestamp,

@@ -9,16 +9,32 @@ Signatures are ECDSA over secp256k1 implemented in pure Python.  Nonces are
 derived deterministically from the message and private key (in the spirit of
 RFC 6979), so signing is reproducible and never leaks the key through a bad
 RNG.
+
+Two implementations coexist:
+
+* the **reference** affine double-and-add path (``reference_sign`` /
+  ``reference_verify``) — kept verbatim as the specification the fast path
+  is pinned against;
+* the **fast** path used by :func:`sign` / :func:`verify` — fixed-base
+  precomputed tables and Shamir's trick from :mod:`repro.blockchain.fastec`,
+  plus an LRU ``(public key, message digest, signature)`` verification cache
+  and :func:`verify_batch`, which amortizes per-sender table construction
+  across a whole block of signatures.
+
+Both produce bit-identical signatures and verdicts (Hypothesis-pinned in
+``tests/blockchain/test_bc_crypto_fast_property.py``).
 """
 
 from __future__ import annotations
 
 import hashlib
 import hmac
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.common.errors import SignatureError, ValidationError
+from repro.blockchain import fastec
 
 # secp256k1 domain parameters.
 _P = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFC2F
@@ -27,7 +43,16 @@ _GX = 0x79BE667EF9DCBBAC55A06295CE870B07029BFCDB2DCE28D959F2815B16F81798
 _GY = 0x483ADA7726A3C4655DA4FBFC0E1108A8FD17B448A68554199C47D08FFB10D4B8
 _G = (_GX, _GY)
 
+assert (fastec.P, fastec.N, fastec.GX, fastec.GY) == (_P, _N, _GX, _GY)
+
 Point = Optional[Tuple[int, int]]  # None is the point at infinity
+
+# Bounded memo of verification verdicts keyed by (public key, message digest,
+# r, s).  Monitoring rounds and chain replays re-verify the same signatures;
+# the verdict for a given key/digest/signature triple never changes (a
+# rotated key is a different cache key), so hits are always sound.
+_VERIFY_CACHE: "OrderedDict[Tuple[Tuple[int, int], bytes, int, int], bool]" = OrderedDict()
+_VERIFY_CACHE_LIMIT = 32768  # ~a population-scale chain's worth of seals + txs
 
 
 def sha256(data: bytes) -> bytes:
@@ -137,15 +162,15 @@ def _deterministic_nonce(private_key: int, digest: bytes) -> int:
         counter += 1
 
 
-def sign(private_key: int, message: bytes) -> Tuple[int, int]:
-    """Produce an ECDSA signature (r, s) over SHA-256(message)."""
+def _sign_with(multiply_g, private_key: int, message: bytes) -> Tuple[int, int]:
+    """The ECDSA signing loop, parameterized over the k·G implementation."""
     if not 1 <= private_key < _N:
         raise SignatureError("private key out of range")
     digest = sha256(message)
     z = int.from_bytes(digest, "big")
     while True:
         k = _deterministic_nonce(private_key, digest)
-        point = _point_multiply(k, _G)
+        point = multiply_g(k)
         assert point is not None
         r = point[0] % _N
         if r == 0:
@@ -161,8 +186,23 @@ def sign(private_key: int, message: bytes) -> Tuple[int, int]:
         return (r, s)
 
 
-def verify(public_key: Tuple[int, int], message: bytes, signature: Tuple[int, int]) -> bool:
-    """Verify an ECDSA signature over SHA-256(message)."""
+def reference_sign(private_key: int, message: bytes) -> Tuple[int, int]:
+    """Sign via the affine double-and-add reference path (the specification)."""
+    return _sign_with(lambda k: _point_multiply(k, _G), private_key, message)
+
+
+def sign(private_key: int, message: bytes) -> Tuple[int, int]:
+    """Produce an ECDSA signature (r, s) over SHA-256(message).
+
+    Uses the fixed-base precomputed tables; bit-identical to
+    :func:`reference_sign` (same deterministic nonce, same low-s form).
+    """
+    return _sign_with(fastec.mul_g, private_key, message)
+
+
+def reference_verify(public_key: Tuple[int, int], message: bytes,
+                     signature: Tuple[int, int]) -> bool:
+    """Verify via the affine double-and-add reference path."""
     try:
         r, s = signature
     except (TypeError, ValueError):
@@ -177,6 +217,92 @@ def verify(public_key: Tuple[int, int], message: bytes, signature: Tuple[int, in
     if point is None:
         return False
     return point[0] % _N == r
+
+
+def _verify_fast(public_key: Tuple[int, int], digest: bytes, r: int, s: int,
+                 point_table: Optional[list] = None) -> bool:
+    """Shamir-ladder verification over a precomputed message digest."""
+    z = int.from_bytes(digest, "big")
+    w = _inverse_mod(s, _N)
+    point = fastec.shamir_mul(z * w % _N, r * w % _N, public_key, point_table)
+    if point is None:
+        return False
+    return point[0] % _N == r
+
+
+def _cache_verdict(key, verdict: bool) -> bool:
+    _VERIFY_CACHE[key] = verdict
+    if len(_VERIFY_CACHE) > _VERIFY_CACHE_LIMIT:
+        _VERIFY_CACHE.popitem(last=False)
+    return verdict
+
+
+def _checked_signature(public_key, signature) -> Optional[Tuple[int, int]]:
+    """Shared precheck of both verify paths: well-formed (r, s) in range,
+    public key on the curve.  Returns the scalars, or None to reject."""
+    try:
+        r, s = signature
+    except (TypeError, ValueError):
+        return None
+    if not (isinstance(r, int) and isinstance(s, int)):
+        return None
+    if not (1 <= r < _N and 1 <= s < _N):
+        return None
+    if not fastec.is_on_curve(public_key):
+        return None
+    return (r, s)
+
+
+def _verify_cached(public_key: Tuple[int, int], message: bytes, r: int, s: int,
+                   point_table: Optional[list] = None) -> bool:
+    key = (tuple(public_key), sha256(message), r, s)
+    cached = _VERIFY_CACHE.get(key)
+    if cached is not None:
+        _VERIFY_CACHE.move_to_end(key)
+        return cached
+    return _cache_verdict(key, _verify_fast(key[0], key[1], r, s, point_table))
+
+
+def verify(public_key: Tuple[int, int], message: bytes, signature: Tuple[int, int]) -> bool:
+    """Verify an ECDSA signature over SHA-256(message).
+
+    Fast path: one Shamir double-scalar ladder with cached per-key tables,
+    behind an LRU verdict cache keyed by (public key, digest, signature) —
+    so re-verifying a signature (chain replay, repeated monitoring rounds)
+    is a dictionary hit.  Verdicts are identical to :func:`reference_verify`
+    for any on-curve public key; off-curve keys are rejected outright.
+    """
+    scalars = _checked_signature(public_key, signature)
+    if scalars is None:
+        return False
+    return _verify_cached(public_key, message, *scalars)
+
+
+def verify_batch(items: Sequence[Tuple[Tuple[int, int], bytes, Tuple[int, int]]]) -> List[bool]:
+    """Verify many ``(public key, message, signature)`` triples in one pass.
+
+    The pass is amortized, not just looped: the width-5 wNAF table of every
+    distinct public key is built once (and kept in the LRU for the next
+    block), and repeated triples are served from the verdict cache.  A block
+    carrying K signatures from M senders therefore costs M table builds plus
+    K Shamir ladders instead of K full scalar multiplications.
+    """
+    results: List[bool] = []
+    for public_key, message, signature in items:
+        scalars = _checked_signature(public_key, signature)
+        if scalars is None:
+            results.append(False)
+            continue
+        point = tuple(public_key)
+        table = fastec.table_for_pubkey(point)
+        results.append(_verify_cached(point, message, *scalars, point_table=table))
+    return results
+
+
+def clear_signature_caches() -> None:
+    """Reset the verdict cache and every precomputed-table cache."""
+    _VERIFY_CACHE.clear()
+    fastec.clear_tables()
 
 
 def address_from_public_key(public_key: Tuple[int, int]) -> str:
@@ -203,7 +329,7 @@ class KeyPair:
             private_key = secrets.randbelow(_N - 1) + 1
         else:
             private_key = (int.from_bytes(sha256(seed), "big") % (_N - 1)) + 1
-        public_key = _point_multiply(private_key, _G)
+        public_key = fastec.mul_g(private_key)
         assert public_key is not None
         return cls(private_key=private_key, public_key=public_key, address=address_from_public_key(public_key))
 

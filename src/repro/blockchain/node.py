@@ -20,7 +20,7 @@ from repro.blockchain.chain import Blockchain
 from repro.blockchain.consensus import ProofOfAuthority
 from repro.blockchain.crypto import KeyPair
 from repro.blockchain.gas import GasSchedule
-from repro.blockchain.transaction import LogEntry, Receipt, Transaction
+from repro.blockchain.transaction import LogEntry, Receipt, Transaction, verify_transactions
 from repro.blockchain.vm import BlockContext, ContractRegistry
 
 
@@ -77,10 +77,18 @@ class BlockchainNode:
         self.chain = Blockchain(consensus, registry, schedule, clock, genesis_balances)
         self.pending: List[Transaction] = []
         self._pending_by_sender: Dict[str, int] = {}
+        # Transactions enqueued while a batch is active; their signatures are
+        # checked in one amortized verify_batch pass at block production.
+        self._deferred_verification: List[Transaction] = []
         # The TransactionBatch currently deferring submissions, if any;
         # batches are exclusive per node (see BlockchainInteractionModule.batch).
         self.active_batch: Optional[object] = None
         self.filters: List[EventFilter] = []
+        # Filters indexed by their (address, event) narrowing, so delivering
+        # a log consults only the filters that could match it — with one
+        # filter per consumer device (policy-update subscriptions), scanning
+        # every filter for every log made log dispatch O(devices x logs).
+        self._filters_by_key: Dict[tuple, List[EventFilter]] = {}
         self.require_signatures = require_signatures
         self.blocks_produced = 0
 
@@ -97,9 +105,20 @@ class BlockchainNode:
     # -- transaction submission --------------------------------------------------
 
     def submit_transaction(self, tx: Transaction) -> str:
-        """Validate and enqueue a signed transaction; returns its hash."""
-        if self.require_signatures and not tx.verify_signature():
-            raise SignatureError(f"transaction {tx.hash} carries an invalid signature")
+        """Validate and enqueue a signed transaction; returns its hash.
+
+        Outside a batch the signature is checked immediately.  While a
+        :class:`~repro.oracles.base.TransactionBatch` is active (a
+        monitoring round confirming thousands of fulfillments in one
+        block), verification is deferred and performed as a single
+        amortized pass when the block is produced — an invalid signature
+        still never reaches the chain, the error just surfaces at flush.
+        """
+        if self.require_signatures:
+            if self.active_batch is not None:
+                self._deferred_verification.append(tx)
+            elif not tx.verify_signature():
+                raise SignatureError(f"transaction {tx.hash} carries an invalid signature")
         self.pending.append(tx)
         self._pending_by_sender[tx.sender] = self._pending_by_sender.get(tx.sender, 0) + 1
         return tx.hash
@@ -118,8 +137,37 @@ class BlockchainNode:
 
     # -- block production ------------------------------------------------------------
 
+    def _verify_deferred_signatures(self) -> None:
+        """Batch-verify signatures deferred during a transaction batch.
+
+        Invalid transactions are dropped from the pending pool (so a later
+        block cannot include them) and a :class:`SignatureError` naming
+        them is raised before anything is mined.
+        """
+        if not self._deferred_verification:
+            return
+        deferred, self._deferred_verification = self._deferred_verification, []
+        invalid = [
+            tx for tx, ok in zip(deferred, verify_transactions(deferred)) if not ok
+        ]
+        if not invalid:
+            return
+        dropped = {id(tx) for tx in invalid}
+        self.pending = [tx for tx in self.pending if id(tx) not in dropped]
+        for tx in invalid:
+            remaining = self._pending_by_sender.get(tx.sender, 0) - 1
+            if remaining > 0:
+                self._pending_by_sender[tx.sender] = remaining
+            else:
+                self._pending_by_sender.pop(tx.sender, None)
+        raise SignatureError(
+            f"{len(invalid)} batched transaction(s) carry invalid signatures "
+            f"(first: {invalid[0].hash})"
+        )
+
     def produce_block(self, timestamp: Optional[float] = None) -> Block:
         """Execute the pending pool into a sealed block and append it."""
+        self._verify_deferred_signatures()
         proposer = self.consensus.expected_proposer(self.chain.height + 1)
         if proposer != self.validator_key.address:
             # Single-node deployments simply rotate through the schedule; a
@@ -140,9 +188,15 @@ class BlockchainNode:
     def _dispatch_logs(self, block: Block) -> None:
         for receipt in block.receipts:
             for log in receipt.logs:
-                for event_filter in self.filters:
-                    if event_filter.matches(log):
-                        event_filter.deliver(log)
+                for key in (
+                    (log.address, log.event),
+                    (log.address, None),
+                    (None, log.event),
+                    (None, None),
+                ):
+                    for event_filter in self._filters_by_key.get(key, ()):
+                        if event_filter.matches(log):
+                            event_filter.deliver(log)
 
     # -- queries ----------------------------------------------------------------------
 
@@ -182,9 +236,13 @@ class BlockchainNode:
             from_block=from_block if from_block is not None else self.chain.height + 1,
         )
         self.filters.append(event_filter)
+        self._filters_by_key.setdefault((address, event), []).append(event_filter)
         return event_filter
 
     def remove_filter(self, event_filter: EventFilter) -> None:
         event_filter.stop()
         if event_filter in self.filters:
             self.filters.remove(event_filter)
+        bucket = self._filters_by_key.get((event_filter.address, event_filter.event))
+        if bucket and event_filter in bucket:
+            bucket.remove(event_filter)

@@ -7,7 +7,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.common.errors import SignatureError, ValidationError
 from repro.common.serialization import canonical_json
-from repro.blockchain.crypto import KeyPair, sha256_hex, verify
+from repro.blockchain.crypto import KeyPair, sha256_hex, verify, verify_batch
 
 
 @dataclass
@@ -163,6 +163,33 @@ class Transaction:
         if data.get("publicKey"):
             tx.public_key = tuple(data["publicKey"])  # type: ignore[assignment]
         return tx
+
+
+def verify_transactions(transactions: List["Transaction"]) -> List[bool]:
+    """Check many transactions' signatures in one amortized pass.
+
+    Routes every well-formed ``(public key, payload, signature)`` triple
+    through :func:`repro.blockchain.crypto.verify_batch`, so a block's worth
+    of signatures shares per-sender precomputed tables and the verdict
+    cache.  A transaction with no signature, no public key, or a public key
+    that does not hash to its sender is reported invalid without touching
+    the curve.
+    """
+    from repro.blockchain.crypto import address_from_public_key
+
+    results = [False] * len(transactions)
+    positions: List[int] = []
+    items = []
+    for position, tx in enumerate(transactions):
+        if tx.signature is None or tx.public_key is None:
+            continue
+        if address_from_public_key(tx.public_key) != tx.sender:
+            continue
+        positions.append(position)
+        items.append((tx.public_key, tx.signing_payload(), tx.signature))
+    for position, ok in zip(positions, verify_batch(items)):
+        results[position] = ok
+    return results
 
 
 @dataclass

@@ -32,6 +32,7 @@ from repro.common.errors import (
     NotFoundError,
     PolicyViolationError,
 )
+from repro.solid.wac import AccessMode
 from repro.core.architecture import ArchitectureConfig, UsageControlArchitecture
 from repro.core.baseline import BaselineSolidDeployment
 from repro.core.monitoring import MonitoringCoordinator, MonitoringReport
@@ -70,6 +71,7 @@ class StepStats:
     transactions: int = 0
     blocks: int = 0
     wall_clock_seconds: float = 0.0
+    network_seconds: float = 0.0
     details: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
@@ -81,6 +83,7 @@ class StepStats:
             "transactions": self.transactions,
             "blocks": self.blocks,
             "wallClockSeconds": self.wall_clock_seconds,
+            "networkSeconds": self.network_seconds,
             "details": dict(self.details),
         }
 
@@ -186,6 +189,10 @@ class ScenarioResult:
         """Transactions confirmed per phase."""
         return {phase: int(total) for phase, total in self._aggregate("transactions").items()}
 
+    def network_by_phase(self) -> Dict[str, float]:
+        """Simulated network seconds per phase (the E11 latency dimension)."""
+        return self._aggregate("network_seconds")
+
     # -- global invariants ---------------------------------------------------
 
     def balance_conservation(self) -> Dict[str, object]:
@@ -218,6 +225,7 @@ class _StepProbe:
         self._gas = chain.total_gas_used()
         self._txs = chain.transaction_count()
         self._height = chain.height
+        self._network = self.architecture.network.total_latency
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
@@ -226,6 +234,7 @@ class _StepProbe:
         self.gas = chain.total_gas_used() - self._gas
         self.transactions = chain.transaction_count() - self._txs
         self.blocks = chain.height - self._height
+        self.network = self.architecture.network.total_latency - self._network
 
     def stats(self, index: int, phase: str, label: str,
               details: Optional[Dict[str, Any]] = None) -> StepStats:
@@ -237,6 +246,7 @@ class _StepProbe:
             transactions=self.transactions,
             blocks=self.blocks,
             wall_clock_seconds=self.wall,
+            network_seconds=self.network,
             details=details or {},
         )
 
@@ -278,6 +288,13 @@ class _ShadowModel:
         self.subscribed: Set[str] = set()
         self.copies: Dict[Tuple[str, str], _CopyState] = {}
         self.active_grants: Set[Tuple[str, str]] = set()
+        # -- violation-response cascade state -------------------------------
+        # (consumer, resource key) pairs holding a READ entry in the pod ACL.
+        self.acl: Set[Tuple[str, str]] = set()
+        # (consumer, resource key) pairs whose market-fee certificate the
+        # playbook revoked and that have not re-purchased since.
+        self.cert_revoked: Set[Tuple[str, str]] = set()
+        self.owner_of: Dict[str, str] = {r.key: r.owner for r in spec.resources}
         # (consumer, resource key) -> time the stale oracle cached its answer
         self.replay_cached_at: Dict[Tuple[str, str], float] = {}
         self.current_policy: Dict[str, Tuple[Optional[float], Optional[Tuple[str, ...]], Optional[int]]] = {
@@ -287,7 +304,8 @@ class _ShadowModel:
 
     # -- timeline events -----------------------------------------------------
 
-    def on_access(self, consumer: str, resource: str, now: float) -> None:
+    def on_access(self, consumer: str, resource: str, now: float,
+                  granted: bool = True) -> None:
         retention, purposes, max_accesses = self.current_policy[resource]
         self.copies[(consumer, resource)] = _CopyState(
             stored_at=now,
@@ -296,6 +314,32 @@ class _ShadowModel:
             max_accesses=max_accesses,
         )
         self.active_grants.add((consumer, resource))
+        if granted:
+            # The full access process grants the pod ACL entry; a bare
+            # re-access attempt (attempt_access) relies on an existing one.
+            self.acl.add((consumer, resource))
+
+    def predict_reaccess(self, consumer: str, resource: str) -> Tuple[bool, str]:
+        """Whether a consumer-initiated re-access attempt should be served.
+
+        Mirrors the pod manager's checks: the WAC ACL entry must still (or
+        again) exist, and the market-fee certificate presented must not be
+        revoked.  The revocation playbook removes both; ``regrant`` and
+        ``repurchase_certificate`` restore them one at a time.
+        """
+        if consumer not in self.subscribed:
+            return False, "not subscribed to the market"
+        if (consumer, resource) not in self.acl:
+            return False, "no pod ACL entry"
+        if (consumer, resource) in self.cert_revoked:
+            return False, "certificate revoked"
+        return True, ""
+
+    def on_repurchase(self, consumer: str, resource: str) -> None:
+        self.cert_revoked.discard((consumer, resource))
+
+    def on_regrant(self, consumer: str, resource: str) -> None:
+        self.acl.add((consumer, resource))
 
     def predict_use(self, consumer: str, resource: str,
                     purpose: Optional[str]) -> Tuple[bool, str]:
@@ -400,8 +444,18 @@ class _ShadowModel:
             if self.behavior[consumer] is Behavior.STALE_ORACLE:
                 self.replay_cached_at.setdefault((consumer, key), now)
         if self.spec.respond_to_violations:
+            # The responder's playbook: deactivate the DE App grant, revoke
+            # the consumer's WAC authorization pod-wide (every resource of
+            # this owner), and revoke the certificate for this resource.
+            owner = self.owner_of[resource]
             for consumer, _ in flagged:
                 self.active_grants.discard((consumer, resource))
+                self.cert_revoked.add((consumer, resource))
+                self.acl = {
+                    (name, key)
+                    for name, key in self.acl
+                    if not (name == consumer and self.owner_of[key] == owner)
+                }
 
 
 # -- the runner ----------------------------------------------------------------------
@@ -430,6 +484,10 @@ class ScenarioRunner:
             overrides["subscription_fee"] = self.spec.subscription_fee
         if self.spec.access_fee is not None:
             overrides["access_fee"] = self.spec.access_fee
+        if self.spec.operator_funds is not None:
+            overrides["operator_funds"] = self.spec.operator_funds
+        if self.spec.participant_funds is not None:
+            overrides["initial_participant_funds"] = self.spec.participant_funds
         return ArchitectureConfig(**overrides) if overrides else None
 
     # -- execution ------------------------------------------------------------
@@ -693,6 +751,69 @@ class ScenarioRunner:
             "observed": [record.to_dict() for record in observed_records],
         }
 
+    def _run_attempt_access(self, step: Step, index: int, ctx: "_RunContext") -> dict:
+        """A bare consumer-side retrieval: no owner re-grant, no auto-purchase."""
+        consumer = ctx.consumers[step.participant]
+        resource_id = ctx.result.resource_ids[step.resource]
+        predicted, predicted_reason = ctx.model.predict_reaccess(
+            step.participant, step.resource
+        )
+        error: Optional[str] = None
+        try:
+            consumer.retrieve_resource(resource_id)
+            allowed = True
+        except (PolicyViolationError, AuthorizationError, NotFoundError) as exc:
+            allowed = False
+            error = str(exc)
+        if allowed:
+            # A served attempt re-seals the copy and records a fresh grant.
+            ctx.model.on_access(
+                step.participant, step.resource, ctx.architecture.clock.now(),
+                granted=False,
+            )
+        if step.fact:
+            ctx.result.facts[step.fact] = (not allowed) if step.negate else allowed
+        if allowed != predicted:
+            ctx.result.mispredictions.append(
+                {
+                    "stepIndex": index,
+                    "kind": "attempt_access",
+                    "participant": step.participant,
+                    "resource": step.resource,
+                    "predicted": predicted,
+                    "observed": allowed,
+                    "modelReason": predicted_reason,
+                    "error": error,
+                }
+            )
+        return {
+            "allowed": allowed,
+            "predicted": predicted,
+            "modelReason": predicted_reason,
+            "error": error,
+        }
+
+    def _run_repurchase_certificate(self, step: Step, index: int,
+                                    ctx: "_RunContext") -> dict:
+        consumer = ctx.consumers[step.participant]
+        resource_id = ctx.result.resource_ids[step.resource]
+        certificate = consumer.purchase_certificate(resource_id)
+        ctx.model.on_repurchase(step.participant, step.resource)
+        return {"certificateId": certificate["certificate_id"]}
+
+    def _run_regrant(self, step: Step, index: int, ctx: "_RunContext") -> dict:
+        resource = self.spec.resource(step.resource)
+        owner = ctx.owners[resource.owner]
+        consumer = ctx.consumers[step.participant]
+        resource_id = ctx.result.resource_ids[step.resource]
+        path = owner.pod_manager.require_pod().path_for(resource_id)
+        if not owner.pod_manager.can_access(consumer.webid.iri, AccessMode.READ, path):
+            owner.pod_manager.grant_access(
+                consumer.webid.iri, [AccessMode.READ], resource_path=path
+            )
+        ctx.model.on_regrant(step.participant, step.resource)
+        return {"resourceId": resource_id, "consumer": consumer.webid.iri}
+
     def _run_enforce(self, step: Step, index: int, ctx: "_RunContext") -> dict:
         outcome = ctx.consumers[step.participant].tee.enforce_policies()
         ctx.model.enforce(step.participant, ctx.architecture.clock.now())
@@ -851,7 +972,10 @@ class BaselineScenarioRunner:
                 result.facts[step.fact] = (not actual) if step.negate else actual
             # index / enforce / churn / check_can_use have no baseline
             # counterpart: there is no DE App to index, no TEE to enforce or
-            # take offline, and local use is never policy-checked.
+            # take offline, and local use is never policy-checked.  The
+            # violation-response cascade (attempt_access /
+            # repurchase_certificate / regrant) is likewise meaningless
+            # here: nothing is ever detected, so nothing is ever revoked.
 
         result.facts["violations_detected"] = result.violations_detected
         surviving = sum(

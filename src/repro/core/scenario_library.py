@@ -12,7 +12,8 @@ catalog and prints each expected-vs-observed violation ledger.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+import random
+from typing import Callable, Dict, List, Mapping, Optional
 
 from repro.common.clock import DAY, HOUR, MONTH, WEEK
 from repro.core.spec import (
@@ -22,17 +23,34 @@ from repro.core.spec import (
     ScenarioSpec,
     access,
     advance,
+    attempt_access,
     check_can_use,
     check_holds,
     churn,
     enforce,
     index,
     monitor,
+    regrant,
+    repurchase_certificate,
     revise_policy,
+    spec_from_workload,
     use,
 )
 
 SpecFactory = Callable[[], ScenarioSpec]
+
+# The default behavior mix of the population-scale family: a mostly honest
+# market with every adversarial profile of the PR 3 library represented in
+# roughly the proportions a deployed system would see.
+POPULATION_BEHAVIOR_MIX: Mapping[Behavior, float] = {
+    Behavior.HONEST: 0.80,
+    Behavior.VIOLATING: 0.08,
+    Behavior.NON_RESPONSIVE: 0.04,
+    Behavior.STALE_ORACLE: 0.03,
+    Behavior.TAMPERING_ORACLE: 0.02,
+    Behavior.LATE_PAYER: 0.02,
+    Behavior.CHURNED: 0.01,
+}
 
 
 def alice_bob_spec(monitor_rounds: bool = True) -> ScenarioSpec:
@@ -328,6 +346,107 @@ def revocation_playbook_spec() -> ScenarioSpec:
     ).validate()
 
 
+def revocation_recovery_spec() -> ScenarioSpec:
+    """The full violation-response cascade: revoke, refuse, re-pay, re-admit."""
+    res = "ruth:/data/browsing.csv"
+    return ScenarioSpec(
+        name="revocation-recovery",
+        description=(
+            "A flagged violator is revoked (grant, pod ACL, certificate); its "
+            "bare re-access attempt is refused, re-purchasing the certificate "
+            "alone is not enough, and only after the owner re-grants the ACL "
+            "is it served again — re-entering monitoring with a fresh copy."
+        ),
+        participants=(
+            ParticipantSpec("ruth", "owner"),
+            ParticipantSpec("good-app", "consumer", purpose="web-analytics"),
+            ParticipantSpec(
+                "bad-app", "consumer", purpose="web-analytics",
+                behavior=Behavior.VIOLATING,
+            ),
+        ),
+        resources=(ResourceSpec(owner="ruth", path="/data/browsing.csv",
+                                retention_seconds=WEEK),),
+        timeline=(
+            access("good-app", res),
+            access("bad-app", res),
+            advance(8 * DAY),
+            monitor(res),   # bad-app flagged; the responder revokes it
+            attempt_access("bad-app", res, fact="denied_after_revocation", negate=True),
+            attempt_access("good-app", res, fact="honest_reaccess_served"),
+            repurchase_certificate("bad-app", res),
+            attempt_access("bad-app", res, fact="certificate_alone_insufficient",
+                           negate=True),
+            regrant("bad-app", res),
+            attempt_access("bad-app", res, fact="served_after_regrant"),
+            advance(DAY),
+            monitor(res),   # the re-admitted device is a compliant holder again
+            check_holds("bad-app", res, "readmitted_copy_held"),
+        ),
+        respond_to_violations=True,
+    ).validate()
+
+
+def expired_reaccess_spec() -> ScenarioSpec:
+    """Re-access of a deleted copy: retention erased it, a fresh fetch re-seals it."""
+    res = "ezra:/data/telemetry.csv"
+    return ScenarioSpec(
+        name="expired-reaccess",
+        description=(
+            "An honest consumer's copy is erased by its own TEE when the "
+            "retention lapses; with grant and certificate intact, a later "
+            "re-access is served and seals a fresh copy whose retention "
+            "clock starts anew."
+        ),
+        participants=(
+            ParticipantSpec("ezra", "owner"),
+            ParticipantSpec("reader-app", "consumer", purpose="service-improvement"),
+        ),
+        resources=(ResourceSpec(owner="ezra", path="/data/telemetry.csv",
+                                retention_seconds=WEEK),),
+        timeline=(
+            access("reader-app", res),
+            use("reader-app", res),
+            advance(9 * DAY),
+            monitor(res),   # housekeeping erased the copy first: compliant
+            check_holds("reader-app", res, "expired_copy_deleted", negate=True),
+            attempt_access("reader-app", res, fact="deleted_copy_reaccess_served"),
+            check_holds("reader-app", res, "fresh_copy_held"),
+            advance(DAY),
+            monitor(res),   # the fresh copy is well inside its new retention
+        ),
+    ).validate()
+
+
+def population_spec(num_consumers: int = 1000, num_owners: int = 2,
+                    seed: int = 2026,
+                    behavior_mix: Optional[Mapping[Behavior, float]] = None,
+                    name: Optional[str] = None) -> ScenarioSpec:
+    """The population-scale family: thousands of consumers, mixed profiles.
+
+    Built through :func:`~repro.core.spec.spec_from_workload` from one seed,
+    so ``population_spec(2000, seed=7)`` is the same scenario everywhere —
+    the benchmarks, the library, and a failure replay all agree on it.
+    Owners each publish one resource; every consumer accesses one resource
+    and uses it once, then every resource is monitored after nine days.
+    """
+    from repro.sim.workload import WorkloadConfig
+
+    config = WorkloadConfig(
+        num_owners=num_owners,
+        num_consumers=num_consumers,
+        resources_per_owner=1,
+        reads_per_consumer=1,
+        seed=seed,
+    )
+    return spec_from_workload(
+        config,
+        random.Random(seed),
+        behavior_mix=behavior_mix if behavior_mix is not None else POPULATION_BEHAVIOR_MIX,
+        name=name or f"population-{num_consumers}",
+    )
+
+
 def bounded_use_spec() -> ScenarioSpec:
     """A max-access policy: the TEE deletes the copy at the use ceiling."""
     res = "max:/data/panel.csv"
@@ -403,8 +522,14 @@ SCENARIO_LIBRARY: Dict[str, SpecFactory] = {
     "late-payer": late_payer_spec,
     "churn-mid-retention": churned_pod_spec,
     "revocation-playbook": revocation_playbook_spec,
+    "revocation-recovery": revocation_recovery_spec,
+    "expired-reaccess": expired_reaccess_spec,
     "bounded-use": bounded_use_spec,
     "market-rush": market_rush_spec,
+    # A small member of the population family so the fast suite exercises
+    # the mixed-profile path end to end; the benchmarks scale it to 1k-5k.
+    "population-demo": lambda: population_spec(num_consumers=60, seed=2026,
+                                               name="population-demo"),
 }
 
 

@@ -91,6 +91,27 @@ class WorkloadConfig:
         if self.resource_size_bytes < 0:
             raise ValueError("resource_size_bytes must be non-negative")
 
+    def scaled(self, num_consumers: Optional[int] = None,
+               num_owners: Optional[int] = None,
+               seed: Optional[int] = None) -> "WorkloadConfig":
+        """A copy of this config at a different population size (same shape).
+
+        Population sweeps (the scalability and population benchmarks) vary
+        only the head counts; everything else — per-participant rates,
+        resource sizes, purpose vocabulary — stays fixed so the sweep
+        measures scale, not a changed workload.
+        """
+        from dataclasses import replace
+
+        overrides = {}
+        if num_consumers is not None:
+            overrides["num_consumers"] = num_consumers
+        if num_owners is not None:
+            overrides["num_owners"] = num_owners
+        if seed is not None:
+            overrides["seed"] = seed
+        return replace(self, **overrides)
+
 
 class WorkloadGenerator:
     """Deterministic generator of participants, resources, and access plans.

@@ -66,6 +66,11 @@ class TrustedExecutionEnvironment:
                        metadata: Optional[Dict[str, Any]] = None) -> StoredCopy:
         """Seal a retrieved resource (and its policy) into the trusted storage."""
         copy = self.storage.store(resource_id, content, policy, owner, metadata)
+        # A freshly sealed copy starts a new duty lifecycle: duties fulfilled
+        # against an earlier (possibly deleted) copy of the same resource do
+        # not discharge the new copy's obligations — otherwise a re-accessed
+        # resource would never be erased when its retention lapses again.
+        self.enforcement.fulfilled_duties[resource_id] = []
         self.usage_log.record(
             "store",
             resource_id,

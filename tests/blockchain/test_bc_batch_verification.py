@@ -1,0 +1,124 @@
+"""Batched signature verification wired into the node and the chain replay.
+
+* While a :class:`TransactionBatch` is active the node defers per-transaction
+  signature checks and verifies the whole batch in one amortized pass at
+  block production — a forged signature surfaces at flush, is dropped from
+  the pool, and never reaches the chain.
+* ``Blockchain.replay`` re-verifies every signed transaction, so a forged
+  signature smuggled into a sealed block (a ``require_signatures=False``
+  validator) makes ``verify_chain(replay=True)`` raise even though the
+  block's Merkle roots and seal are internally consistent.
+"""
+
+import pytest
+
+from repro.common.errors import IntegrityError, SignatureError
+from repro.blockchain.consensus import ProofOfAuthority
+from repro.blockchain.crypto import KeyPair
+from repro.blockchain.node import BlockchainNode
+from repro.blockchain.transaction import Transaction, verify_transactions
+
+
+@pytest.fixture
+def validator():
+    return KeyPair.from_name("batch-verify-validator")
+
+
+def make_node(validator, require_signatures=True):
+    consensus = ProofOfAuthority(validators=[validator.address], block_interval=1.0)
+    return BlockchainNode(
+        consensus,
+        validator,
+        genesis_balances={validator.address: 10**12},
+        require_signatures=require_signatures,
+    )
+
+
+def signed_transfer(node, keypair, value=1, recipient="0x" + "aa" * 20):
+    tx = Transaction(
+        sender=keypair.address,
+        to=recipient,
+        value=value,
+        nonce=node.next_nonce(keypair.address),
+    )
+    return tx.sign(keypair)
+
+
+class _FakeBatch:
+    """Stands in for an active TransactionBatch (the node only checks truthiness)."""
+
+
+def test_deferred_batch_verification_accepts_valid_signatures(validator):
+    node = make_node(validator)
+    node.active_batch = _FakeBatch()
+    for _ in range(5):
+        node.submit_transaction(signed_transfer(node, validator))
+    node.active_batch = None
+    assert len(node._deferred_verification) == 5
+    block = node.produce_block()
+    assert len(block.transactions) == 5
+    assert node._deferred_verification == []
+
+
+def test_forged_signature_in_batch_surfaces_at_block_production(validator):
+    node = make_node(validator)
+    node.active_batch = _FakeBatch()
+    good = signed_transfer(node, validator)
+    node.submit_transaction(good)
+    forged = signed_transfer(node, validator)
+    forged.data = {"method": "tampered_after_signing"}  # invalidates the signature
+    node.submit_transaction(forged)
+    node.active_batch = None
+
+    with pytest.raises(SignatureError):
+        node.produce_block()
+    # The forged transaction was dropped; the valid one still mines.
+    assert all(tx.hash != forged.hash for tx in node.pending)
+    block = node.produce_block()
+    assert [tx.hash for tx in block.transactions] == [good.hash]
+    assert node.chain.verify_chain(replay=True) is True
+
+
+def test_unbatched_submission_still_rejects_immediately(validator):
+    node = make_node(validator)
+    forged = signed_transfer(node, validator)
+    forged.data = {"method": "tampered_after_signing"}
+    with pytest.raises(SignatureError):
+        node.submit_transaction(forged)
+    assert node.pending == []
+
+
+def test_verify_transactions_flags_mismatched_sender():
+    keypair = KeyPair.from_name("batch-verify-sender")
+    other = KeyPair.from_name("batch-verify-other")
+    tx = Transaction(sender=keypair.address, to=None,
+                     data={"contract_class": "X"}).sign(keypair)
+    stolen = Transaction(sender=other.address, to=None, data={"contract_class": "X"})
+    stolen.signature = tx.signature      # a signature lifted from someone else
+    stolen.public_key = tx.public_key    # key does not hash to stolen.sender
+    unsigned = Transaction(sender=other.address, to="0x" + "bb" * 20)
+    assert verify_transactions([tx, stolen, unsigned]) == [True, False, False]
+
+
+def test_replay_rejects_forged_signature_inside_a_sealed_block(validator):
+    """A lax validator seals a block containing a forged signature; the
+    roots and seal are consistent, but replay re-verifies signatures."""
+    node = make_node(validator, require_signatures=False)
+    forged = signed_transfer(node, validator)
+    forged.data = {"method": "tampered_after_signing"}
+    forged._hash_cache = None  # rehash so the sealed roots are consistent
+    node.submit_transaction(forged)
+    node.produce_block()
+
+    assert node.chain.verify_chain(replay=False) is True  # seal + roots hold
+    with pytest.raises(IntegrityError, match="forged"):
+        node.chain.verify_chain(replay=True)
+
+
+def test_replay_tolerates_unsigned_transactions_from_lax_deployments(validator):
+    node = make_node(validator, require_signatures=False)
+    node.submit_transaction(
+        Transaction(sender=validator.address, to="0x" + "cc" * 20, value=5)
+    )
+    node.produce_block()
+    assert node.chain.verify_chain(replay=True) is True

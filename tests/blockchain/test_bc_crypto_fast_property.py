@@ -1,0 +1,188 @@
+"""Hypothesis pins: the fast crypto path is bit-identical to the reference.
+
+:mod:`repro.blockchain.fastec` replaces the reference affine double-and-add
+with fixed-base comb tables (sign) and a Shamir wNAF ladder (verify).  The
+two implementations must be indistinguishable:
+
+* ``sign`` == ``reference_sign``, bit for bit, including the low-s form;
+* ``verify`` == ``reference_verify`` on valid signatures, wrong keys,
+  tampered messages, and tampered signatures;
+* the scalar-multiplication primitives agree with the reference ladder on
+  arbitrary scalars (including the group-order edge cases);
+* the verification cache can never serve a stale verdict across a key
+  rotation, because the public key is part of the cache key;
+* ``verify_batch`` agrees item-by-item with ``verify``.
+
+The ``slow`` acceptance test replays the full sign/verify equivalence on
+500 derandomized generated cases.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.blockchain import fastec
+from repro.blockchain.crypto import (
+    KeyPair,
+    _G,
+    _N,
+    _point_add,
+    _point_multiply,
+    reference_sign,
+    reference_verify,
+    sign,
+    verify,
+    verify_batch,
+)
+
+private_keys = st.integers(1, _N - 1)
+scalars = st.integers(0, 2 * _N)
+messages = st.binary(min_size=0, max_size=256)
+
+
+# -- primitive equivalence -----------------------------------------------------
+
+
+@given(scalars)
+@settings(max_examples=30, deadline=None)
+def test_fixed_base_comb_matches_reference_ladder(k):
+    assert fastec.mul_g(k) == _point_multiply(k, _G)
+
+
+@given(scalars, private_keys)
+@settings(max_examples=20, deadline=None)
+def test_wnaf_point_multiplication_matches_reference(k, secret):
+    point = fastec.mul_g(secret)
+    assert fastec.mul_point(k, point) == _point_multiply(k, point)
+
+
+@given(scalars, scalars, private_keys)
+@settings(max_examples=20, deadline=None)
+def test_shamir_ladder_matches_reference_sum(u1, u2, secret):
+    point = fastec.mul_g(secret)
+    expected = _point_add(_point_multiply(u1, _G), _point_multiply(u2, point))
+    assert fastec.shamir_mul(u1, u2, point) == expected
+
+
+# -- sign/verify equivalence ---------------------------------------------------
+
+
+@given(private_keys, messages)
+@settings(max_examples=50, deadline=None)
+def test_fast_sign_is_bit_identical_to_reference(private_key, message):
+    signature = sign(private_key, message)
+    assert signature == reference_sign(private_key, message)
+    r, s = signature
+    assert 1 <= r < _N
+    assert 1 <= s <= _N // 2  # low-s form preserved
+
+
+@given(private_keys, messages)
+@settings(max_examples=50, deadline=None)
+def test_sign_verify_round_trip_on_both_paths(private_key, message):
+    public_key = fastec.mul_g(private_key)
+    signature = sign(private_key, message)
+    assert verify(public_key, message, signature) is True
+    assert reference_verify(public_key, message, signature) is True
+
+
+@given(private_keys, private_keys, messages)
+@settings(max_examples=25, deadline=None)
+def test_wrong_key_rejected_by_both_paths(key_a, key_b, message):
+    signature = sign(key_a, message)
+    public_b = fastec.mul_g(key_b)
+    expected = key_a == key_b
+    assert verify(public_b, message, signature) is expected
+    assert reference_verify(public_b, message, signature) is expected
+
+
+@given(private_keys, messages, st.binary(min_size=1, max_size=16))
+@settings(max_examples=25, deadline=None)
+def test_tampered_message_rejected_by_both_paths(private_key, message, suffix):
+    public_key = fastec.mul_g(private_key)
+    signature = sign(private_key, message)
+    tampered = message + suffix
+    assert verify(public_key, tampered, signature) is False
+    assert reference_verify(public_key, tampered, signature) is False
+
+
+@given(private_keys, messages, st.integers(1, _N - 1))
+@settings(max_examples=25, deadline=None)
+def test_tampered_signature_rejected_by_both_paths(private_key, message, delta):
+    public_key = fastec.mul_g(private_key)
+    r, s = sign(private_key, message)
+    forged = ((r + delta) % _N or 1, s)
+    assert verify(public_key, message, forged) is reference_verify(
+        public_key, message, forged
+    )
+    assert verify(public_key, message, forged) is False or forged == (r, s)
+
+
+def test_malformed_signatures_rejected_identically():
+    kp = KeyPair.from_name("malformed-sig-check")
+    message = b"payload"
+    for bogus in (None, (), (1,), (0, 1), (1, 0), (_N, 1), (1, _N), "nope", (1.5, 2)):
+        assert verify(kp.public_key, message, bogus) is False  # type: ignore[arg-type]
+
+
+def test_off_curve_public_key_is_rejected():
+    kp = KeyPair.from_name("off-curve-check")
+    signature = kp.sign(b"payload")
+    x, y = kp.public_key
+    assert verify((x, (y + 1) % fastec.P), b"payload", signature) is False
+
+
+# -- caches --------------------------------------------------------------------
+
+
+def test_verification_cache_survives_key_rotation():
+    """A rotated key can never be served a stale verdict: the public key is
+    part of the cache key, so old-key entries are unreachable from it."""
+    message = b"rotate me"
+    old = KeyPair.from_name("rotation-old")
+    new = KeyPair.from_name("rotation-new")
+
+    old_sig = old.sign(message)
+    assert verify(old.public_key, message, old_sig) is True   # cached True
+    assert verify(old.public_key, message, old_sig) is True   # cache hit
+    # After rotation the old signature must not validate under the new key,
+    # cached or not — and repeatedly, so a hit is exercised too.
+    assert verify(new.public_key, message, old_sig) is False
+    assert verify(new.public_key, message, old_sig) is False
+    new_sig = new.sign(message)
+    assert verify(new.public_key, message, new_sig) is True
+    assert verify(old.public_key, message, new_sig) is False
+
+
+@given(st.lists(st.tuples(private_keys, messages, st.booleans()),
+                min_size=1, max_size=8))
+@settings(max_examples=20, deadline=None)
+def test_verify_batch_agrees_with_individual_verify(items):
+    triples = []
+    for private_key, message, valid in items:
+        public_key = fastec.mul_g(private_key)
+        signature = sign(private_key, message)
+        if not valid:
+            message = message + b"!tampered"
+        triples.append((public_key, message, signature))
+    assert verify_batch(triples) == [
+        verify(public_key, message, signature)
+        for public_key, message, signature in triples
+    ]
+
+
+# -- acceptance: 500 pinned cases ---------------------------------------------
+
+
+@pytest.mark.slow
+@given(private_keys, messages)
+@settings(max_examples=500, deadline=None, derandomize=True)
+def test_sign_verify_bit_identical_on_500_cases(private_key, message):
+    """Acceptance pin: fast ECDSA == reference ECDSA on 500 generated cases."""
+    signature = sign(private_key, message)
+    assert signature == reference_sign(private_key, message)
+    public_key = fastec.mul_g(private_key)
+    assert public_key == _point_multiply(private_key, _G)
+    assert verify(public_key, message, signature) is True
+    assert reference_verify(public_key, message, signature) is True
+    assert verify(public_key, message + b"x", signature) is False
+    assert reference_verify(public_key, message + b"x", signature) is False

@@ -38,10 +38,13 @@ from repro.core.spec import (
     Step,
     access,
     advance,
+    attempt_access,
     check_holds,
     churn,
     enforce,
     monitor,
+    regrant,
+    repurchase_certificate,
     revise_policy,
     use,
 )
@@ -148,6 +151,10 @@ def scenario_specs(draw) -> ScenarioSpec:
             middle.insert(position, churn(consumer.name))
     timeline.extend(middle)
 
+    # Optionally respond to violations: every flagged device is revoked
+    # (DE App grant, pod-wide ACL, certificate) by the owner's responder.
+    respond = draw(st.booleans())
+
     # Optionally monitor mid-story, always monitor everything at the end.
     if draw(st.booleans()) and accessed:
         timeline.append(monitor(draw(st.sampled_from(resources)).key))
@@ -156,6 +163,27 @@ def scenario_specs(draw) -> ScenarioSpec:
     for resource in resources:
         if resource.key in monitored:
             timeline.append(monitor(resource.key))
+
+    # The violation-response cascade: re-access attempts after the rounds
+    # above.  A revoked device must be refused; re-purchasing the fee
+    # certificate *and* an owner re-grant re-admit it; an honest device
+    # whose copy expired simply gets a fresh copy.  The shadow model
+    # predicts every outcome, so any divergence is a misprediction.
+    cascade_pairs = draw(
+        st.lists(st.sampled_from(accessed), unique=True, max_size=3)
+    ) if accessed else []
+    reaccessed = False
+    for name, key in cascade_pairs:
+        timeline.append(attempt_access(name, key))
+        if draw(st.booleans()):
+            timeline.append(repurchase_certificate(name, key))
+            timeline.append(regrant(name, key))
+            timeline.append(attempt_access(name, key))
+            reaccessed = True
+    # Re-admitted and re-sealed copies re-enter monitoring.
+    if reaccessed and draw(st.booleans()):
+        timeline.append(advance(draw(st.sampled_from(DURATIONS))))
+        timeline.append(monitor(draw(st.sampled_from(cascade_pairs))[1]))
 
     # Final audit of every copy: the TEEs' state must match the model.
     for position, (name, key) in enumerate(accessed):
@@ -167,6 +195,7 @@ def scenario_specs(draw) -> ScenarioSpec:
         resources=tuple(resources),
         timeline=tuple(timeline),
         seed=draw(st.integers(0, 2**32 - 1)),
+        respond_to_violations=respond,
     ).validate()
 
 

@@ -117,6 +117,46 @@ def test_revocation_playbook_excludes_the_violator_from_round_two(library_result
     assert summary["certificatesRevoked"] >= 1
 
 
+def test_revocation_recovery_walks_the_full_cascade(library_results):
+    """Revoked -> refused -> certificate alone insufficient -> re-admitted."""
+    result = library_results["revocation-recovery"]
+    assert result.facts["denied_after_revocation"] is True
+    assert result.facts["honest_reaccess_served"] is True
+    assert result.facts["certificate_alone_insufficient"] is True
+    assert result.facts["served_after_regrant"] is True
+    assert result.facts["readmitted_copy_held"] is True
+    first, second = result.monitoring_reports
+    assert "device-bad-app" in first.non_compliant_devices
+    # The re-admitted device is a holder again — and compliant this time.
+    assert "device-bad-app" in second.holders
+    assert "device-bad-app" in second.compliant_devices
+    summary = result.responders["ruth"].summary()
+    assert summary["grantsRevoked"] == 1
+    assert summary["aclRevocations"] == 1
+    assert summary["certificatesRevoked"] == 1
+
+
+def test_expired_reaccess_seals_a_fresh_copy(library_results):
+    result = library_results["expired-reaccess"]
+    assert result.facts["expired_copy_deleted"] is True
+    assert result.facts["deleted_copy_reaccess_served"] is True
+    assert result.facts["fresh_copy_held"] is True
+    # Both rounds are clean: the TEE erased the copy itself, and the fresh
+    # copy is inside its new retention window.
+    assert all(report.all_compliant for report in result.monitoring_reports)
+    assert result.on_chain_violations == []
+
+
+def test_population_demo_detects_its_adversarial_minority(library_results):
+    result = library_results["population-demo"]
+    # 60 consumers at the default mix: 48 honest, the rest adversarial.
+    assert len(result.spec.consumers()) == 60
+    assert len(result.ledger.observed) > 0
+    reasons = {v.reason for v in result.ledger.expected}
+    assert "no evidence provided" in reasons  # non-responsive / churned
+    assert any("retention" in reason for reason in reasons)  # violating
+
+
 def test_bounded_use_deletes_at_the_ceiling(library_results):
     result = library_results["bounded-use"]
     assert result.facts["copy_deleted_at_ceiling"] is True
