@@ -78,12 +78,21 @@ def _per_tx_seconds(num_accounts: int, blocks: int = 5) -> float:
 
 def test_per_tx_cost_flat_from_1k_to_10k_accounts(report):
     """Fast guard: one order of magnitude of world size, same per-tx cost."""
+    from bench_helpers import bench_row, emit_bench_json
+
     small = _per_tx_seconds(1_000)
     medium = _per_tx_seconds(10_000)
+    ratio = round(medium / small, 2)
     report("state scaling 1k->10k",
            us_per_tx_1k=round(small * 1e6, 1),
            us_per_tx_10k=round(medium * 1e6, 1),
-           ratio=round(medium / small, 2))
+           ratio=ratio)
+    emit_bench_json(
+        "state",
+        [bench_row("us_per_tx[1k->10k]", [1_000, 10_000],
+                   [round(small * 1e6, 1), round(medium * 1e6, 1)],
+                   pinned_ratio=ratio)],
+    )
     assert medium <= 2.0 * small
 
 
@@ -94,11 +103,20 @@ def test_per_tx_cost_flat_from_1k_to_100k_accounts(report):
     The seed implementation degrades linearly here (the 100k case was ~100x
     the 1k case); the journaled state must stay inside the noise envelope.
     """
+    from bench_helpers import bench_row, emit_bench_json
+
     results = {}
     for num_accounts in (1_000, 10_000, 100_000):
         results[num_accounts] = _per_tx_seconds(num_accounts)
+    ratio = round(results[100_000] / results[1_000], 2)
     report("state scaling 1k->100k",
            **{f"us_per_tx_{n}": round(t * 1e6, 1) for n, t in results.items()},
-           ratio_100k_vs_1k=round(results[100_000] / results[1_000], 2))
+           ratio_100k_vs_1k=ratio)
+    emit_bench_json(
+        "state",
+        [bench_row("us_per_tx[1k->100k]", list(results),
+                   [round(t * 1e6, 1) for t in results.values()],
+                   pinned_ratio=ratio)],
+    )
     assert results[100_000] <= 2.0 * results[1_000]
     assert results[10_000] <= 2.0 * results[1_000]
