@@ -14,11 +14,13 @@ block, one ``record_usage_evidence_batch`` transaction) a round seals a
 small constant number of blocks and touches O(holders) entries, so the
 per-holder time stays flat as the holder count grows.
 
-This sweep registers synthetic copy-holding devices with one batched
-``record_access_grants`` transaction and then measures complete monitoring
-rounds.  The measured rows are emitted to ``BENCH_monitoring.json`` at the
-repo root in the shared benchmark schema (the CI workflow uploads it to
-track the perf trajectory).
+This sweep registers synthetic copy-holding devices with a chunked
+``record_access_grants`` call (bounded canonical-JSON payload per
+transaction, all chunks confirmed in one block) and then measures complete
+monitoring rounds — whose own batch transactions are likewise chunked at
+``MonitoringCoordinator.chunk_size``.  The measured rows are emitted to
+``BENCH_monitoring.json`` at the repo root in the shared benchmark schema
+(the CI workflow uploads it to track the perf trajectory).
 """
 
 from __future__ import annotations
@@ -51,18 +53,18 @@ def _deployment_with_holders(holders: int):
     owner.upload_resource(PATH, CONTENT)
     owner.publish_resource(PATH, policy)
     resource_id = owner.pod_manager.require_pod().url_for(PATH)
-    architecture.operator_module.call_contract(
+    receipts = architecture.operator_module.call_contract_chunked(
         architecture.dist_exchange_address,
         "record_access_grants",
-        {
-            "resource_id": resource_id,
-            "grants": [
-                {"consumer": "https://id/synthetic", "device_id": f"device-{index:05d}"}
-                for index in range(holders)
-            ],
-        },
-        gas_limit=2_000_000 + 120_000 * holders,
+        "grants",
+        [
+            {"consumer": "https://id/synthetic", "device_id": f"device-{index:05d}"}
+            for index in range(holders)
+        ],
+        static_args={"resource_id": resource_id},
+        chunk_size=500,
     )
+    assert sum(receipt.return_value for receipt in receipts) == holders
     return architecture, owner
 
 

@@ -12,6 +12,10 @@ measures, per population size:
 * wall-clock of the monitoring phase (every resource's full round);
 * gas per holder and blocks per round (both must stay flat — PR 2's
   batched-round guarantee at population scale);
+* setup-phase blocks (pinned): registration/funding/onboarding is
+  cohort-batched (``population_spec``'s ``setup_cohort``), so setup seals
+  O(population / cohort) blocks instead of ~4 auto-mined blocks per
+  consumer;
 * the expected-vs-observed violation ledger must close exactly.
 
 Rows are emitted to ``BENCH_population.json`` at the repo root in the
@@ -20,17 +24,28 @@ shared benchmark schema; CI uploads the file as an artifact.
 
 from __future__ import annotations
 
+import math
 import time
 
 import pytest
 
 from repro.core.runner import ScenarioRunner
-from repro.core.scenario_library import population_spec
+from repro.core.scenario_library import POPULATION_SETUP_COHORT, population_spec
 
 from bench_helpers import bench_row, emit_bench_json
 
 MAX_BLOCKS_PER_ROUND = 5
 SEED = 2026
+# Setup-phase block budget: 3 contract deployments + per-owner blocks
+# (funding, pod registration, 2 resource-publication transactions) + one
+# block per registration cohort + one per onboarding cohort.  Any regression
+# back toward per-consumer auto-mined blocks trips this pin immediately.
+NUM_OWNERS = 2
+SETUP_OVERHEAD_BLOCKS = 3 + 4 * NUM_OWNERS
+
+
+def _setup_block_budget(consumers: int) -> int:
+    return SETUP_OVERHEAD_BLOCKS + 2 * math.ceil(consumers / POPULATION_SETUP_COHORT)
 
 
 def _measure_population(consumers: int) -> dict:
@@ -50,6 +65,11 @@ def _measure_population(consumers: int) -> dict:
     assert monitor_steps
     holders = sum(s.details["holders"] for s in monitor_steps)
     monitor_gas = sum(s.gas_used for s in monitor_steps)
+    setup_blocks = sum(s.blocks for s in result.steps if s.phase == "setup")
+    assert setup_blocks <= _setup_block_budget(consumers), {
+        "setup_blocks": setup_blocks,
+        "budget": _setup_block_budget(consumers),
+    }
     return {
         "consumers": consumers,
         "wall_s": round(wall, 2),
@@ -57,6 +77,7 @@ def _measure_population(consumers: int) -> dict:
         "monitor_phase_s": round(sum(s.wall_clock_seconds for s in monitor_steps), 2),
         "gas_per_holder": monitor_gas // max(1, holders),
         "blocks_per_round": max(s.blocks for s in monitor_steps),
+        "setup_blocks": setup_blocks,
         "violations": len(result.ledger.observed),
     }
 
@@ -79,6 +100,8 @@ def _sweep(label: str, sizes, report, ratio_bound: float):
                       [row["gas_per_holder"] for row in rows]),
             bench_row(f"blocks_per_round[{label}]", populations,
                       [row["blocks_per_round"] for row in rows]),
+            bench_row(f"setup_blocks[{label}]", populations,
+                      [row["setup_blocks"] for row in rows]),
             bench_row(f"violations_detected[{label}]", populations,
                       [row["violations"] for row in rows]),
         ],

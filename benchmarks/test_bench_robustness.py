@@ -1,0 +1,152 @@
+"""E9 (Section V-2, robustness): availability and integrity under validator faults.
+
+The paper claims "if an attack succeeds in bringing down one of the nodes,
+the blockchain ecosystem can continue to operate by relying on the rest of
+the nodes."  This benchmark exercises that claim on the node-backed
+validator network — every validator a full :class:`BlockchainNode` replica
+with its own mempool, event filters, and block tree — across three fault
+classes:
+
+* **crash** — a growing number of failed validators out of four; throughput
+  degrades proportionally to the failed fraction (skipped slots), never to
+  zero, and the surviving replicas stay consistent;
+* **crash + recovery** — a recovered validator resyncs block-by-block from
+  a peer and converges to the canonical head;
+* **Byzantine equivocation** — a validator double-seals its slot; every
+  replica records the slashable proof, fork-choice converges the honest
+  replicas, and the canonical chain still replays from genesis.
+
+Rows are emitted to ``BENCH_robustness.json`` at the repo root in the
+shared ``{metric, populations, values, pinned_ratio}`` schema; CI uploads
+it with the other benchmark artifacts.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.blockchain.crypto import KeyPair
+from repro.blockchain.network import BlockchainNetwork
+from repro.blockchain.transaction import Transaction
+
+from bench_helpers import bench_row, emit_bench_json
+
+SLOTS = 12
+SENDER = KeyPair.from_name("rob-sender")
+
+
+def _network(num_validators: int = 4) -> BlockchainNetwork:
+    return BlockchainNetwork(
+        num_validators=num_validators,
+        genesis_balances={SENDER.address: 10**9},
+    )
+
+
+def _transfers(network: BlockchainNetwork, count: int, start_nonce: int = 0) -> None:
+    recipient = KeyPair.from_name("rob-recipient")
+    for offset in range(count):
+        tx = Transaction(
+            sender=SENDER.address, to=recipient.address, data={},
+            value=1, nonce=start_nonce + offset,
+        )
+        network.broadcast_transaction(tx.sign(SENDER))
+
+
+def test_e9_availability_under_crash_faults(report):
+    """Blocks produced over 12 slots with 0/1/2 of 4 validators down."""
+    failed_counts = [0, 1, 2]
+    produced_counts = []
+    for failed in failed_counts:
+        network = _network(4)
+        for index in range(failed):
+            network.fail_validator(index + 1)  # keep the primary up
+        _transfers(network, 3)
+        produced = network.produce_blocks(SLOTS)
+        assert network.is_available
+        assert network.consistent()
+        assert not network.liveness_report()["violations"]
+        # Throughput degrades proportionally to the failed fraction.
+        assert len(produced) == SLOTS - network.skipped_slots
+        assert len(produced) >= SLOTS * (4 - failed) // 4
+        produced_counts.append(len(produced))
+        report(f"E9 availability failed={failed}/4", slots=SLOTS,
+               blocks_produced=len(produced), skipped=network.skipped_slots,
+               consistent=network.consistent())
+    emit_bench_json("robustness", [
+        bench_row("blocks_per_12_slots_vs_failed", failed_counts, produced_counts,
+                  pinned_ratio=round(produced_counts[-1] / SLOTS, 2)),
+    ])
+
+
+def test_e9_recovery_resync(report):
+    """A crashed validator catches up block-by-block after recovery."""
+    network = _network(3)
+    _transfers(network, 2)
+    network.produce_blocks(3)
+    network.fail_validator(2)
+    _transfers(network, 3, start_nonce=2)
+    network.produce_blocks(6)
+    lag = network.primary.chain.height - network.validators[2].chain.height
+    assert lag > 0
+    started = time.perf_counter()
+    network.recover_validator(2)
+    resync_seconds = time.perf_counter() - started
+    assert network.consistent(), network.heads()
+    assert network.validators[2].chain.verify_chain(replay=True)
+    report("E9 recovery", lag_blocks=lag, resync_ms=round(resync_seconds * 1e3, 2))
+    emit_bench_json("robustness", [
+        bench_row("resync_ms_per_lagging_block", [lag],
+                  [round(resync_seconds * 1e3 / lag, 2)]),
+    ])
+
+
+def test_e9_equivocation_detection_and_convergence(report):
+    """A double-sealing validator is detected, slashed, and out-converged."""
+    network = _network(3)
+    _transfers(network, 2)
+    network.produce_blocks(2)
+    network.equivocate_validator(2)
+    _transfers(network, 2, start_nonce=2)
+    started = time.perf_counter()
+    network.produce_blocks(2)  # the Byzantine slot plus one honest mop-up slot
+    elapsed = time.perf_counter() - started
+
+    assert len(network.equivocation_proofs) == 1
+    proof = network.equivocation_proofs[0]
+    assert proof.proposer == network.validators[2].address
+    assert proof.verify()
+    assert network.validators[2].slashed
+    assert network.honest_heads_converged()
+    for validator in network.honest_validators():
+        assert validator.chain.verify_chain(replay=True)
+    report("E9 equivocation", detected=True, proposer=proof.proposer,
+           convergence_ms=round(elapsed * 1e3, 2))
+    emit_bench_json("robustness", [
+        bench_row("equivocation_detected_and_converged", [3],
+                  [1 if network.honest_heads_converged() else 0], pinned_ratio=1.0),
+        bench_row("equivocation_convergence_ms", [3], [round(elapsed * 1e3, 2)]),
+    ])
+
+
+@pytest.mark.slow
+def test_e9_partition_heal_at_scale(report):
+    """Two islands diverge for 20 slots and converge on heal."""
+    network = _network(4)
+    _transfers(network, 4)
+    network.produce_blocks(4)
+    network.partition({0, 1})
+    _transfers(network, 4, start_nonce=4)
+    network.produce_blocks(20)
+    assert not network.consistent()
+    started = time.perf_counter()
+    network.heal_partition()
+    heal_seconds = time.perf_counter() - started
+    assert network.consistent(), network.heads()
+    for validator in network.validators:
+        assert validator.chain.verify_chain(replay=True)
+    report("E9 partition heal", slots=20, heal_ms=round(heal_seconds * 1e3, 2))
+    emit_bench_json("robustness", [
+        bench_row("partition_heal_ms_20_slots", [4], [round(heal_seconds * 1e3, 2)]),
+    ])

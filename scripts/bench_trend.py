@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Benchmark trend tracking: compare BENCH_*.json artifacts against a baseline.
+
+Every benchmark file in this repo emits its measured rows as
+``BENCH_<name>.json`` in one shared schema::
+
+    {"benchmark": <name>,
+     "results": [{"metric": ..., "populations": [...], "values": [...],
+                  "pinned_ratio": <asserted bound or null>}, ...]}
+
+The committed artifacts are the previous commit's measurements, so CI can
+snapshot them before the benchmarks overwrite them and then diff::
+
+    mkdir .bench-baseline && cp BENCH_*.json .bench-baseline/
+    PYTHONPATH=src python -m pytest benchmarks -q
+    python scripts/bench_trend.py --baseline .bench-baseline --current .
+
+A metric row **regresses** when its ``pinned_ratio`` — the scaling ratio a
+benchmark asserts on (per-participant cost growth, per-holder cost growth,
+blocks-per-slot fraction, ...) — worsens by more than ``--threshold``
+(default 20%) relative to the baseline row.  Rows without a pinned ratio,
+new metrics, and removed metrics are reported as notes but never fail the
+run; only a pinned-ratio regression exits non-zero.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+DEFAULT_THRESHOLD = 0.2
+
+# Ratios where a LOWER value is the regression (fractions of ideal
+# throughput / success, not cost growth).  Everything else is cost-like:
+# bigger is worse.
+HIGHER_IS_BETTER_PREFIXES = (
+    "blocks_per_12_slots",
+    "equivocation_detected",
+)
+
+
+def _rows_by_metric(payload: dict) -> Dict[str, dict]:
+    return {row["metric"]: row for row in payload.get("results", [])}
+
+
+def _higher_is_better(metric: str) -> bool:
+    return metric.startswith(HIGHER_IS_BETTER_PREFIXES)
+
+
+def compare_payloads(baseline: dict, current: dict,
+                     threshold: float = DEFAULT_THRESHOLD) -> Tuple[List[str], List[str]]:
+    """Compare one artifact pair; returns ``(regressions, notes)``.
+
+    Both inputs are parsed shared-schema payloads.  Only metrics present in
+    both with a numeric, non-zero baseline ``pinned_ratio`` can regress.
+    """
+    regressions: List[str] = []
+    notes: List[str] = []
+    name = current.get("benchmark", "?")
+    baseline_rows = _rows_by_metric(baseline)
+    current_rows = _rows_by_metric(current)
+
+    for metric in sorted(set(baseline_rows) - set(current_rows)):
+        notes.append(f"{name}: metric {metric!r} disappeared (not compared)")
+    for metric in sorted(set(current_rows) - set(baseline_rows)):
+        notes.append(f"{name}: metric {metric!r} is new (no baseline)")
+
+    for metric in sorted(set(current_rows) & set(baseline_rows)):
+        base_ratio = baseline_rows[metric].get("pinned_ratio")
+        cur_ratio = current_rows[metric].get("pinned_ratio")
+        if not isinstance(base_ratio, (int, float)) or not isinstance(cur_ratio, (int, float)):
+            continue
+        if base_ratio <= 0:
+            notes.append(f"{name}: {metric} baseline ratio {base_ratio} not comparable")
+            continue
+        if _higher_is_better(metric):
+            worsened = cur_ratio < base_ratio * (1.0 - threshold)
+            direction = "fell"
+        else:
+            worsened = cur_ratio > base_ratio * (1.0 + threshold)
+            direction = "grew"
+        if worsened:
+            change = (cur_ratio - base_ratio) / base_ratio * 100.0
+            regressions.append(
+                f"{name}: {metric} pinned_ratio {direction} {base_ratio} -> {cur_ratio} "
+                f"({change:+.1f}%, threshold ±{threshold * 100:.0f}%)"
+            )
+    return regressions, notes
+
+
+def compare_directories(baseline_dir: Path, current_dir: Path,
+                        threshold: float = DEFAULT_THRESHOLD) -> Tuple[List[str], List[str]]:
+    """Compare every ``BENCH_*.json`` under *current_dir* with its baseline."""
+    regressions: List[str] = []
+    notes: List[str] = []
+    current_files = sorted(current_dir.glob("BENCH_*.json"))
+    if not current_files:
+        notes.append(f"no BENCH_*.json artifacts found under {current_dir}")
+    for current_path in current_files:
+        baseline_path = baseline_dir / current_path.name
+        try:
+            current_payload = json.loads(current_path.read_text())
+        except (OSError, ValueError) as error:
+            notes.append(f"{current_path.name}: unreadable current artifact ({error})")
+            continue
+        if not baseline_path.exists():
+            notes.append(f"{current_path.name}: no baseline artifact (new benchmark)")
+            continue
+        try:
+            baseline_payload = json.loads(baseline_path.read_text())
+        except (OSError, ValueError) as error:
+            notes.append(f"{current_path.name}: unreadable baseline ({error})")
+            continue
+        file_regressions, file_notes = compare_payloads(
+            baseline_payload, current_payload, threshold
+        )
+        regressions.extend(file_regressions)
+        notes.extend(file_notes)
+    return regressions, notes
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, required=True,
+                        help="directory holding the previous commit's BENCH_*.json")
+    parser.add_argument("--current", type=Path, default=Path("."),
+                        help="directory holding the freshly generated BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="relative pinned-ratio change that fails the run (0.2 = 20%%)")
+    args = parser.parse_args(argv)
+
+    regressions, notes = compare_directories(args.baseline, args.current, args.threshold)
+    for note in notes:
+        print(f"note: {note}")
+    if regressions:
+        print(f"\n{len(regressions)} pinned-ratio regression(s) beyond "
+              f"{args.threshold * 100:.0f}%:", file=sys.stderr)
+        for regression in regressions:
+            print(f"  REGRESSION {regression}", file=sys.stderr)
+        return 1
+    print("benchmark trend OK: no pinned-ratio regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

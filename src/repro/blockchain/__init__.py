@@ -16,13 +16,18 @@ this package implements a compact but complete blockchain in pure Python:
 * :mod:`repro.blockchain.vm` — the execution environment running Python
   smart contracts under gas metering;
 * :mod:`repro.blockchain.consensus` — Proof-of-Authority sealing and
-  validation;
-* :mod:`repro.blockchain.chain` — chain storage and full validation;
+  validation, plus the equivocation detector that turns double-sealed
+  headers into slashable proofs;
+* :mod:`repro.blockchain.chain` — chain storage, full validation, and the
+  block tree with deterministic fork-choice and bounded journal-backed
+  reorgs;
 * :mod:`repro.blockchain.node` — a node with a transaction pool, block
-  production, event filters, and a small RPC-like facade used by the oracle
-  components;
-* :mod:`repro.blockchain.network` — a multi-node network simulation used by
-  the robustness benchmarks.
+  production, peer-block import, event filters, and a small RPC-like facade
+  used by the oracle components;
+* :mod:`repro.blockchain.network` — the multi-validator network: one full
+  node per validator, proposer rotation, and injectable crash / partition /
+  Byzantine-equivocation faults.  Scenarios run on it via the
+  ``validators`` knob of the architecture config.
 """
 
 from repro.blockchain.crypto import KeyPair, sha256_hex, merkle_root, sign, verify, address_from_public_key
@@ -32,10 +37,15 @@ from repro.blockchain.block import Block, BlockHeader
 from repro.blockchain.state import WorldState
 from repro.blockchain.gas import GasSchedule, GasMeter
 from repro.blockchain.vm import ContractVM, ExecutionContext, ContractRegistry
-from repro.blockchain.consensus import ProofOfAuthority
+from repro.blockchain.consensus import (
+    EquivocationDetector,
+    EquivocationProof,
+    ProofOfAuthority,
+    SealedHeader,
+)
 from repro.blockchain.chain import Blockchain
 from repro.blockchain.node import BlockchainNode, EventFilter
-from repro.blockchain.network import BlockchainNetwork
+from repro.blockchain.network import BlockchainNetwork, NetworkValidator
 from repro.blockchain.explorer import ChainExplorer, AccountActivity, BlockStatistics
 
 __all__ = [
@@ -61,8 +71,12 @@ __all__ = [
     "ExecutionContext",
     "ContractRegistry",
     "ProofOfAuthority",
+    "EquivocationDetector",
+    "EquivocationProof",
+    "SealedHeader",
     "Blockchain",
     "BlockchainNode",
     "EventFilter",
     "BlockchainNetwork",
+    "NetworkValidator",
 ]

@@ -14,16 +14,27 @@ Appending a block maintains a set of indexes so lookups never scan the chain:
 * per-address and per-event log lists behind :meth:`logs_for`;
 * running aggregates (transaction/failure/gas counters, gas grouped by
   sender and by method) behind the O(1) statistics accessors.
+
+The chain is no longer a bare list: sealed blocks received from peers are
+kept in a **block tree** keyed by parent hash, so a node can hold competing
+tips (the fallout of an equivocating validator).  Fork-choice is
+deterministic — longest valid chain, ties broken by lowest header hash —
+and switching branches is a bounded :meth:`reorg`: the journaled world
+state rolls back to the fork point (one open journal frame per non-final
+canonical block) and the winning branch is executed and fully validated in
+its place.  A branch whose execution does not match its headers (forged
+``gas_used``, stale ``state_root``) is rejected and marked invalid, and the
+previous canonical chain is restored.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.common.clock import Clock, SystemClock
 from repro.common.errors import IntegrityError, NotFoundError, ValidationError
 from repro.blockchain.block import Block, BlockHeader
-from repro.blockchain.consensus import ProofOfAuthority
+from repro.blockchain.consensus import EquivocationDetector, ProofOfAuthority
 from repro.blockchain.gas import GasSchedule
 from repro.blockchain.state import WorldState
 from repro.blockchain.transaction import LogEntry, Receipt, Transaction, verify_transactions
@@ -31,13 +42,18 @@ from repro.blockchain.vm import BlockContext, ContractRegistry, ContractVM
 
 GENESIS_PARENT_HASH = "0x" + "00" * 32
 
+# Canonical blocks deeper than this are final: their journal frames are
+# discarded and no reorg can cross them.
+DEFAULT_MAX_REORG_DEPTH = 64
+
 
 class Blockchain:
-    """An append-only chain of validated blocks plus the world state."""
+    """A chain of validated blocks, a block tree of competing tips, and state."""
 
     def __init__(self, consensus: ProofOfAuthority, registry: Optional[ContractRegistry] = None,
                  schedule: Optional[GasSchedule] = None, clock: Optional[Clock] = None,
-                 genesis_balances: Optional[Dict[str, int]] = None):
+                 genesis_balances: Optional[Dict[str, int]] = None,
+                 max_reorg_depth: int = DEFAULT_MAX_REORG_DEPTH):
         self.consensus = consensus
         self.clock = clock if clock is not None else SystemClock()
         self.state = WorldState()
@@ -46,6 +62,18 @@ class Blockchain:
         self._receipts_by_tx: Dict[str, Receipt] = {}
         self._blocks_by_hash: Dict[str, Block] = {}
         self._genesis_balances = dict(genesis_balances or {})
+        # -- block tree / fork choice -----------------------------------------
+        if max_reorg_depth < 1:
+            raise ValidationError("max_reorg_depth must be at least 1")
+        self.max_reorg_depth = max_reorg_depth
+        self.equivocation = EquivocationDetector(consensus)
+        self._children: Dict[str, List[str]] = {}
+        self._tips: Set[str] = set()
+        self._invalid_blocks: Set[str] = set()
+        # One open journal frame per non-final canonical block; True while a
+        # block built by build_block awaits its append_block.
+        self._open_frames = 0
+        self._pending_frame = False
         # -- chain indexes, maintained by _index_block -----------------------
         self._tx_locations: Dict[str, Tuple[int, int]] = {}
         self._tx_receipts: List[Tuple[Transaction, Receipt]] = []
@@ -78,6 +106,7 @@ class Blockchain:
         genesis = Block(header=header)
         self.blocks.append(genesis)
         self._blocks_by_hash[genesis.hash] = genesis
+        self._tips.add(genesis.hash)
 
     # -- accessors ------------------------------------------------------------
 
@@ -95,9 +124,14 @@ class Blockchain:
         return self.blocks[number]
 
     def block_by_hash(self, block_hash: str) -> Block:
+        """Return a block from the tree (canonical or competing branch)."""
         if block_hash not in self._blocks_by_hash:
             raise NotFoundError(f"no block with hash {block_hash}")
         return self._blocks_by_hash[block_hash]
+
+    def knows_block(self, block_hash: str) -> bool:
+        """Whether the block is in the tree (canonical or not)."""
+        return block_hash in self._blocks_by_hash
 
     def receipt_for(self, transaction_hash: str) -> Receipt:
         if transaction_hash not in self._receipts_by_tx:
@@ -197,6 +231,13 @@ class Blockchain:
         """
         if not self.consensus.is_validator(proposer):
             raise ValidationError(f"{proposer} is not an authorized validator")
+        if self._pending_frame:
+            # An earlier build was abandoned (never appended); discard its
+            # state effects so this build starts from the head state.
+            self.state.rollback()
+            self._pending_frame = False
+        self.state.begin()
+        self._pending_frame = True
         block_number = self.height + 1
         block_timestamp = timestamp if timestamp is not None else self.clock.now()
         block_context = BlockContext(number=block_number, timestamp=block_timestamp, proposer=proposer)
@@ -228,18 +269,54 @@ class Blockchain:
         return Block(header=header, transactions=included, receipts=receipts)
 
     def append_block(self, block: Block) -> Block:
-        """Validate a sealed block against the head and append it."""
-        self.consensus.validate_block(block, self.head.header)
-        # state_root() returns the root cached by build_block — no state is
-        # re-hashed here as long as nothing mutated the state in between.
-        if block.header.state_root != self.state.state_root():
-            raise IntegrityError(
-                f"block {block.number} commits to a state root that does not match the local state"
-            )
+        """Validate a sealed block against the head and append it.
+
+        Pairs with :meth:`build_block`, which executed the block's
+        transactions and left their journal frame open; a validation
+        failure rolls that frame back, so a rejected block leaves no trace
+        on the state.
+        """
+        try:
+            self.consensus.validate_block(block, self.head.header)
+            # state_root() returns the root cached by build_block — no state
+            # is re-hashed here as long as nothing mutated it in between.
+            if block.header.state_root != self.state.state_root():
+                raise IntegrityError(
+                    f"block {block.number} commits to a state root that does not match the local state"
+                )
+        except IntegrityError:
+            if self._pending_frame:
+                self.state.rollback()
+                self._pending_frame = False
+            raise
+        if not self._pending_frame:
+            # Hand-assembled block (tests appending an empty block without
+            # build_block): open an empty frame so every canonical non-final
+            # block owns exactly one frame.
+            self.state.begin()
+        self._pending_frame = False
+        self._adopt_canonical(block)
+        return block
+
+    def _adopt_canonical(self, block: Block) -> None:
+        """Make an executed, validated block the new canonical head."""
         self.blocks.append(block)
         self._blocks_by_hash[block.hash] = block
+        self._add_to_tree(block)
+        self.equivocation.observe(block)
         self._index_block(block)
-        return block
+        self._open_frames += 1
+        while self._open_frames > self.max_reorg_depth:
+            self.state.commit_oldest()
+            self._open_frames -= 1
+
+    def _add_to_tree(self, block: Block) -> None:
+        siblings = self._children.setdefault(block.header.parent_hash, [])
+        if block.hash not in siblings:
+            siblings.append(block.hash)
+        self._tips.discard(block.header.parent_hash)
+        if block.hash not in self._children or not self._children[block.hash]:
+            self._tips.add(block.hash)
 
     def _index_block(self, block: Block) -> None:
         """Fold a newly appended block into the chain indexes."""
@@ -262,6 +339,269 @@ class Blockchain:
                 self._logs.append(log)
                 self._logs_by_address.setdefault(log.address, []).append(log)
                 self._logs_by_event.setdefault(log.event, []).append(log)
+
+    def _unindex_block(self, block: Block) -> None:
+        """Remove the most recently indexed block from every chain index.
+
+        Only ever called for the block at the canonical head, so every list
+        entry to remove sits at the end of its list and removal is O(block
+        contents).
+        """
+        self._total_gas -= block.header.gas_used
+        for tx, receipt in zip(reversed(block.transactions), reversed(block.receipts)):
+            self._receipts_by_tx.pop(receipt.transaction_hash, None)
+            self._tx_locations.pop(tx.hash, None)
+            self._tx_receipts.pop()
+            sender_pairs = self._tx_receipts_by_sender.get(tx.sender)
+            if sender_pairs:
+                sender_pairs.pop()
+                if not sender_pairs:
+                    del self._tx_receipts_by_sender[tx.sender]
+            if tx.to is not None:
+                recipient_pairs = self._tx_receipts_by_recipient.get(tx.to)
+                if recipient_pairs:
+                    recipient_pairs.pop()
+                    if not recipient_pairs:
+                        del self._tx_receipts_by_recipient[tx.to]
+            self._transaction_count -= 1
+            if not receipt.status:
+                self._failed_transaction_count -= 1
+            self._gas_by_sender[tx.sender] -= receipt.gas_used
+            if not self._gas_by_sender[tx.sender]:
+                del self._gas_by_sender[tx.sender]
+            key = self.method_key(tx)
+            self._gas_by_method[key] -= receipt.gas_used
+            if not self._gas_by_method[key]:
+                del self._gas_by_method[key]
+            for log in reversed(receipt.logs):
+                self._logs.pop()
+                self._logs_by_address[log.address].pop()
+                self._logs_by_event[log.event].pop()
+
+    # -- block tree: peer blocks, fork choice, reorgs ---------------------------
+
+    def is_canonical(self, block_hash: str) -> bool:
+        """True when the block is on the current canonical chain."""
+        block = self._blocks_by_hash.get(block_hash)
+        if block is None or block.number > self.height:
+            return False
+        return self.blocks[block.number].hash == block_hash
+
+    def tips(self) -> List[str]:
+        """Hashes of the current block-tree leaves (competing tips included)."""
+        return sorted(self._tips)
+
+    def receive_block(self, block: Block) -> Tuple[str, List[Block], List[Block]]:
+        """Accept a sealed block from a peer.
+
+        Validates the header, Merkle roots, seal (against the rotation
+        schedule), and every transaction signature, records the header with
+        the equivocation detector, and stores the block in the tree.  A
+        block extending the canonical head is executed and fully validated
+        against its header commitments; a block on a side branch triggers
+        fork-choice and — when the side branch wins — a :meth:`reorg`.
+
+        Returns ``(status, applied, detached)`` where *status* is one of
+        ``"known"``, ``"extended"``, ``"side"``, or ``"reorged"``,
+        *applied* lists the blocks that just became canonical, and
+        *detached* lists the previously canonical blocks a reorg rolled
+        back (their transactions may need re-queueing).
+        """
+        if block.hash in self._blocks_by_hash:
+            return "known", [], []
+        if self._pending_frame:
+            # A locally built block was never appended; discard its state
+            # effects before executing anything from the network.
+            self.state.rollback()
+            self._pending_frame = False
+        parent = self._blocks_by_hash.get(block.header.parent_hash)
+        if parent is None:
+            raise NotFoundError(
+                f"block {block.number} links to unknown parent {block.header.parent_hash}"
+            )
+        if parent.hash in self._invalid_blocks:
+            self._invalid_blocks.add(block.hash)
+            raise IntegrityError(f"block {block.number} extends an invalid branch")
+        self.consensus.validate_block(block, parent.header)
+        signed = [tx for tx in block.transactions
+                  if tx.signature is not None or tx.public_key is not None]
+        if signed:
+            forged = [tx.hash for tx, ok in zip(signed, verify_transactions(signed)) if not ok]
+            if forged:
+                self._invalid_blocks.add(block.hash)
+                raise IntegrityError(
+                    f"block {block.number} carries transaction(s) with forged "
+                    f"signatures: {forged[:3]}"
+                )
+        self._blocks_by_hash[block.hash] = block
+        self._add_to_tree(block)
+        self.equivocation.observe(block)
+        if parent.hash == self.head.hash:
+            try:
+                self._apply_block(block)
+            except IntegrityError:
+                self._mark_invalid(block.hash)
+                raise
+            return "extended", [block], []
+        winner = self.fork_choice_tip()
+        if winner != self.head.hash:
+            applied, detached = self.reorg(winner)
+            return "reorged", applied, detached
+        return "side", [], []
+
+    def _apply_block(self, block: Block) -> None:
+        """Execute a stored block on the head state, validate, and index it."""
+        replayed = self._execute_block(block)
+        block.receipts = replayed
+        self._adopt_canonical(block)
+
+    def _execute_block(self, block: Block) -> List[Receipt]:
+        """Run a block's transactions in a fresh frame; validate the header.
+
+        Raises :class:`IntegrityError` (after rolling the frame back) when
+        the header's ``gas_used``, ``receipts_root``, or ``state_root`` do
+        not match the execution — the defense that keeps a forged branch
+        from ever becoming canonical.  On success the frame stays open (it
+        becomes the block's reorg frame) and the replayed receipts are
+        returned.
+        """
+        header = block.header
+        self.state.begin()
+        context = BlockContext(
+            number=header.number, timestamp=header.timestamp, proposer=header.proposer
+        )
+        replayed: List[Receipt] = []
+        gas_total = 0
+        try:
+            for tx in block.transactions:
+                receipt = self.vm.execute_transaction(tx, context)
+                receipt.block_number = header.number
+                for index, log in enumerate(receipt.logs):
+                    log.block_number = header.number
+                    log.transaction_hash = tx.hash
+                    log.log_index = index
+                replayed.append(receipt)
+                gas_total += receipt.gas_used
+            if gas_total != header.gas_used:
+                raise IntegrityError(
+                    f"block {header.number} header claims gas_used={header.gas_used} "
+                    f"but its transactions consume {gas_total}"
+                )
+            if Block.compute_receipts_root(replayed) != header.receipts_root:
+                raise IntegrityError(
+                    f"block {header.number} receipts do not match the local execution"
+                )
+            if header.state_root != self.state.state_root():
+                raise IntegrityError(
+                    f"block {header.number} commits to a state root that does not match "
+                    f"the state its transactions produce"
+                )
+        except IntegrityError:
+            self.state.rollback()
+            raise
+        return replayed
+
+    def _mark_invalid(self, block_hash: str) -> None:
+        """Mark a block and every stored descendant as permanently invalid."""
+        frontier = [block_hash]
+        while frontier:
+            current = frontier.pop()
+            if current in self._invalid_blocks:
+                continue
+            self._invalid_blocks.add(current)
+            frontier.extend(self._children.get(current, ()))
+
+    def _branch_from_canonical(self, tip_hash: str) -> Optional[Tuple[int, List[Block]]]:
+        """Walk a tip back to the canonical chain.
+
+        Returns ``(fork block number, branch blocks ascending)`` or ``None``
+        when the branch is unusable (invalid block, or a fork point deeper
+        than the open reorg window).
+        """
+        branch: List[Block] = []
+        current = self._blocks_by_hash.get(tip_hash)
+        while current is not None and not self.is_canonical(current.hash):
+            if current.hash in self._invalid_blocks:
+                return None
+            branch.append(current)
+            current = self._blocks_by_hash.get(current.header.parent_hash)
+        if current is None:
+            return None
+        if self.height - current.number > self._open_frames:
+            return None  # the fork point is already final
+        branch.reverse()
+        return current.number, branch
+
+    def fork_choice_tip(self) -> str:
+        """Deterministic fork choice over the stored tips.
+
+        Longest valid chain wins; equal heights break toward the lowest
+        header hash, so every replica holding the same tree picks the same
+        winner without further communication.
+        """
+        best_hash = self.head.hash
+        best_height = self.head.number
+        for tip_hash in sorted(self._tips):
+            if tip_hash == best_hash or tip_hash in self._invalid_blocks:
+                continue
+            block = self._blocks_by_hash[tip_hash]
+            better = block.number > best_height or (
+                block.number == best_height and tip_hash < best_hash
+            )
+            if not better or self._branch_from_canonical(tip_hash) is None:
+                continue
+            best_hash, best_height = tip_hash, block.number
+        return best_hash
+
+    def reorg(self, tip_hash: str) -> Tuple[List[Block], List[Block]]:
+        """Switch the canonical chain to the branch ending at *tip_hash*.
+
+        Rolls the journaled state back to the fork point — one frame per
+        detached block, O(touched slots), no re-execution from genesis —
+        then executes and fully validates the winning branch.  If any block
+        of the new branch fails execution validation, the branch is marked
+        invalid, the old chain is restored, and :class:`IntegrityError`
+        propagates.  Returns ``(applied, detached)``.
+        """
+        if self.is_canonical(tip_hash):
+            return [], []
+        located = self._branch_from_canonical(tip_hash)
+        if located is None:
+            raise IntegrityError(f"no viable branch to {tip_hash} within the reorg window")
+        fork_number, branch = located
+        detached = self._rollback_to(fork_number)
+        applied: List[Block] = []
+        for block in branch:
+            try:
+                self._apply_block(block)
+            except IntegrityError:
+                self._mark_invalid(block.hash)
+                for _ in applied:
+                    self._detach_head()
+                for old in detached:
+                    self._apply_block(old)
+                raise
+            applied.append(block)
+        return applied, detached
+
+    def _rollback_to(self, fork_number: int) -> List[Block]:
+        """Detach canonical blocks above *fork_number*; returns them ascending."""
+        detached: List[Block] = []
+        while self.height > fork_number:
+            detached.append(self._detach_head())
+        detached.reverse()
+        return detached
+
+    def _detach_head(self) -> Block:
+        """Pop the canonical head: unindex it and roll back its state frame.
+
+        The block stays in the tree (a later reorg may re-adopt it).
+        """
+        block = self.blocks.pop()
+        self._unindex_block(block)
+        self.state.rollback()
+        self._open_frames -= 1
+        return block
 
     # -- verification ----------------------------------------------------------
 

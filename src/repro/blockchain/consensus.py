@@ -12,11 +12,11 @@ the failure of a minority does not halt the system (Section V-2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import IntegrityError, ValidationError
 from repro.blockchain.block import Block, BlockHeader
-from repro.blockchain.crypto import KeyPair
+from repro.blockchain.crypto import KeyPair, address_from_public_key, verify
 
 
 @dataclass
@@ -39,6 +39,12 @@ class ProofOfAuthority:
         if block_number <= 0:
             raise ValidationError("only post-genesis blocks have a proposer")
         return self.validators[(block_number - 1) % len(self.validators)]
+
+    def proposer_for_slot(self, slot: int) -> str:
+        """Validator that owns rotation *slot* (Aura-style, 1-based)."""
+        if slot <= 0:
+            raise ValidationError("slots are numbered from 1")
+        return self.validators[(slot - 1) % len(self.validators)]
 
     def is_validator(self, address: str) -> bool:
         return address in self.validators
@@ -74,6 +80,27 @@ class ProofOfAuthority:
             raise IntegrityError(
                 f"block {header.number} sealed by non-validator {header.proposer}"
             )
+        # Network-produced blocks carry their rotation slot in the header
+        # extra; check the seal against the schedule.  Single-node blocks
+        # omit the slot (every slot is taken), keeping their hashes stable.
+        slot = header.extra.get("slot")
+        if slot is not None:
+            if not isinstance(slot, int) or slot < header.number:
+                raise IntegrityError(
+                    f"block {header.number} claims impossible slot {slot!r}"
+                )
+            expected = self.proposer_for_slot(slot)
+            if header.proposer != expected:
+                raise IntegrityError(
+                    f"block {header.number} slot {slot} belongs to {expected}, "
+                    f"not {header.proposer}"
+                )
+            parent_slot = parent.extra.get("slot", parent.number)
+            if isinstance(parent_slot, int) and slot <= parent_slot:
+                raise IntegrityError(
+                    f"block {header.number} slot {slot} does not advance past "
+                    f"its parent's slot {parent_slot}"
+                )
 
     def validate_block(self, block: Block, parent: Optional[BlockHeader]) -> None:
         """Full validation: header rules, Merkle roots, and the seal signature."""
@@ -97,3 +124,118 @@ class ProofOfAuthority:
     def with_validators(self, validators: Sequence[str]) -> "ProofOfAuthority":
         """Return a copy of the consensus engine with a different validator set."""
         return ProofOfAuthority(validators=list(validators), block_interval=self.block_interval)
+
+
+@dataclass(frozen=True)
+class SealedHeader:
+    """One signed header as observed on the wire: enough to re-check the seal."""
+
+    header: BlockHeader
+    seal: Tuple[int, int]
+    public_key: Tuple[int, int]
+
+    def verify(self) -> bool:
+        """True when the seal is a valid proposer signature over the header."""
+        try:
+            if address_from_public_key(self.public_key) != self.header.proposer:
+                return False
+            return verify(self.public_key, self.header.signing_payload(), self.seal)
+        except (TypeError, ValueError):
+            return False
+
+
+@dataclass(frozen=True)
+class EquivocationProof:
+    """Two distinct sealed headers by one proposer at one height.
+
+    Both seals are genuine signatures by ``proposer``, so the proof is
+    self-authenticating: nobody but the holder of the proposer's key could
+    have produced it, which is what makes equivocation *slashable* rather
+    than merely observable.
+    """
+
+    proposer: str
+    height: int
+    first: SealedHeader
+    second: SealedHeader
+
+    def verify(self) -> bool:
+        """Re-check everything the proof claims from its own material."""
+        return (
+            self.first.header.proposer == self.proposer
+            and self.second.header.proposer == self.proposer
+            and self.first.header.number == self.height
+            and self.second.header.number == self.height
+            and self.first.header.hash != self.second.header.hash
+            and self.first.verify()
+            and self.second.verify()
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "proposer": self.proposer,
+            "height": self.height,
+            "firstHash": self.first.header.hash,
+            "secondHash": self.second.header.hash,
+        }
+
+
+class EquivocationDetector:
+    """Records sealed headers by (height, proposer) and flags double-seals.
+
+    Every block a node sees — produced locally, imported from a peer, or
+    gossiped as a competing tip — is :meth:`observe`'d.  Two *distinct*
+    sealed headers at the same height from the same proposer constitute an
+    :class:`EquivocationProof`; the proposer joins :attr:`byzantine`.
+    Unsealed or invalidly sealed headers are ignored: an adversary must not
+    be able to frame an honest validator with a header it never signed.
+    """
+
+    def __init__(self, consensus: ProofOfAuthority):
+        self.consensus = consensus
+        # (height, proposer) -> header hash -> SealedHeader
+        self._seen: Dict[Tuple[int, str], Dict[str, SealedHeader]] = {}
+        self.proofs: List[EquivocationProof] = []
+        self._proved: set = set()  # (height, proposer) pairs already proven
+
+    @property
+    def byzantine(self) -> List[str]:
+        """Proposers with at least one recorded equivocation proof."""
+        seen: List[str] = []
+        for proof in self.proofs:
+            if proof.proposer not in seen:
+                seen.append(proof.proposer)
+        return seen
+
+    def is_byzantine(self, address: str) -> bool:
+        return any(proof.proposer == address for proof in self.proofs)
+
+    def observe(self, block: Block) -> Optional[EquivocationProof]:
+        """Record a sealed block's header; returns a proof on a double-seal."""
+        if block.header.number == 0 or block.seal is None or block.proposer_public_key is None:
+            return None
+        sealed = SealedHeader(
+            header=block.header,
+            seal=tuple(block.seal),
+            public_key=tuple(block.proposer_public_key),
+        )
+        if not self.consensus.is_validator(block.header.proposer) or not sealed.verify():
+            return None
+        key = (block.header.number, block.header.proposer)
+        bucket = self._seen.setdefault(key, {})
+        block_hash = block.header.hash
+        if block_hash in bucket:
+            return None
+        bucket[block_hash] = sealed
+        if len(bucket) < 2 or key in self._proved:
+            return None
+        first_hash, second_hash = sorted(bucket)[:2]
+        proof = EquivocationProof(
+            proposer=block.header.proposer,
+            height=block.header.number,
+            first=bucket[first_hash],
+            second=bucket[second_hash],
+        )
+        self._proved.add(key)
+        self.proofs.append(proof)
+        return proof

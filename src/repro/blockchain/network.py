@@ -1,71 +1,136 @@
-"""Multi-node blockchain network simulation.
+"""Multi-validator blockchain network backed by full nodes.
 
 Section V-2 of the paper argues that "the availability of the DE app is
 preserved by the distributed nature of the blockchain.  If an attack succeeds
 in bringing down one of the nodes, the blockchain ecosystem can continue to
-operate by relying on the rest of the nodes."  The robustness benchmark (E9)
-exercises exactly that: a network of PoA validators where some nodes are
-failed and the remaining ones keep producing and replicating blocks.
+operate by relying on the rest of the nodes."
+
+Each validator here is a complete :class:`~repro.blockchain.node.BlockchainNode`
+— its own mempool, event filters, receipts, deferred-verification batching,
+and chain replica with a block tree.  Transactions are broadcast to every
+online replica; block production walks the Aura-style round-robin schedule
+(the slot is recorded in the sealed header, so every replica checks the seal
+against the rotation), and produced blocks are shipped to the other replicas
+as sealed wire copies that each node re-executes and validates before
+adopting (:meth:`~repro.blockchain.chain.Blockchain.receive_block`).
+
+Three fault classes are injectable:
+
+* **crash** — :meth:`fail_validator` takes a node offline: it misses its
+  slots (a liveness hit, counted in :attr:`skipped_slots`), receives neither
+  transactions nor blocks, and resyncs block-by-block on
+  :meth:`recover_validator`;
+* **partition** — :meth:`partition` splits block delivery into two islands
+  that keep producing on diverging branches; :meth:`heal_partition` lets
+  deterministic fork-choice (longest chain, lowest-hash tie-break) converge
+  everyone onto one head;
+* **Byzantine equivocation** — :meth:`equivocate_validator` makes a
+  validator seal *two* conflicting blocks for its next slot and show
+  different ones to different replicas.  Every replica's
+  :class:`~repro.blockchain.consensus.EquivocationDetector` records the
+  double-seal as a slashable proof naming the proposer, the network stops
+  scheduling the slashed validator, and fork-choice converges the honest
+  replicas onto a single head.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.common.clock import Clock, SimulatedClock
-from repro.common.errors import NotFoundError, ValidationError
+from repro.common.errors import NotFoundError, SignatureError, ValidationError
 from repro.blockchain.block import Block
-from repro.blockchain.chain import Blockchain
-from repro.blockchain.consensus import ProofOfAuthority
+from repro.blockchain.consensus import EquivocationProof, ProofOfAuthority
 from repro.blockchain.crypto import KeyPair
 from repro.blockchain.gas import GasSchedule
+from repro.blockchain.node import BlockchainNode
+from repro.blockchain.state import copy_jsonlike
 from repro.blockchain.transaction import Transaction
 from repro.blockchain.vm import ContractRegistry
 
 
 class NetworkValidator:
-    """One validator in the simulated network: a key, a chain replica, and a status."""
+    """One validator: a key, a full node replica, and its fault status."""
 
-    def __init__(self, keypair: KeyPair, chain: Blockchain):
+    def __init__(self, keypair: KeyPair, node: BlockchainNode):
         self.keypair = keypair
-        self.chain = chain
+        self.node = node
         self.online = True
+        self.slashed = False
+        self.pending_equivocation = False
 
     @property
     def address(self) -> str:
         return self.keypair.address
 
+    @property
+    def chain(self):
+        return self.node.chain
+
+    @property
+    def schedulable(self) -> bool:
+        """Whether the rotation should hand this validator its slot."""
+        return self.online and not self.slashed
+
 
 class BlockchainNetwork:
-    """A set of PoA validators replicating the same chain.
+    """A set of PoA validators, each running a full :class:`BlockchainNode`.
 
-    Transactions are broadcast to every online validator's mempool; block
-    production walks the round-robin schedule, skipping validators that are
-    offline (their slot is simply missed, modelling the liveness hit), and
-    every produced block is replicated to all online replicas.
+    The first validator is the *primary*: architecture deployments point
+    their interaction modules at its node, and its canonical chain is the
+    one reports and invariants are read from (all honest replicas converge
+    to the same head, so the choice is cosmetic).
     """
 
     def __init__(self, num_validators: int = 4, block_interval: float = 5.0,
                  registry_factory=None, schedule: Optional[GasSchedule] = None,
                  clock: Optional[Clock] = None,
-                 genesis_balances: Optional[Dict[str, int]] = None):
+                 genesis_balances: Optional[Dict[str, int]] = None,
+                 keypairs: Optional[List[KeyPair]] = None,
+                 require_signatures: bool = True):
+        if keypairs is not None:
+            num_validators = len(keypairs)
         if num_validators < 1:
             raise ValidationError("a network needs at least one validator")
         self.clock = clock if clock is not None else SimulatedClock()
-        keypairs = [KeyPair.from_name(f"validator-{index}") for index in range(num_validators)]
+        if keypairs is None:
+            keypairs = [KeyPair.from_name(f"validator-{index}") for index in range(num_validators)]
         self.consensus = ProofOfAuthority(
             validators=[kp.address for kp in keypairs], block_interval=block_interval
         )
         self.validators: List[NetworkValidator] = []
         for keypair in keypairs:
             registry = registry_factory() if registry_factory else ContractRegistry()
-            chain = Blockchain(self.consensus, registry, schedule, self.clock, genesis_balances)
-            self.validators.append(NetworkValidator(keypair, chain))
-        self.mempool: List[Transaction] = []
+            node = BlockchainNode(
+                self.consensus,
+                keypair,
+                registry=registry,
+                schedule=schedule,
+                clock=self.clock,
+                genesis_balances=genesis_balances,
+                require_signatures=require_signatures,
+            )
+            node.network = self
+            self.validators.append(NetworkValidator(keypair, node))
         self.skipped_slots = 0
         self.current_slot = 0
+        # One record per slot the rotation visited: the liveness trace the
+        # scenario conformance suite checks (a slot is skipped if and only
+        # if its proposer was crashed or slashed when the slot came up).
+        self.slot_log: List[Dict] = []
+        # Equivocation proofs aggregated from the replicas' detectors,
+        # deduplicated by (height, proposer).
+        self.equivocation_proofs: List[EquivocationProof] = []
+        self._proof_keys: Set[Tuple[int, str]] = set()
+        # Indices isolated from the rest while a partition is active.
+        self._partition: Optional[Set[int]] = None
 
     # -- membership / failures ----------------------------------------------------
+
+    @property
+    def primary(self) -> BlockchainNode:
+        """The node architecture deployments submit through (validator 0)."""
+        return self.validators[0].node
 
     def validator_by_address(self, address: str) -> NetworkValidator:
         for validator in self.validators:
@@ -81,10 +146,32 @@ class BlockchainNetwork:
         """Bring the validator at *index* back online and resync its replica."""
         validator = self.validators[index]
         validator.online = True
-        self._resync(validator)
+        self._sync_to_best(validator)
+
+    def partition(self, indices: Iterable[int]) -> None:
+        """Split block delivery: *indices* form one island, the rest the other."""
+        island = set(indices)
+        if not all(0 <= index < len(self.validators) for index in island):
+            raise ValidationError("partition indices out of range")
+        self._partition = island
+
+    def heal_partition(self) -> None:
+        """Reconnect the islands and converge every replica via fork-choice."""
+        self._partition = None
+        for validator in self.online_validators():
+            self._sync_to_best(validator)
+
+    def equivocate_validator(self, index: int) -> None:
+        """Make the validator at *index* double-seal its next proposing slot."""
+        self.validators[index].pending_equivocation = True
 
     def online_validators(self) -> List[NetworkValidator]:
         return [validator for validator in self.validators if validator.online]
+
+    def honest_validators(self) -> List[NetworkValidator]:
+        """Validators with no recorded equivocation proof against them."""
+        byzantine = {proof.proposer for proof in self.equivocation_proofs}
+        return [v for v in self.validators if v.address not in byzantine]
 
     @property
     def is_available(self) -> bool:
@@ -94,44 +181,76 @@ class BlockchainNetwork:
     # -- transaction flow -----------------------------------------------------------
 
     def broadcast_transaction(self, tx: Transaction) -> str:
-        """Add a transaction to the shared mempool (gossip is instantaneous)."""
-        self.mempool.append(tx)
-        return tx.hash
+        """Gossip a transaction into every online replica's mempool.
+
+        The first online replica verifies the signature immediately (or
+        defers it to its active batch); the others always defer — their
+        amortized pre-production pass re-checks from the shared verdict
+        cache, so a forged transaction still never reaches any chain.
+        """
+        online = self.online_validators()
+        if not online:
+            raise ValidationError("no online validator can accept transactions")
+        first, rest = online[0], online[1:]
+        tx_hash = first.node.enqueue_transaction(tx)
+        for validator in rest:
+            validator.node.enqueue_transaction(tx, defer_verification=True)
+        return tx_hash
+
+    # -- block production -----------------------------------------------------------
 
     def produce_next_block(self) -> Optional[Block]:
         """Advance one slot of the round-robin schedule.
 
-        Returns the produced block, or ``None`` when the scheduled proposer is
-        offline (a skipped slot).  The pending mempool stays queued for the
-        next online proposer.
+        Returns the block that became canonical on the primary, or ``None``
+        when the slot was skipped (crashed or slashed proposer).  Pending
+        transactions stay queued for the next schedulable proposer.
         """
-        reference = self._reference_chain()
-        if reference is None:
+        if not self.is_available:
             return None
-        # Aura-style slot assignment: every block interval has a designated
-        # proposer regardless of how many previous slots were missed.
         self.current_slot += 1
-        proposer_address = self.consensus.validators[
-            (self.current_slot - 1) % len(self.consensus.validators)
-        ]
-        self.clock_advance()
-        proposer = self.validator_by_address(proposer_address)
-        if not proposer.online:
+        slot = self.current_slot
+        index = (slot - 1) % len(self.validators)
+        proposer = self.validators[index]
+        self._advance_clock()
+        entry = {
+            "slot": slot,
+            "proposer": proposer.address,
+            "proposerIndex": index,
+            "online": proposer.online,
+            "slashed": proposer.slashed,
+            "produced": False,
+            "equivocated": False,
+            "blockHash": None,
+        }
+        self.slot_log.append(entry)
+        if not proposer.schedulable:
             self.skipped_slots += 1
+            entry["reason"] = "slashed" if proposer.slashed else "crashed"
             return None
-        transactions = list(self.mempool)
-        self.mempool.clear()
-        block = proposer.chain.build_block(transactions, proposer_address, self.clock.now())
-        self.consensus.seal(block, proposer.keypair)
-        proposer.chain.append_block(block)
-        # Replicate to the other online validators by replaying the same
-        # transactions; PoA determinism guarantees identical blocks.
-        for validator in self.online_validators():
-            if validator is proposer:
-                continue
-            replica_block = validator.chain.build_block(transactions, proposer_address, block.header.timestamp)
-            self.consensus.seal(replica_block, proposer.keypair)
-            validator.chain.append_block(replica_block)
+        invalid = proposer.node.verify_deferred()
+        if invalid:
+            hashes = [tx.hash for tx in invalid]
+            for validator in self.online_validators():
+                if validator is not proposer:
+                    validator.node.drop_transactions(hashes)
+            # The slot aborts before anything is mined; not a liveness fault.
+            entry["reason"] = "forged-transactions"
+            raise SignatureError(
+                f"{len(invalid)} batched transaction(s) carry invalid signatures "
+                f"(first: {hashes[0]})"
+            )
+        timestamp = self.clock.now()
+        if proposer.pending_equivocation:
+            proposer.pending_equivocation = False
+            block = self._produce_equivocating(proposer, slot, timestamp)
+            entry["equivocated"] = True
+        else:
+            block = proposer.node.propose_block(slot, timestamp)
+            self._deliver(block, proposer)
+        self._collect_proofs()
+        entry["produced"] = True
+        entry["blockHash"] = block.hash
         return block
 
     def produce_blocks(self, count: int) -> List[Block]:
@@ -143,38 +262,152 @@ class BlockchainNetwork:
                 produced.append(block)
         return produced
 
-    def clock_advance(self) -> None:
+    def produce_until_block(self, max_slots: Optional[int] = None) -> Block:
+        """Advance slots until one produces a block (the auto-mining hook)."""
+        limit = max_slots if max_slots is not None else 2 * len(self.validators)
+        for _ in range(limit):
+            block = self.produce_next_block()
+            if block is not None:
+                return block
+        raise ValidationError(
+            f"no schedulable proposer produced a block within {limit} slots"
+        )
+
+    def _advance_clock(self) -> None:
         if isinstance(self.clock, SimulatedClock):
             self.clock.advance(self.consensus.block_interval)
 
+    # Backwards-compatible alias (pre-node-backed network API).
+    clock_advance = _advance_clock
+
+    # -- replication ------------------------------------------------------------
+
+    @staticmethod
+    def _wire(block: Block) -> Block:
+        """A deep copy of a sealed block, as a peer would receive it."""
+        return Block.from_dict(copy_jsonlike(block.to_dict()))
+
+    def _reachable(self, a_index: int, b_index: int) -> bool:
+        if self._partition is None:
+            return True
+        return (a_index in self._partition) == (b_index in self._partition)
+
+    def _deliver(self, block: Block, proposer: NetworkValidator) -> None:
+        """Ship a sealed block to every online replica reachable from the proposer."""
+        proposer_index = self.validators.index(proposer)
+        for index, validator in enumerate(self.validators):
+            if validator is proposer or not validator.online:
+                continue
+            if not self._reachable(proposer_index, index):
+                continue
+            validator.node.import_block(self._wire(block))
+
+    def _produce_equivocating(self, proposer: NetworkValidator, slot: int,
+                              timestamp: float) -> Block:
+        """Seal two conflicting blocks for one slot and split their delivery.
+
+        The proposer signs a second, empty header at the same height (a
+        perfectly valid block on its own — only the *pair* is damning),
+        shows each half of the network a different one, and then the
+        conflicting headers gossip everywhere: every replica's detector
+        records the slashable proof and deterministic fork-choice converges
+        the honest replicas onto the lower-hash branch.
+        """
+        node = proposer.node
+        # The conflicting sibling: built first so its (empty) state frame is
+        # discarded before the real block executes the pending pool.
+        sibling = node.chain.build_block([], proposer.address, timestamp)
+        sibling.header.extra["slot"] = slot
+        sibling.header.extra["equivocation"] = "sibling"
+        self.consensus.seal(sibling, proposer.keypair)
+        block = node.propose_block(slot, timestamp)
+        node.chain.equivocation.observe(sibling)
+
+        proposer_index = self.validators.index(proposer)
+        recipients = [
+            (index, validator)
+            for index, validator in enumerate(self.validators)
+            if validator is not proposer and validator.online
+            and self._reachable(proposer_index, index)
+        ]
+        for position, (_, validator) in enumerate(recipients):
+            first = block if position % 2 == 0 else sibling
+            validator.node.import_block(self._wire(first))
+        # Gossip: the conflicting headers spread to everyone (including the
+        # equivocator's own replica), so detection and convergence follow.
+        for _, validator in recipients:
+            validator.node.import_block(self._wire(block))
+            validator.node.import_block(self._wire(sibling))
+        node.import_block(self._wire(sibling))
+        winner_hash = min(block.hash, sibling.hash)
+        return block if winner_hash == block.hash else sibling
+
+    def _collect_proofs(self) -> None:
+        """Aggregate new equivocation proofs and slash their proposers."""
+        for validator in self.validators:
+            for proof in validator.chain.equivocation.proofs:
+                key = (proof.height, proof.proposer)
+                if key in self._proof_keys:
+                    continue
+                self._proof_keys.add(key)
+                self.equivocation_proofs.append(proof)
+        for proof in self.equivocation_proofs:
+            culprit = self.validator_by_address(proof.proposer)
+            culprit.slashed = True
+
     # -- replica management ------------------------------------------------------------
 
-    def _reference_chain(self) -> Optional[Blockchain]:
-        online = self.online_validators()
-        if not online:
-            return None
-        return max(online, key=lambda validator: validator.chain.height).chain
+    def _best_source(self, exclude: Optional[NetworkValidator] = None) -> Optional[NetworkValidator]:
+        """The online replica whose head wins fork-choice network-wide."""
+        best: Optional[NetworkValidator] = None
+        for validator in self.online_validators():
+            if validator is exclude:
+                continue
+            if best is None:
+                best = validator
+                continue
+            head, best_head = validator.chain.head, best.chain.head
+            if (head.number, head.hash) != (best_head.number, best_head.hash) and (
+                head.number > best_head.number
+                or (head.number == best_head.number and head.hash < best_head.hash)
+            ):
+                best = validator
+        return best
 
-    def _resync(self, validator: NetworkValidator) -> None:
-        """Catch a recovered validator up by replaying the reference chain."""
-        reference = self._reference_chain()
-        if reference is None or reference is validator.chain:
+    def _sync_to_best(self, validator: NetworkValidator) -> None:
+        """Catch a replica up by importing the best peer's canonical blocks.
+
+        Starts from the highest source-canonical block the target already
+        knows (walking down from the lagging height), so a recovery costs
+        O(divergence + missing blocks), not O(chain).
+        """
+        source = self._best_source(exclude=validator)
+        if source is None:
             return
-        local_height = validator.chain.height
-        for number in range(local_height + 1, reference.height + 1):
-            block = reference.block_by_number(number)
-            replica = validator.chain.build_block(
-                list(block.transactions), block.header.proposer, block.header.timestamp
-            )
-            replica.seal = block.seal
-            replica.proposer_public_key = block.proposer_public_key
-            validator.chain.append_block(replica)
+        target = validator.node
+        source_blocks = source.chain.blocks
+        start = min(target.chain.height, source.chain.height)
+        while start > 0 and not target.chain.knows_block(source_blocks[start].hash):
+            start -= 1
+        for block in source_blocks[start + 1:]:
+            if target.chain.knows_block(block.hash):
+                continue
+            target.import_block(self._wire(block))
+        self._collect_proofs()
+
+    # Kept for API compatibility with the pre-node-backed network.
+    def _resync(self, validator: NetworkValidator) -> None:
+        self._sync_to_best(validator)
 
     # -- health ------------------------------------------------------------------------
 
     def heights(self) -> Dict[str, int]:
         """Chain height of every validator (offline replicas lag behind)."""
         return {validator.address: validator.chain.height for validator in self.validators}
+
+    def heads(self) -> Dict[str, str]:
+        """Canonical head hash of every validator."""
+        return {validator.address: validator.chain.head.hash for validator in self.validators}
 
     def consistent(self) -> bool:
         """True when every online replica agrees on the head block hash."""
@@ -183,3 +416,30 @@ class BlockchainNetwork:
             return True
         heads = {validator.chain.head.hash for validator in online}
         return len(heads) == 1
+
+    def honest_heads_converged(self) -> bool:
+        """True when every *online, honest* replica agrees on the head hash."""
+        heads = {
+            validator.chain.head.hash
+            for validator in self.honest_validators()
+            if validator.online
+        }
+        return len(heads) <= 1
+
+    def liveness_report(self) -> Dict[str, object]:
+        """The liveness shadow: a slot is skipped iff its proposer was down.
+
+        ``violations`` lists slots where production disagreed with the
+        proposer's recorded availability — empty in a conforming run.
+        """
+        violations = [
+            entry for entry in self.slot_log
+            if entry.get("reason") != "forged-transactions"
+            and entry["produced"] != (entry["online"] and not entry["slashed"])
+        ]
+        return {
+            "slots": len(self.slot_log),
+            "produced": sum(1 for entry in self.slot_log if entry["produced"]),
+            "skipped": self.skipped_slots,
+            "violations": violations,
+        }

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.common.clock import Clock
-from repro.common.errors import SignatureError, ValidationError
+from repro.common.errors import IntegrityError, SignatureError, ValidationError
 from repro.blockchain.block import Block
 from repro.blockchain.chain import Blockchain
 from repro.blockchain.consensus import ProofOfAuthority
@@ -91,6 +91,11 @@ class BlockchainNode:
         self._filters_by_key: Dict[tuple, List[EventFilter]] = {}
         self.require_signatures = require_signatures
         self.blocks_produced = 0
+        # Back-reference set by a BlockchainNetwork when this node is one
+        # replica of a multi-validator deployment.  Submissions are then
+        # broadcast to every replica and block production goes through the
+        # network's proposer rotation instead of this node's key alone.
+        self.network = None
 
     # -- registry / deployment helpers ----------------------------------------
 
@@ -107,15 +112,28 @@ class BlockchainNode:
     def submit_transaction(self, tx: Transaction) -> str:
         """Validate and enqueue a signed transaction; returns its hash.
 
-        Outside a batch the signature is checked immediately.  While a
+        On a networked node the transaction is broadcast to every online
+        replica's mempool; otherwise it is enqueued locally.  Outside a
+        batch the signature is checked immediately.  While a
         :class:`~repro.oracles.base.TransactionBatch` is active (a
         monitoring round confirming thousands of fulfillments in one
         block), verification is deferred and performed as a single
         amortized pass when the block is produced — an invalid signature
         still never reaches the chain, the error just surfaces at flush.
         """
+        if self.network is not None:
+            return self.network.broadcast_transaction(tx)
+        return self.enqueue_transaction(tx)
+
+    def enqueue_transaction(self, tx: Transaction, defer_verification: bool = False) -> str:
+        """Add a transaction to this node's own pending pool.
+
+        With *defer_verification* (replicas receiving a broadcast) the
+        signature check is postponed to the amortized pre-production pass;
+        the transaction can never reach the chain unverified.
+        """
         if self.require_signatures:
-            if self.active_batch is not None:
+            if defer_verification or self.active_batch is not None:
                 self._deferred_verification.append(tx)
             elif not tx.verify_signature():
                 raise SignatureError(f"transaction {tx.hash} carries an invalid signature")
@@ -137,36 +155,89 @@ class BlockchainNode:
 
     # -- block production ------------------------------------------------------------
 
-    def _verify_deferred_signatures(self) -> None:
-        """Batch-verify signatures deferred during a transaction batch.
+    def verify_deferred(self) -> List[Transaction]:
+        """Batch-verify deferred signatures; drop and return the invalid ones.
 
-        Invalid transactions are dropped from the pending pool (so a later
-        block cannot include them) and a :class:`SignatureError` naming
-        them is raised before anything is mined.
+        Invalid transactions are removed from the pending pool (so a later
+        block cannot include them); the caller decides how to surface the
+        failure (the single-node path raises, the network additionally
+        drops them from every replica before raising).
         """
         if not self._deferred_verification:
-            return
+            return []
         deferred, self._deferred_verification = self._deferred_verification, []
         invalid = [
             tx for tx, ok in zip(deferred, verify_transactions(deferred)) if not ok
         ]
-        if not invalid:
+        if invalid:
+            self._remove_from_pending({id(tx) for tx in invalid}, by_identity=True)
+        return invalid
+
+    def _verify_deferred_signatures(self) -> None:
+        """Verify deferred signatures, raising when any transaction is forged."""
+        invalid = self.verify_deferred()
+        if invalid:
+            raise SignatureError(
+                f"{len(invalid)} batched transaction(s) carry invalid signatures "
+                f"(first: {invalid[0].hash})"
+            )
+
+    def drop_transactions(self, tx_hashes) -> None:
+        """Remove the given transactions from the pending pool (by hash)."""
+        hashes = set(tx_hashes)
+        if not hashes:
             return
-        dropped = {id(tx) for tx in invalid}
-        self.pending = [tx for tx in self.pending if id(tx) not in dropped]
-        for tx in invalid:
+        self._remove_from_pending(hashes, by_identity=False)
+        self._deferred_verification = [
+            tx for tx in self._deferred_verification if tx.hash not in hashes
+        ]
+
+    def _remove_from_pending(self, keys, by_identity: bool) -> None:
+        marker = (lambda tx: id(tx)) if by_identity else (lambda tx: tx.hash)
+        removed = [tx for tx in self.pending if marker(tx) in keys]
+        if not removed:
+            return
+        self.pending = [tx for tx in self.pending if marker(tx) not in keys]
+        for tx in removed:
             remaining = self._pending_by_sender.get(tx.sender, 0) - 1
             if remaining > 0:
                 self._pending_by_sender[tx.sender] = remaining
             else:
                 self._pending_by_sender.pop(tx.sender, None)
-        raise SignatureError(
-            f"{len(invalid)} batched transaction(s) carry invalid signatures "
-            f"(first: {invalid[0].hash})"
-        )
 
     def produce_block(self, timestamp: Optional[float] = None) -> Block:
-        """Execute the pending pool into a sealed block and append it."""
+        """Execute the pending pool into a sealed block and append it.
+
+        On a networked node this drives the network's proposer rotation
+        until this node's pending transactions are canonically mined (a
+        reorg can momentarily return them to the pool), mirroring the
+        auto-mining contract the interaction modules rely on.
+        """
+        if self.network is not None:
+            network = self.network
+            me = network.validator_by_address(self.validator_key.address)
+            if not me.online:
+                raise ValidationError(
+                    "an offline validator cannot drive block production"
+                )
+            block = network.produce_until_block()
+            stalled_rounds = 0
+            while self.pending:
+                before = len(self.pending)
+                block = network.produce_until_block()
+                if len(self.pending) >= before:
+                    # A reorg can momentarily return transactions to the
+                    # pool; sustained lack of progress means they are not
+                    # being mined at all (do not spin forever).
+                    stalled_rounds += 1
+                    if stalled_rounds > 2 * len(network.validators):
+                        raise ValidationError(
+                            f"{len(self.pending)} pending transaction(s) are "
+                            f"not being mined by any proposer"
+                        )
+                else:
+                    stalled_rounds = 0
+            return block
         self._verify_deferred_signatures()
         proposer = self.consensus.expected_proposer(self.chain.height + 1)
         if proposer != self.validator_key.address:
@@ -184,6 +255,62 @@ class BlockchainNode:
         self.blocks_produced += 1
         self._dispatch_logs(block)
         return block
+
+    def propose_block(self, slot: int, timestamp: Optional[float] = None) -> Block:
+        """Seal the pending pool into the block for rotation *slot*.
+
+        Used by the network's production loop: the slot is recorded in the
+        header extra (and therefore covered by the seal), so every replica
+        can check the seal against the rotation schedule.  The caller is
+        responsible for having verified deferred signatures first.
+        """
+        transactions = list(self.pending)
+        self.pending.clear()
+        self._pending_by_sender.clear()
+        block = self.chain.build_block(transactions, self.validator_key.address, timestamp)
+        block.header.extra["slot"] = slot
+        self.consensus.seal(block, self.validator_key)
+        self.chain.append_block(block)
+        self.blocks_produced += 1
+        self._dispatch_logs(block)
+        return block
+
+    def import_block(self, block: Block) -> str:
+        """Accept a sealed block from a peer replica.
+
+        The chain validates and executes it (possibly reorging to the
+        branch it completes); transactions that became canonical leave the
+        pending pool, transactions a reorg detached return to it, and event
+        filters see the logs of every newly canonical block.
+        """
+        if self.require_signatures:
+            # The chain re-verifies every *carried* signature; a node that
+            # requires signatures must additionally refuse blocks smuggling
+            # unsigned transactions (which carry nothing to verify).
+            unsigned = [
+                tx.hash for tx in block.transactions
+                if tx.signature is None or tx.public_key is None
+            ]
+            if unsigned:
+                raise IntegrityError(
+                    f"block {block.number} carries unsigned transaction(s): "
+                    f"{unsigned[:3]}"
+                )
+        status, applied, detached = self.chain.receive_block(block)
+        if applied:
+            included = {tx.hash for b in applied for tx in b.transactions}
+            if included:
+                self.drop_transactions(included)
+            returned = [
+                tx for b in detached for tx in b.transactions if tx.hash not in included
+            ]
+            pending_hashes = {tx.hash for tx in self.pending}
+            for tx in returned:
+                if tx.hash not in pending_hashes:
+                    self.enqueue_transaction(tx, defer_verification=True)
+            for b in applied:
+                self._dispatch_logs(b)
+        return status
 
     def _dispatch_logs(self, block: Block) -> None:
         for receipt in block.receipts:

@@ -120,6 +120,26 @@ class WorldState:
         if not self._frames:
             self._journal.clear()
 
+    def commit_oldest(self) -> None:
+        """Finalize the *outermost* open frame, keeping its changes.
+
+        Used by the chain's bounded-reorg window: one journal frame stays
+        open per non-final canonical block, and when a block sinks past the
+        reorg horizon its frame — the bottom of the stack — is finalized.
+        The undo entries belonging to that frame are discarded and the marks
+        of the remaining frames shift down accordingly.
+        """
+        if not self._frames:
+            raise ValidationError("commit_oldest() without a matching begin()")
+        self._frames.pop(0)
+        if not self._frames:
+            self._journal.clear()
+            return
+        drop = self._frames[0]
+        if drop:
+            del self._journal[:drop]
+            self._frames = [mark - drop for mark in self._frames]
+
     def rollback(self) -> None:
         """Revert every change made since the innermost :meth:`begin`."""
         if not self._frames:

@@ -29,6 +29,7 @@ from repro.sim.scheduler import EventScheduler
 from repro.blockchain.consensus import ProofOfAuthority
 from repro.blockchain.crypto import KeyPair
 from repro.blockchain.gas import GasSchedule
+from repro.blockchain.network import BlockchainNetwork
 from repro.blockchain.node import BlockchainNode
 from repro.blockchain.vm import ContractRegistry
 from repro.contracts.dist_exchange import DistExchangeApp
@@ -58,6 +59,11 @@ class ArchitectureConfig:
     owner_share_percent: int = 80
     initial_participant_funds: int = 50_000_000
     operator_funds: int = 10_000_000_000
+    # Size of the PoA validator set.  1 (the default) is the classic
+    # single-node deployment; >1 stands up a replicated validator network
+    # (one full node per validator, proposer rotation, fault injection) and
+    # routes every transaction through it.
+    validators: int = 1
     gas_schedule: GasSchedule = None  # type: ignore[assignment]
 
     def __post_init__(self):
@@ -73,6 +79,8 @@ class ArchitectureConfig:
             raise ValidationError("access_fee must be non-negative")
         if self.block_interval <= 0:
             raise ValidationError("block_interval must be positive")
+        if self.validators < 1:
+            raise ValidationError("a deployment needs at least one validator")
 
 
 class UsageControlArchitecture:
@@ -88,22 +96,49 @@ class UsageControlArchitecture:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
 
         # -- blockchain layer -------------------------------------------------------
+        # With validators == 1 the deployment is the classic single node
+        # (bit-identical to earlier releases); with more, the operator seals
+        # as validator 0 of a replicated network and every interaction
+        # module talks to its node, which broadcasts submissions to the
+        # other replicas and drives the proposer rotation when auto-mining.
         self.operator_key = KeyPair.from_name("market-operator")
-        consensus = ProofOfAuthority(
-            validators=[self.operator_key.address], block_interval=self.config.block_interval
-        )
-        registry = ContractRegistry()
-        registry.register(DistExchangeApp)
-        registry.register(DataMarket)
-        registry.register(OracleRequestHub)
-        self.node = BlockchainNode(
-            consensus,
-            self.operator_key,
-            registry=registry,
-            schedule=self.config.gas_schedule,
-            clock=self.clock,
-            genesis_balances={self.operator_key.address: self.config.operator_funds},
-        )
+        genesis_balances = {self.operator_key.address: self.config.operator_funds}
+
+        def _registry() -> ContractRegistry:
+            registry = ContractRegistry()
+            registry.register(DistExchangeApp)
+            registry.register(DataMarket)
+            registry.register(OracleRequestHub)
+            return registry
+
+        if self.config.validators > 1:
+            keypairs = [self.operator_key] + [
+                KeyPair.from_name(f"validator-{index}")
+                for index in range(1, self.config.validators)
+            ]
+            self.validator_network: Optional[BlockchainNetwork] = BlockchainNetwork(
+                block_interval=self.config.block_interval,
+                registry_factory=_registry,
+                schedule=self.config.gas_schedule,
+                clock=self.clock,
+                genesis_balances=genesis_balances,
+                keypairs=keypairs,
+            )
+            self.node = self.validator_network.primary
+        else:
+            self.validator_network = None
+            consensus = ProofOfAuthority(
+                validators=[self.operator_key.address],
+                block_interval=self.config.block_interval,
+            )
+            self.node = BlockchainNode(
+                consensus,
+                self.operator_key,
+                registry=_registry(),
+                schedule=self.config.gas_schedule,
+                clock=self.clock,
+                genesis_balances=genesis_balances,
+            )
         self.operator_module = BlockchainInteractionModule(
             self.node, self.operator_key, network=self.network
         )
@@ -312,6 +347,27 @@ class UsageControlArchitecture:
         consumer.push_out.subscribe("PolicyUpdated", consumer.handle_policy_update)
         consumer.pull_in.register_provider("usage_evidence", consumer.provide_usage_evidence)
         consumer.pull_in.authorize_on_chain()
+
+    # -- validator fault injection -----------------------------------------------------------------
+
+    def _require_network(self) -> BlockchainNetwork:
+        if self.validator_network is None:
+            raise ValidationError(
+                "validator faults need a multi-validator deployment (config.validators > 1)"
+            )
+        return self.validator_network
+
+    def fail_validator(self, index: int) -> None:
+        """Crash the validator at *index* (its slots are skipped)."""
+        self._require_network().fail_validator(index)
+
+    def recover_validator(self, index: int) -> None:
+        """Bring a crashed validator back and resync its replica."""
+        self._require_network().recover_validator(index)
+
+    def equivocate_validator(self, index: int) -> None:
+        """Make the validator at *index* double-seal its next proposing slot."""
+        self._require_network().equivocate_validator(index)
 
     # -- chain-level helpers -------------------------------------------------------------------------
 

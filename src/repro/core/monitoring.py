@@ -112,10 +112,19 @@ class MonitoringReport:
 class MonitoringCoordinator:
     """Drives monitoring rounds across the DE App, oracles, and consumer TEEs."""
 
-    def __init__(self, architecture, batched: bool = True):
+    DEFAULT_CHUNK_SIZE = 500
+
+    def __init__(self, architecture, batched: bool = True,
+                 chunk_size: Optional[int] = DEFAULT_CHUNK_SIZE):
         # Imported lazily by type to avoid a circular import with architecture.
         self.architecture = architecture
         self.batched = batched
+        # Rounds over more than chunk_size holders split their batch
+        # transactions (create_requests / record_usage_evidence_batch) into
+        # bounded chunks confirmed together in one block, so a 5k-holder
+        # round never hashes one 5k-item canonical-JSON payload.  Rounds at
+        # or under the chunk size keep the exact single-transaction flow.
+        self.chunk_size = chunk_size
         self.reports: List[MonitoringReport] = []
 
     # -- single round -------------------------------------------------------------
@@ -144,34 +153,37 @@ class MonitoringCoordinator:
     # -- batched flow (constant blocks per round) ---------------------------------------
 
     def _collect_evidence_batched(self, report: MonitoringReport, opened_at: float) -> None:
-        """One transaction per phase: request fan-out, fulfillments, recording."""
+        """One block per phase: request fan-out, fulfillments, recording.
+
+        Each phase is a single transaction up to :attr:`chunk_size` holders
+        and a handful of bounded, same-block transactions beyond it.
+        """
         arch = self.architecture
         if not report.holders:
             return
-        gas_limit = self._batch_gas_limit(len(report.holders))
 
         # The DE App requests evidence from every copy holder via the pull-in
-        # oracle: one transaction enqueues the whole round on the hub.
-        receipt = arch.operator_module.call_contract(
+        # oracle: one (chunked) transaction enqueues the whole round.
+        receipts = arch.operator_module.call_contract_chunked(
             arch.oracle_hub_address,
             "create_requests",
-            {
-                "requests": [
-                    {
-                        "kind": "usage_evidence",
-                        "payload": {
-                            "resource_id": report.resource_id,
-                            "device_id": device_id,
-                            "round_id": report.round_id,
-                        },
-                        "target": device_id,
-                    }
-                    for device_id in report.holders
-                ]
-            },
-            gas_limit=gas_limit,
+            "requests",
+            [
+                {
+                    "kind": "usage_evidence",
+                    "payload": {
+                        "resource_id": report.resource_id,
+                        "device_id": device_id,
+                        "round_id": report.round_id,
+                    },
+                    "target": device_id,
+                }
+                for device_id in report.holders
+            ],
+            chunk_size=self.chunk_size,
         )
-        request_ids: Dict[str, int] = dict(zip(report.holders, receipt.return_value))
+        returned_ids = [request_id for receipt in receipts for request_id in receipt.return_value]
+        request_ids: Dict[str, int] = dict(zip(report.holders, returned_ids))
 
         # Each device's off-chain pull-in component answers its own request;
         # the fulfillment transactions of every reachable device are sealed
@@ -186,19 +198,21 @@ class MonitoringCoordinator:
                 if consumer is not None:
                     consumer.pull_in.serve_request(request_id)
 
-        # The collected evidence is recorded in the DE App with one batch
-        # transaction; it emits the same per-device EvidenceRecorded events
-        # (delivered to the owner by the push-out oracle) as the
+        # The collected evidence is recorded in the DE App with one (chunked)
+        # batch transaction; it emits the same per-device EvidenceRecorded
+        # events (delivered to the owner by the push-out oracle) as the
         # transaction-per-device flow.
         evidence_items = []
         for device_id, request_id in request_ids.items():
             evidence = self._classify(report, device_id, self._fetch_response(request_id), opened_at)
             evidence_items.append({"device_id": device_id, "evidence": evidence})
-        arch.operator_module.call_contract(
+        arch.operator_module.call_contract_chunked(
             arch.dist_exchange_address,
             "record_usage_evidence_batch",
-            {"round_id": report.round_id, "evidence_items": evidence_items},
-            gas_limit=gas_limit,
+            "evidence_items",
+            evidence_items,
+            static_args={"round_id": report.round_id},
+            chunk_size=self.chunk_size,
         )
 
     # -- sequential flow (one transaction per device) ----------------------------------------
@@ -249,11 +263,6 @@ class MonitoringCoordinator:
         )
 
     # -- helpers -----------------------------------------------------------------------------
-
-    @staticmethod
-    def _batch_gas_limit(item_count: int) -> int:
-        """Gas limit for a round-sized batch transaction."""
-        return 2_000_000 + 120_000 * item_count
 
     def _fetch_response(self, request_id: int) -> Dict[str, Any]:
         """Return a request's response, or the no-evidence marker when unanswered."""

@@ -212,6 +212,30 @@ class ScenarioResult:
         """Full re-execution check of the produced chain."""
         return self.architecture.node.chain.verify_chain(replay=True)
 
+    # -- validator-network invariants -----------------------------------------
+
+    @property
+    def validator_network(self):
+        """The multi-validator network, or None on a single-node run."""
+        return self.architecture.validator_network
+
+    def honest_heads_converged(self) -> bool:
+        """Every online, honest replica agrees on the canonical head."""
+        network = self.validator_network
+        return True if network is None else network.honest_heads_converged()
+
+    def equivocation_proofs(self) -> List[Any]:
+        """Slashable double-seal proofs collected during the run."""
+        network = self.validator_network
+        return [] if network is None else list(network.equivocation_proofs)
+
+    def liveness_holds(self) -> bool:
+        """Slots were skipped exactly when their proposer was crashed/slashed."""
+        network = self.validator_network
+        if network is None:
+            return True
+        return not network.liveness_report()["violations"]
+
 
 class _StepProbe:
     """Capture gas / transaction / block / wall-clock deltas of one phase."""
@@ -488,6 +512,8 @@ class ScenarioRunner:
             overrides["operator_funds"] = self.spec.operator_funds
         if self.spec.participant_funds is not None:
             overrides["initial_participant_funds"] = self.spec.participant_funds
+        if self.spec.validators > 1:
+            overrides["validators"] = self.spec.validators
         return ArchitectureConfig(**overrides) if overrides else None
 
     # -- execution ------------------------------------------------------------
@@ -517,28 +543,45 @@ class ScenarioRunner:
         )
 
         # -- setup: participants ------------------------------------------------
-        with _StepProbe(architecture) as probe:
-            for participant in spec.participants:
-                if participant.role == "owner":
-                    owner = architecture.register_owner(participant.name)
-                    owners[participant.name] = owner
-                    if spec.respond_to_violations:
-                        result.responders[participant.name] = ViolationResponder(
-                            architecture, owner
-                        )
-                else:
-                    consumer = architecture.register_consumer(
-                        participant.name,
-                        purpose=participant.purpose,
-                        device_id=participant.device_id,
+        def register_participant(participant: ParticipantSpec) -> None:
+            if participant.role == "owner":
+                owner = architecture.register_owner(participant.name)
+                owners[participant.name] = owner
+                if spec.respond_to_violations:
+                    result.responders[participant.name] = ViolationResponder(
+                        architecture, owner
                     )
-                    consumers[participant.name] = consumer
-                    if participant.behavior in OFFLINE_FROM_START:
-                        architecture.disconnect_consumer(participant.name)
-                    elif participant.behavior is Behavior.STALE_ORACLE:
-                        consumer.pull_in.inject_fault(FAULT_STALE_REPLAY)
-                    elif participant.behavior is Behavior.TAMPERING_ORACLE:
-                        consumer.pull_in.inject_fault(FAULT_TAMPER)
+            else:
+                consumer = architecture.register_consumer(
+                    participant.name,
+                    purpose=participant.purpose,
+                    device_id=participant.device_id,
+                )
+                consumers[participant.name] = consumer
+                if participant.behavior in OFFLINE_FROM_START:
+                    architecture.disconnect_consumer(participant.name)
+                elif participant.behavior is Behavior.STALE_ORACLE:
+                    consumer.pull_in.inject_fault(FAULT_STALE_REPLAY)
+                elif participant.behavior is Behavior.TAMPERING_ORACLE:
+                    consumer.pull_in.inject_fault(FAULT_TAMPER)
+
+        with _StepProbe(architecture) as probe:
+            if spec.setup_cohort is None:
+                for participant in spec.participants:
+                    register_participant(participant)
+            else:
+                # Population-scale setup: owners register individually (there
+                # are few), consumers one cohort per block — each cohort's
+                # funding transfers and provider authorizations defer into a
+                # single batch block instead of ~2 auto-mined blocks each.
+                for participant in spec.owners():
+                    register_participant(participant)
+                consumer_specs = spec.consumers()
+                for start in range(0, len(consumer_specs), spec.setup_cohort):
+                    cohort = consumer_specs[start:start + spec.setup_cohort]
+                    with architecture.operator_module.batch():
+                        for participant in cohort:
+                            register_participant(participant)
         result.steps.append(probe.stats(len(result.steps), "setup", "setup:participants"))
 
         # -- setup: pods --------------------------------------------------------
@@ -574,13 +617,27 @@ class ScenarioRunner:
 
         # -- setup: market onboarding ------------------------------------------
         with _StepProbe(architecture) as probe:
-            for participant in spec.consumers():
-                if participant.behavior is Behavior.LATE_PAYER:
-                    continue  # pays (late) during its first access
-                result.traces.append(
-                    market_onboarding(architecture, consumers[participant.name])
-                )
-                model.subscribed.add(participant.name)
+            onboarding = [
+                participant for participant in spec.consumers()
+                if participant.behavior is not Behavior.LATE_PAYER
+                # late payers pay (late) during their first access
+            ]
+            if spec.setup_cohort is None:
+                for participant in onboarding:
+                    result.traces.append(
+                        market_onboarding(architecture, consumers[participant.name])
+                    )
+                    model.subscribed.add(participant.name)
+            else:
+                for start in range(0, len(onboarding), spec.setup_cohort):
+                    cohort = onboarding[start:start + spec.setup_cohort]
+                    modules = [consumers[p.name].module for p in cohort]
+                    with architecture.operator_module.batch(*modules):
+                        for participant in cohort:
+                            result.traces.append(
+                                market_onboarding(architecture, consumers[participant.name])
+                            )
+                            model.subscribed.add(participant.name)
         result.steps.append(probe.stats(len(result.steps), "setup", "setup:onboarding"))
 
         # -- the scripted timeline ----------------------------------------------
@@ -609,6 +666,15 @@ class ScenarioRunner:
         result.facts["chain_height"] = architecture.node.chain.height
         result.facts["chain_valid"] = architecture.node.chain.verify_chain()
         result.facts["balance_conservation"] = result.balance_conservation()
+        network = architecture.validator_network
+        if network is not None:
+            result.facts["validators"] = spec.validators
+            result.facts["replica_heads"] = network.heads()
+            result.facts["honest_heads_converged"] = network.honest_heads_converged()
+            result.facts["equivocation_proofs"] = [
+                proof.to_dict() for proof in network.equivocation_proofs
+            ]
+            result.facts["liveness"] = network.liveness_report()
         return result
 
     # -- step handlers ---------------------------------------------------------
@@ -823,6 +889,40 @@ class ScenarioRunner:
         ctx.architecture.disconnect_consumer(step.participant)
         ctx.model.on_churn(step.participant)
         return {"device": ctx.device_of[step.participant]}
+
+    # -- validator fault steps ---------------------------------------------------
+
+    def _run_fail_validator(self, step: Step, index: int, ctx: "_RunContext") -> dict:
+        network = ctx.architecture.validator_network
+        ctx.architecture.fail_validator(step.validator)
+        return {
+            "validator": step.validator,
+            "address": network.validators[step.validator].address,
+        }
+
+    def _run_recover_validator(self, step: Step, index: int, ctx: "_RunContext") -> dict:
+        network = ctx.architecture.validator_network
+        ctx.architecture.recover_validator(step.validator)
+        return {
+            "validator": step.validator,
+            "address": network.validators[step.validator].address,
+            "resyncedHeight": network.validators[step.validator].chain.height,
+            "consistent": network.consistent(),
+        }
+
+    def _run_equivocate(self, step: Step, index: int, ctx: "_RunContext") -> dict:
+        """Arm a Byzantine double-seal for the validator's next proposing slot.
+
+        The equivocation itself fires when the rotation next hands the
+        validator a slot (i.e. during a later step's auto-mined block); the
+        resulting proof and convergence facts are collected at finalize.
+        """
+        network = ctx.architecture.validator_network
+        ctx.architecture.equivocate_validator(step.validator)
+        return {
+            "validator": step.validator,
+            "address": network.validators[step.validator].address,
+        }
 
     def _run_check_holds(self, step: Step, index: int, ctx: "_RunContext") -> dict:
         resource_id = ctx.result.resource_ids[step.resource]

@@ -28,8 +28,11 @@ from repro.core.spec import (
     check_holds,
     churn,
     enforce,
+    equivocate,
+    fail_validator,
     index,
     monitor,
+    recover_validator,
     regrant,
     repurchase_certificate,
     revise_policy,
@@ -418,10 +421,96 @@ def expired_reaccess_spec() -> ScenarioSpec:
     ).validate()
 
 
+def byzantine_validator_spec() -> ScenarioSpec:
+    """A 3-validator market where one validator equivocates mid-run.
+
+    The usage-control story is ordinary — two consumers access and use a
+    monitored resource — but the chain underneath is a replicated
+    3-validator network whose third validator double-seals its slot between
+    the accesses and the monitoring round.  The conformance suite asserts
+    that every honest replica converges to the same head, that the
+    slashable equivocation proof names validator 2, that
+    ``verify_chain(replay=True)`` passes on the canonical chain, and that
+    the violation ledger still closes (the negligent holder is flagged as
+    if consensus had never been attacked).
+    """
+    res = "vera:/data/sensor-feed.csv"
+    return ScenarioSpec(
+        name="byzantine-validator",
+        description=(
+            "One of three PoA validators seals two conflicting blocks for "
+            "the same slot; fork-choice converges the honest replicas, the "
+            "double-seal is recorded as a slashable proof, and monitoring "
+            "results are unaffected."
+        ),
+        participants=(
+            ParticipantSpec("vera", "owner"),
+            ParticipantSpec("tidy-app", "consumer", purpose="web-analytics"),
+            ParticipantSpec(
+                "messy-app", "consumer", purpose="web-analytics",
+                behavior=Behavior.VIOLATING,
+            ),
+        ),
+        resources=(ResourceSpec(owner="vera", path="/data/sensor-feed.csv",
+                                retention_seconds=WEEK),),
+        timeline=(
+            access("tidy-app", res),
+            access("messy-app", res),
+            use("tidy-app", res),
+            equivocate(2),
+            use("messy-app", res),
+            advance(9 * DAY),
+            monitor(res),
+        ),
+        validators=3,
+    ).validate()
+
+
+def validator_churn_spec() -> ScenarioSpec:
+    """Crash-and-recover a validator while the market keeps operating.
+
+    Validator 1 goes down before the accesses (its slots are skipped — the
+    liveness hit the paper concedes), the deployment keeps serving through
+    the remaining replicas, and after recovery the lagging replica resyncs
+    block-by-block and converges to the canonical head.
+    """
+    res = "walt:/data/ledger.csv"
+    return ScenarioSpec(
+        name="validator-churn",
+        description=(
+            "A 3-validator deployment loses one validator mid-run and "
+            "recovers it: slots are skipped while it is down, every service "
+            "process keeps completing, and the resynced replica agrees on "
+            "the head."
+        ),
+        participants=(
+            ParticipantSpec("walt", "owner"),
+            ParticipantSpec("reader-app", "consumer", purpose="service-improvement"),
+        ),
+        resources=(ResourceSpec(owner="walt", path="/data/ledger.csv",
+                                retention_seconds=MONTH),),
+        timeline=(
+            fail_validator(1),
+            access("reader-app", res),
+            use("reader-app", res),
+            advance(DAY),
+            monitor(res),
+            recover_validator(1),
+            advance(DAY),
+            monitor(res),
+        ),
+        validators=3,
+    ).validate()
+
+
+POPULATION_SETUP_COHORT = 250
+
+
 def population_spec(num_consumers: int = 1000, num_owners: int = 2,
                     seed: int = 2026,
                     behavior_mix: Optional[Mapping[Behavior, float]] = None,
-                    name: Optional[str] = None) -> ScenarioSpec:
+                    name: Optional[str] = None,
+                    setup_cohort: Optional[int] = POPULATION_SETUP_COHORT) -> ScenarioSpec:
     """The population-scale family: thousands of consumers, mixed profiles.
 
     Built through :func:`~repro.core.spec.spec_from_workload` from one seed,
@@ -429,6 +518,9 @@ def population_spec(num_consumers: int = 1000, num_owners: int = 2,
     the benchmarks, the library, and a failure replay all agree on it.
     Owners each publish one resource; every consumer accesses one resource
     and uses it once, then every resource is monitored after nine days.
+    Setup registers/funds/onboards consumers one cohort per block
+    (*setup_cohort*, default 250), so the setup phase seals
+    O(population / cohort) blocks instead of O(population).
     """
     from repro.sim.workload import WorkloadConfig
 
@@ -444,6 +536,7 @@ def population_spec(num_consumers: int = 1000, num_owners: int = 2,
         random.Random(seed),
         behavior_mix=behavior_mix if behavior_mix is not None else POPULATION_BEHAVIOR_MIX,
         name=name or f"population-{num_consumers}",
+        setup_cohort=setup_cohort,
     )
 
 
@@ -526,6 +619,8 @@ SCENARIO_LIBRARY: Dict[str, SpecFactory] = {
     "expired-reaccess": expired_reaccess_spec,
     "bounded-use": bounded_use_spec,
     "market-rush": market_rush_spec,
+    "byzantine-validator": byzantine_validator_spec,
+    "validator-churn": validator_churn_spec,
     # A small member of the population family so the fast suite exercises
     # the mixed-profile path end to end; the benchmarks scale it to 1k-5k.
     "population-demo": lambda: population_spec(num_consumers=60, seed=2026,

@@ -44,10 +44,24 @@ class TransactionBatch:
     def __init__(self, node: BlockchainNode):
         self.node = node
         self._tracked: List[Tuple["BlockchainInteractionModule", Receipt]] = []
+        # Modules created while this batch was active; they enrolled
+        # themselves (auto-mining off) and are restored when the batch ends.
+        self.adopted: List[Tuple["BlockchainInteractionModule", bool, Optional["TransactionBatch"]]] = []
         self.flushed = False
 
     def track(self, module: "BlockchainInteractionModule", placeholder: Receipt) -> None:
         self._tracked.append((module, placeholder))
+
+    def adopt(self, module: "BlockchainInteractionModule") -> None:
+        """Enroll a module constructed while this batch is active.
+
+        Cohort-batched participant registration creates fresh interaction
+        modules inside the batch body; adopting them defers their
+        transactions into the batch block like every pre-enrolled module.
+        """
+        self.adopted.append((module, module.auto_mine, module.current_batch))
+        module.auto_mine = False
+        module.current_batch = self
 
     @property
     def size(self) -> int:
@@ -98,6 +112,12 @@ class BlockchainInteractionModule:
         self.transactions_sent = 0
         self.gas_spent = 0
         self.current_batch: Optional[TransactionBatch] = None
+        active = getattr(node, "active_batch", None)
+        if active is not None:
+            # Constructed inside an open batch (cohort-batched registration):
+            # join it so this module's first transactions defer into the
+            # cohort's block instead of auto-mining one block each.
+            active.adopt(self)
 
     @property
     def address(self) -> str:
@@ -145,6 +165,52 @@ class BlockchainInteractionModule:
             value=value,
             gas_limit=gas_limit,
         )
+
+    def call_contract_chunked(self, contract_address: str, method: str,
+                              list_arg: str, items: List[Any],
+                              static_args: Optional[Dict[str, Any]] = None,
+                              chunk_size: Optional[int] = None,
+                              base_gas: int = 2_000_000,
+                              gas_per_item: int = 120_000) -> List[Receipt]:
+        """Split a batch contract call into several bounded transactions.
+
+        Population-scale rounds pass thousands of items to the batch entry
+        points (``create_requests``, ``record_usage_evidence_batch``,
+        ``record_access_grants``); a single transaction carrying them all
+        keeps the block count low but makes one huge canonical-JSON payload
+        that must be hashed, signed, and verified in one piece.  Chunking
+        caps the payload per transaction while the chunks still confirm in
+        **one block**: with more than one chunk they are deferred through a
+        :class:`TransactionBatch` and mined together.
+
+        With at most *chunk_size* items (or ``chunk_size=None``) this is
+        exactly one :meth:`call_contract` — byte-identical behavior for the
+        small deployments whose results are pinned.  Returns one receipt
+        per chunk, in order.
+        """
+        if chunk_size is not None and chunk_size < 1:
+            raise ValidationError("chunk_size must be positive")
+        size = chunk_size if chunk_size is not None else len(items)
+        chunks = [items[start:start + size] for start in range(0, len(items), size)] or [items]
+        if len(chunks) == 1:
+            receipt = self.call_contract(
+                contract_address,
+                method,
+                {**(static_args or {}), list_arg: chunks[0]},
+                gas_limit=base_gas + gas_per_item * len(chunks[0]),
+            )
+            return [receipt]
+        with self.batch():
+            receipts = [
+                self.call_contract(
+                    contract_address,
+                    method,
+                    {**(static_args or {}), list_arg: chunk},
+                    gas_limit=base_gas + gas_per_item * len(chunk),
+                )
+                for chunk in chunks
+            ]
+        return receipts
 
     def deploy_contract(self, contract_class_name: str,
                         init_args: Optional[Dict[str, Any]] = None, value: int = 0) -> str:
@@ -194,6 +260,9 @@ class BlockchainInteractionModule:
         finally:
             self.node.active_batch = None
             for module, auto_mine, previous_batch in saved:
+                module.auto_mine = auto_mine
+                module.current_batch = previous_batch
+            for module, auto_mine, previous_batch in batch.adopted:
                 module.auto_mine = auto_mine
                 module.current_batch = previous_batch
         batch.flush()

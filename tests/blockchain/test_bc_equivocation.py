@@ -1,0 +1,178 @@
+"""Equivocation detection, slashing, partitions, and validator liveness."""
+
+import pytest
+
+from repro.common.errors import SignatureError
+from repro.blockchain.consensus import EquivocationDetector, ProofOfAuthority
+from repro.blockchain.crypto import KeyPair
+from repro.blockchain.network import BlockchainNetwork
+from repro.blockchain.transaction import Transaction
+
+SENDER = KeyPair.from_name("eq-sender")
+
+
+def funded_network(num_validators: int = 3) -> BlockchainNetwork:
+    return BlockchainNetwork(
+        num_validators=num_validators,
+        block_interval=5.0,
+        genesis_balances={SENDER.address: 10**9},
+    )
+
+
+def transfer(nonce: int) -> Transaction:
+    recipient = KeyPair.from_name("eq-recipient")
+    tx = Transaction(sender=SENDER.address, to=recipient.address, data={}, value=7, nonce=nonce)
+    return tx.sign(SENDER)
+
+
+# -- the detector itself -------------------------------------------------------
+
+
+def test_detector_flags_two_distinct_sealed_headers_at_one_height():
+    network = funded_network(2)
+    proposer = network.validators[0]
+    node = proposer.node
+    node.enqueue_transaction(transfer(0))
+    # The conflicting sibling shares the parent: built (and discarded) first.
+    sibling = node.chain.build_block([], proposer.address)
+    sibling.header.extra["slot"] = 1
+    sibling.header.extra["equivocation"] = "sibling"
+    network.consensus.seal(sibling, proposer.keypair)
+    block = node.propose_block(slot=1)
+    assert block.number == sibling.number == 1
+
+    detector = EquivocationDetector(network.consensus)
+    assert detector.observe(block) is None
+    proof = detector.observe(sibling)
+    assert proof is not None
+    assert proof.proposer == proposer.address
+    assert proof.height == 1
+    assert proof.verify()
+    assert detector.is_byzantine(proposer.address)
+    # Observing the same pair again does not duplicate the proof.
+    assert detector.observe(sibling) is None
+    assert len(detector.proofs) == 1
+
+
+def test_detector_ignores_headers_it_cannot_authenticate():
+    """An adversary cannot frame an honest validator with an unsigned header."""
+    network = funded_network(2)
+    honest = network.validators[0]
+    node = honest.node
+    # A forged sibling claiming to be by the honest proposer, sealed by
+    # someone else's key, plus an unsealed one — both at height 1.
+    forged = node.chain.build_block([], honest.address)
+    forged.header.extra["slot"] = 1
+    other = network.validators[1]
+    forged.seal = other.keypair.sign(forged.header.signing_payload())
+    forged.proposer_public_key = other.keypair.public_key
+    bare = node.chain.build_block([], honest.address)
+    bare.header.extra["note"] = "unsealed"
+    block = node.propose_block(slot=1)
+
+    detector = EquivocationDetector(network.consensus)
+    detector.observe(block)
+    assert detector.observe(forged) is None
+    assert detector.observe(bare) is None
+    assert detector.proofs == []
+
+
+# -- network-level equivocation ------------------------------------------------
+
+
+def test_equivocating_validator_is_detected_slashed_and_survived():
+    network = funded_network(3)
+    network.broadcast_transaction(transfer(0))
+    network.produce_blocks(2)  # slots 1-2: v0, v1
+    network.equivocate_validator(2)
+    network.broadcast_transaction(transfer(1))
+    network.produce_blocks(1)  # slot 3: v2 double-seals
+
+    assert len(network.equivocation_proofs) == 1
+    proof = network.equivocation_proofs[0]
+    assert proof.proposer == network.validators[2].address
+    assert proof.verify()
+    # Every replica converges to one head despite the conflicting blocks.
+    assert network.consistent(), network.heads()
+    assert network.honest_heads_converged()
+    # The culprit is slashed: its later slots are skipped.
+    assert network.validators[2].slashed
+    skipped_before = network.skipped_slots
+    network.produce_blocks(3)
+    assert network.skipped_slots > skipped_before
+    assert not network.liveness_report()["violations"]
+    # The canonical chain replays cleanly on every honest replica.
+    for validator in network.honest_validators():
+        assert validator.chain.verify_chain(replay=True)
+
+
+def test_transactions_orphaned_by_the_equivocation_are_mined_later():
+    network = funded_network(3)
+    network.equivocate_validator(0)
+    network.broadcast_transaction(transfer(0))
+    network.produce_blocks(2)  # slot 1 equivocates, slot 2 mops up
+    recipient = KeyPair.from_name("eq-recipient")
+    balances = {
+        validator.address: validator.chain.state.balance_of(recipient.address)
+        for validator in network.validators
+    }
+    assert set(balances.values()) == {7}, balances
+    assert network.consistent()
+
+
+# -- partitions ------------------------------------------------------------------
+
+
+def test_partition_diverges_and_heals_deterministically():
+    network = funded_network(4)
+    network.broadcast_transaction(transfer(0))
+    network.produce_blocks(2)
+    network.partition({0, 1})
+    network.broadcast_transaction(transfer(1))
+    network.produce_blocks(4)  # both islands keep sealing their own branches
+    assert not network.consistent()
+    network.heal_partition()
+    assert network.consistent(), network.heads()
+    for validator in network.validators:
+        assert validator.chain.verify_chain(replay=True)
+    assert not network.liveness_report()["violations"]
+
+
+# -- broadcast signature handling -------------------------------------------------
+
+
+def test_forged_broadcast_is_rejected_at_the_first_replica():
+    network = funded_network(3)
+    tx = transfer(0)
+    tx.signature = (tx.signature[0], tx.signature[1] ^ 1)
+    tx._hash_cache = None
+    with pytest.raises(SignatureError):
+        network.broadcast_transaction(tx)
+    assert all(not validator.node.pending for validator in network.validators)
+
+
+def test_offline_node_cannot_spin_driving_production():
+    """produce_block on a crashed replica fails fast instead of looping."""
+    from repro.common.errors import ValidationError
+
+    network = funded_network(3)
+    network.broadcast_transaction(transfer(0))  # lands in every pending pool
+    network.fail_validator(0)
+    with pytest.raises(ValidationError):
+        network.validators[0].node.produce_block()
+
+
+def test_slot_log_records_the_rotation():
+    network = funded_network(2)
+    network.fail_validator(1)
+    network.produce_blocks(4)
+    report = network.liveness_report()
+    assert report["slots"] == 4
+    assert report["skipped"] == 2
+    assert report["produced"] == 2
+    assert report["violations"] == []
+    proposers = [entry["proposer"] for entry in network.slot_log]
+    assert proposers == [
+        network.validators[0].address,
+        network.validators[1].address,
+    ] * 2

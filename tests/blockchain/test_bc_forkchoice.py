@@ -1,0 +1,254 @@
+"""Block tree, deterministic fork-choice, and bounded journal-backed reorgs.
+
+Covers the chain-layer half of the multi-validator consensus story: a node
+holding competing sealed branches must converge deterministically (longest
+chain, lowest-hash tie-break), switch branches by rolling the journaled
+state back to the fork point, keep every chain index consistent, and refuse
+branches whose execution does not match their headers — including after
+fork-choice would have switched to them (the replay-across-reorg cases).
+"""
+
+import pytest
+
+from repro.common.clock import SimulatedClock
+from repro.common.errors import IntegrityError, NotFoundError
+from repro.blockchain.block import Block
+from repro.blockchain.chain import Blockchain
+from repro.blockchain.consensus import ProofOfAuthority
+from repro.blockchain.crypto import KeyPair
+from repro.blockchain.node import BlockchainNode
+from repro.blockchain.state import copy_jsonlike
+from repro.blockchain.transaction import Transaction
+
+SENDER = KeyPair.from_name("fc-sender")
+RECIPIENT = KeyPair.from_name("fc-recipient")
+
+
+def wire(block: Block) -> Block:
+    """A deep copy, as the block would arrive over the network."""
+    return Block.from_dict(copy_jsonlike(block.to_dict()))
+
+
+def make_nodes(count: int = 2):
+    """Independent full nodes sharing one validator set and genesis."""
+    clock = SimulatedClock(start=1_000.0)
+    keys = [KeyPair.from_name(f"fc-v{index}") for index in range(count)]
+    consensus = ProofOfAuthority(
+        validators=[key.address for key in keys], block_interval=5.0
+    )
+    nodes = [
+        BlockchainNode(consensus, key, clock=clock,
+                       genesis_balances={SENDER.address: 10**9})
+        for key in keys
+    ]
+    return nodes
+
+
+def transfer(nonce: int, value: int = 10) -> Transaction:
+    tx = Transaction(
+        sender=SENDER.address, to=RECIPIENT.address, data={}, value=value, nonce=nonce
+    )
+    return tx.sign(SENDER)
+
+
+def test_equal_height_tips_resolve_to_the_lowest_hash_everywhere():
+    n0, n1 = make_nodes()
+    n0.enqueue_transaction(transfer(0, value=10))
+    block_a = n0.propose_block(slot=1)
+    n1.enqueue_transaction(transfer(0, value=20))
+    block_b = n1.propose_block(slot=2)
+    assert block_a.hash != block_b.hash
+
+    n0.import_block(wire(block_b))
+    n1.import_block(wire(block_a))
+    winner = min(block_a.hash, block_b.hash)
+    assert n0.chain.head.hash == winner
+    assert n1.chain.head.hash == winner
+    expected_value = 10 if winner == block_a.hash else 20
+    assert n0.chain.state.balance_of(RECIPIENT.address) == expected_value
+    assert n1.chain.state.balance_of(RECIPIENT.address) == expected_value
+
+
+def test_longer_branch_reorgs_state_indexes_and_mempool():
+    n0, n1 = make_nodes()
+    n0.enqueue_transaction(transfer(0, value=10))
+    block_a = n0.propose_block(slot=1)
+    n1.enqueue_transaction(transfer(0, value=20))
+    block_b1 = n1.propose_block(slot=2)
+    n1.enqueue_transaction(transfer(1, value=5))
+    block_b2 = n1.propose_block(slot=4)
+
+    n0.import_block(wire(block_b1))
+    status = n0.import_block(wire(block_b2))
+    assert n0.chain.head.hash == block_b2.hash
+    assert n0.chain.height == 2
+    # State reflects exactly the winning branch.
+    assert n0.chain.state.balance_of(RECIPIENT.address) == 25
+    # Indexes dropped the detached block's contents...
+    detached_tx = block_a.transactions[0]
+    with pytest.raises(NotFoundError):
+        n0.chain.transaction_by_hash(detached_tx.hash)
+    assert n0.chain.transaction_count() == 2
+    assert len(n0.chain.transactions_with_receipts(sender=SENDER.address)) == 2
+    # ...and the detached transaction returned to the pending pool.
+    assert detached_tx.hash in {tx.hash for tx in n0.pending}
+    # The reorged chain replays cleanly from genesis.
+    assert n0.chain.verify_chain(replay=True)
+    # Fork-choice status reported the switch (side import then reorg).
+    assert status in ("reorged", "extended")
+
+
+def test_detached_block_can_become_canonical_again():
+    n0, n1 = make_nodes()
+    n0.enqueue_transaction(transfer(0, value=10))
+    block_a1 = n0.propose_block(slot=1)
+    n1.enqueue_transaction(transfer(0, value=20))
+    n1.propose_block(slot=2)
+    n1.enqueue_transaction(transfer(1, value=5))
+    block_b2 = n1.propose_block(slot=4)
+    for block in n1.chain.blocks[1:]:
+        n0.import_block(wire(block))
+    assert n0.chain.head.hash == block_b2.hash
+
+    # The A-branch grows past the B-branch (built by a scratch replica of
+    # validator 0 that adopted block A1 and kept sealing on top of it).
+    n0_branch = [block_a1]
+    scratch = make_nodes(2)[0]
+    scratch.import_block(wire(block_a1))
+    for slot in (3, 5, 7):
+        n0_branch.append(scratch.propose_block(slot=slot))
+    for block in n0_branch[1:]:
+        n0.import_block(wire(block))
+    assert n0.chain.head.hash == n0_branch[-1].hash
+    assert n0.chain.height == 4
+    assert n0.chain.state.balance_of(RECIPIENT.address) == 10
+    assert n0.chain.verify_chain(replay=True)
+
+
+def test_forged_gas_used_branch_is_rejected_even_when_longer():
+    """Satellite: replay protection across fork-choice.
+
+    A Byzantine validator seals a branch whose first block claims a forged
+    ``gas_used``.  Even when that branch becomes the fork-choice winner,
+    the reorg's execution validation rejects it, the honest chain stays
+    canonical, and ``verify_chain(replay=True)`` still passes.
+    """
+    n0, n1 = make_nodes()
+    n0.enqueue_transaction(transfer(0, value=10))
+    n0.propose_block(slot=1)
+    n0.enqueue_transaction(transfer(1, value=10))
+    head_before = n0.propose_block(slot=3).hash
+
+    n1.enqueue_transaction(transfer(0, value=20))
+    forged = n1.propose_block(slot=2)
+    forged.header.gas_used += 1_000  # inflate the claim...
+    n1.consensus.seal(forged, n1.validator_key)  # ...and re-seal it
+    n1.enqueue_transaction(transfer(1, value=20))
+    evil_2 = n1.propose_block(slot=4)
+    n1.enqueue_transaction(transfer(2, value=20))
+    evil_3 = n1.propose_block(slot=6)
+
+    rejections = 0
+    for block in (forged, evil_2, evil_3):
+        try:
+            n0.import_block(wire(block))
+        except IntegrityError:
+            rejections += 1
+    assert rejections >= 1
+    assert n0.chain.head.hash == head_before
+    assert n0.chain.state.balance_of(RECIPIENT.address) == 20
+    assert n0.chain.verify_chain(replay=True)
+
+
+def test_stale_state_root_branch_is_rejected_even_when_longer():
+    """Satellite: a branch block committing to a stale state root never wins."""
+    n0, n1 = make_nodes()
+    n0.enqueue_transaction(transfer(0, value=10))
+    head_before = n0.propose_block(slot=1).hash
+
+    n1.enqueue_transaction(transfer(0, value=20))
+    forged = n1.propose_block(slot=2)
+    forged.header.state_root = n1.chain.blocks[0].header.state_root  # pre-tx root
+    n1.consensus.seal(forged, n1.validator_key)
+    n1.enqueue_transaction(transfer(1, value=20))
+    evil_2 = n1.propose_block(slot=4)
+
+    rejections = 0
+    for block in (forged, evil_2):
+        try:
+            n0.import_block(wire(block))
+        except IntegrityError:
+            rejections += 1
+    assert rejections >= 1
+    assert n0.chain.head.hash == head_before
+    assert n0.chain.verify_chain(replay=True)
+
+
+def test_replay_catches_tampering_inside_a_reorged_in_block():
+    """A block adopted via reorg enjoys the same tamper evidence as any other."""
+    n0, n1 = make_nodes()
+    n0.enqueue_transaction(transfer(0, value=10))
+    n0.propose_block(slot=1)
+    n1.enqueue_transaction(transfer(0, value=20))
+    n1.propose_block(slot=2)
+    n1.enqueue_transaction(transfer(1, value=5))
+    n1.propose_block(slot=4)
+    for block in n1.chain.blocks[1:]:
+        n0.import_block(wire(block))
+    assert n0.chain.verify_chain(replay=True)
+    # Retroactively rewrite a transaction inside the reorged-in block.
+    n0.chain.blocks[1].transactions[0].value = 1
+    with pytest.raises(IntegrityError):
+        n0.chain.verify_chain()
+
+
+def test_reorgs_cannot_cross_the_finality_window():
+    clock = SimulatedClock(start=1_000.0)
+    k0 = KeyPair.from_name("fin-v0")
+    k1 = KeyPair.from_name("fin-v1")
+    consensus = ProofOfAuthority(validators=[k0.address, k1.address], block_interval=5.0)
+    chain = Blockchain(consensus, clock=clock, max_reorg_depth=2)
+    rival = Blockchain(consensus, clock=clock, max_reorg_depth=16)
+
+    def extend(target: Blockchain, key: KeyPair, slot: int) -> Block:
+        block = target.build_block([], key.address)
+        block.header.extra["slot"] = slot
+        consensus.seal(block, key)
+        target.append_block(block)
+        return block
+
+    for slot in (1, 3, 5, 7):
+        extend(chain, k0, slot)
+    head_before = chain.head.hash
+    # A rival branch forking at genesis, longer than the canonical chain —
+    # but its fork point is already final on `chain` (depth 4 > window 2).
+    rival_blocks = [extend(rival, k1, slot) for slot in (2, 4, 6, 8, 10)]
+    for block in rival_blocks:
+        status, applied, _ = chain.receive_block(wire(block))
+        assert status in ("side", "known")
+        assert applied == []
+    assert chain.head.hash == head_before
+
+
+def test_unknown_parent_is_refused():
+    n0, n1 = make_nodes()
+    n1.propose_block(slot=2)
+    orphan = n1.propose_block(slot=4)  # parent unknown to n0
+    with pytest.raises(NotFoundError):
+        n0.import_block(wire(orphan))
+
+
+def test_imported_blocks_cannot_smuggle_unsigned_transactions():
+    """A sealed block spending an account with no signature at all is refused."""
+    n0, n1 = make_nodes()
+    victim_funds_before = n0.chain.state.balance_of(SENDER.address)
+    theft = Transaction(
+        sender=SENDER.address, to=RECIPIENT.address, data={}, value=500, nonce=0
+    )  # deliberately unsigned: nothing for signature verification to check
+    n1.require_signatures = False
+    n1.enqueue_transaction(theft)
+    stolen_block = n1.propose_block(slot=2)
+    with pytest.raises(IntegrityError):
+        n0.import_block(wire(stolen_block))
+    assert n0.chain.height == 0
+    assert n0.chain.state.balance_of(SENDER.address) == victim_funds_before

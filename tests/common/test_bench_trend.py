@@ -1,0 +1,92 @@
+"""The CI benchmark trend tracker: pinned-ratio regressions fail, noise doesn't."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_trend", Path(__file__).resolve().parents[2] / "scripts" / "bench_trend.py"
+)
+bench_trend = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_trend)
+
+
+def payload(name, **metrics):
+    return {
+        "benchmark": name,
+        "results": [
+            {"metric": metric, "populations": [1], "values": [1], "pinned_ratio": ratio}
+            for metric, ratio in metrics.items()
+        ],
+    }
+
+
+def test_within_threshold_passes():
+    base = payload("population", ms_per_participant=1.0)
+    cur = payload("population", ms_per_participant=1.15)
+    regressions, _ = bench_trend.compare_payloads(base, cur, threshold=0.2)
+    assert regressions == []
+
+
+def test_cost_ratio_growth_beyond_threshold_fails():
+    base = payload("population", ms_per_participant=1.0)
+    cur = payload("population", ms_per_participant=1.25)
+    regressions, _ = bench_trend.compare_payloads(base, cur, threshold=0.2)
+    assert len(regressions) == 1
+    assert "ms_per_participant" in regressions[0]
+
+
+def test_improvements_never_fail_cost_metrics():
+    base = payload("population", ms_per_participant=1.2)
+    cur = payload("population", ms_per_participant=0.5)
+    regressions, _ = bench_trend.compare_payloads(base, cur, threshold=0.2)
+    assert regressions == []
+
+
+def test_throughput_style_ratios_fail_when_they_fall():
+    base = payload("robustness", blocks_per_12_slots_vs_failed=0.5)
+    cur = payload("robustness", blocks_per_12_slots_vs_failed=0.25)
+    regressions, _ = bench_trend.compare_payloads(base, cur, threshold=0.2)
+    assert len(regressions) == 1
+    base = payload("robustness", blocks_per_12_slots_vs_failed=0.5)
+    cur = payload("robustness", blocks_per_12_slots_vs_failed=0.75)
+    regressions, _ = bench_trend.compare_payloads(base, cur, threshold=0.2)
+    assert regressions == []
+
+
+def test_unpinned_new_and_removed_metrics_are_notes_not_failures():
+    base = payload("monitoring", old_metric=1.0, unpinned=None)
+    cur = payload("monitoring", new_metric=9.9, unpinned=None)
+    regressions, notes = bench_trend.compare_payloads(base, cur, threshold=0.2)
+    assert regressions == []
+    assert any("disappeared" in note for note in notes)
+    assert any("is new" in note for note in notes)
+
+
+def test_directory_comparison_end_to_end(tmp_path):
+    baseline_dir = tmp_path / "baseline"
+    current_dir = tmp_path / "current"
+    baseline_dir.mkdir()
+    current_dir.mkdir()
+    (baseline_dir / "BENCH_population.json").write_text(
+        json.dumps(payload("population", ms_per_participant=1.0))
+    )
+    (current_dir / "BENCH_population.json").write_text(
+        json.dumps(payload("population", ms_per_participant=2.0))
+    )
+    (current_dir / "BENCH_robustness.json").write_text(
+        json.dumps(payload("robustness", equivocation_detected_and_converged=1.0))
+    )
+    regressions, notes = bench_trend.compare_directories(baseline_dir, current_dir)
+    assert len(regressions) == 1
+    assert any("no baseline artifact" in note for note in notes)
+    # The CLI exit codes mirror the comparison.
+    assert bench_trend.main([
+        "--baseline", str(baseline_dir), "--current", str(current_dir),
+    ]) == 1
+    (current_dir / "BENCH_population.json").write_text(
+        json.dumps(payload("population", ms_per_participant=1.1))
+    )
+    assert bench_trend.main([
+        "--baseline", str(baseline_dir), "--current", str(current_dir),
+    ]) == 0

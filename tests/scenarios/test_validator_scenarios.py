@@ -1,0 +1,199 @@
+"""Scenarios on the replicated validator network, and cohort-batched setup.
+
+The acceptance story of the multi-validator refactor: a 3-validator library
+scenario runs end to end with one validator equivocating mid-run — all
+honest replicas converge to the same head hash, the equivocation proof
+names the Byzantine validator, ``verify_chain(replay=True)`` passes on the
+canonical chain, and the conformance ledger still closes.  Validator churn
+(crash + recovery) only costs skipped slots.  And population-scale setup
+registers consumers one cohort per block without changing any outcome.
+"""
+
+import math
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.core.runner import ScenarioRunner
+from repro.core.scenario_library import (
+    byzantine_validator_spec,
+    population_spec,
+    validator_churn_spec,
+)
+from repro.core.spec import (
+    Behavior,
+    ParticipantSpec,
+    ResourceSpec,
+    ScenarioSpec,
+    Step,
+    access,
+    equivocate,
+    fail_validator,
+    monitor,
+)
+
+
+@pytest.fixture(scope="module")
+def byzantine_result():
+    return ScenarioRunner(byzantine_validator_spec()).run()
+
+
+@pytest.fixture(scope="module")
+def churn_result():
+    return ScenarioRunner(validator_churn_spec()).run()
+
+
+# -- the Byzantine validator story (acceptance criterion) ----------------------
+
+
+def test_byzantine_scenario_converges_all_honest_replicas(byzantine_result):
+    result = byzantine_result
+    network = result.validator_network
+    assert network is not None and len(network.validators) == 3
+    assert result.honest_heads_converged()
+    honest_heads = {
+        v.chain.head.hash for v in network.honest_validators() if v.online
+    }
+    assert len(honest_heads) == 1
+
+
+def test_byzantine_scenario_attributes_the_equivocation(byzantine_result):
+    result = byzantine_result
+    network = result.validator_network
+    proofs = result.equivocation_proofs()
+    assert len(proofs) == 1
+    proof = proofs[0]
+    assert proof.proposer == network.validators[2].address
+    assert proof.verify()  # self-authenticating: both seals check out
+    assert network.validators[2].slashed
+    assert result.facts["equivocation_proofs"][0]["proposer"] == proof.proposer
+
+
+def test_byzantine_scenario_chain_replays_and_ledger_closes(byzantine_result):
+    result = byzantine_result
+    assert result.verify_chain_replay()
+    assert result.ledger.matches, result.ledger.to_dict()
+    assert result.mispredictions == []
+    assert result.balance_conservation()["holds"]
+    # The negligent holder was still flagged, consensus attack or not.
+    flagged = {v.device_id for v in result.ledger.observed}
+    assert flagged == {"device-messy-app"}
+    assert result.liveness_holds()
+
+
+def test_every_replica_sealed_and_validated_the_same_blocks(byzantine_result):
+    network = byzantine_result.validator_network
+    # Honest replicas replay the identical canonical chain independently.
+    for validator in network.honest_validators():
+        assert validator.chain.verify_chain(replay=True)
+    primary = network.primary.chain
+    for validator in network.honest_validators():
+        assert validator.chain.head.hash == primary.head.hash
+
+
+# -- validator churn -------------------------------------------------------------
+
+
+def test_churn_scenario_skips_slots_and_resyncs(churn_result):
+    result = churn_result
+    network = result.validator_network
+    assert network.skipped_slots > 0
+    assert result.liveness_holds()
+    assert network.consistent(), network.heads()
+    assert result.ledger.matches
+    assert result.verify_chain_replay()
+    recover_steps = [s for s in result.steps if s.phase == "recover_validator"]
+    assert recover_steps and recover_steps[0].details["consistent"] is True
+
+
+# -- spec validation ----------------------------------------------------------------
+
+
+def _single_node_spec(timeline):
+    return ScenarioSpec(
+        name="bad",
+        participants=(
+            ParticipantSpec("o", "owner"),
+            ParticipantSpec("c", "consumer"),
+        ),
+        resources=(ResourceSpec(owner="o", path="/data/x"),),
+        timeline=tuple(timeline),
+    )
+
+
+def test_validator_steps_require_a_multi_validator_spec():
+    with pytest.raises(ValidationError):
+        _single_node_spec([fail_validator(1)]).validate()
+
+
+def test_validator_steps_check_the_index_range():
+    spec = ScenarioSpec(
+        name="bad-index",
+        participants=(
+            ParticipantSpec("o", "owner"),
+            ParticipantSpec("c", "consumer"),
+        ),
+        resources=(ResourceSpec(owner="o", path="/data/x"),),
+        timeline=(equivocate(5),),
+        validators=3,
+    )
+    with pytest.raises(ValidationError):
+        spec.validate()
+
+
+def test_validator_steps_need_an_index():
+    with pytest.raises(ValidationError):
+        Step("equivocate")
+
+
+def test_spec_round_trips_validator_and_cohort_fields():
+    spec = byzantine_validator_spec()
+    clone = ScenarioSpec.from_dict(spec.to_dict())
+    assert clone == spec
+    assert clone.validators == 3
+    population = population_spec(num_consumers=12, setup_cohort=5)
+    clone = ScenarioSpec.from_dict(population.to_dict())
+    assert clone.setup_cohort == 5
+    assert clone == population
+
+
+# -- cohort-batched setup ---------------------------------------------------------
+
+
+@pytest.mark.parametrize("cohort", [10])
+def test_cohort_batched_setup_changes_block_count_not_outcomes(cohort):
+    consumers = 24
+    sequential = population_spec(
+        num_consumers=consumers, seed=2026, setup_cohort=None,
+        name="pop-sequential",
+    )
+    batched = population_spec(
+        num_consumers=consumers, seed=2026, setup_cohort=cohort,
+        name="pop-batched",
+    )
+    result_seq = ScenarioRunner(sequential).run()
+    result_bat = ScenarioRunner(batched).run()
+
+    # Outcomes are identical: same violations, same predictions, closed books.
+    def keys(records):
+        return {(r.resource_id, r.device_id, r.reason) for r in records}
+
+    assert keys(result_bat.ledger.observed) == keys(result_seq.ledger.observed)
+    assert keys(result_bat.ledger.expected) == keys(result_seq.ledger.expected)
+    assert result_bat.ledger.matches and result_seq.ledger.matches
+    assert result_bat.mispredictions == [] and result_seq.mispredictions == []
+    assert result_bat.balance_conservation()["holds"]
+    assert result_bat.verify_chain_replay()
+
+    # The setup phase seals O(population / cohort) blocks, not O(population).
+    def setup_blocks(result):
+        return sum(s.blocks for s in result.steps if s.phase == "setup")
+
+    owners = len(sequential.owners())
+    cohorts = math.ceil(consumers / cohort)
+    # 3 deploy blocks + per-owner funding/pod/resource blocks (1 + 1 + 2
+    # each) + one block per registration cohort + at most one per
+    # onboarding cohort.  Crucially: no per-consumer term.
+    assert setup_blocks(result_bat) <= 3 + 4 * owners + 2 * cohorts
+    assert setup_blocks(result_seq) >= 2 * consumers
+    assert setup_blocks(result_bat) < setup_blocks(result_seq) / 3
