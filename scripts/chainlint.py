@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""chainlint — static analysis gate for the contract layer.
+
+Usage:
+    python scripts/chainlint.py src/repro/contracts src/repro/blockchain/vm.py
+    python scripts/chainlint.py --format json --baseline tests/analysis/chainlint_baseline.json \
+        --offchain src/repro/blockchain/node.py --offchain src/repro/oracles \
+        src/repro/contracts src/repro/blockchain/vm.py
+
+Exit codes: 0 clean (or everything baselined/suppressed), 1 findings,
+2 usage or parse error.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis import Analyzer, load_baseline  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="chainlint",
+        description="Determinism / storage-discipline / gas-safety analyzer "
+                    "for the contract layer.",
+    )
+    parser.add_argument("paths", nargs="+", help="files or directories to analyze")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--baseline", help="justified-baseline JSON file")
+    parser.add_argument(
+        "--offchain", action="append", default=[],
+        help="off-chain file/directory to scan for event subscriptions "
+             "(repeatable; cross-checked against contract emits)",
+    )
+    parser.add_argument("--output", help="also write the JSON report to this file")
+    parser.add_argument(
+        "--strict-imports", action="store_true",
+        help="admission-gate mode: only whitelisted imports are allowed",
+    )
+    args = parser.parse_args(argv)
+
+    for raw in list(args.paths) + list(args.offchain):
+        if not Path(raw).exists():
+            print(f"chainlint: no such path: {raw}", file=sys.stderr)
+            return 2
+
+    analyzer = Analyzer(strict_imports=args.strict_imports)
+    try:
+        findings = analyzer.analyze_paths(args.paths, offchain=args.offchain)
+    except SyntaxError as exc:
+        print(f"chainlint: parse error: {exc}", file=sys.stderr)
+        return 2
+
+    baseline = []
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+            print(f"chainlint: bad baseline {args.baseline}: {exc}", file=sys.stderr)
+            return 2
+    fresh, accepted = Analyzer.apply_baseline(findings, baseline)
+
+    report = {
+        "findings": [f.to_dict() for f in fresh],
+        "baselined": [f.to_dict() for f in accepted],
+        "counts": {"fresh": len(fresh), "baselined": len(accepted)},
+    }
+    if args.output:
+        Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+
+    if args.format == "json":
+        print(json.dumps(report, indent=2))
+    else:
+        for finding in fresh + accepted:
+            print(finding.format())
+        noun = "finding" if len(fresh) == 1 else "findings"
+        print(f"chainlint: {len(fresh)} {noun}, {len(accepted)} baselined")
+
+    return 1 if fresh else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""chainlint — static analysis for the contract layer.
+
+Every replica must deterministically re-execute the same contract logic, so
+nondeterminism or journal-bypassing mutation inside a contract is a silent
+consensus-divergence bug, not a style issue.  This package parses contract
+and VM-layer source with :mod:`ast`, resolves each ``SmartContract``
+subclass's public entrypoints (keying on the VM's own entrypoint metadata),
+and runs pluggable rules over them:
+
+* **determinism** — no ambient time/randomness/environment reads, no float
+  arithmetic, no iteration whose order depends on dict insertion history;
+* **storage discipline** — persistent state only through the journaled
+  ``StorageProxy`` operations, per-entry ops instead of whole-slot
+  read-modify-write, no mutation of aliased slot copies;
+* **gas / bounds safety** — no unbounded storage-driven loops that write,
+  checks before effects in entrypoints;
+* **event / ABI consistency** — one payload schema per event name, and every
+  off-chain subscription names an event some contract actually emits.
+
+The engine works on bare ASTs (:func:`analyze_ast`), which is what lets the
+future sandboxed user-defined-contract interpreter reuse it verbatim as its
+admission gate, and on files/trees via :class:`Analyzer`.  Findings can be
+suppressed inline with ``# chainlint: disable=RULEID`` or accepted in a
+justified baseline file.
+"""
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import Rule, RuleRegistry, default_registry
+from repro.analysis.engine import (
+    Analyzer,
+    BaselineEntry,
+    analyze_ast,
+    analyze_source,
+    load_baseline,
+)
+
+__all__ = [
+    "Analyzer",
+    "BaselineEntry",
+    "Finding",
+    "Rule",
+    "RuleRegistry",
+    "Severity",
+    "analyze_ast",
+    "analyze_source",
+    "default_registry",
+    "load_baseline",
+]

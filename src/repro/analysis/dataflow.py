@@ -1,0 +1,293 @@
+"""Per-function local dataflow facts shared by the storage and gas rules.
+
+This is a deliberately shallow, syntactic dataflow: names bound from
+whole-slot storage reads, aliases created by iterating or indexing them,
+mutations applied through those names, and write-backs into storage.  It is
+sound for the idiomatic contract style this repo enforces (no rebinding
+games, no comprehension side channels) and errs on the side of not flagging
+when it cannot tell.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.model import (
+    STORAGE_WRITE_METHODS,
+    is_storage_attr,
+    is_storage_write_stmt,
+    storage_read_key,
+)
+
+#: Methods that mutate the object they are called on.
+MUTATOR_METHODS = frozenset(
+    {"append", "update", "pop", "popitem", "setdefault", "insert", "extend",
+     "remove", "clear", "sort", "reverse"}
+)
+
+#: Wrappers that forward their (first) argument as the iterable.
+ITER_WRAPPERS = frozenset({"sorted", "list", "tuple", "enumerate", "reversed"})
+
+
+@dataclass
+class Mutation:
+    """A mutation through *root* (None = directly on a fresh storage read)."""
+
+    root: Optional[str]
+    node: ast.AST
+    line: int
+    col: int
+
+
+@dataclass
+class Writeback:
+    """A whole-slot write ``self.storage[K] = <name>``."""
+
+    key_dump: str
+    value_name: str
+    node: ast.AST
+    line: int
+    col: int
+
+
+@dataclass
+class StorageLoop:
+    """A for-loop whose iterable derives from storage contents."""
+
+    node: ast.For
+    whole_storage: bool      # iterates self.storage.keys()/items() directly
+    body_writes: bool
+
+
+@dataclass
+class FunctionFacts:
+    #: name -> ast.dump of the slot key it was read from (whole-slot reads).
+    slot_reads: Dict[str, str] = field(default_factory=dict)
+    #: names derived from storage contents (reads + sorted/list wrappers).
+    derived: Set[str] = field(default_factory=set)
+    #: alias name -> root name (loop targets, element reads).
+    aliases: Dict[str, str] = field(default_factory=dict)
+    #: parameter names (potential slot values handed in by a caller).
+    params: Set[str] = field(default_factory=set)
+    #: names bound to set expressions.
+    set_names: Set[str] = field(default_factory=set)
+    mutations: List[Mutation] = field(default_factory=list)
+    writebacks: List[Writeback] = field(default_factory=list)
+    #: names whose value is written back through a per-entry/whole-slot op,
+    #: returned, or passed onward — exempt from the aliased-mutation rule.
+    escapes: Set[str] = field(default_factory=set)
+    storage_loops: List[StorageLoop] = field(default_factory=list)
+
+    def root_of(self, name: str) -> str:
+        seen = set()
+        while name in self.aliases and name not in seen:
+            seen.add(name)
+            name = self.aliases[name]
+        return name
+
+    def mutated_roots(self) -> Set[str]:
+        return {m.root for m in self.mutations if m.root is not None}
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def _target_names(target: ast.AST) -> List[str]:
+    names: List[str] = []
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name):
+            names.append(node.id)
+    return names
+
+
+class _Scanner:
+    def __init__(self, fn: ast.FunctionDef):
+        self.fn = fn
+        self.facts = FunctionFacts()
+        args = fn.args
+        for arg in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        ):
+            if arg.arg != "self":
+                self.facts.params.add(arg.arg)
+
+    # -- expression classification --------------------------------------------
+
+    def _storage_derived(self, node: ast.AST) -> bool:
+        if storage_read_key(node) is not None:
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.facts.derived
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                if func.attr in ("items", "keys", "values") and not node.args:
+                    if is_storage_attr(func.value):
+                        return True  # whole-storage proxy scan
+                    return self._storage_derived(func.value)
+            if isinstance(func, ast.Name) and func.id in ITER_WRAPPERS and node.args:
+                return self._storage_derived(node.args[0])
+        return False
+
+    def _is_whole_storage_scan(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in ("items", "keys", "values") and is_storage_attr(node.func.value):
+                return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+                and node.func.id in ITER_WRAPPERS and node.args:
+            return self._is_whole_storage_scan(node.args[0])
+        return False
+
+    def _record_mutation(self, container: ast.AST, node: ast.AST) -> None:
+        """Record a mutation of *container* (the object being changed)."""
+        probe = container
+        while True:
+            if storage_read_key(probe) is not None:
+                # Mutating the fresh copy a whole-slot read returned.
+                self.facts.mutations.append(
+                    Mutation(root=None, node=node, line=node.lineno, col=node.col_offset)
+                )
+                return
+            if isinstance(probe, (ast.Subscript, ast.Attribute)):
+                if is_storage_attr(probe):
+                    return
+                probe = probe.value
+                continue
+            break
+        if isinstance(probe, ast.Name) and probe.id != "self":
+            root = self.facts.root_of(probe.id)
+            if root in self.facts.slot_reads or root in self.facts.params \
+                    or root in self.facts.derived:
+                self.facts.mutations.append(
+                    Mutation(root=root, node=node, line=node.lineno, col=node.col_offset)
+                )
+
+    # -- statement walk ----------------------------------------------------------
+
+    def scan(self) -> FunctionFacts:
+        for node in ast.walk(self.fn):
+            self._visit(node)
+        return self.facts
+
+    def _visit(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Assign):
+            self._visit_assign(node)
+        elif isinstance(node, ast.AugAssign):
+            if isinstance(node.target, (ast.Subscript, ast.Attribute)) \
+                    and not is_storage_attr(node.target.value):
+                self._record_mutation(node.target.value, node)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript) and not is_storage_attr(target.value):
+                    self._record_mutation(target.value, node)
+        elif isinstance(node, ast.For):
+            self._visit_for(node)
+        elif isinstance(node, ast.Call):
+            self._visit_call(node)
+        elif isinstance(node, ast.Return) and isinstance(node.value, ast.Name):
+            self.facts.escapes.add(node.value.id)
+
+    def _visit_assign(self, node: ast.Assign) -> None:
+        value = node.value
+        single = node.targets[0] if len(node.targets) == 1 else None
+        if isinstance(single, ast.Name):
+            key = storage_read_key(value)
+            if key is not None:
+                self.facts.slot_reads[single.id] = ast.dump(key)
+                self.facts.derived.add(single.id)
+            elif self._storage_derived(value):
+                self.facts.derived.add(single.id)
+            elif _is_set_expr(value):
+                self.facts.set_names.add(single.id)
+            elif isinstance(value, ast.Subscript):
+                base = _base_name(value)
+                if isinstance(base, ast.Name) and base.id != "self":
+                    root = self.facts.root_of(base.id)
+                    if root in self.facts.slot_reads or root in self.facts.derived:
+                        self.facts.aliases[single.id] = root
+        # Whole-slot write-back (self.storage[K] = <name>) vs. mutation of a
+        # tracked object (X[i] = v / X.attr = v).
+        for target in node.targets:
+            if isinstance(target, ast.Subscript):
+                if is_storage_attr(target.value):
+                    if isinstance(value, ast.Name):
+                        self.facts.writebacks.append(
+                            Writeback(
+                                key_dump=ast.dump(target.slice),
+                                value_name=value.id,
+                                node=node,
+                                line=node.lineno,
+                                col=node.col_offset,
+                            )
+                        )
+                        self.facts.escapes.add(value.id)
+                else:
+                    self._record_mutation(target.value, node)
+            elif isinstance(target, ast.Attribute):
+                if not (isinstance(target.value, ast.Name) and target.value.id == "self"):
+                    self._record_mutation(target.value, node)
+
+    def _visit_for(self, node: ast.For) -> None:
+        derived = self._storage_derived(node.iter)
+        if derived:
+            body_writes = any(
+                is_storage_write_stmt(sub)
+                for stmt in node.body
+                for sub in ast.walk(stmt)
+            )
+            self.facts.storage_loops.append(
+                StorageLoop(
+                    node=node,
+                    whole_storage=self._is_whole_storage_scan(node.iter),
+                    body_writes=body_writes,
+                )
+            )
+        # Loop targets alias elements of the iterated collection.
+        iter_base = node.iter
+        if isinstance(iter_base, ast.Call):
+            func = iter_base.func
+            if isinstance(func, ast.Attribute) and func.attr in ("items", "keys", "values"):
+                iter_base = func.value
+            elif isinstance(func, ast.Name) and func.id in ITER_WRAPPERS and iter_base.args:
+                iter_base = iter_base.args[0]
+                if isinstance(iter_base, ast.Call) and isinstance(iter_base.func, ast.Attribute) \
+                        and iter_base.func.attr in ("items", "keys", "values"):
+                    iter_base = iter_base.func.value
+        if isinstance(iter_base, ast.Name):
+            root = self.facts.root_of(iter_base.id)
+            if root in self.facts.slot_reads or root in self.facts.derived:
+                for name in _target_names(node.target):
+                    self.facts.aliases[name] = root
+
+    def _visit_call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            # Per-entry write ops: their value argument escapes.
+            if func.attr in STORAGE_WRITE_METHODS and is_storage_attr(func.value):
+                for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                    if isinstance(arg, ast.Name):
+                        self.facts.escapes.add(arg.id)
+                return
+            if func.attr in MUTATOR_METHODS:
+                self._record_mutation(func.value, node)
+                return
+            # Arguments of self.<method>(...) calls escape (the callee may
+            # write them back).
+            if isinstance(func.value, ast.Name) and func.value.id == "self":
+                for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                    if isinstance(arg, ast.Name):
+                        self.facts.escapes.add(arg.id)
+
+
+def scan_function(fn: ast.FunctionDef) -> FunctionFacts:
+    """Compute the local dataflow facts of one function body."""
+    return _Scanner(fn).scan()

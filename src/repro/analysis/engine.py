@@ -1,0 +1,205 @@
+"""The chainlint analysis engine.
+
+Ties the pieces together: parse source (or accept a bare AST — the
+admission-gate path for sandboxed user-defined contracts), build the module
+model, run every registered rule, apply inline suppressions
+(``# chainlint: disable=RULEID``) and the justified baseline, and run the
+cross-module event checks over the whole analyzed set.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.analysis.findings import Finding
+from repro.analysis.model import ModuleModel, build_module_model
+from repro.analysis.rules import Rule, RuleRegistry, default_registry
+from repro.analysis.rules_events import SubscriptionSite, collect_subscriptions
+
+_SUPPRESSION = re.compile(r"#\s*chainlint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+def find_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> set of rule ids disabled on that line.
+
+    The special id ``all`` disables every rule on the line.
+    """
+    suppressions: Dict[int, Set[str]] = {}
+    for number, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESSION.search(line)
+        if match:
+            ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
+            suppressions[number] = ids
+    return suppressions
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding: (file, rule, symbol) plus its justification."""
+
+    file: str
+    rule: str
+    symbol: str
+    justification: str = ""
+
+    def matches(self, finding: Finding) -> bool:
+        return (
+            Path(finding.file).as_posix().endswith(Path(self.file).as_posix())
+            and finding.rule_id == self.rule
+            and finding.symbol == self.symbol
+        )
+
+
+def load_baseline(path: Union[str, Path]) -> List[BaselineEntry]:
+    """Load a baseline file; every entry must carry a justification."""
+    data = json.loads(Path(path).read_text())
+    entries: List[BaselineEntry] = []
+    for raw in data.get("findings", []):
+        if not raw.get("justification"):
+            raise ValueError(
+                f"baseline entry {raw.get('file')}:{raw.get('rule')} has no justification"
+            )
+        entries.append(
+            BaselineEntry(
+                file=raw["file"],
+                rule=raw["rule"],
+                symbol=raw.get("symbol", "<module>"),
+                justification=raw["justification"],
+            )
+        )
+    return entries
+
+
+class Analyzer:
+    """Run the chainlint rules over sources, files, trees, or bare ASTs."""
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None,
+                 registry: Optional[RuleRegistry] = None,
+                 strict_imports: bool = False):
+        if rules is not None:
+            self.rules: List[Rule] = list(rules)
+        else:
+            self.rules = (registry or default_registry()).instantiate(strict=strict_imports)
+        self._modules: List[ModuleModel] = []
+
+    # -- single-module analysis -------------------------------------------------
+
+    def analyze_ast(self, tree: ast.Module, filename: str = "<ast>",
+                    source: Optional[str] = None) -> List[Finding]:
+        """Analyze a bare AST (the sandboxed-contract admission path).
+
+        Inline suppressions are honored only when *source* is provided — a
+        synthetic AST has no comments, so everything it trips is reported.
+        The module model is retained so a later :meth:`finish` can run the
+        cross-module event checks over everything analyzed by this instance.
+        """
+        module = build_module_model(tree, filename)
+        self._modules.append(module)
+        findings: List[Finding] = []
+        for rule in self.rules:
+            findings.extend(rule.check_module(module))
+            for contract in module.contracts:
+                findings.extend(rule.check_contract(contract, module))
+        if source is not None:
+            findings = self._apply_suppressions(findings, source)
+        return sorted((f for f in findings if not f.suppressed), key=Finding.sort_key)
+
+    def analyze_source(self, source: str, filename: str = "<source>") -> List[Finding]:
+        tree = ast.parse(source, filename=filename)
+        return self.analyze_ast(tree, filename=filename, source=source)
+
+    def analyze_file(self, path: Union[str, Path]) -> List[Finding]:
+        path = Path(path)
+        return self.analyze_source(path.read_text(), filename=path.as_posix())
+
+    # -- project-level analysis ---------------------------------------------------
+
+    def analyze_paths(self, paths: Iterable[Union[str, Path]],
+                      offchain: Iterable[Union[str, Path]] = ()) -> List[Finding]:
+        """Analyze every ``.py`` file under *paths*, then cross-check events.
+
+        *offchain* files/directories are scanned only for event
+        subscriptions (``subscribe``/``add_filter``/``get_logs`` literals);
+        no rules run over them.
+        """
+        findings: List[Finding] = []
+        for file_path in _python_files(paths):
+            findings.extend(self.analyze_file(file_path))
+        findings.extend(self.finish(_python_files(offchain)))
+        return sorted(findings, key=Finding.sort_key)
+
+    def finish(self, offchain_files: Iterable[Union[str, Path]] = ()) -> List[Finding]:
+        """Run the cross-module checks over every module analyzed so far."""
+        subscriptions: List[SubscriptionSite] = []
+        for file_path in offchain_files:
+            path = Path(file_path)
+            tree = ast.parse(path.read_text(), filename=path.as_posix())
+            subscriptions.extend(collect_subscriptions(tree, path.as_posix()))
+        findings: List[Finding] = []
+        for rule in self.rules:
+            findings.extend(rule.check_project(self._modules, subscriptions))
+        return sorted(findings, key=Finding.sort_key)
+
+    # -- suppression / baseline ----------------------------------------------------
+
+    @staticmethod
+    def _apply_suppressions(findings: List[Finding], source: str) -> List[Finding]:
+        suppressions = find_suppressions(source)
+        if not suppressions:
+            return findings
+        result = []
+        for finding in findings:
+            disabled = suppressions.get(finding.line, set())
+            if finding.rule_id in disabled or "all" in disabled:
+                finding = replace(finding, suppressed=True)
+            result.append(finding)
+        return result
+
+    @staticmethod
+    def apply_baseline(findings: List[Finding],
+                       baseline: Sequence[BaselineEntry]) -> Tuple[List[Finding], List[Finding]]:
+        """Split findings into (fresh, baselined)."""
+        fresh: List[Finding] = []
+        accepted: List[Finding] = []
+        for finding in findings:
+            if any(entry.matches(finding) for entry in baseline):
+                accepted.append(replace(finding, baselined=True))
+            else:
+                fresh.append(finding)
+        return fresh, accepted
+
+
+def _python_files(paths: Iterable[Union[str, Path]]) -> List[Path]:
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+# -- module-level convenience (the admission-gate API) ---------------------------
+
+
+def analyze_ast(tree: ast.Module, filename: str = "<ast>",
+                source: Optional[str] = None, strict: bool = False) -> List[Finding]:
+    """Analyze one bare AST with the default rules.
+
+    This is the entrypoint the sandboxed user-defined-contract interpreter
+    calls as its admission check: parse the submitted program, hand the tree
+    here with ``strict=True``, and refuse deployment on any finding.
+    """
+    return Analyzer(strict_imports=strict).analyze_ast(tree, filename=filename, source=source)
+
+
+def analyze_source(source: str, filename: str = "<source>",
+                   strict: bool = False) -> List[Finding]:
+    """Parse and analyze one source string with the default rules."""
+    return Analyzer(strict_imports=strict).analyze_source(source, filename=filename)

@@ -1,0 +1,67 @@
+"""Finding objects produced by the chainlint rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+class Severity:
+    """Finding severities (informational — the gate fails on both)."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a file, line, and symbol.
+
+    ``symbol`` is the dotted location inside the module — usually
+    ``ClassName.method`` for contract-rule findings, ``<module>`` for
+    module-level ones.  Baseline matching keys on ``(file, rule_id,
+    symbol)`` so accepted findings survive unrelated line drift.
+    """
+
+    rule_id: str
+    rule_name: str
+    message: str
+    file: str
+    line: int
+    col: int = 0
+    symbol: str = "<module>"
+    severity: str = Severity.ERROR
+    suppressed: bool = False
+    baselined: bool = False
+
+    @property
+    def location(self) -> str:
+        return f"{self.file}:{self.line}"
+
+    def format(self) -> str:
+        flags = ""
+        if self.suppressed:
+            flags = " [suppressed]"
+        elif self.baselined:
+            flags = " [baselined]"
+        return (
+            f"{self.file}:{self.line}:{self.col}: {self.rule_id} "
+            f"({self.rule_name}) {self.message} [{self.symbol}]{flags}"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule_id,
+            "name": self.rule_name,
+            "message": self.message,
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "symbol": self.symbol,
+            "severity": self.severity,
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+        }
+
+    def sort_key(self):
+        return (self.file, self.line, self.col, self.rule_id)

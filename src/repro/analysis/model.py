@@ -1,0 +1,270 @@
+"""AST model of a contract module.
+
+Builds the structure the rules key on: which classes are ``SmartContract``
+subclasses, which of their methods are transaction entrypoints (the same
+resolution the VM's ``SmartContract.public_entrypoints`` / ``_invoke``
+perform — framework methods inherited from the base class are not
+entrypoints), which methods affect state (directly or through ``self._x()``
+helper calls), and where events are emitted with which payload schemas.
+
+Everything here works on a bare :class:`ast.Module` — no filesystem access —
+so the sandboxed-contract admission gate can feed it synthetic trees.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.blockchain.vm import CONTRACT_FRAMEWORK_METHODS
+
+#: StorageProxy methods that read persistent state.
+STORAGE_READ_METHODS = frozenset(
+    {"get", "keys", "items", "get_entry", "has_entry", "entry_count", "get_item"}
+)
+
+#: StorageProxy methods that write persistent state.
+STORAGE_WRITE_METHODS = frozenset(
+    {"set_entry", "delete_entry", "append", "set_item", "setdefault"}
+)
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Return ``"a.b.c"`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def is_storage_attr(node: ast.AST) -> bool:
+    """True for the expression ``self.storage``."""
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "storage"
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
+def storage_read_key(node: ast.AST) -> Optional[ast.AST]:
+    """Return the slot-key expression when *node* reads a whole slot.
+
+    Matches ``self.storage[K]`` (Load) and ``self.storage.get(K, ...)``;
+    returns ``K``.  Per-entry reads (``get_entry`` …) are not whole-slot
+    reads and return None.
+    """
+    if isinstance(node, ast.Subscript) and is_storage_attr(node.value):
+        return node.slice
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "get"
+        and is_storage_attr(node.func.value)
+        and node.args
+    ):
+        return node.args[0]
+    return None
+
+
+def is_storage_write_stmt(node: ast.AST) -> bool:
+    """True when *node* is a statement/expression that writes storage."""
+    if isinstance(node, (ast.Assign, ast.AugAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            if isinstance(target, ast.Subscript) and is_storage_attr(target.value):
+                return True
+    if isinstance(node, ast.Delete):
+        for target in node.targets:
+            if isinstance(target, ast.Subscript) and is_storage_attr(target.value):
+                return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in STORAGE_WRITE_METHODS and is_storage_attr(node.func.value):
+            return True
+    return False
+
+
+def self_call_name(node: ast.AST) -> Optional[str]:
+    """Return the method name for a ``self.<name>(...)`` call, else None."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id == "self"
+    ):
+        return node.func.attr
+    return None
+
+
+@dataclass
+class EmitSite:
+    """One ``self.emit(event, **payload)`` call."""
+
+    event: str
+    keys: Optional[FrozenSet[str]]  # None when the payload is dynamic (**kwargs)
+    line: int
+    col: int
+    method: str
+    contract: str
+
+
+@dataclass
+class MethodModel:
+    name: str
+    node: ast.FunctionDef
+    is_public: bool
+    writes_storage: bool          # direct writes / emits / transfers only
+    self_calls: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class ContractModel:
+    name: str
+    node: ast.ClassDef
+    methods: Dict[str, MethodModel] = field(default_factory=dict)
+    emit_sites: List[EmitSite] = field(default_factory=list)
+    #: Public methods minus the VM's framework methods — what a transaction
+    #: can actually invoke (mirrors SmartContract.public_entrypoints()).
+    entrypoints: Set[str] = field(default_factory=set)
+    #: Methods that mutate state directly or via self-call helpers.
+    state_affecting: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class ImportRecord:
+    module: str          # full dotted module ("repro.contracts.base", "random")
+    root: str            # first component ("repro", "random")
+    line: int
+    col: int
+
+
+@dataclass
+class ModuleModel:
+    tree: ast.Module
+    filename: str
+    contracts: List[ContractModel] = field(default_factory=list)
+    imports: List[ImportRecord] = field(default_factory=list)
+    #: child node -> parent node, for rules that need enclosing context.
+    parents: Dict[ast.AST, ast.AST] = field(default_factory=dict)
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self.parents.get(node)
+
+
+def _contract_bases(node: ast.ClassDef) -> bool:
+    for base in node.bases:
+        name = dotted_name(base)
+        if name and name.split(".")[-1] == "SmartContract":
+            return True
+    return False
+
+
+def _collect_emits(method: ast.FunctionDef, contract: str) -> List[EmitSite]:
+    sites: List[EmitSite] = []
+    for node in ast.walk(method):
+        if self_call_name(node) != "emit":
+            continue
+        call = node  # type: ignore[assignment]
+        if not call.args:
+            continue
+        first = call.args[0]
+        if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+            continue
+        dynamic = any(kw.arg is None for kw in call.keywords)
+        keys: Optional[FrozenSet[str]] = None
+        if not dynamic:
+            keys = frozenset(kw.arg for kw in call.keywords if kw.arg is not None)
+        sites.append(
+            EmitSite(
+                event=first.value,
+                keys=keys,
+                line=call.lineno,
+                col=call.col_offset,
+                method=method.name,
+                contract=contract,
+            )
+        )
+    return sites
+
+
+def _method_writes_state(method: ast.FunctionDef) -> bool:
+    for node in ast.walk(method):
+        if is_storage_write_stmt(node):
+            return True
+        if self_call_name(node) in ("emit", "transfer"):
+            return True
+    return False
+
+
+def build_contract_model(node: ast.ClassDef) -> ContractModel:
+    model = ContractModel(name=node.name, node=node)
+    for item in node.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        method = MethodModel(
+            name=item.name,
+            node=item,
+            is_public=not item.name.startswith("_"),
+            writes_storage=_method_writes_state(item),
+        )
+        for sub in ast.walk(item):
+            called = self_call_name(sub)
+            if called is not None:
+                method.self_calls.add(called)
+        model.methods[item.name] = method
+        model.emit_sites.extend(_collect_emits(item, node.name))
+        if method.is_public and item.name not in CONTRACT_FRAMEWORK_METHODS:
+            model.entrypoints.add(item.name)
+
+    # Propagate state-affecting through the intra-class call graph to a
+    # fixed point, so an entrypoint delegating every write to a helper is
+    # still recognized as state-affecting.
+    affecting = {name for name, m in model.methods.items() if m.writes_storage}
+    changed = True
+    while changed:
+        changed = False
+        for name, method in model.methods.items():
+            if name in affecting:
+                continue
+            if method.self_calls & affecting:
+                affecting.add(name)
+                changed = True
+    model.state_affecting = affecting
+    return model
+
+
+def build_module_model(tree: ast.Module, filename: str) -> ModuleModel:
+    model = ModuleModel(tree=tree, filename=filename)
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            model.parents[child] = node
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                model.imports.append(
+                    ImportRecord(
+                        module=alias.name,
+                        root=alias.name.split(".")[0],
+                        line=node.lineno,
+                        col=node.col_offset,
+                    )
+                )
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            model.imports.append(
+                ImportRecord(
+                    module=module,
+                    root=module.split(".")[0] if module else "",
+                    line=node.lineno,
+                    col=node.col_offset,
+                )
+            )
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and _contract_bases(node):
+            model.contracts.append(build_contract_model(node))
+    return model

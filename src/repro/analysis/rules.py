@@ -1,0 +1,112 @@
+"""Rule base class and registry.
+
+A rule inspects the :class:`~repro.analysis.model.ModuleModel` (and, for
+cross-module checks, the whole analysis run) and yields
+:class:`~repro.analysis.findings.Finding` objects.  Rules register
+themselves into a :class:`RuleRegistry`; the default registry is populated
+by importing the rule modules and is what :class:`~repro.analysis.engine.
+Analyzer` uses unless given an explicit rule set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Type
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.model import ContractModel, ModuleModel
+
+
+class Rule:
+    """Base class for chainlint rules."""
+
+    id: str = ""
+    name: str = ""
+    description: str = ""
+    severity: str = Severity.ERROR
+    #: Strict-only rules run only for the sandboxed-contract admission gate
+    #: (``Analyzer(strict_imports=True)``), not for repo linting.
+    strict_only: bool = False
+
+    def check_module(self, module: ModuleModel) -> Iterator[Finding]:
+        """Module-scope checks (imports, module-level statements)."""
+        return iter(())
+
+    def check_contract(self, contract: ContractModel,
+                       module: ModuleModel) -> Iterator[Finding]:
+        """Per-contract checks."""
+        return iter(())
+
+    def check_project(self, modules: List[ModuleModel],
+                      subscriptions: Optional[list] = None) -> Iterator[Finding]:
+        """Cross-module checks, run once after every module is analyzed."""
+        return iter(())
+
+    def finding(self, module: ModuleModel, node, message: str,
+                symbol: str = "<module>") -> Finding:
+        return Finding(
+            rule_id=self.id,
+            rule_name=self.name,
+            message=message,
+            file=module.filename,
+            line=getattr(node, "lineno", getattr(node, "line", 0)),
+            col=getattr(node, "col_offset", getattr(node, "col", 0)),
+            symbol=symbol,
+            severity=self.severity,
+        )
+
+
+class RuleRegistry:
+    """Mapping of rule id to rule class."""
+
+    def __init__(self):
+        self._rules: Dict[str, Type[Rule]] = {}
+
+    def register(self, rule_class: Type[Rule]) -> Type[Rule]:
+        if not rule_class.id:
+            raise ValueError(f"{rule_class.__name__} has no rule id")
+        if rule_class.id in self._rules:
+            raise ValueError(f"duplicate rule id {rule_class.id}")
+        self._rules[rule_class.id] = rule_class
+        return rule_class
+
+    def get(self, rule_id: str) -> Type[Rule]:
+        return self._rules[rule_id]
+
+    def ids(self) -> List[str]:
+        return sorted(self._rules)
+
+    def instantiate(self, strict: bool = False,
+                    only: Optional[Iterable[str]] = None) -> List[Rule]:
+        """Build rule instances for one analysis run."""
+        wanted = set(only) if only is not None else None
+        rules: List[Rule] = []
+        for rule_id in self.ids():
+            rule_class = self._rules[rule_id]
+            if wanted is not None and rule_id not in wanted:
+                continue
+            if rule_class.strict_only and not strict and wanted is None:
+                continue
+            rules.append(rule_class())
+        return rules
+
+
+_DEFAULT = RuleRegistry()
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the default registry."""
+    return _DEFAULT.register(rule_class)
+
+
+def default_registry() -> RuleRegistry:
+    """Return the default registry with every built-in rule loaded."""
+    # Imported here (not at module top) to avoid a cycle: the rule modules
+    # import ``register`` from this module.
+    from repro.analysis import (  # noqa: F401
+        rules_determinism,
+        rules_events,
+        rules_gas,
+        rules_storage,
+    )
+
+    return _DEFAULT

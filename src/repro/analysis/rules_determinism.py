@@ -1,0 +1,257 @@
+"""Determinism rules (DET0xx).
+
+Every replica re-executes contract code independently; anything that can
+evaluate differently on two replicas — ambient time, randomness, process
+environment, float rounding, iteration order that depends on dict insertion
+history — diverges state roots silently.  Contract code must read its
+context exclusively through the VM (``self.block_timestamp``,
+``self.block_number``, ``self.msg_sender``, ``self.msg_value``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from repro.analysis.dataflow import scan_function
+from repro.analysis.findings import Severity
+from repro.analysis.model import ContractModel, ModuleModel, dotted_name, is_storage_attr
+from repro.analysis.rules import Rule, register
+
+#: Modules whose use inside contract code is inherently nondeterministic or
+#: environment-dependent.
+BANNED_MODULES = frozenset(
+    {"time", "random", "datetime", "os", "sys", "secrets", "uuid", "socket",
+     "threading", "multiprocessing", "subprocess", "asyncio", "io", "pathlib",
+     "math"}
+)
+
+#: Builtins banned in contract code: salted hashing, identity addresses, IO,
+#: and dynamic code execution.
+BANNED_BUILTINS = frozenset(
+    {"hash", "id", "input", "open", "print", "eval", "exec", "compile",
+     "globals", "locals", "vars", "__import__"}
+)
+
+#: Imports the sandboxed-contract admission gate accepts (strict mode).
+IMPORT_WHITELIST = frozenset(
+    {"__future__", "typing", "repro.contracts.base",
+     "repro.common.serialization", "repro.common.errors"}
+)
+
+#: Order-insensitive consumers: feeding unordered iteration into these does
+#: not leak iteration order into state or events.
+ORDER_INSENSITIVE_CONSUMERS = frozenset(
+    {"sorted", "sum", "min", "max", "len", "any", "all", "set", "frozenset"}
+)
+
+#: Order-preserving consumers: iteration order becomes data.
+ORDER_PRESERVING_CONSUMERS = frozenset(
+    {"list", "tuple", "enumerate", "reversed", "iter", "dict"}
+)
+
+
+def _iter_contract_nodes(contract: ContractModel) -> Iterator[ast.AST]:
+    for method in contract.methods.values():
+        yield from ast.walk(method.node)
+
+
+@register
+class BannedImportRule(Rule):
+    id = "DET001"
+    name = "banned-import"
+    description = "Import of a nondeterministic or environment-reading module."
+
+    def check_module(self, module: ModuleModel) -> Iterator[ast.AST]:
+        for record in module.imports:
+            if record.root in BANNED_MODULES:
+                yield self.finding(
+                    module,
+                    record,
+                    f"import of nondeterministic module {record.module!r} — contract "
+                    f"code must read context through the VM (self.block_timestamp, …)",
+                )
+
+
+@register
+class NonWhitelistedImportRule(Rule):
+    id = "DET006"
+    name = "import-not-whitelisted"
+    description = "Import outside the sandboxed-contract whitelist."
+    strict_only = True
+
+    def check_module(self, module: ModuleModel) -> Iterator[ast.AST]:
+        for record in module.imports:
+            if record.module not in IMPORT_WHITELIST:
+                yield self.finding(
+                    module,
+                    record,
+                    f"import {record.module!r} is not on the contract whitelist "
+                    f"({', '.join(sorted(IMPORT_WHITELIST))})",
+                )
+
+
+@register
+class NondeterministicCallRule(Rule):
+    id = "DET002"
+    name = "nondeterministic-call"
+    description = "Call into a nondeterminism source (time, random, os, hash, …)."
+
+    def check_contract(self, contract: ContractModel,
+                       module: ModuleModel) -> Iterator[ast.AST]:
+        for node in _iter_contract_nodes(contract):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            root = name.split(".")[0]
+            message: Optional[str] = None
+            if root in BANNED_MODULES:
+                message = (
+                    f"call to {name}() is nondeterministic across replicas — use the "
+                    f"VM context (self.block_timestamp / self.block_number) instead"
+                )
+            elif name in BANNED_BUILTINS:
+                message = (
+                    f"call to builtin {name}() is banned in contract code "
+                    f"(nondeterministic, environment-reading, or dynamic execution)"
+                )
+            if message is not None:
+                yield self.finding(
+                    module, node, message, symbol=f"{contract.name}.{_method_of(contract, node)}"
+                )
+
+
+@register
+class FloatArithmeticRule(Rule):
+    id = "DET003"
+    name = "float-arithmetic"
+    description = "Float arithmetic in contract code (rounding is platform-lore)."
+
+    def check_contract(self, contract: ContractModel,
+                       module: ModuleModel) -> Iterator[ast.AST]:
+        for method in contract.methods.values():
+            symbol = f"{contract.name}.{method.name}"
+            for node in ast.walk(method.node):
+                if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+                    yield self.finding(
+                        module, node,
+                        "true division produces floats — balances and shares must use "
+                        "integer arithmetic (//)",
+                        symbol=symbol,
+                    )
+                elif isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Div):
+                    yield self.finding(
+                        module, node,
+                        "true division produces floats — use integer arithmetic (//=)",
+                        symbol=symbol,
+                    )
+                elif isinstance(node, ast.Constant) and isinstance(node.value, float):
+                    yield self.finding(
+                        module, node,
+                        f"float literal {node.value!r} in contract code — amounts must "
+                        f"be integers",
+                        symbol=symbol,
+                    )
+                elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+                        and node.func.id == "float":
+                    yield self.finding(
+                        module, node,
+                        "float() conversion in contract code — amounts must be integers",
+                        symbol=symbol,
+                    )
+
+
+@register
+class SetIterationRule(Rule):
+    id = "DET004"
+    name = "set-iteration"
+    description = "Iteration over a set (order is salted per process)."
+
+    def check_contract(self, contract: ContractModel,
+                       module: ModuleModel) -> Iterator[ast.AST]:
+        for method in contract.methods.values():
+            facts = scan_function(method.node)
+            symbol = f"{contract.name}.{method.name}"
+            for node in ast.walk(method.node):
+                iters: List[ast.AST] = []
+                if isinstance(node, ast.For):
+                    iters.append(node.iter)
+                elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                       ast.GeneratorExp)):
+                    iters.extend(gen.iter for gen in node.generators)
+                for iter_expr in iters:
+                    if self._is_set(iter_expr, facts):
+                        yield self.finding(
+                            module, iter_expr,
+                            "iterating a set — its order is salted per process; sort it "
+                            "(sorted(...)) before iterating",
+                            symbol=symbol,
+                        )
+
+    @staticmethod
+    def _is_set(node: ast.AST, facts) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+                and node.func.id in ("set", "frozenset"):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in facts.set_names
+        return False
+
+
+@register
+class UnorderedIterationRule(Rule):
+    id = "DET005"
+    name = "unordered-iteration"
+    description = "Dict iteration whose order depends on insertion history."
+
+    def check_contract(self, contract: ContractModel,
+                       module: ModuleModel) -> Iterator[ast.AST]:
+        for method in contract.methods.values():
+            symbol = f"{contract.name}.{method.name}"
+            for node in ast.walk(method.node):
+                if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)
+                        and node.func.attr in ("items", "keys", "values")
+                        and not node.args and not node.keywords):
+                    continue
+                # StorageProxy.keys()/items() sort by contract (see vm.py).
+                if is_storage_attr(node.func.value):
+                    continue
+                if not self._order_matters(node, module):
+                    continue
+                yield self.finding(
+                    module, node,
+                    f".{node.func.attr}() iteration order depends on dict insertion "
+                    f"history, which may differ across replicas (snapshot restore, "
+                    f"migration) — wrap in sorted(...)",
+                    symbol=symbol,
+                )
+
+    @staticmethod
+    def _order_matters(node: ast.Call, module: ModuleModel) -> bool:
+        parent = module.parent(node)
+        if isinstance(parent, ast.For) and parent.iter is node:
+            return True
+        if isinstance(parent, ast.comprehension) and parent.iter is node:
+            return True
+        if isinstance(parent, ast.Call) and isinstance(parent.func, ast.Name) \
+                and node in parent.args:
+            if parent.func.id in ORDER_INSENSITIVE_CONSUMERS:
+                return False
+            if parent.func.id in ORDER_PRESERVING_CONSUMERS:
+                return True
+        return False
+
+
+def _method_of(contract: ContractModel, node: ast.AST) -> str:
+    line = getattr(node, "lineno", 0)
+    best = "<class>"
+    best_line = -1
+    for method in contract.methods.values():
+        if method.node.lineno <= line and method.node.lineno > best_line:
+            best = method.name
+            best_line = method.node.lineno
+    return best

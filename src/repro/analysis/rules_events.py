@@ -1,0 +1,140 @@
+"""Event / ABI consistency rules (EVT0xx).
+
+Events are the contract layer's ABI towards the off-chain world: push-out
+oracles and monitoring subscribe by event name and read fixed payload keys.
+Two emit sites for one event with different payload schemas, or an off-chain
+subscription naming an event nothing emits, are integration bugs that only
+surface as silently-missing notifications.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.model import ModuleModel
+from repro.analysis.rules import Rule, register
+
+
+@dataclass
+class SubscriptionSite:
+    """One off-chain subscription to a contract event, by name."""
+
+    event: str
+    file: str
+    line: int
+    col: int
+
+
+def collect_subscriptions(tree: ast.Module, filename: str) -> List[SubscriptionSite]:
+    """Extract event-name literals from off-chain subscription calls.
+
+    Recognizes ``x.subscribe("Event", …)``, ``x.replay("Event", …)``, and
+    ``event="Event"`` keyword arguments of ``add_filter`` / ``get_logs``
+    calls — the three ways off-chain components attach to contract events.
+    """
+    sites: List[SubscriptionSite] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+            continue
+        name = node.func.attr
+        if name in ("subscribe", "replay") and node.args:
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                sites.append(
+                    SubscriptionSite(first.value, filename, first.lineno, first.col_offset)
+                )
+        elif name in ("add_filter", "get_logs"):
+            for keyword in node.keywords:
+                if keyword.arg == "event" and isinstance(keyword.value, ast.Constant) \
+                        and isinstance(keyword.value.value, str):
+                    sites.append(
+                        SubscriptionSite(
+                            keyword.value.value, filename,
+                            keyword.value.lineno, keyword.value.col_offset,
+                        )
+                    )
+    return sites
+
+
+@register
+class InconsistentEventSchemaRule(Rule):
+    id = "EVT001"
+    name = "inconsistent-event-schema"
+    description = "One event name emitted with two different payload schemas."
+
+    def check_project(self, modules: List[ModuleModel],
+                      subscriptions: Optional[list] = None) -> Iterator[Finding]:
+        # (contract class, event) -> first static schema seen and where.
+        schemas: Dict[Tuple[str, str], Tuple[frozenset, str, int]] = {}
+        for module in modules:
+            for contract in module.contracts:
+                for site in contract.emit_sites:
+                    if site.keys is None:
+                        continue  # dynamic (**payload) — checked at runtime
+                    key = (contract.name, site.event)
+                    if key not in schemas:
+                        schemas[key] = (site.keys, module.filename, site.line)
+                        continue
+                    expected, first_file, first_line = schemas[key]
+                    if site.keys != expected:
+                        missing = sorted(expected - site.keys)
+                        extra = sorted(site.keys - expected)
+                        detail = "; ".join(
+                            part for part in (
+                                f"missing {missing}" if missing else "",
+                                f"extra {extra}" if extra else "",
+                            ) if part
+                        )
+                        yield Finding(
+                            rule_id=self.id,
+                            rule_name=self.name,
+                            message=(
+                                f"event {site.event!r} emitted with a different payload "
+                                f"schema than at {first_file}:{first_line} ({detail}) — "
+                                f"off-chain filters read fixed keys"
+                            ),
+                            file=module.filename,
+                            line=site.line,
+                            col=site.col,
+                            symbol=f"{contract.name}.{site.method}",
+                            severity=self.severity,
+                        )
+
+
+@register
+class UnknownEventSubscriptionRule(Rule):
+    id = "EVT002"
+    name = "unknown-event-subscription"
+    description = "Off-chain subscription to an event no contract emits."
+
+    def check_project(self, modules: List[ModuleModel],
+                      subscriptions: Optional[list] = None) -> Iterator[Finding]:
+        if not subscriptions:
+            return
+        emitted = {
+            site.event
+            for module in modules
+            for contract in module.contracts
+            for site in contract.emit_sites
+        }
+        if not emitted:
+            # No contracts in this run — nothing to cross-check against.
+            return
+        for sub in subscriptions:
+            if sub.event not in emitted:
+                yield Finding(
+                    rule_id=self.id,
+                    rule_name=self.name,
+                    message=(
+                        f"subscription to event {sub.event!r}, which no analyzed "
+                        f"contract emits — the filter will never fire"
+                    ),
+                    file=sub.file,
+                    line=sub.line,
+                    col=sub.col,
+                    symbol="<off-chain>",
+                    severity=self.severity,
+                )

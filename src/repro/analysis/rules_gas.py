@@ -1,0 +1,105 @@
+"""Gas- and bounds-safety rules (GAS0xx).
+
+An entrypoint whose work grows with the size of an on-chain collection will
+eventually exceed any gas limit — population-scale rounds chunk such work
+off-chain (``call_contract_chunked``) and the per-entry storage ops exist so
+the common operations never need the whole collection.  Entrypoints must
+also validate the sender *before* mutating state (checks-effects ordering):
+a revert after a partial mutation is journal-safe here, but the pattern
+hides real authorization bugs and breaks on any VM without full rollback.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.dataflow import scan_function
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.model import ContractModel, ModuleModel, self_call_name
+from repro.analysis.rules import Rule, register
+
+
+@register
+class UnboundedStorageLoopRule(Rule):
+    id = "GAS001"
+    name = "unbounded-storage-loop"
+    description = "Loop over storage contents that writes state."
+    severity = Severity.WARNING
+
+    def check_contract(self, contract: ContractModel,
+                       module: ModuleModel) -> Iterator[Finding]:
+        for method in contract.methods.values():
+            facts = scan_function(method.node)
+            symbol = f"{contract.name}.{method.name}"
+            for loop in facts.storage_loops:
+                if loop.whole_storage:
+                    yield self.finding(
+                        module, loop.node,
+                        "iterating the contract's entire storage — gas grows with "
+                        "every slot the contract has ever written",
+                        symbol=symbol,
+                    )
+                elif loop.body_writes:
+                    yield self.finding(
+                        module, loop.node,
+                        "loop over a storage collection with writes in the body — gas "
+                        "grows with the collection; chunk the work off-chain or use "
+                        "per-entry operations",
+                        symbol=symbol,
+                    )
+
+
+@register
+class StateBeforeCheckRule(Rule):
+    id = "GAS002"
+    name = "state-before-check"
+    description = "Entrypoint mutates state before its sender/access check."
+    severity = Severity.WARNING
+
+    def check_contract(self, contract: ContractModel,
+                       module: ModuleModel) -> Iterator[Finding]:
+        for name in sorted(contract.entrypoints):
+            method = contract.methods[name]
+            symbol = f"{contract.name}.{name}"
+            first_write = self._first_effect_line(method.node)
+            if first_write is None:
+                continue
+            for node in ast.walk(method.node):
+                if self_call_name(node) != "require":
+                    continue
+                if node.lineno <= first_write:
+                    continue
+                if not self._mentions_sender(node):
+                    continue
+                yield self.finding(
+                    module, node,
+                    "sender/access check after state was already mutated — order "
+                    "checks before effects",
+                    symbol=symbol,
+                )
+
+    @staticmethod
+    def _first_effect_line(fn: ast.FunctionDef) -> Optional[int]:
+        from repro.analysis.model import is_storage_write_stmt
+
+        first: Optional[int] = None
+        for node in ast.walk(fn):
+            effect = is_storage_write_stmt(node) or self_call_name(node) == "transfer"
+            if effect:
+                line = node.lineno
+                if first is None or line < first:
+                    first = line
+        return first
+
+    @staticmethod
+    def _mentions_sender(require_call: ast.Call) -> bool:
+        for node in ast.walk(require_call):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr == "msg_sender"
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            ):
+                return True
+        return False

@@ -1,0 +1,122 @@
+"""Storage-discipline rules (STO0xx).
+
+All persistent state must flow through the journaled ``StorageProxy``
+operations: the journal is what makes per-transaction rollback and bounded
+reorgs correct, and the per-entry operations (``get_entry`` / ``set_entry``
+/ ``set_item`` / ``append``) are what keep contract methods O(touched
+entries) instead of O(collection).  Instance attributes and mutated slot
+aliases live outside the journal entirely — a reorg cannot undo them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.dataflow import scan_function
+from repro.analysis.findings import Finding
+from repro.analysis.model import ContractModel, ModuleModel
+from repro.analysis.rules import Rule, register
+from repro.blockchain.vm import CONTRACT_FRAMEWORK_ATTRIBUTES
+
+
+@register
+class RawStateAttributeRule(Rule):
+    id = "STO001"
+    name = "raw-state-attribute"
+    description = "Contract state kept in an instance attribute instead of storage."
+
+    def check_contract(self, contract: ContractModel,
+                       module: ModuleModel) -> Iterator[Finding]:
+        for method in contract.methods.values():
+            symbol = f"{contract.name}.{method.name}"
+            for node in ast.walk(method.node):
+                if not isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                    continue
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and target.attr not in CONTRACT_FRAMEWORK_ATTRIBUTES
+                    ):
+                        yield self.finding(
+                            module, node,
+                            f"assignment to self.{target.attr} bypasses the journaled "
+                            f"storage — persistent state must live in self.storage",
+                            symbol=symbol,
+                        )
+
+
+@register
+class WholeSlotRmwRule(Rule):
+    id = "STO002"
+    name = "whole-slot-rmw"
+    description = "Whole-slot read-modify-write where a per-entry op exists."
+
+    def check_contract(self, contract: ContractModel,
+                       module: ModuleModel) -> Iterator[Finding]:
+        for method in contract.methods.values():
+            facts = scan_function(method.node)
+            mutated = facts.mutated_roots()
+            symbol = f"{contract.name}.{method.name}"
+            for writeback in facts.writebacks:
+                name = writeback.value_name
+                if name not in mutated:
+                    continue
+                # Read-modify-write: the written-back name was either read
+                # from the same slot in this function, or handed in as a
+                # parameter (the caller read it).
+                read_key = facts.slot_reads.get(name)
+                if read_key is not None and read_key != writeback.key_dump:
+                    continue
+                if read_key is None and name not in facts.params:
+                    continue
+                yield self.finding(
+                    module, writeback.node,
+                    f"whole-slot read-modify-write of {name!r} — the journal and "
+                    f"state-root cache re-process the entire slot; use "
+                    f"set_entry/set_item/append to touch only the changed entries",
+                    symbol=symbol,
+                )
+
+
+@register
+class AliasedSlotMutationRule(Rule):
+    id = "STO003"
+    name = "aliased-slot-mutation"
+    description = "Mutating a copy read from storage without writing it back."
+
+    def check_contract(self, contract: ContractModel,
+                       module: ModuleModel) -> Iterator[Finding]:
+        for method in contract.methods.values():
+            facts = scan_function(method.node)
+            symbol = f"{contract.name}.{method.name}"
+            reported = set()
+            for mutation in facts.mutations:
+                if mutation.root is None:
+                    # Mutating the fresh copy a storage read returned: the
+                    # change is silently discarded.
+                    yield self.finding(
+                        module, mutation.node,
+                        "mutating the copy returned by a storage read — storage has "
+                        "value semantics, so this change is silently lost; use "
+                        "set_entry/set_item or write the slot back",
+                        symbol=symbol,
+                    )
+                    continue
+                root = mutation.root
+                if root in reported or root not in facts.slot_reads:
+                    continue
+                if root in facts.escapes:
+                    continue
+                reported.add(root)
+                yield self.finding(
+                    module, mutation.node,
+                    f"{root!r} aliases a storage slot copy and is mutated but never "
+                    f"written back — the mutation does not reach the journaled state",
+                    symbol=symbol,
+                )

@@ -183,6 +183,13 @@ class WorldState:
                 if storage is not None and isinstance(storage.get(key), list) and storage[key]:
                     storage[key].pop()
                 self._touch(address, key)
+            elif kind == "item":
+                _, _, key, index, old = entry
+                storage = self._storage.get(address)
+                if storage is not None and isinstance(storage.get(key), list) \
+                        and 0 <= index < len(storage[key]):
+                    storage[key][index] = old
+                self._touch(address, key)
 
     @property
     def journal_depth(self) -> int:
@@ -392,6 +399,37 @@ class WorldState:
         del slot[entry_key]
         self._touch(address, key)
         return True
+
+    def storage_read_item(self, address: str, key: str, index: int, default: Any = None) -> Any:
+        """Read one element of a list-valued slot; copies O(that element)."""
+        storage = self._contract_storage(address)
+        slot = storage.get(key)
+        if slot is None:
+            return default
+        if not isinstance(slot, list):
+            raise ValidationError(f"storage slot {key!r} of {address} does not hold a list")
+        if not 0 <= index < len(slot):
+            return default
+        return copy_jsonlike(slot[index])
+
+    def storage_write_item(self, address: str, key: str, index: int, value: Any) -> None:
+        """Overwrite one element of a list-valued slot (journaled O(one element)).
+
+        The index must address an existing element — list slots only grow
+        through :meth:`storage_append`, so an item write never changes the
+        slot's length and its undo entry restores exactly one element.
+        """
+        storage = self._contract_storage(address)
+        slot = storage.get(key)
+        if not isinstance(slot, list):
+            raise ValidationError(f"storage slot {key!r} of {address} does not hold a list")
+        if not 0 <= index < len(slot):
+            raise ValidationError(
+                f"list slot {key!r} of {address} has no index {index} (length {len(slot)})"
+            )
+        self._record(("item", address, key, index, slot[index]))
+        slot[index] = copy_jsonlike(value)
+        self._touch(address, key)
 
     def storage_append(self, address: str, key: str, value: Any) -> Tuple[int, bool]:
         """Append to a list-valued slot; returns ``(new length, slot was new)``.

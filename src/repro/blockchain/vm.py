@@ -104,12 +104,24 @@ class StorageProxy:
         return self._state.storage_read(self._address, key, _MISSING) is not _MISSING
 
     def keys(self) -> List[str]:
+        """Return every slot key, **deterministically sorted**.
+
+        Ordering contract: :meth:`keys` and :meth:`items` sort by slot key,
+        so the order contract code observes is a pure function of the slot
+        *contents* and can never depend on dict insertion history — which
+        may differ between a replica that replayed the chain and one that
+        restored a snapshot or ran a storage migration.
+        """
         self._charge("read")
-        return self._state.storage_keys(self._address)
+        return sorted(self._state.storage_keys(self._address))
 
     def items(self) -> List[tuple]:
+        """Return every ``(slot key, value)`` pair, sorted by slot key.
+
+        See :meth:`keys` for the ordering contract.
+        """
         self._charge("read")
-        return list(self._state.storage_of(self._address).items())
+        return sorted(self._state.storage_of(self._address).items())
 
     def setdefault(self, key: str, default: Any) -> Any:
         """Return the stored value for *key*, writing *default* on a miss.
@@ -182,6 +194,23 @@ class StorageProxy:
         length, is_new_slot = self._state.storage_append(self._address, key, value)
         self._charge("write", is_new=is_new_slot)
         return length
+
+    def get_item(self, key: str, index: int, default: Any = None) -> Any:
+        """Read one element of a list-valued slot (one metered read)."""
+        self._charge("read")
+        return self._state.storage_read_item(self._address, key, int(index), default)
+
+    def set_item(self, key: str, index: int, value: Any) -> None:
+        """Overwrite one existing element of a list-valued slot.
+
+        Priced like a slot update; the journal records only the replaced
+        element, so patching one entry of a long on-chain list never copies
+        or re-journals the rest of it.
+        """
+        if self._context.read_only:
+            raise ContractError("storage writes are not allowed in read-only calls")
+        self._state.storage_write_item(self._address, key, int(index), value)
+        self._charge("write", is_new=False)
 
 
 _MISSING = object()
@@ -259,6 +288,56 @@ class SmartContract:
 
     def constructor(self, **kwargs: Any) -> None:
         """Initialization hook executed once at deployment."""
+
+    # -- entrypoint metadata ---------------------------------------------------
+
+    @classmethod
+    def public_entrypoints(cls) -> List[str]:
+        """Names of the methods invocable through a transaction, sorted.
+
+        A transaction entrypoint is a public method *defined by the contract
+        subclass* (or an intermediate subclass).  Framework methods inherited
+        from :class:`SmartContract` itself — ``transfer``, ``emit``,
+        ``require``, ``balance``, ``constructor`` — are not entrypoints: a
+        transaction naming them is rejected by the VM.  The static analyzer
+        (``repro.analysis``) keys on this resolution when deciding which
+        methods form a contract's public attack surface.
+        """
+        base = set(vars(SmartContract))
+        names = set()
+        for klass in cls.__mro__:
+            if klass in (SmartContract, object):
+                continue
+            for name, attr in vars(klass).items():
+                if name.startswith("_") or name in base:
+                    continue
+                if callable(attr):
+                    names.add(name)
+        return sorted(names)
+
+
+#: Callable methods the framework base class provides to contract code.
+#: ``_invoke`` refuses transactions naming them (a caller-chosen ``transfer``
+#: would drain contract funds; ``constructor`` would re-initialize state) and
+#: the static analyzer excludes them from entrypoint resolution.
+CONTRACT_FRAMEWORK_METHODS = frozenset(
+    name
+    for name, attr in vars(SmartContract).items()
+    if not name.startswith("_") and callable(attr)
+)
+
+#: Every attribute the base class defines on contract instances.  Contract
+#: subclasses must keep persistent state in ``self.storage`` only; the
+#: analyzer flags assignments to any other ``self.`` attribute.
+CONTRACT_FRAMEWORK_ATTRIBUTES = frozenset(
+    name for name in vars(SmartContract) if not name.startswith("__")
+) | {"address", "storage", "_state", "_context"}
+
+#: Deterministic context reads contract code may use instead of ambient
+#: nondeterminism (``self.block_timestamp`` instead of ``time.time()``, …).
+CONTRACT_CONTEXT_READS = frozenset(
+    {"msg_sender", "msg_value", "block_timestamp", "block_number"}
+)
 
 
 class ContractRegistry:
@@ -424,6 +503,15 @@ class ContractVM:
         contract_class = self.registry.get(account.contract_class)  # type: ignore[arg-type]
         context.contract_address = address
         instance = contract_class(address, self.state, context)
+        if method_name in CONTRACT_FRAMEWORK_METHODS:
+            # Framework helpers (transfer, emit, require, balance,
+            # constructor, …) are part of the execution environment, not of
+            # the contract's ABI: letting a transaction name them would let
+            # any caller drain contract funds or re-run the constructor.
+            raise ContractError(
+                f"{method_name!r} is a framework method, not an entrypoint of "
+                f"{account.contract_class}"
+            )
         if method_name.startswith("_") or not hasattr(instance, method_name):
             raise ContractError(f"contract {account.contract_class} has no public method {method_name!r}")
         method = getattr(instance, method_name)

@@ -194,8 +194,7 @@ class DataMarket(SmartContract):
         self.require(self.msg_sender == self.storage.get("operator"), "only the operator may revoke certificates")
         certificate = self.storage.get(f"certificate:{certificate_id}")
         self.require(certificate is not None, f"unknown certificate {certificate_id}")
-        certificate["revoked"] = True
-        self.storage[f"certificate:{certificate_id}"] = certificate
+        self.storage.set_entry(f"certificate:{certificate_id}", "revoked", True)
         self.emit("CertificateRevoked", certificate_id=certificate_id)
         return True
 
@@ -250,7 +249,9 @@ class DataMarket(SmartContract):
         migrated = {"certificates": 0}
         certificates = self.storage.get("certificates")
         if certificates is not None:
-            for certificate_id, certificate in certificates.items():
+            # One-shot, operator-only conversion of the bounded legacy
+            # layout — intentionally O(legacy certificates).
+            for certificate_id, certificate in sorted(certificates.items()):  # chainlint: disable=GAS001
                 self.storage[f"certificate:{certificate_id}"] = certificate
                 self.storage.set_entry("certificate_index", certificate_id, True)
                 migrated["certificates"] += 1

@@ -91,11 +91,13 @@ class OracleRequestHub(SmartContract):
         record = self.storage.get(f"request:{request_id}")
         self.require(record is not None, f"unknown oracle request {request_id}")
         self.require(not record["fulfilled"], f"oracle request {request_id} is already fulfilled")
-        record["fulfilled"] = True
-        record["response"] = response
-        record["fulfilled_by"] = responder
-        record["fulfilled_at"] = self.block_timestamp
-        self.storage[f"request:{request_id}"] = record
+        key = f"request:{request_id}"
+        record = dict(record, fulfilled=True, response=response,
+                      fulfilled_by=responder, fulfilled_at=self.block_timestamp)
+        self.storage.set_entry(key, "fulfilled", True)
+        self.storage.set_entry(key, "response", response)
+        self.storage.set_entry(key, "fulfilled_by", responder)
+        self.storage.set_entry(key, "fulfilled_at", record["fulfilled_at"])
         self.storage.delete_entry("pending_index", str(request_id))
         self.emit("OracleResponse", request_id=request_id, response=response, provider=responder)
         return record
@@ -116,7 +118,7 @@ class OracleRequestHub(SmartContract):
         """
         pending = [
             int(request_id)
-            for request_id, request_kind in self.storage.get("pending_index", {}).items()
+            for request_id, request_kind in sorted(self.storage.get("pending_index", {}).items())
             if kind is None or request_kind == kind
         ]
         return sorted(pending)
@@ -141,7 +143,9 @@ class OracleRequestHub(SmartContract):
         migrated = {"requests": 0}
         requests = self.storage.get("requests")
         if requests is not None:
-            for request_id, record in requests.items():
+            # One-shot, administrator-only conversion of the bounded legacy
+            # layout — intentionally O(legacy requests).
+            for request_id, record in sorted(requests.items()):  # chainlint: disable=GAS001
                 self.storage[f"request:{request_id}"] = record
                 if not record.get("fulfilled"):
                     self.storage.set_entry("pending_index", str(request_id), record["kind"])

@@ -1,0 +1,82 @@
+"""analyze_ast on bare trees — the sandboxed-contract admission path.
+
+A user-submitted contract arrives as source the node parses itself; the
+admission gate hands the *tree* (not a file) to ``analyze_ast`` and refuses
+deployment on any finding.  These tests pin that path: no filename, no
+source text, strict import whitelisting.
+"""
+
+import ast
+
+from repro.analysis import Analyzer, analyze_ast
+
+SUBMITTED = (
+    "import random\n"
+    "class Sneaky(SmartContract):\n"
+    "    def play(self, stake):\n"
+    "        if random.random() > 0.5:\n"
+    "            self.storage.set_entry('wins', self.msg_sender, stake)\n"
+    "        return stake\n"
+)
+
+HONEST = (
+    "class Honest(SmartContract):\n"
+    "    def record(self, key, value):\n"
+    "        self.storage.set_entry('entries', key, value)\n"
+    "        self.emit('Recorded', key=key)\n"
+    "        return value\n"
+)
+
+
+def test_bare_ast_analysis_needs_no_file_or_source():
+    findings = analyze_ast(ast.parse(SUBMITTED))
+    assert {f.rule_id for f in findings} == {"DET001", "DET002", "DET003"}
+    assert all(f.file == "<ast>" for f in findings)
+
+
+def test_bare_ast_ignores_suppression_comments():
+    # Comments never reach the AST, so a submitted contract cannot
+    # self-suppress its way past the admission gate.
+    sneaky = SUBMITTED.replace(
+        "if random.random() > 0.5:",
+        "if random.random() > 0.5:  # chainlint: disable=DET002,DET003",
+    )
+    findings = analyze_ast(ast.parse(sneaky))
+    assert {f.rule_id for f in findings} >= {"DET002", "DET003"}
+
+
+def test_strict_mode_whitelists_imports():
+    admitted = "from typing import Dict\n" + HONEST
+    rejected = "import collections\n" + HONEST
+    assert analyze_ast(ast.parse(admitted), strict=True) == []
+    findings = analyze_ast(ast.parse(rejected), strict=True)
+    assert [(f.rule_id, f.line) for f in findings] == [("DET006", 1)]
+
+
+def test_honest_submission_is_admitted():
+    assert analyze_ast(ast.parse(HONEST)) == []
+
+
+def test_synthetically_built_tree_is_analyzable():
+    """A tree assembled node-by-node (never parsed from text) still works."""
+    call = ast.Call(
+        func=ast.Attribute(
+            value=ast.Name(id="random", ctx=ast.Load()), attr="random", ctx=ast.Load()
+        ),
+        args=[], keywords=[],
+    )
+    fn = ast.FunctionDef(
+        name="spin",
+        args=ast.arguments(posonlyargs=[], args=[ast.arg(arg="self")], kwonlyargs=[],
+                           kw_defaults=[], defaults=[]),
+        body=[ast.Return(value=call)],
+        decorator_list=[],
+    )
+    cls = ast.ClassDef(
+        name="Wheel",
+        bases=[ast.Name(id="SmartContract", ctx=ast.Load())],
+        keywords=[], body=[fn], decorator_list=[],
+    )
+    tree = ast.fix_missing_locations(ast.Module(body=[cls], type_ignores=[]))
+    findings = Analyzer().analyze_ast(tree)
+    assert "DET002" in {f.rule_id for f in findings}

@@ -1,0 +1,104 @@
+"""End-to-end tests of the scripts/chainlint.py CLI: formats and exit codes."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+CLI = REPO / "scripts" / "chainlint.py"
+
+BAD_CONTRACT = (
+    "import random\n"
+    "class C(SmartContract):\n"
+    "    def m(self):\n"
+    "        return random.random()\n"
+)
+
+
+def run_cli(*args, cwd=REPO):
+    return subprocess.run(
+        [sys.executable, str(CLI), *args],
+        cwd=cwd, capture_output=True, text=True, timeout=120,
+    )
+
+
+def test_acceptance_command_exits_zero_on_the_repo_tree():
+    proc = run_cli("src/repro/contracts", "src/repro/blockchain/vm.py")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 findings" in proc.stdout
+
+
+def test_findings_exit_one_with_rule_and_line_in_text_mode(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(BAD_CONTRACT)
+    proc = run_cli(str(bad))
+    assert proc.returncode == 1
+    assert f"{bad.as_posix()}:4" in proc.stdout and "DET002" in proc.stdout
+
+
+def test_json_mode_reports_structured_findings(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(BAD_CONTRACT)
+    out = tmp_path / "report.json"
+    proc = run_cli("--format", "json", "--output", str(out), str(bad))
+    assert proc.returncode == 1
+    report = json.loads(proc.stdout)
+    assert report == json.loads(out.read_text())
+    rules = {f["rule"] for f in report["findings"]}
+    assert rules == {"DET001", "DET002"}
+    assert report["counts"]["fresh"] == 2
+
+
+def test_baseline_downgrades_known_findings_to_exit_zero(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(BAD_CONTRACT)
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps({"findings": [
+        {"file": "bad.py", "rule": "DET001", "symbol": "<module>",
+         "justification": "legacy module pending rewrite"},
+        {"file": "bad.py", "rule": "DET002", "symbol": "C.m",
+         "justification": "legacy module pending rewrite"},
+    ]}))
+    proc = run_cli("--baseline", str(baseline), str(bad))
+    assert proc.returncode == 0
+    assert "2 baselined" in proc.stdout
+
+
+def test_justification_less_baseline_is_a_usage_error(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(BAD_CONTRACT)
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps({"findings": [
+        {"file": "bad.py", "rule": "DET001", "symbol": "<module>"},
+    ]}))
+    proc = run_cli("--baseline", str(baseline), str(bad))
+    assert proc.returncode == 2
+    assert "justification" in proc.stderr
+
+
+def test_missing_path_is_a_usage_error(tmp_path):
+    proc = run_cli(str(tmp_path / "nope.py"))
+    assert proc.returncode == 2
+
+
+def test_parse_error_is_reported_as_exit_two(tmp_path):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def oops(:\n")
+    proc = run_cli(str(broken))
+    assert proc.returncode == 2
+    assert "parse error" in proc.stderr
+
+
+def test_offchain_cross_check_flags_unknown_subscription(tmp_path):
+    contract = tmp_path / "c.py"
+    contract.write_text(
+        "class C(SmartContract):\n"
+        "    def a(self):\n"
+        '        self.emit("Known", x=1)\n'
+    )
+    listener = tmp_path / "listener.py"
+    listener.write_text('def attach(bus):\n    bus.subscribe("Missing", print)\n')
+    proc = run_cli("--offchain", str(listener), str(contract))
+    assert proc.returncode == 1
+    assert "EVT002" in proc.stdout

@@ -1,0 +1,48 @@
+"""Property test: an injected nondeterministic call is ALWAYS flagged.
+
+Hypothesis builds syntactically varied contract methods — arbitrary name,
+arbitrary deterministic filler statements before and after — and plants one
+``random.random()`` call at a known line.  The analyzer must report DET002
+at exactly that line every time, regardless of what surrounds it.
+"""
+
+import keyword
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import analyze_source
+
+method_names = st.from_regex(r"[a-z][a-z0-9_]{0,10}", fullmatch=True).filter(
+    lambda name: not keyword.iskeyword(name)
+)
+filler_values = st.integers(min_value=0, max_value=99)
+
+
+def build_source(name, before, after, nested):
+    lines = ["class C(SmartContract):", f"    def {name}(self):"]
+    for index, value in enumerate(before):
+        lines.append(f"        a{index} = {value}")
+    if nested:
+        lines.append("        if True:")
+        lines.append("            x = random.random()")
+        injected_line = len(lines)
+    else:
+        lines.append("        x = random.random()")
+        injected_line = len(lines)
+    for index, value in enumerate(after):
+        lines.append(f"        b{index} = {value}")
+    lines.append("        return x")
+    return "\n".join(lines) + "\n", injected_line
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    name=method_names,
+    before=st.lists(filler_values, max_size=6),
+    after=st.lists(filler_values, max_size=6),
+    nested=st.booleans(),
+)
+def test_injected_random_call_is_always_flagged(name, before, after, nested):
+    source, injected_line = build_source(name, before, after, nested)
+    findings = analyze_source(source)
+    assert ("DET002", injected_line) in {(f.rule_id, f.line) for f in findings}, source

@@ -1,0 +1,264 @@
+"""Known-bad fixture snippets, one per rule, pinning rule id AND line.
+
+Each snippet is the smallest contract that trips exactly the rule under
+test; the assertions pin the 1-based line so a rule that drifts to the
+wrong node fails loudly.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Analyzer, analyze_source
+
+
+def ids_and_lines(source, **kwargs):
+    return sorted((f.rule_id, f.line) for f in analyze_source(source, **kwargs))
+
+
+# -- determinism --------------------------------------------------------------------------
+
+
+def test_det001_banned_import():
+    source = (
+        "import random\n"
+        "class C(SmartContract):\n"
+        "    def m(self):\n"
+        "        return 1\n"
+    )
+    assert ids_and_lines(source) == [("DET001", 1)]
+
+
+def test_det002_banned_module_call():
+    source = (
+        "import random\n"
+        "class C(SmartContract):\n"
+        "    def m(self):\n"
+        "        return random.random()\n"
+    )
+    assert ids_and_lines(source) == [("DET001", 1), ("DET002", 4)]
+
+
+def test_det002_banned_builtin():
+    source = (
+        "class C(SmartContract):\n"
+        "    def m(self, x):\n"
+        "        return hash(x)\n"
+    )
+    assert ids_and_lines(source) == [("DET002", 3)]
+
+
+def test_det003_float_arithmetic():
+    source = (
+        "class C(SmartContract):\n"
+        "    def m(self, a, b):\n"
+        "        return a / b\n"
+    )
+    assert ids_and_lines(source) == [("DET003", 3)]
+
+
+def test_det004_set_iteration():
+    source = (
+        "class C(SmartContract):\n"
+        "    def m(self):\n"
+        "        out = []\n"
+        "        for x in {1, 2, 3}:\n"
+        "            out.append(x)\n"
+        "        return out\n"
+    )
+    assert ids_and_lines(source) == [("DET004", 4)]
+
+
+def test_det005_unordered_dict_iteration():
+    source = (
+        "class C(SmartContract):\n"
+        "    def m(self, payload):\n"
+        "        for k, v in payload.items():\n"
+        '            self.storage.set_entry("s", k, v)\n'
+    )
+    assert ids_and_lines(source) == [("DET005", 3)]
+
+
+def test_det005_exempts_order_insensitive_consumers():
+    source = (
+        "class C(SmartContract):\n"
+        "    def m(self, payload):\n"
+        "        return sum(payload.values())\n"
+    )
+    assert ids_and_lines(source) == []
+
+
+def test_det006_non_whitelisted_import_strict_only():
+    source = (
+        "import json\n"
+        "class C(SmartContract):\n"
+        "    def m(self):\n"
+        "        return json.dumps({})\n"
+    )
+    assert ids_and_lines(source) == []
+    assert ids_and_lines(source, strict=True) == [("DET006", 1)]
+
+
+# -- storage discipline -------------------------------------------------------------------
+
+
+def test_sto001_raw_state_attribute():
+    source = (
+        "class C(SmartContract):\n"
+        "    def m(self):\n"
+        "        self.cache = {}\n"
+    )
+    assert ids_and_lines(source) == [("STO001", 3)]
+
+
+def test_sto002_whole_slot_read_modify_write():
+    source = (
+        "class C(SmartContract):\n"
+        "    def m(self):\n"
+        '        d = self.storage.get("slot", {})\n'
+        '        d["k"] = 1\n'
+        '        self.storage["slot"] = d\n'
+    )
+    assert ids_and_lines(source) == [("STO002", 5)]
+
+
+def test_sto003_aliased_slot_mutation_without_writeback():
+    source = (
+        "class C(SmartContract):\n"
+        "    def m(self):\n"
+        '        d = self.storage.get("slot", {})\n'
+        '        d["k"] = 1\n'
+    )
+    assert ids_and_lines(source) == [("STO003", 4)]
+
+
+def test_sto003_mutating_fresh_storage_read():
+    source = (
+        "class C(SmartContract):\n"
+        "    def m(self):\n"
+        '        self.storage.get("slot", {})["k"] = 1\n'
+    )
+    assert ids_and_lines(source) == [("STO003", 3)]
+
+
+# -- gas / bounds safety ------------------------------------------------------------------
+
+
+def test_gas001_whole_storage_scan():
+    source = (
+        "class C(SmartContract):\n"
+        "    def m(self):\n"
+        "        total = 0\n"
+        "        for key in self.storage.keys():\n"
+        "            total += 1\n"
+        "        return total\n"
+    )
+    assert ids_and_lines(source) == [("GAS001", 4)]
+
+
+def test_gas001_storage_collection_loop_with_writes():
+    source = (
+        "class C(SmartContract):\n"
+        "    def m(self):\n"
+        '        entries = self.storage.get("xs", [])\n'
+        "        for e in entries:\n"
+        '            self.storage.append("ys", e)\n'
+    )
+    assert ids_and_lines(source) == [("GAS001", 4)]
+
+
+def test_gas002_state_mutated_before_sender_check():
+    source = (
+        "class C(SmartContract):\n"
+        "    def pay(self, amount):\n"
+        '        self.storage["paid"] = amount\n'
+        '        self.require(self.msg_sender == self.storage.get("owner"), "denied")\n'
+    )
+    assert ids_and_lines(source) == [("GAS002", 4)]
+
+
+# -- events -------------------------------------------------------------------------------
+
+
+def test_evt001_inconsistent_event_schema():
+    source = (
+        "class C(SmartContract):\n"
+        "    def a(self):\n"
+        '        self.emit("Evt", x=1)\n'
+        "    def b(self):\n"
+        '        self.emit("Evt", y=2)\n'
+    )
+    analyzer = Analyzer()
+    assert analyzer.analyze_source(source) == []
+    findings = analyzer.finish()
+    assert [(f.rule_id, f.line) for f in findings] == [("EVT001", 5)]
+
+
+def test_evt002_subscription_to_unknown_event(tmp_path: Path):
+    offchain = tmp_path / "listener.py"
+    offchain.write_text(
+        "def attach(bus):\n"
+        '    bus.subscribe("Missing", print)\n'
+    )
+    analyzer = Analyzer()
+    analyzer.analyze_source(
+        "class C(SmartContract):\n"
+        "    def a(self):\n"
+        '        self.emit("Known", x=1)\n'
+    )
+    findings = analyzer.finish([offchain])
+    assert [(f.rule_id, f.line) for f in findings] == [("EVT002", 2)]
+
+
+def test_evt002_known_subscription_is_clean(tmp_path: Path):
+    offchain = tmp_path / "listener.py"
+    offchain.write_text(
+        "def attach(bus):\n"
+        '    bus.subscribe("Known", print)\n'
+        '    bus.get_logs(event="Known")\n'
+    )
+    analyzer = Analyzer()
+    analyzer.analyze_source(
+        "class C(SmartContract):\n"
+        "    def a(self):\n"
+        '        self.emit("Known", x=1)\n'
+    )
+    assert analyzer.finish([offchain]) == []
+
+
+# -- suppression / clean ------------------------------------------------------------------
+
+
+def test_same_line_suppression_silences_only_that_rule():
+    source = (
+        "import random\n"
+        "class C(SmartContract):\n"
+        "    def m(self):\n"
+        "        return random.random()  # chainlint: disable=DET002\n"
+    )
+    assert ids_and_lines(source) == [("DET001", 1)]
+
+
+def test_suppression_on_import_line():
+    source = (
+        "import random  # chainlint: disable=DET001\n"
+        "class C(SmartContract):\n"
+        "    def m(self):\n"
+        "        return 1\n"
+    )
+    assert ids_and_lines(source) == []
+
+
+def test_clean_contract_has_no_findings():
+    source = (
+        "class C(SmartContract):\n"
+        "    def constructor(self, owner):\n"
+        '        self.storage["owner"] = owner\n'
+        "    def add(self, key, value):\n"
+        '        self.require(self.msg_sender == self.storage.get("owner"), "denied")\n'
+        '        self.storage.set_entry("entries", key, value)\n'
+        '        self.emit("Added", key=key)\n'
+        "    def lookup(self, key):\n"
+        '        return self.storage.get_entry("entries", key)\n'
+    )
+    assert ids_and_lines(source) == []

@@ -201,3 +201,84 @@ def test_failed_transaction_rolls_back_entry_writes():
     assert fresh_sender.nonce == 3
     assert state.state_root() != root  # nonce/balance changed...
     assert state.storage_read(address, "index") == {"a": 1}  # ...but storage did not
+
+
+# -- per-item list operations -------------------------------------------------------------
+
+
+def test_item_read_write_roundtrip(state):
+    state.storage_append(ADDR, "log", {"v": 1})
+    state.storage_append(ADDR, "log", {"v": 2})
+    state.storage_write_item(ADDR, "log", 1, {"v": 20})
+    assert state.storage_read_item(ADDR, "log", 0) == {"v": 1}
+    assert state.storage_read_item(ADDR, "log", 1) == {"v": 20}
+    assert state.storage_read_item(ADDR, "log", 5, "dflt") == "dflt"
+    assert state.storage_read_item(ADDR, "missing", 0, "dflt") == "dflt"
+    assert state.storage_read(ADDR, "log") == [{"v": 1}, {"v": 20}]
+
+
+def test_item_values_have_value_semantics(state):
+    state.storage_append(ADDR, "log", {"nested": [1]})
+    payload = {"nested": [9]}
+    state.storage_write_item(ADDR, "log", 0, payload)
+    payload["nested"].append(8)                      # caller-side mutation
+    read = state.storage_read_item(ADDR, "log", 0)
+    assert read == {"nested": [9]}
+    read["nested"].append(7)                         # reader-side mutation
+    assert state.storage_read_item(ADDR, "log", 0) == {"nested": [9]}
+
+
+def test_item_write_rejects_bad_slots_and_indices(state):
+    state.storage_write(ADDR, "mapping", {"a": 1})
+    with pytest.raises(ValidationError):
+        state.storage_write_item(ADDR, "mapping", 0, "x")
+    state.storage_append(ADDR, "log", "one")
+    with pytest.raises(ValidationError):
+        state.storage_write_item(ADDR, "log", 1, "x")
+    with pytest.raises(ValidationError):
+        state.storage_write_item(ADDR, "log", -1, "x")
+
+
+def test_item_write_rollback_restores_exactly_the_old_element(state):
+    state.storage_append(ADDR, "log", {"v": 1})
+    state.storage_append(ADDR, "log", {"v": 2})
+    state.begin()
+    state.storage_write_item(ADDR, "log", 0, {"v": 10})
+    state.storage_write_item(ADDR, "log", 0, {"v": 100})
+    state.rollback()
+    assert state.storage_read(ADDR, "log") == [{"v": 1}, {"v": 2}]
+
+
+def test_state_root_tracks_item_writes(state):
+    state.storage_append(ADDR, "log", "a")
+    before = state.state_root()
+    state.storage_write_item(ADDR, "log", 0, "b")
+    changed = state.state_root()
+    assert changed != before
+    state.storage_write_item(ADDR, "log", 0, "a")
+    assert state.state_root() == before
+
+
+def test_proxy_item_ops_meter_gas_and_respect_read_only(state):
+    schedule = GasSchedule()
+    proxy, meter = make_proxy(state)
+    proxy.append("log", "one")
+    spent_before = meter.gas_used
+    proxy.set_item("log", 0, "two")
+    assert meter.gas_used - spent_before == schedule.storage_update
+    spent_before = meter.gas_used
+    assert proxy.get_item("log", 0) == "two"
+    assert meter.gas_used - spent_before == schedule.storage_read
+
+    frozen, _ = make_proxy(state, read_only=True)
+    with pytest.raises(ContractError):
+        frozen.set_item("log", 0, "three")
+
+
+def test_proxy_keys_and_items_follow_the_sorted_ordering_contract(state):
+    proxy, _ = make_proxy(state)
+    proxy["zeta"] = 1
+    proxy["alpha"] = 2
+    proxy["mid"] = 3
+    assert proxy.keys() == ["alpha", "mid", "zeta"]
+    assert proxy.items() == [("alpha", 2), ("mid", 3), ("zeta", 1)]

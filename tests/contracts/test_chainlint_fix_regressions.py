@@ -1,0 +1,213 @@
+"""Pinned behavior of the entrypoints rewritten for chainlint compliance.
+
+The chainlint pass replaced whole-slot read-modify-writes with per-entry /
+per-item operations (``revoke_grant``, ``revoke_certificate``,
+``fulfill_request``, evidence recording) and made read-side iteration
+deterministic (sorted holders, sorted pending requests).  These tests pin
+the externally observable behavior of each rewritten entrypoint so the
+storage-level refactor stays invisible to callers.
+"""
+
+import pytest
+
+from repro.common.errors import ContractError
+from repro.blockchain.crypto import KeyPair
+from repro.oracles.base import BlockchainInteractionModule
+from repro.policy.serialization import policy_to_dict
+from repro.policy.templates import retention_policy
+from repro.sim.network import NetworkModel
+
+RESOURCE = "https://pod.alice/data/r1"
+
+
+@pytest.fixture
+def de_app(operator_module: BlockchainInteractionModule) -> str:
+    return operator_module.deploy_contract("DistExchangeApp")
+
+
+@pytest.fixture
+def market(operator_module: BlockchainInteractionModule) -> str:
+    return operator_module.deploy_contract(
+        "DataMarket", {"subscription_fee": 100, "access_fee": 10, "owner_share_percent": 80}
+    )
+
+
+@pytest.fixture
+def hub(operator_module: BlockchainInteractionModule) -> str:
+    return operator_module.deploy_contract("OracleRequestHub")
+
+
+@pytest.fixture
+def consumer_module(node, operator_module) -> BlockchainInteractionModule:
+    keypair = KeyPair.from_name("market-consumer")
+    operator_module.send_transaction(keypair.address, {}, value=10_000_000)
+    return BlockchainInteractionModule(node, keypair, network=NetworkModel(seed=4))
+
+
+def setup_resource(module, de_app, devices=("bob-device",)):
+    policy = policy_to_dict(retention_policy(RESOURCE, "https://id/alice", retention_seconds=604800))
+    module.call_contract(
+        de_app, "register_pod",
+        {"pod_url": "https://pod.alice", "owner": "https://id/alice", "default_policy": policy},
+    )
+    module.call_contract(
+        de_app, "register_resource",
+        {"resource_id": RESOURCE, "pod_url": "https://pod.alice", "location": RESOURCE,
+         "owner": "https://id/alice", "policy": policy, "metadata": {}},
+    )
+    for device in devices:
+        module.call_contract(
+            de_app, "record_access_grant",
+            {"resource_id": RESOURCE, "consumer": f"https://id/{device}", "device_id": device},
+        )
+
+
+# -- revoke_grant: per-item writes instead of whole-slot writeback ------------------------
+
+
+def test_revoke_grant_touches_only_the_matching_device(operator_module, de_app):
+    setup_resource(operator_module, de_app, devices=("bob-device", "carol-device"))
+    receipt = operator_module.call_contract(
+        de_app, "revoke_grant", {"resource_id": RESOURCE, "device_id": "bob-device"}
+    )
+    assert receipt.return_value is True
+    assert [log.event for log in receipt.logs] == ["AccessRevoked"]
+    grants = operator_module.read(de_app, "get_grants", {"resource_id": RESOURCE})
+    by_device = {grant["device_id"]: grant for grant in grants}
+    assert by_device["bob-device"]["active"] is False
+    assert by_device["carol-device"]["active"] is True
+    # Untouched fields of the revoked grant survive the per-item rewrite.
+    assert by_device["bob-device"]["consumer"] == "https://id/bob-device"
+
+
+def test_revoke_grant_of_inactive_device_is_a_silent_no_op(operator_module, de_app):
+    setup_resource(operator_module, de_app)
+    operator_module.call_contract(
+        de_app, "revoke_grant", {"resource_id": RESOURCE, "device_id": "bob-device"}
+    )
+    receipt = operator_module.call_contract(
+        de_app, "revoke_grant", {"resource_id": RESOURCE, "device_id": "bob-device"}
+    )
+    assert receipt.return_value is False
+    assert receipt.logs == []
+
+
+def test_revoke_grant_deactivates_every_matching_grant(operator_module, de_app):
+    setup_resource(operator_module, de_app)
+    # A device re-granted after the fact has two active entries; one revoke
+    # deactivates both (pinning the all-matches semantics of the old loop).
+    operator_module.call_contract(
+        de_app, "record_access_grant",
+        {"resource_id": RESOURCE, "consumer": "https://id/bob2", "device_id": "bob-device"},
+    )
+    assert operator_module.call_contract(
+        de_app, "revoke_grant", {"resource_id": RESOURCE, "device_id": "bob-device"}
+    ).return_value is True
+    grants = operator_module.read(de_app, "get_grants", {"resource_id": RESOURCE})
+    assert [grant["active"] for grant in grants] == [False, False]
+
+
+# -- monitoring: per-entry meta updates + sorted holders ----------------------------------
+
+
+def test_round_closes_exactly_when_every_holder_responded(operator_module, de_app):
+    setup_resource(operator_module, de_app, devices=("bob-device", "carol-device"))
+    round_id = operator_module.call_contract(
+        de_app, "start_monitoring", {"resource_id": RESOURCE, "requested_by": "https://id/alice"}
+    ).return_value
+
+    operator_module.call_contract(
+        de_app, "record_usage_evidence",
+        {"round_id": round_id, "device_id": "bob-device", "evidence": {"compliant": True}},
+    )
+    record = operator_module.read(de_app, "get_monitoring_round", {"round_id": round_id})
+    assert record["closed"] is False
+
+    # A duplicate response does not advance the counter.
+    operator_module.call_contract(
+        de_app, "record_usage_evidence",
+        {"round_id": round_id, "device_id": "bob-device", "evidence": {"compliant": True}},
+    )
+    assert operator_module.read(
+        de_app, "get_monitoring_round", {"round_id": round_id}
+    )["closed"] is False
+
+    operator_module.call_contract(
+        de_app, "record_usage_evidence",
+        {"round_id": round_id, "device_id": "carol-device", "evidence": {"compliant": True}},
+    )
+    record = operator_module.read(de_app, "get_monitoring_round", {"round_id": round_id})
+    assert record["closed"] is True
+    assert set(record["responses"]) == {"bob-device", "carol-device"}
+
+
+def test_monitoring_round_holders_are_reported_sorted(operator_module, de_app):
+    setup_resource(operator_module, de_app, devices=("zeta-device", "alpha-device"))
+    round_id = operator_module.call_contract(
+        de_app, "start_monitoring", {"resource_id": RESOURCE, "requested_by": "https://id/alice"}
+    ).return_value
+    record = operator_module.read(de_app, "get_monitoring_round", {"round_id": round_id})
+    assert record["holders"] == ["alpha-device", "zeta-device"]
+
+
+# -- revoke_certificate: single per-entry write -------------------------------------------
+
+
+def test_revoked_certificate_keeps_every_other_field(operator_module, consumer_module, market):
+    operator_module.call_contract(market, "list_resource",
+                                  {"resource_id": "res-1", "owner": operator_module.address})
+    consumer_module.call_contract(market, "subscribe", {}, value=100)
+    certificate = consumer_module.call_contract(
+        market, "purchase_certificate", {"resource_id": "res-1"}, value=10
+    ).return_value
+    certificate_id = certificate["certificate_id"]
+    assert operator_module.read(
+        market, "verify_certificate",
+        {"certificate_id": certificate_id, "consumer": consumer_module.address,
+         "resource_id": "res-1"},
+    )
+
+    assert operator_module.call_contract(
+        market, "revoke_certificate", {"certificate_id": certificate_id}
+    ).return_value is True
+    assert not operator_module.read(
+        market, "verify_certificate",
+        {"certificate_id": certificate_id, "consumer": consumer_module.address,
+         "resource_id": "res-1"},
+    )
+    with pytest.raises(ContractError):
+        operator_module.call_contract(market, "revoke_certificate",
+                                      {"certificate_id": "missing"})
+
+
+# -- fulfill_request: per-entry writes + consistent return value --------------------------
+
+
+def test_fulfill_request_returns_the_stored_record(operator_module, consumer_module, hub):
+    operator_module.call_contract(hub, "authorize_provider",
+                                  {"provider": consumer_module.address})
+    request_id = operator_module.call_contract(
+        hub, "create_request",
+        {"kind": "usage_evidence", "payload": {"resource_id": "res-1"}, "target": "dev-1"},
+    ).return_value
+
+    returned = consumer_module.call_contract(
+        hub, "fulfill_request", {"request_id": request_id, "response": {"compliant": True}}
+    ).return_value
+    stored = operator_module.read(hub, "get_request", {"request_id": request_id})
+    assert returned == stored
+    assert stored["fulfilled"] is True
+    assert stored["fulfilled_by"] == consumer_module.address
+    assert stored["response"] == {"compliant": True}
+    assert stored["payload"] == {"resource_id": "res-1"}   # untouched fields survive
+    assert operator_module.read(hub, "pending_requests", {}) == []
+
+
+def test_pending_requests_are_sorted_numerically(operator_module, hub):
+    ids = [
+        operator_module.call_contract(
+            hub, "create_request", {"kind": "usage_evidence", "payload": {}}
+        ).return_value
+        for _ in range(3)
+    ]
+    assert operator_module.read(hub, "pending_requests", {}) == sorted(ids)
