@@ -23,12 +23,15 @@ it with the other benchmark artifacts.
 
 from __future__ import annotations
 
+import shutil
 import time
 
 import pytest
 
+from repro.blockchain.consensus import ProofOfAuthority
 from repro.blockchain.crypto import KeyPair
 from repro.blockchain.network import BlockchainNetwork
+from repro.blockchain.node import BlockchainNode
 from repro.blockchain.transaction import Transaction
 
 from bench_helpers import bench_row, emit_bench_json
@@ -127,6 +130,125 @@ def test_e9_equivocation_detection_and_convergence(report):
         bench_row("equivocation_detected_and_converged", [3],
                   [1 if network.honest_heads_converged() else 0], pinned_ratio=1.0),
         bench_row("equivocation_convergence_ms", [3], [round(elapsed * 1e3, 2)]),
+    ])
+
+
+def _durable_chain_with_consumers(directory: str, consumers: int,
+                                  snapshot_interval: int = 8,
+                                  max_reorg_depth: int = 8):
+    """A persisted single-validator chain whose state holds *consumers* accounts.
+
+    Signatures are disabled so the measurement isolates what the two
+    recovery paths actually differ in: re-executing the whole chain versus
+    loading a snapshot and re-executing only the non-final tail.
+    """
+    key = KeyPair.from_name("rec-validator")
+    consensus = ProofOfAuthority(validators=[key.address], block_interval=5.0)
+    node = BlockchainNode(
+        consensus, key,
+        genesis_balances={key.address: 10**12},
+        require_signatures=False,
+        persist_dir=directory,
+        max_reorg_depth=max_reorg_depth,
+        snapshot_interval=snapshot_interval,
+    )
+    blocks = 32
+    per_block = max(1, consumers // blocks)
+    nonce = 0
+    for block_index in range(blocks):
+        for offset in range(per_block):
+            account = block_index * per_block + offset
+            node.submit_transaction(Transaction(
+                sender=key.address, to=f"0xconsumer{account:05d}", data={},
+                value=5, nonce=nonce,
+            ))
+            nonce += 1
+        node.produce_block()
+    node.close()
+    return key
+
+
+def test_e9_cold_start_scales_with_tail_not_chain(report, tmp_path):
+    """Cold start from a finality snapshot vs a full replay from genesis.
+
+    The snapshot path fast-adopts the final prefix (per-record checksums
+    vouch for it) and re-executes only the non-final tail, so its wall time
+    scales with the reorg window; the genesis path re-executes every
+    transaction ever applied.  The pinned ratio (snapshot / genesis wall
+    time) must stay below 1 and is tracked by the trend gate.
+    """
+    populations = [1000, 2000]
+    snapshot_ms, genesis_ms = [], []
+    for consumers in populations:
+        store_dir = str(tmp_path / f"store-{consumers}")
+        key = _durable_chain_with_consumers(store_dir, consumers)
+
+        started = time.perf_counter()
+        restored = BlockchainNode.open_from_disk(store_dir, key)
+        snapshot_seconds = time.perf_counter() - started
+        assert restored.recovery.snapshot_height > 0
+        assert restored.recovery.replayed_blocks <= 8  # the reorg window
+        restored.close()
+
+        # Same log, snapshots removed: recovery must replay from genesis.
+        bare_dir = str(tmp_path / f"bare-{consumers}")
+        shutil.copytree(store_dir, bare_dir)
+        shutil.rmtree(f"{bare_dir}/snapshots")
+        started = time.perf_counter()
+        replayed = BlockchainNode.open_from_disk(bare_dir, key)
+        genesis_seconds = time.perf_counter() - started
+        assert replayed.recovery.snapshot_height == 0
+        assert replayed.recovery.replayed_blocks == 32
+        assert replayed.chain.head.hash == restored.chain.head.hash
+        replayed.close()
+
+        snapshot_ms.append(round(snapshot_seconds * 1e3, 2))
+        genesis_ms.append(round(genesis_seconds * 1e3, 2))
+        report(f"E9 cold start consumers={consumers}",
+               snapshot_ms=snapshot_ms[-1], genesis_replay_ms=genesis_ms[-1])
+
+    ratio = round(snapshot_ms[-1] / genesis_ms[-1], 3)
+    assert ratio < 1.0, (
+        f"cold start from a snapshot ({snapshot_ms[-1]}ms) should beat a "
+        f"genesis replay ({genesis_ms[-1]}ms)"
+    )
+    emit_bench_json("robustness", [
+        bench_row("cold_start_snapshot_ms", populations, snapshot_ms),
+        bench_row("cold_start_genesis_replay_ms", populations, genesis_ms),
+        bench_row("cold_start_snapshot_vs_genesis_ratio", [populations[-1]],
+                  [ratio], pinned_ratio=ratio),
+    ])
+
+
+def test_e9_blocks_to_converge_after_hard_crash(report, tmp_path):
+    """A hard-crashed replica resyncs exactly the blocks it missed."""
+    network = BlockchainNetwork(
+        num_validators=3,
+        genesis_balances={SENDER.address: 10**9},
+        persist_root=str(tmp_path),
+        max_reorg_depth=4,
+        snapshot_interval=4,
+    )
+    _transfers(network, 2)
+    network.produce_blocks(6)
+    network.crash_validator(1, torn_tail=True)
+    _transfers(network, 2, start_nonce=2)
+    network.produce_blocks(6)  # 2 slots skipped (the dead proposer), 4 mined
+
+    started = time.perf_counter()
+    recovery = network.restart_validator(1)
+    restart_seconds = time.perf_counter() - started
+    assert network.consistent(), network.heads()
+    assert network.validators[1].chain.verify_chain(replay=True)
+    assert recovery["resyncedBlocks"] > 0
+    network.close()
+    report("E9 crash+restart", resynced_blocks=recovery["resyncedBlocks"],
+           records_truncated=recovery["recordsTruncated"],
+           restart_ms=round(restart_seconds * 1e3, 2))
+    emit_bench_json("robustness", [
+        bench_row("blocks_to_converge_after_crash", [3],
+                  [recovery["resyncedBlocks"]]),
+        bench_row("crash_restart_ms", [3], [round(restart_seconds * 1e3, 2)]),
     ])
 
 

@@ -132,6 +132,19 @@ def main(argv: List[str] | None = None) -> int:
                         help="relative pinned-ratio change that fails the run (0.2 = 20%%)")
     args = parser.parse_args(argv)
 
+    # Cold cache: the very first run of a fresh checkout (or a wiped CI
+    # cache) has no previous artifacts at all.  That is not a regression —
+    # there is simply nothing to compare against yet.
+    baseline_files = (
+        sorted(args.baseline.glob("BENCH_*.json")) if args.baseline.is_dir() else []
+    )
+    if not baseline_files:
+        print(
+            f"no baseline: no BENCH_*.json artifacts under {args.baseline} "
+            f"(first run or cold cache) — trend comparison skipped"
+        )
+        return 0
+
     regressions, notes = compare_directories(args.baseline, args.current, args.threshold)
     for note in notes:
         print(f"note: {note}")

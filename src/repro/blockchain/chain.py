@@ -33,10 +33,12 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.common.clock import Clock, SystemClock
 from repro.common.errors import IntegrityError, NotFoundError, ValidationError
+from repro.common.serialization import from_canonical_json
 from repro.blockchain.block import Block, BlockHeader
-from repro.blockchain.consensus import EquivocationDetector, ProofOfAuthority
+from repro.blockchain.consensus import EquivocationDetector, EquivocationProof, ProofOfAuthority
 from repro.blockchain.gas import GasSchedule
 from repro.blockchain.state import WorldState
+from repro.blockchain.storage import read_checked_json
 from repro.blockchain.transaction import LogEntry, Receipt, Transaction, verify_transactions
 from repro.blockchain.vm import BlockContext, ContractRegistry, ContractVM
 
@@ -53,9 +55,14 @@ class Blockchain:
     def __init__(self, consensus: ProofOfAuthority, registry: Optional[ContractRegistry] = None,
                  schedule: Optional[GasSchedule] = None, clock: Optional[Clock] = None,
                  genesis_balances: Optional[Dict[str, int]] = None,
-                 max_reorg_depth: int = DEFAULT_MAX_REORG_DEPTH):
+                 max_reorg_depth: int = DEFAULT_MAX_REORG_DEPTH,
+                 genesis_timestamp: Optional[float] = None):
         self.consensus = consensus
         self.clock = clock if clock is not None else SystemClock()
+        # A restart must rebuild a bit-identical genesis even though the
+        # shared clock has advanced; the store's manifest carries the
+        # original timestamp and passes it back through here.
+        self._genesis_timestamp = genesis_timestamp
         self.state = WorldState()
         self.vm = ContractVM(self.state, registry, schedule)
         self.blocks: List[Block] = []
@@ -74,6 +81,15 @@ class Blockchain:
         # block built by build_block awaits its append_block.
         self._open_frames = 0
         self._pending_frame = False
+        # -- durability (see repro.blockchain.storage) ------------------------
+        # When a ChainStore is attached, every canonical adoption appends a
+        # checksummed record, reorgs rewind the log, cadence heights emit
+        # pending state snapshots, and finality promotes them.  _restoring
+        # suppresses the hooks while the chain is being rebuilt FROM the
+        # store (the records are already on disk).
+        self.store = None
+        self.snapshot_interval = 0
+        self._restoring = False
         # -- chain indexes, maintained by _index_block -----------------------
         self._tx_locations: Dict[str, Tuple[int, int]] = {}
         self._tx_receipts: List[Tuple[Transaction, Receipt]] = []
@@ -97,7 +113,11 @@ class Blockchain:
         header = BlockHeader(
             number=0,
             parent_hash=GENESIS_PARENT_HASH,
-            timestamp=self.clock.now(),
+            timestamp=(
+                self._genesis_timestamp
+                if self._genesis_timestamp is not None
+                else self.clock.now()
+            ),
             transactions_root=Block.compute_transactions_root([]),
             receipts_root=Block.compute_receipts_root([]),
             state_root=self.state.state_root(),
@@ -298,17 +318,47 @@ class Blockchain:
         self._adopt_canonical(block)
         return block
 
+    def attach_store(self, store) -> None:
+        """Persist every canonical block (and snapshot cadence) to *store*."""
+        self.store = store
+        self.snapshot_interval = store.snapshot_interval
+
+    def observe_seal(self, block: Block):
+        """Feed a sealed block to the equivocation detector, persisting proofs.
+
+        Every observation site (local production, peer import, gossiped
+        siblings) goes through here so a slashable double-seal reaches the
+        durable proof file the moment it is detected — the rotation/slash
+        state then survives a hard crash.
+        """
+        proof = self.equivocation.observe(block)
+        if proof is not None and self.store is not None and not self._restoring:
+            self.store.append_proof(proof)
+        return proof
+
     def _adopt_canonical(self, block: Block) -> None:
         """Make an executed, validated block the new canonical head."""
         self.blocks.append(block)
         self._blocks_by_hash[block.hash] = block
         self._add_to_tree(block)
-        self.equivocation.observe(block)
+        self.observe_seal(block)
         self._index_block(block)
         self._open_frames += 1
+        persisting = self.store is not None and not self._restoring
+        if persisting:
+            self.store.append_block(block)
+            if self.snapshot_interval and block.number % self.snapshot_interval == 0:
+                # The head state right now IS the state at this height; the
+                # snapshot stays pending until the height finalizes below.
+                self.store.write_pending_snapshot(
+                    block.number, block.header.state_root, self.state.to_dict()
+                )
         while self._open_frames > self.max_reorg_depth:
+            finalized = self.height - self._open_frames + 1
             self.state.commit_oldest()
             self._open_frames -= 1
+            if persisting:
+                self.store.promote_snapshots_up_to(finalized)
 
     def _add_to_tree(self, block: Block) -> None:
         siblings = self._children.setdefault(block.header.parent_hash, [])
@@ -435,7 +485,7 @@ class Blockchain:
                 )
         self._blocks_by_hash[block.hash] = block
         self._add_to_tree(block)
-        self.equivocation.observe(block)
+        self.observe_seal(block)
         if parent.hash == self.head.hash:
             try:
                 self._apply_block(block)
@@ -601,6 +651,11 @@ class Blockchain:
         self._unindex_block(block)
         self.state.rollback()
         self._open_frames -= 1
+        if self.store is not None and not self._restoring:
+            # Reorgs are bounded by the open-frame window, so the truncation
+            # never crosses a committed finality boundary.
+            self.store.rewind_to(block.number - 1)
+            self.store.discard_pending_from(block.number)
         return block
 
     # -- verification ----------------------------------------------------------
@@ -693,3 +748,121 @@ class Blockchain:
                     f"the state produced by replaying its transactions"
                 )
         return state
+
+    # -- cold start from disk ----------------------------------------------------
+
+    def load_from_store(self, store, report) -> None:
+        """Rebuild this (genesis-only) chain from a :class:`ChainStore`.
+
+        Every record's SHA-256 was already verified by ``ChainStore.open``;
+        this pass additionally checks header linkage, truncating the log at
+        the first record that does not extend the chain (garbage that
+        happens to frame correctly).  Blocks at or below the best promoted
+        snapshot's height are *final* and adopted without re-execution —
+        their receipts come from the checksummed records and the snapshot
+        provides the exact state at that height (verified by rebuilding its
+        ``state_root`` before it is trusted).  Only the non-final tail is
+        re-executed through the VM, so a cold start costs O(tail) execution
+        plus O(chain) parsing instead of a full replay from genesis.
+        ``verify_chain(replay=True)`` remains the full semantic check.
+        """
+        if self.height != 0:
+            raise ValidationError("load_from_store needs a freshly created chain")
+        self._restoring = True
+        try:
+            blocks = [
+                Block.from_dict(from_canonical_json(payload))
+                for payload in store.block_payloads
+            ]
+            # Linkage pre-scan: a record prefix is only usable while each
+            # block extends the previous one.
+            linked = 0
+            parent = self.blocks[0].header
+            for block in blocks:
+                if (
+                    block.header.parent_hash != parent.hash
+                    or block.number != parent.number + 1
+                ):
+                    report.issues.append(
+                        f"record {linked} does not extend the header chain; "
+                        f"truncating the log there"
+                    )
+                    break
+                parent = block.header
+                linked += 1
+            if linked < len(blocks):
+                report.records_truncated += len(blocks) - linked
+                report.records_loaded = linked
+                blocks = blocks[:linked]
+                store.rewind_to(linked)
+            # Best usable snapshot: highest promoted height that matches the
+            # chain's own commitment and whose contents rebuild to the
+            # claimed state root.
+            snapshot_state: Optional[WorldState] = None
+            snapshot_height = 0
+            for height, path in reversed(store.promoted_snapshots()):
+                if height > len(blocks):
+                    report.snapshots_rejected.append(
+                        f"snapshot at height {height} is above the recovered chain"
+                    )
+                    continue
+                try:
+                    payload = read_checked_json(path)
+                except IntegrityError as exc:
+                    report.snapshots_rejected.append(str(exc))
+                    continue
+                claimed_root = payload.get("stateRoot")
+                if (
+                    payload.get("height") != height
+                    or claimed_root != blocks[height - 1].header.state_root
+                ):
+                    report.snapshots_rejected.append(
+                        f"snapshot at height {height} does not match the chain's "
+                        f"state commitment"
+                    )
+                    continue
+                candidate = WorldState.from_dict(payload.get("state", {}))
+                if candidate.state_root() != claimed_root:
+                    report.snapshots_rejected.append(
+                        f"snapshot at height {height} claims state_root "
+                        f"{claimed_root} but its contents hash differently"
+                    )
+                    continue
+                snapshot_state, snapshot_height = candidate, height
+                break
+            # Fast-adopt the final prefix: header rules only (the record
+            # checksum vouches for the bytes; seals were verified before
+            # they were ever written).  No journal frames are opened —
+            # final blocks own none.
+            parent = self.blocks[0].header
+            for block in blocks[:snapshot_height]:
+                self.consensus.validate_header(block.header, parent)
+                self.blocks.append(block)
+                self._blocks_by_hash[block.hash] = block
+                self._add_to_tree(block)
+                self._index_block(block)
+                parent = block.header
+            if snapshot_state is not None:
+                self.state.restore(snapshot_state)
+                report.snapshot_height = snapshot_height
+                report.fast_adopted_blocks = snapshot_height
+            # Re-execute the non-final tail with full validation; each block
+            # opens its reorg frame exactly as live adoption would.
+            for block in blocks[snapshot_height:]:
+                self.consensus.validate_block(block, self.blocks[-1].header)
+                self._apply_block(block)
+                report.replayed_blocks += 1
+            # Slash state survives the restart: recovered proofs are
+            # re-verified from their own sealed-header material.
+            for wire in store.read_proofs():
+                try:
+                    proof = EquivocationProof.from_wire(wire)
+                except (KeyError, TypeError) as exc:
+                    raise IntegrityError(
+                        f"unreadable equivocation proof in {store.proofs_path}: {exc}"
+                    ) from exc
+                if self.equivocation.restore_proof(proof):
+                    report.proofs_restored += 1
+        finally:
+            self._restoring = False
+        self.attach_store(store)

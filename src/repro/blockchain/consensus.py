@@ -143,6 +143,21 @@ class SealedHeader:
         except (TypeError, ValueError):
             return False
 
+    def to_dict(self) -> dict:
+        return {
+            "header": self.header.to_dict(),
+            "seal": list(self.seal),
+            "publicKey": list(self.public_key),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SealedHeader":
+        return cls(
+            header=BlockHeader.from_dict(data["header"]),
+            seal=tuple(data["seal"]),
+            public_key=tuple(data["publicKey"]),
+        )
+
 
 @dataclass(frozen=True)
 class EquivocationProof:
@@ -179,6 +194,24 @@ class EquivocationProof:
             "secondHash": self.second.header.hash,
         }
 
+    def to_wire(self) -> dict:
+        """Full self-authenticating material (persisted across restarts)."""
+        return {
+            "proposer": self.proposer,
+            "height": self.height,
+            "first": self.first.to_dict(),
+            "second": self.second.to_dict(),
+        }
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "EquivocationProof":
+        return cls(
+            proposer=data["proposer"],
+            height=data["height"],
+            first=SealedHeader.from_dict(data["first"]),
+            second=SealedHeader.from_dict(data["second"]),
+        )
+
 
 class EquivocationDetector:
     """Records sealed headers by (height, proposer) and flags double-seals.
@@ -209,6 +242,31 @@ class EquivocationDetector:
 
     def is_byzantine(self, address: str) -> bool:
         return any(proof.proposer == address for proof in self.proofs)
+
+    def restore_proof(self, proof: EquivocationProof) -> bool:
+        """Adopt a proof recovered from disk after re-verifying its seals.
+
+        The proof's own material is re-checked (both seals, distinct
+        hashes, height and proposer agreement) before the proposer is
+        treated as Byzantine — a corrupted or fabricated proofs file cannot
+        frame an honest validator.  Returns True when the proof was
+        adopted, False when it duplicates one already held.  Raises
+        :class:`IntegrityError` on a proof that fails verification.
+        """
+        if not proof.verify():
+            raise IntegrityError(
+                f"recovered equivocation proof against {proof.proposer} at "
+                f"height {proof.height} fails verification"
+            )
+        key = (proof.height, proof.proposer)
+        if key in self._proved:
+            return False
+        bucket = self._seen.setdefault(key, {})
+        bucket.setdefault(proof.first.header.hash, proof.first)
+        bucket.setdefault(proof.second.header.hash, proof.second)
+        self._proved.add(key)
+        self.proofs.append(proof)
+        return True
 
     def observe(self, block: Block) -> Optional[EquivocationProof]:
         """Record a sealed block's header; returns a proof on a double-seal."""

@@ -19,7 +19,12 @@ Three fault classes are injectable:
 * **crash** — :meth:`fail_validator` takes a node offline: it misses its
   slots (a liveness hit, counted in :attr:`skipped_slots`), receives neither
   transactions nor blocks, and resyncs block-by-block on
-  :meth:`recover_validator`;
+  :meth:`recover_validator`.  On a durable network (``persist_root`` set)
+  :meth:`crash_validator` goes further — a kill -9 that destroys the
+  in-memory replica and abandons its chain store mid-append;
+  :meth:`restart_validator` rebuilds the node from disk (verifying every
+  record checksum, truncating the torn tail, cold-starting from the best
+  finality snapshot) and resyncs the rest from peers;
 * **partition** — :meth:`partition` splits block delivery into two islands
   that keep producing on diverging branches; :meth:`heal_partition` lets
   deterministic fork-choice (longest chain, lowest-hash tie-break) converge
@@ -45,6 +50,7 @@ from repro.blockchain.crypto import KeyPair
 from repro.blockchain.gas import GasSchedule
 from repro.blockchain.node import BlockchainNode
 from repro.blockchain.state import copy_jsonlike
+from repro.blockchain.storage import validator_store_path
 from repro.blockchain.transaction import Transaction
 from repro.blockchain.vm import ContractRegistry
 
@@ -52,12 +58,17 @@ from repro.blockchain.vm import ContractRegistry
 class NetworkValidator:
     """One validator: a key, a full node replica, and its fault status."""
 
-    def __init__(self, keypair: KeyPair, node: BlockchainNode):
+    def __init__(self, keypair: KeyPair, node: BlockchainNode,
+                 persist_dir: Optional[str] = None):
         self.keypair = keypair
         self.node = node
+        self.persist_dir = persist_dir
         self.online = True
         self.slashed = False
         self.pending_equivocation = False
+        # A *crashed* validator lost its process, not just its connectivity:
+        # ``node`` is None until restart_validator rebuilds it from disk.
+        self.crashed = False
 
     @property
     def address(self) -> str:
@@ -87,7 +98,10 @@ class BlockchainNetwork:
                  clock: Optional[Clock] = None,
                  genesis_balances: Optional[Dict[str, int]] = None,
                  keypairs: Optional[List[KeyPair]] = None,
-                 require_signatures: bool = True):
+                 require_signatures: bool = True,
+                 persist_root: Optional[str] = None,
+                 max_reorg_depth: Optional[int] = None,
+                 snapshot_interval: int = 0):
         if keypairs is not None:
             num_validators = len(keypairs)
         if num_validators < 1:
@@ -98,9 +112,18 @@ class BlockchainNetwork:
         self.consensus = ProofOfAuthority(
             validators=[kp.address for kp in keypairs], block_interval=block_interval
         )
+        # Held so restart_validator can rebuild a crashed replica the same
+        # way the original was built.
+        self._registry_factory = registry_factory
+        self._schedule = schedule
+        self._persist_root = persist_root
         self.validators: List[NetworkValidator] = []
-        for keypair in keypairs:
+        for index, keypair in enumerate(keypairs):
             registry = registry_factory() if registry_factory else ContractRegistry()
+            persist_dir = (
+                validator_store_path(persist_root, index)
+                if persist_root is not None else None
+            )
             node = BlockchainNode(
                 self.consensus,
                 keypair,
@@ -109,9 +132,12 @@ class BlockchainNetwork:
                 clock=self.clock,
                 genesis_balances=genesis_balances,
                 require_signatures=require_signatures,
+                persist_dir=persist_dir,
+                max_reorg_depth=max_reorg_depth,
+                snapshot_interval=snapshot_interval,
             )
             node.network = self
-            self.validators.append(NetworkValidator(keypair, node))
+            self.validators.append(NetworkValidator(keypair, node, persist_dir=persist_dir))
         self.skipped_slots = 0
         self.current_slot = 0
         # One record per slot the rotation visited: the liveness trace the
@@ -145,8 +171,73 @@ class BlockchainNetwork:
     def recover_validator(self, index: int) -> None:
         """Bring the validator at *index* back online and resync its replica."""
         validator = self.validators[index]
+        if validator.crashed:
+            raise ValidationError(
+                f"validator {index} hard-crashed; restart_validator must "
+                f"rebuild it from its chain store"
+            )
         validator.online = True
         self._sync_to_best(validator)
+
+    def crash_validator(self, index: int, torn_tail: bool = True) -> None:
+        """Hard-crash the validator at *index* (kill -9, not a clean stop).
+
+        The replica's in-memory state is lost entirely: its chain store is
+        abandoned un-synced (the manifest lags the log, leaving an unsynced
+        tail) and, with *torn_tail*, a half-written record is left at the
+        end of the log — exactly what a power cut mid-append produces.
+        Only :meth:`restart_validator` can bring it back.
+        """
+        validator = self.validators[index]
+        if validator.crashed:
+            raise ValidationError(f"validator {index} is already crashed")
+        if validator.persist_dir is None:
+            raise ValidationError(
+                "hard crashes need a durable network (persist_root unset)"
+            )
+        validator.node.hard_crash(torn_tail=torn_tail)
+        validator.node = None
+        validator.online = False
+        validator.crashed = True
+
+    def restart_validator(self, index: int) -> Dict[str, object]:
+        """Rebuild a hard-crashed validator from its chain store and resync.
+
+        The store is re-opened with every record checksum verified and any
+        torn tail truncated; the chain cold-starts from the best promoted
+        snapshot plus a re-executed tail, the durable registry and
+        equivocation proofs are restored, and whatever the truncation lost
+        is fetched back from the best online peer.  Returns the recovery
+        report (camelCase keys) plus ``resyncedBlocks``.
+        """
+        validator = self.validators[index]
+        if not validator.crashed:
+            raise ValidationError(f"validator {index} is not crashed")
+        registry = self._registry_factory() if self._registry_factory else None
+        node = BlockchainNode.open_from_disk(
+            validator.persist_dir,
+            validator.keypair,
+            registry=registry,
+            schedule=self._schedule,
+            clock=self.clock,
+            consensus=self.consensus,
+        )
+        node.network = self
+        validator.node = node
+        validator.crashed = False
+        validator.online = True
+        recovered_height = node.chain.height
+        self._sync_to_best(validator)
+        report: Dict[str, object] = dict(node.recovery.to_dict())
+        report["recoveredHeight"] = recovered_height
+        report["resyncedBlocks"] = node.chain.height - recovered_height
+        return report
+
+    def close(self) -> None:
+        """Cleanly sync and close every live replica's chain store."""
+        for validator in self.validators:
+            if validator.node is not None:
+                validator.node.close()
 
     def partition(self, indices: Iterable[int]) -> None:
         """Split block delivery: *indices* form one island, the rest the other."""
@@ -321,7 +412,7 @@ class BlockchainNetwork:
         sibling.header.extra["equivocation"] = "sibling"
         self.consensus.seal(sibling, proposer.keypair)
         block = node.propose_block(slot, timestamp)
-        node.chain.equivocation.observe(sibling)
+        node.chain.observe_seal(sibling)
 
         proposer_index = self.validators.index(proposer)
         recipients = [
@@ -345,6 +436,8 @@ class BlockchainNetwork:
     def _collect_proofs(self) -> None:
         """Aggregate new equivocation proofs and slash their proposers."""
         for validator in self.validators:
+            if validator.node is None:
+                continue
             for proof in validator.chain.equivocation.proofs:
                 key = (proof.height, proof.proposer)
                 if key in self._proof_keys:
@@ -402,12 +495,18 @@ class BlockchainNetwork:
     # -- health ------------------------------------------------------------------------
 
     def heights(self) -> Dict[str, int]:
-        """Chain height of every validator (offline replicas lag behind)."""
-        return {validator.address: validator.chain.height for validator in self.validators}
+        """Chain height of every live validator (crashed replicas have none)."""
+        return {
+            validator.address: validator.chain.height
+            for validator in self.validators if validator.node is not None
+        }
 
     def heads(self) -> Dict[str, str]:
-        """Canonical head hash of every validator."""
-        return {validator.address: validator.chain.head.hash for validator in self.validators}
+        """Canonical head hash of every live validator."""
+        return {
+            validator.address: validator.chain.head.hash
+            for validator in self.validators if validator.node is not None
+        }
 
     def consistent(self) -> bool:
         """True when every online replica agrees on the head block hash."""

@@ -10,16 +10,18 @@ filters.
 
 from __future__ import annotations
 
+import importlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.common.clock import Clock
 from repro.common.errors import IntegrityError, SignatureError, ValidationError
 from repro.blockchain.block import Block
-from repro.blockchain.chain import Blockchain
+from repro.blockchain.chain import DEFAULT_MAX_REORG_DEPTH, Blockchain
 from repro.blockchain.consensus import ProofOfAuthority
 from repro.blockchain.crypto import KeyPair
 from repro.blockchain.gas import GasSchedule
+from repro.blockchain.storage import ChainStore, RecoveryReport
 from repro.blockchain.transaction import LogEntry, Receipt, Transaction, verify_transactions
 from repro.blockchain.vm import BlockContext, ContractRegistry
 
@@ -69,12 +71,39 @@ class BlockchainNode:
                  schedule: Optional[GasSchedule] = None,
                  clock: Optional[Clock] = None,
                  genesis_balances: Optional[Dict[str, int]] = None,
-                 require_signatures: bool = True):
+                 require_signatures: bool = True,
+                 persist_dir: Optional[str] = None,
+                 max_reorg_depth: Optional[int] = None,
+                 snapshot_interval: int = 0,
+                 genesis_timestamp: Optional[float] = None):
         if not consensus.is_validator(validator_key.address):
             raise ValidationError("the node's key must belong to the validator set")
         self.consensus = consensus
         self.validator_key = validator_key
-        self.chain = Blockchain(consensus, registry, schedule, clock, genesis_balances)
+        self.chain = Blockchain(
+            consensus, registry, schedule, clock, genesis_balances,
+            max_reorg_depth=(
+                max_reorg_depth if max_reorg_depth is not None
+                else DEFAULT_MAX_REORG_DEPTH
+            ),
+            genesis_timestamp=genesis_timestamp,
+        )
+        # Populated by open_from_disk with what recovery found on disk.
+        self.recovery: Optional[RecoveryReport] = None
+        if persist_dir is not None:
+            store = ChainStore.create(
+                persist_dir,
+                genesis_balances or {},
+                list(consensus.validators),
+                consensus.block_interval,
+                self.chain.max_reorg_depth,
+                snapshot_interval=snapshot_interval,
+                require_signatures=require_signatures,
+                genesis_timestamp=self.chain.blocks[0].header.timestamp,
+            )
+            self.chain.attach_store(store)
+            for name in self.registry.known():
+                store.record_contract(name, self.registry.get(name))
         self.pending: List[Transaction] = []
         self._pending_by_sender: Dict[str, int] = {}
         # Transactions enqueued while a batch is active; their signatures are
@@ -105,7 +134,99 @@ class BlockchainNode:
 
     def register_contract(self, contract_class, name: Optional[str] = None) -> str:
         """Make a contract class deployable on this node."""
-        return self.registry.register(contract_class, name)
+        key = self.registry.register(contract_class, name)
+        if self.chain.store is not None:
+            self.chain.store.record_contract(key, contract_class)
+        return key
+
+    # -- durability -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Clean shutdown: sync the chain store and release its handles."""
+        if self.chain.store is not None:
+            self.chain.store.close()
+
+    def hard_crash(self, torn_tail: bool = False) -> None:
+        """Simulate kill -9: drop the store handle without syncing.
+
+        The manifest is left stale (records past its committed count form
+        the unsynced tail) and *torn_tail* leaves a half-written record at
+        the end of the log — both of which recovery must handle.
+        """
+        if self.chain.store is not None:
+            self.chain.store.abandon(torn_tail=torn_tail)
+
+    @staticmethod
+    def _restore_registry(registry: ContractRegistry, store: ChainStore) -> None:
+        """Make every durably recorded contract resolvable again.
+
+        A class the caller already provided (the deployment's registry
+        factory) wins; missing names are imported by their recorded
+        module/qualname.  A recorded contract that can no longer be
+        resolved is fatal — the chain's transactions would not replay.
+        """
+        known = set(registry.known())
+        for entry in store.read_registry():
+            name = entry.get("name")
+            if name in known:
+                continue
+            try:
+                target: Any = importlib.import_module(entry["module"])
+                for part in entry["qualname"].split("."):
+                    target = getattr(target, part)
+            except Exception as exc:
+                raise IntegrityError(
+                    f"durable registry entry {name!r} -> "
+                    f"{entry.get('module')}.{entry.get('qualname')} cannot be "
+                    f"resolved: {exc}"
+                ) from exc
+            registry.register(target, name)
+
+    @classmethod
+    def open_from_disk(cls, persist_dir: str, validator_key: KeyPair,
+                       registry: Optional[ContractRegistry] = None,
+                       schedule: Optional[GasSchedule] = None,
+                       clock: Optional[Clock] = None,
+                       consensus: Optional[ProofOfAuthority] = None) -> "BlockchainNode":
+        """Rebuild a node from its persist directory after a (hard) crash.
+
+        Opens the store (verifying every record checksum and truncating any
+        torn tail), reconstructs the consensus engine from the manifest —
+        or cross-checks a provided one against it — restores the durable
+        contract registry, and cold-starts the chain from the best valid
+        snapshot plus a re-executed tail.  The resulting
+        :class:`~repro.blockchain.storage.RecoveryReport` is left on
+        ``node.recovery``.
+        """
+        store, report = ChainStore.open(persist_dir)
+        if consensus is None:
+            consensus = ProofOfAuthority(
+                validators=store.validators, block_interval=store.block_interval
+            )
+        elif (
+            list(consensus.validators) != store.validators
+            or consensus.block_interval != store.block_interval
+        ):
+            raise IntegrityError(
+                f"chain store at {persist_dir} was written for a different "
+                f"validator set or block interval than the provided consensus"
+            )
+        registry = registry if registry is not None else ContractRegistry()
+        cls._restore_registry(registry, store)
+        node = cls(
+            consensus,
+            validator_key,
+            registry=registry,
+            schedule=schedule,
+            clock=clock,
+            genesis_balances=store.genesis_balances,
+            require_signatures=store.require_signatures,
+            max_reorg_depth=store.max_reorg_depth,
+            genesis_timestamp=store.genesis_timestamp,
+        )
+        node.chain.load_from_store(store, report)
+        node.recovery = report
+        return node
 
     # -- transaction submission --------------------------------------------------
 

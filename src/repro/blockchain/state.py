@@ -567,3 +567,20 @@ class WorldState:
             "accounts": {addr: acc.to_dict() for addr, acc in self._accounts.items()},
             "storage": copy.deepcopy(self._storage),
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorldState":
+        """Rebuild a state from a :meth:`to_dict` dump (snapshot loading).
+
+        The returned state has no open journal frames and every digest
+        cache cold, so the first :meth:`state_root` call hashes the whole
+        world — which is exactly what a snapshot loader wants: the rebuilt
+        root can be compared against the snapshot's claimed root before the
+        state is trusted.
+        """
+        state = cls()
+        for address, record in data.get("accounts", {}).items():
+            state._accounts[address] = Account.from_dict(record)
+        state._storage = copy.deepcopy(data.get("storage", {}))
+        state._dirty = set(state._accounts)
+        return state

@@ -65,6 +65,13 @@ class ArchitectureConfig:
     # routes every transaction through it.
     validators: int = 1
     gas_schedule: GasSchedule = None  # type: ignore[assignment]
+    # Durable deployments: a directory root makes every validator persist
+    # its chain to ``<persist_dir>/validator-<i>`` (crash-safe block log,
+    # finality snapshots every ``snapshot_interval`` blocks, durable
+    # contract registry), enabling hard crashes and cold-start recovery.
+    persist_dir: Optional[str] = None
+    snapshot_interval: int = 0
+    max_reorg_depth: Optional[int] = None
 
     def __post_init__(self):
         if self.gas_schedule is None:
@@ -81,6 +88,12 @@ class ArchitectureConfig:
             raise ValidationError("block_interval must be positive")
         if self.validators < 1:
             raise ValidationError("a deployment needs at least one validator")
+        if self.snapshot_interval < 0:
+            raise ValidationError("snapshot_interval must be non-negative")
+        if self.max_reorg_depth is not None and self.max_reorg_depth < 1:
+            raise ValidationError("max_reorg_depth must be at least 1")
+        if self.snapshot_interval and self.persist_dir is None:
+            raise ValidationError("snapshot_interval needs a persist_dir")
 
 
 class UsageControlArchitecture:
@@ -123,6 +136,9 @@ class UsageControlArchitecture:
                 clock=self.clock,
                 genesis_balances=genesis_balances,
                 keypairs=keypairs,
+                persist_root=self.config.persist_dir,
+                max_reorg_depth=self.config.max_reorg_depth,
+                snapshot_interval=self.config.snapshot_interval,
             )
             self.node = self.validator_network.primary
         else:
@@ -138,6 +154,9 @@ class UsageControlArchitecture:
                 schedule=self.config.gas_schedule,
                 clock=self.clock,
                 genesis_balances=genesis_balances,
+                persist_dir=self.config.persist_dir,
+                max_reorg_depth=self.config.max_reorg_depth,
+                snapshot_interval=self.config.snapshot_interval,
             )
         self.operator_module = BlockchainInteractionModule(
             self.node, self.operator_key, network=self.network
@@ -368,6 +387,14 @@ class UsageControlArchitecture:
     def equivocate_validator(self, index: int) -> None:
         """Make the validator at *index* double-seal its next proposing slot."""
         self._require_network().equivocate_validator(index)
+
+    def crash_validator(self, index: int, torn_tail: bool = True) -> None:
+        """Hard-crash (kill -9) the validator at *index*, abandoning its store."""
+        self._require_network().crash_validator(index, torn_tail=torn_tail)
+
+    def restart_validator(self, index: int) -> Dict[str, object]:
+        """Rebuild a hard-crashed validator from disk; returns the recovery report."""
+        return self._require_network().restart_validator(index)
 
     # -- chain-level helpers -------------------------------------------------------------------------
 

@@ -23,6 +23,7 @@ detects nothing — the paper's core comparison, made testable.
 
 from __future__ import annotations
 
+import tempfile
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
@@ -514,6 +515,16 @@ class ScenarioRunner:
             overrides["initial_participant_funds"] = self.spec.participant_funds
         if self.spec.validators > 1:
             overrides["validators"] = self.spec.validators
+        if self.spec.durable:
+            # Durable deployments persist every validator's chain under a
+            # fresh temporary root (crash_validator/restart_validator need
+            # real files to tear and recover).
+            overrides["persist_dir"] = tempfile.mkdtemp(
+                prefix=f"chainstore-{self.spec.name}-"
+            )
+            overrides["snapshot_interval"] = self.spec.snapshot_interval
+            if self.spec.max_reorg_depth is not None:
+                overrides["max_reorg_depth"] = self.spec.max_reorg_depth
         return ArchitectureConfig(**overrides) if overrides else None
 
     # -- execution ------------------------------------------------------------
@@ -675,6 +686,9 @@ class ScenarioRunner:
                 proof.to_dict() for proof in network.equivocation_proofs
             ]
             result.facts["liveness"] = network.liveness_report()
+        if spec.durable:
+            result.facts["durable"] = True
+            result.facts["persist_dir"] = architecture.config.persist_dir
         return result
 
     # -- step handlers ---------------------------------------------------------
@@ -923,6 +937,26 @@ class ScenarioRunner:
             "validator": step.validator,
             "address": network.validators[step.validator].address,
         }
+
+    def _run_crash_validator(self, step: Step, index: int, ctx: "_RunContext") -> dict:
+        network = ctx.architecture.validator_network
+        address = network.validators[step.validator].address
+        ctx.architecture.crash_validator(step.validator)
+        return {"validator": step.validator, "address": address}
+
+    def _run_restart_validator(self, step: Step, index: int, ctx: "_RunContext") -> dict:
+        network = ctx.architecture.validator_network
+        report = ctx.architecture.restart_validator(step.validator)
+        replica = network.validators[step.validator]
+        # The restarted replica must hold a fully re-verifiable chain: every
+        # header, seal, Merkle root, and state transition re-checked.
+        report["replayVerified"] = replica.chain.verify_chain(replay=True)
+        report["validator"] = step.validator
+        report["address"] = replica.address
+        report["height"] = replica.chain.height
+        report["consistent"] = network.consistent()
+        ctx.result.facts.setdefault("recoveries", []).append(dict(report))
+        return report
 
     def _run_check_holds(self, step: Step, index: int, ctx: "_RunContext") -> dict:
         resource_id = ctx.result.resource_ids[step.resource]

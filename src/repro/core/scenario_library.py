@@ -27,12 +27,14 @@ from repro.core.spec import (
     check_can_use,
     check_holds,
     churn,
+    crash_validator,
     enforce,
     equivocate,
     fail_validator,
     index,
     monitor,
     recover_validator,
+    restart_validator,
     regrant,
     repurchase_certificate,
     revise_policy,
@@ -503,6 +505,60 @@ def validator_churn_spec() -> ScenarioSpec:
     ).validate()
 
 
+def durable_churn_spec() -> ScenarioSpec:
+    """Hard-crash a durable validator mid-run and cold-start it from disk.
+
+    A 3-validator deployment persists every replica's chain (block log,
+    finality snapshots every 4 blocks, reorg window 4).  Validator 1 is
+    killed -9 mid-run — its store is abandoned un-synced with a torn record
+    at the log tail — while the market keeps operating through the
+    remaining replicas.  The restart rebuilds it from disk: every record
+    checksum re-verified, the torn tail truncated, the chain cold-started
+    from the best promoted snapshot plus a re-executed tail, and the
+    missing blocks resynced from peers.  The conformance suite asserts the
+    restarted replica passes ``verify_chain(replay=True)``, that every
+    replica converges on one head, and that the violation ledger closes as
+    if the crash had never happened.
+    """
+    res = "dana:/data/turbine-logs.csv"
+    return ScenarioSpec(
+        name="durable-churn",
+        description=(
+            "A durable 3-validator deployment hard-crashes one replica "
+            "(kill -9: stale manifest, torn tail record) and rebuilds it "
+            "from its chain store; recovery truncates the garbage, "
+            "cold-starts from a finality snapshot, resyncs the rest from "
+            "peers, and the market's monitoring results are unaffected."
+        ),
+        participants=(
+            ParticipantSpec("dana", "owner"),
+            ParticipantSpec("steady-app", "consumer", purpose="predictive-maintenance"),
+            ParticipantSpec(
+                "sloppy-app", "consumer", purpose="predictive-maintenance",
+                behavior=Behavior.VIOLATING,
+            ),
+        ),
+        resources=(ResourceSpec(owner="dana", path="/data/turbine-logs.csv",
+                                retention_seconds=WEEK),),
+        timeline=(
+            access("steady-app", res),
+            access("sloppy-app", res),
+            use("steady-app", res),
+            crash_validator(1),
+            use("sloppy-app", res),
+            advance(DAY),
+            monitor(res),
+            restart_validator(1),
+            advance(8 * DAY),
+            monitor(res),
+        ),
+        validators=3,
+        durable=True,
+        snapshot_interval=4,
+        max_reorg_depth=4,
+    ).validate()
+
+
 POPULATION_SETUP_COHORT = 250
 
 
@@ -621,6 +677,7 @@ SCENARIO_LIBRARY: Dict[str, SpecFactory] = {
     "market-rush": market_rush_spec,
     "byzantine-validator": byzantine_validator_spec,
     "validator-churn": validator_churn_spec,
+    "durable-churn": durable_churn_spec,
     # A small member of the population family so the fast suite exercises
     # the mixed-profile path end to end; the benchmarks scale it to 1k-5k.
     "population-demo": lambda: population_spec(num_consumers=60, seed=2026,

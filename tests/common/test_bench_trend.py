@@ -63,6 +63,26 @@ def test_unpinned_new_and_removed_metrics_are_notes_not_failures():
     assert any("is new" in note for note in notes)
 
 
+def test_cold_cache_without_any_baseline_exits_zero(tmp_path, capsys):
+    current_dir = tmp_path / "current"
+    current_dir.mkdir()
+    (current_dir / "BENCH_population.json").write_text(
+        json.dumps(payload("population", ms_per_participant=1.0))
+    )
+    # Baseline directory missing entirely (first run)...
+    assert bench_trend.main([
+        "--baseline", str(tmp_path / "never-created"), "--current", str(current_dir),
+    ]) == 0
+    assert "no baseline" in capsys.readouterr().out
+    # ...or present but empty (wiped CI cache): both are explicit skips.
+    empty = tmp_path / "empty-baseline"
+    empty.mkdir()
+    assert bench_trend.main([
+        "--baseline", str(empty), "--current", str(current_dir),
+    ]) == 0
+    assert "no baseline" in capsys.readouterr().out
+
+
 def test_directory_comparison_end_to_end(tmp_path):
     baseline_dir = tmp_path / "baseline"
     current_dir = tmp_path / "current"
