@@ -33,6 +33,7 @@ from repro.blockchain.crypto import KeyPair
 from repro.blockchain.network import BlockchainNetwork
 from repro.blockchain.node import BlockchainNode
 from repro.blockchain.transaction import Transaction
+from repro.core.architecture import ArchitectureConfig, UsageControlArchitecture
 
 from bench_helpers import bench_row, emit_bench_json
 
@@ -249,6 +250,44 @@ def test_e9_blocks_to_converge_after_hard_crash(report, tmp_path):
         bench_row("blocks_to_converge_after_crash", [3],
                   [recovery["resyncedBlocks"]]),
         bench_row("crash_restart_ms", [3], [round(restart_seconds * 1e3, 2)]),
+    ])
+
+
+def test_e9_rounds_to_exclusion_after_slash_tx(report):
+    """On-chain churn: blocks from equivocation to a culprit-free rotation.
+
+    A dynamic 4-validator deployment (epoch_length=4) settles the slash as
+    an ordinary transaction: the proof fires at the culprit's slot, the
+    registry burns the bond, and the next epoch boundary excludes it from
+    the derived rotation on every replica.  The row reports that settlement
+    latency in blocks (queue -> exclusion), bounded by one rotation cycle
+    plus one epoch.
+    """
+    arch = UsageControlArchitecture(
+        config=ArchitectureConfig(validators=4, epoch_length=4))
+    network = arch.validator_network
+    registry = arch.validator_registry_address
+    culprit = network.validators[2].address
+    start_height = network.primary.chain.height
+    arch.equivocate_validator(2)
+    blocks_to_exclusion = None
+    for _ in range(16):
+        network.produce_blocks(1)
+        rotation = network.primary.consensus.rotation_for_height(
+            network.primary.chain.height + 1)
+        if culprit not in rotation:
+            blocks_to_exclusion = network.primary.chain.height - start_height
+            break
+    assert blocks_to_exclusion is not None
+    assert network.validators[2].slashed
+    assert arch.node.call(registry, "total_burned") == arch.config.validator_bond
+    assert network.honest_heads_converged()
+    assert network.primary.chain.verify_chain(replay=True)
+    report("E9 slash settlement", blocks_to_exclusion=blocks_to_exclusion,
+           bond_burned=arch.config.validator_bond)
+    emit_bench_json("robustness", [
+        bench_row("blocks_to_rotation_exclusion_after_slash", [4],
+                  [blocks_to_exclusion]),
     ])
 
 

@@ -90,6 +90,13 @@ class Blockchain:
         self.store = None
         self.snapshot_interval = 0
         self._restoring = False
+        # -- dynamic validator set (see repro.contracts.validator_registry) ---
+        # When a registry contract address is set and the consensus engine is
+        # epoch-aware (epoch_length > 0), every adopted block at an epoch
+        # boundary derives the next rotation from contract state via a
+        # read-only call, and reorgs roll recorded rotations back with the
+        # blocks that produced them.
+        self.validator_registry_address: Optional[str] = None
         # -- chain indexes, maintained by _index_block -----------------------
         self._tx_locations: Dict[str, Tuple[int, int]] = {}
         self._tx_receipts: List[Tuple[Transaction, Receipt]] = []
@@ -323,6 +330,73 @@ class Blockchain:
         self.store = store
         self.snapshot_interval = store.snapshot_interval
 
+    def use_validator_registry(self, address: str) -> None:
+        """Derive the rotation from the registry contract at *address*.
+
+        Takes effect at the next epoch boundary; heights already adopted
+        keep the rotations they were validated under.
+        """
+        self.validator_registry_address = address
+        if self.store is not None and not self._restoring:
+            self._save_rotations()
+
+    def _save_rotations(self) -> None:
+        """Persist the registry address and derived rotations as a sidecar.
+
+        The sidecar is pure recovery acceleration: a cold start seeds the
+        consensus engine from it so the fast-adopted final prefix validates
+        under the rotations it was sealed under, then re-derives the live
+        rotation from the restored contract state.
+        """
+        if self.store is None:
+            return
+        epoch_length = self.consensus.epoch_length
+        self.store.save_rotations({
+            "registryAddress": self.validator_registry_address,
+            "rotations": {
+                str(epoch): {
+                    "height": epoch * epoch_length,
+                    "validators": list(validators),
+                }
+                for epoch, validators in self.consensus.rotation_history().items()
+            },
+        })
+
+    def _maybe_derive_rotation(self, block: Block) -> None:
+        """At an epoch boundary, derive the next rotation from contract state.
+
+        Runs for every adopted block — live production, peer import, reorg
+        re-application, and cold-start tail re-execution all converge on the
+        same state-derived schedule.  The read-only call sees the post-block
+        state (the block's journal frame is open on the head state), so the
+        rotation for epoch ``e`` reflects every join/leave/slash settled up
+        to and including boundary block ``e * epoch_length``.
+        """
+        epoch_length = self.consensus.epoch_length
+        if (
+            epoch_length <= 0
+            or self.validator_registry_address is None
+            or block.number <= 0
+            or block.number % epoch_length != 0
+        ):
+            return
+        active = self.vm.call_readonly(
+            self.validator_registry_address,
+            "active_validators",
+            block=BlockContext(
+                number=block.number,
+                timestamp=block.header.timestamp,
+                proposer=block.header.proposer,
+            ),
+        )
+        if not active:
+            # An empty committee cannot seal anything; keep the previous
+            # rotation rather than bricking the chain.
+            return
+        self.consensus.record_rotation(block.number // epoch_length, list(active))
+        if self.store is not None and not self._restoring:
+            self._save_rotations()
+
     def observe_seal(self, block: Block):
         """Feed a sealed block to the equivocation detector, persisting proofs.
 
@@ -343,6 +417,7 @@ class Blockchain:
         self._add_to_tree(block)
         self.observe_seal(block)
         self._index_block(block)
+        self._maybe_derive_rotation(block)
         self._open_frames += 1
         persisting = self.store is not None and not self._restoring
         if persisting:
@@ -651,6 +726,11 @@ class Blockchain:
         self._unindex_block(block)
         self.state.rollback()
         self._open_frames -= 1
+        # A detached boundary block takes its derived rotation with it; the
+        # winning branch re-derives its own at the same height.
+        if self.consensus.drop_rotations_above(block.number - 1):
+            if self.store is not None and not self._restoring:
+                self._save_rotations()
         if self.store is not None and not self._restoring:
             # Reorgs are bounded by the open-frame window, so the truncation
             # never crosses a committed finality boundary.
@@ -795,6 +875,25 @@ class Blockchain:
                 report.records_loaded = linked
                 blocks = blocks[:linked]
                 store.rewind_to(linked)
+            # Seed the rotation history from the sidecar so the fast-adopted
+            # prefix validates under the rotations it was sealed under.  Only
+            # boundaries within the recovered chain are trusted; the live
+            # rotation is re-derived from restored contract state below.
+            sidecar = store.read_rotations()
+            registry_address = sidecar.get("registryAddress")
+            if registry_address:
+                self.validator_registry_address = registry_address
+            epoch_length = self.consensus.epoch_length
+            if epoch_length > 0:
+                seeded = [
+                    (int(epoch), entry)
+                    for epoch, entry in sidecar.get("rotations", {}).items()
+                ]
+                for epoch, entry in sorted(seeded):
+                    if 0 < epoch * epoch_length <= len(blocks):
+                        self.consensus.record_rotation(
+                            epoch, list(entry.get("validators", []))
+                        )
             # Best usable snapshot: highest promoted height that matches the
             # chain's own commitment and whose contents rebuild to the
             # claimed state root.
@@ -846,6 +945,28 @@ class Blockchain:
                 self.state.restore(snapshot_state)
                 report.snapshot_height = snapshot_height
                 report.fast_adopted_blocks = snapshot_height
+                # The rotation is STATE, not config: re-derive it from the
+                # restored contract state at the snapshot boundary rather
+                # than trusting the sidecar, which is only an accelerator.
+                if (
+                    epoch_length > 0
+                    and self.validator_registry_address is not None
+                    and snapshot_height % epoch_length == 0
+                ):
+                    boundary = self.blocks[snapshot_height]
+                    active = self.vm.call_readonly(
+                        self.validator_registry_address,
+                        "active_validators",
+                        block=BlockContext(
+                            number=boundary.number,
+                            timestamp=boundary.header.timestamp,
+                            proposer=boundary.header.proposer,
+                        ),
+                    )
+                    if active:
+                        self.consensus.record_rotation(
+                            snapshot_height // epoch_length, list(active)
+                        )
             # Re-execute the non-final tail with full validation; each block
             # opens its reorg frame exactly as live adoption would.
             for block in blocks[snapshot_height:]:
@@ -866,3 +987,7 @@ class Blockchain:
         finally:
             self._restoring = False
         self.attach_store(store)
+        if self.validator_registry_address is not None:
+            # Persist the reconciled view (sidecar rotations truncated to the
+            # recovered chain, boundary re-derived from restored state).
+            self._save_rotations()

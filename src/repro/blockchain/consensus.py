@@ -11,6 +11,7 @@ the failure of a minority does not halt the system (Section V-2).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -21,10 +22,25 @@ from repro.blockchain.crypto import KeyPair, address_from_public_key, verify
 
 @dataclass
 class ProofOfAuthority:
-    """Round-robin Proof-of-Authority sealing and validation."""
+    """Round-robin Proof-of-Authority sealing and validation.
+
+    With ``epoch_length == 0`` (the default) the validator set is the static
+    config the engine was constructed with — the classic permissioned
+    committee.  With ``epoch_length > 0`` the engine is *epoch-aware*: the
+    rotation that validates block ``h`` is the one recorded for epoch
+    ``(h - 1) // epoch_length`` via :meth:`record_rotation` (derived by the
+    chain from validator-registry contract state at each epoch boundary),
+    falling back to the genesis set for epochs with no recorded rotation.
+    ``validators`` always holds the genesis set; rotation history is engine
+    state, not config, so :meth:`with_validators` copies yield a fresh
+    history re-derivable from chain state.
+    """
 
     validators: List[str] = field(default_factory=list)
     block_interval: float = 5.0
+    # Blocks per epoch.  0 keeps the set static; > 0 re-derives the rotation
+    # from registry-contract state at every multiple of epoch_length.
+    epoch_length: int = 0
 
     def __post_init__(self):
         if not self.validators:
@@ -33,21 +49,109 @@ class ProofOfAuthority:
             raise ValidationError("duplicate validators in the PoA validator set")
         if self.block_interval <= 0:
             raise ValidationError("block interval must be positive")
+        if self.epoch_length < 0:
+            raise ValidationError("epoch_length must be non-negative")
+        # Rotation history: epoch -> validator tuple, plus the union of every
+        # address that was ever authorized (genesis or any recorded epoch) so
+        # historical blocks keep validating after their sealer rotated out.
+        self._rotations: Dict[int, Tuple[str, ...]] = {}
+        self._rotation_epochs: List[int] = []  # sorted keys of _rotations
+        self._members = set(self.validators)
+
+    # -- rotation history -------------------------------------------------------
+
+    def epoch_of(self, block_number: int) -> int:
+        """Epoch containing height *block_number* (genesis belongs to epoch 0)."""
+        if self.epoch_length <= 0 or block_number <= 0:
+            return 0
+        return (block_number - 1) // self.epoch_length
+
+    def record_rotation(self, epoch: int, validators: Sequence[str]) -> None:
+        """Record the rotation derived for *epoch* (validated like a fresh set)."""
+        if epoch <= 0:
+            raise ValidationError("epoch 0 is fixed to the genesis validator set")
+        # Route through a throwaway engine so the set gets the same
+        # non-empty/unique validation as construction.
+        self.with_validators(validators)
+        rotation = tuple(validators)
+        if epoch not in self._rotations:
+            self._rotation_epochs.append(epoch)
+            self._rotation_epochs.sort()
+        self._rotations[epoch] = rotation
+        self._members.update(rotation)
+
+    def drop_rotations_above(self, height: int) -> bool:
+        """Forget rotations whose deriving boundary block exceeds *height*.
+
+        Called when a reorg detaches blocks: a rotation derived from a
+        detached boundary block's state is no longer part of the canonical
+        history.  Returns True when at least one rotation was dropped.
+        """
+        if self.epoch_length <= 0:
+            return False
+        kept = [
+            epoch for epoch in self._rotation_epochs
+            if epoch * self.epoch_length <= height
+        ]
+        if len(kept) == len(self._rotation_epochs):
+            return False
+        self._rotations = {epoch: self._rotations[epoch] for epoch in kept}
+        self._rotation_epochs = kept
+        self._members = set(self.validators)
+        for rotation in self._rotations.values():
+            self._members.update(rotation)
+        return True
+
+    def rotation_for_height(self, block_number: int) -> Tuple[str, ...]:
+        """The rotation that schedules and validates height *block_number*."""
+        if self.epoch_length <= 0 or not self._rotation_epochs:
+            return tuple(self.validators)
+        target = self.epoch_of(block_number)
+        best: Optional[int] = None
+        for epoch in self._rotation_epochs:
+            if epoch > target:
+                break
+            best = epoch
+        if best is None:
+            return tuple(self.validators)
+        return self._rotations[best]
+
+    def current_rotation(self) -> Tuple[str, ...]:
+        """The most recently derived rotation (genesis set when none recorded)."""
+        if not self._rotation_epochs:
+            return tuple(self.validators)
+        return self._rotations[self._rotation_epochs[-1]]
+
+    def rotation_history(self) -> Dict[int, Tuple[str, ...]]:
+        """Recorded epoch -> rotation map (copy; epoch 0 implied genesis)."""
+        return dict(self._rotations)
+
+    # -- schedule ----------------------------------------------------------------
 
     def expected_proposer(self, block_number: int) -> str:
         """Validator expected to seal the block at height *block_number*."""
         if block_number <= 0:
             raise ValidationError("only post-genesis blocks have a proposer")
-        return self.validators[(block_number - 1) % len(self.validators)]
+        rotation = self.rotation_for_height(block_number)
+        return rotation[(block_number - 1) % len(rotation)]
 
     def proposer_for_slot(self, slot: int) -> str:
         """Validator that owns rotation *slot* (Aura-style, 1-based)."""
         if slot <= 0:
             raise ValidationError("slots are numbered from 1")
-        return self.validators[(slot - 1) % len(self.validators)]
+        rotation = self.current_rotation()
+        return rotation[(slot - 1) % len(rotation)]
 
     def is_validator(self, address: str) -> bool:
-        return address in self.validators
+        """True when *address* was authorized in genesis or any recorded epoch.
+
+        Membership is historical on purpose: a block sealed by a validator
+        that later rotated out must keep validating, and equivocation
+        evidence against it must stay admissible.  Per-height authority is
+        enforced by the slot mapping in :meth:`validate_header`, which uses
+        the exact rotation of the block's height.
+        """
+        return address in self._members
 
     def seal(self, block: Block, keypair: KeyPair) -> Block:
         """Sign the block header with the proposer's key."""
@@ -89,7 +193,8 @@ class ProofOfAuthority:
                 raise IntegrityError(
                     f"block {header.number} claims impossible slot {slot!r}"
                 )
-            expected = self.proposer_for_slot(slot)
+            rotation = self.rotation_for_height(header.number)
+            expected = rotation[(slot - 1) % len(rotation)]
             if header.proposer != expected:
                 raise IntegrityError(
                     f"block {header.number} slot {slot} belongs to {expected}, "
@@ -119,11 +224,17 @@ class ProofOfAuthority:
         figure reported (and used by the robustness benchmark) is the
         classical ⌊(n-1)/2⌋ majority margin.
         """
-        return (len(self.validators) - 1) // 2
+        return (len(self.current_rotation()) - 1) // 2
 
     def with_validators(self, validators: Sequence[str]) -> "ProofOfAuthority":
-        """Return a copy of the consensus engine with a different validator set."""
-        return ProofOfAuthority(validators=list(validators), block_interval=self.block_interval)
+        """Return a copy of the consensus engine with a different validator set.
+
+        ``dataclasses.replace`` carries every config field (block interval,
+        epoch length, and whatever is added next) so copies cannot silently
+        drop consensus parameters; ``__post_init__`` re-validates the set and
+        gives the copy a fresh, empty rotation history.
+        """
+        return dataclasses.replace(self, validators=list(validators))
 
 
 @dataclass(frozen=True)

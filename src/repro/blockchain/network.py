@@ -101,7 +101,8 @@ class BlockchainNetwork:
                  require_signatures: bool = True,
                  persist_root: Optional[str] = None,
                  max_reorg_depth: Optional[int] = None,
-                 snapshot_interval: int = 0):
+                 snapshot_interval: int = 0,
+                 epoch_length: int = 0):
         if keypairs is not None:
             num_validators = len(keypairs)
         if num_validators < 1:
@@ -109,14 +110,24 @@ class BlockchainNetwork:
         self.clock = clock if clock is not None else SimulatedClock()
         if keypairs is None:
             keypairs = [KeyPair.from_name(f"validator-{index}") for index in range(num_validators)]
+        # The genesis template.  Every node runs its OWN engine clone (a
+        # replica's rotation history is chain state, derived from the blocks
+        # it adopted) — sharing one engine would let a replica that reorged
+        # through an epoch boundary corrupt the schedule its peers validate
+        # against.
         self.consensus = ProofOfAuthority(
-            validators=[kp.address for kp in keypairs], block_interval=block_interval
+            validators=[kp.address for kp in keypairs], block_interval=block_interval,
+            epoch_length=epoch_length,
         )
-        # Held so restart_validator can rebuild a crashed replica the same
-        # way the original was built.
+        # Held so restart_validator / join_validator can build replicas the
+        # same way the originals were built.
         self._registry_factory = registry_factory
         self._schedule = schedule
         self._persist_root = persist_root
+        self._genesis_balances = dict(genesis_balances or {})
+        self._require_signatures = require_signatures
+        self._max_reorg_depth = max_reorg_depth
+        self._snapshot_interval = snapshot_interval
         self.validators: List[NetworkValidator] = []
         for index, keypair in enumerate(keypairs):
             registry = registry_factory() if registry_factory else ContractRegistry()
@@ -125,7 +136,7 @@ class BlockchainNetwork:
                 if persist_root is not None else None
             )
             node = BlockchainNode(
-                self.consensus,
+                self.consensus.with_validators(self.consensus.validators),
                 keypair,
                 registry=registry,
                 schedule=schedule,
@@ -138,6 +149,14 @@ class BlockchainNetwork:
             )
             node.network = self
             self.validators.append(NetworkValidator(keypair, node, persist_dir=persist_dir))
+        # Later replicas must rebuild a bit-identical genesis block even
+        # though the shared clock has advanced (see join_validator).
+        self._genesis_timestamp = self.validators[0].chain.blocks[0].header.timestamp
+        # Dynamic validator set: the registry contract every replica derives
+        # its rotation from, and the slash transactions already submitted
+        # (one per distinct proof).
+        self.validator_registry_address: Optional[str] = None
+        self._slash_submitted: Set[Tuple[int, str]] = set()
         self.skipped_slots = 0
         self.current_slot = 0
         # One record per slot the rotation visited: the liveness trace the
@@ -164,12 +183,26 @@ class BlockchainNetwork:
                 return validator
         raise NotFoundError(f"no validator with address {address}")
 
+    def _check_index(self, index: int) -> None:
+        """Range-check a fault-injection target (no negative-index aliasing)."""
+        if not 0 <= index < len(self.validators):
+            raise ValidationError(
+                f"validator index {index} out of range "
+                f"(deployment has {len(self.validators)} validators)"
+            )
+
     def fail_validator(self, index: int) -> None:
         """Take the validator at *index* offline (crash fault)."""
-        self.validators[index].online = False
+        self._check_index(index)
+        validator = self.validators[index]
+        validator.online = False
+        # A queued equivocation dies with the process that was meant to
+        # perform it — recovery must not act on the stale instruction.
+        validator.pending_equivocation = False
 
     def recover_validator(self, index: int) -> None:
         """Bring the validator at *index* back online and resync its replica."""
+        self._check_index(index)
         validator = self.validators[index]
         if validator.crashed:
             raise ValidationError(
@@ -188,6 +221,7 @@ class BlockchainNetwork:
         end of the log — exactly what a power cut mid-append produces.
         Only :meth:`restart_validator` can bring it back.
         """
+        self._check_index(index)
         validator = self.validators[index]
         if validator.crashed:
             raise ValidationError(f"validator {index} is already crashed")
@@ -199,6 +233,9 @@ class BlockchainNetwork:
         validator.node = None
         validator.online = False
         validator.crashed = True
+        # Same rationale as fail_validator: the equivocation instruction does
+        # not survive the crash.
+        validator.pending_equivocation = False
 
     def restart_validator(self, index: int) -> Dict[str, object]:
         """Rebuild a hard-crashed validator from its chain store and resync.
@@ -210,6 +247,7 @@ class BlockchainNetwork:
         is fetched back from the best online peer.  Returns the recovery
         report (camelCase keys) plus ``resyncedBlocks``.
         """
+        self._check_index(index)
         validator = self.validators[index]
         if not validator.crashed:
             raise ValidationError(f"validator {index} is not crashed")
@@ -223,6 +261,13 @@ class BlockchainNetwork:
             consensus=self.consensus,
         )
         node.network = self
+        if (
+            self.validator_registry_address is not None
+            and node.chain.validator_registry_address is None
+        ):
+            # The rotation sidecar normally restores this; a store crashed
+            # before its first epoch boundary has no sidecar yet.
+            node.chain.use_validator_registry(self.validator_registry_address)
         validator.node = node
         validator.crashed = False
         validator.online = True
@@ -253,8 +298,133 @@ class BlockchainNetwork:
             self._sync_to_best(validator)
 
     def equivocate_validator(self, index: int) -> None:
-        """Make the validator at *index* double-seal its next proposing slot."""
-        self.validators[index].pending_equivocation = True
+        """Make the validator at *index* double-seal its next proposing slot.
+
+        An unschedulable target is rejected outright: latching the flag on a
+        crashed, offline, or already-slashed validator would leave a stale
+        instruction that fires on a later recovery.
+        """
+        self._check_index(index)
+        validator = self.validators[index]
+        if not validator.schedulable or validator.crashed:
+            if validator.crashed:
+                state = "crashed"
+            elif not validator.online:
+                state = "offline"
+            else:
+                state = "slashed"
+            raise ValidationError(
+                f"validator {index} is {state} and will never reach a "
+                f"proposing slot; refusing to queue an equivocation"
+            )
+        validator.pending_equivocation = True
+
+    # -- dynamic membership (validator-registry contract) -------------------------
+
+    def use_validator_registry(self, address: str) -> None:
+        """Derive every replica's rotation from the registry contract at *address*."""
+        if self.consensus.epoch_length <= 0:
+            raise ValidationError(
+                "a validator registry needs an epoch-aware network "
+                "(epoch_length > 0)"
+            )
+        self.validator_registry_address = address
+        for validator in self.validators:
+            if validator.node is not None:
+                validator.node.chain.use_validator_registry(address)
+
+    def join_validator(self, keypair: Optional[KeyPair] = None) -> NetworkValidator:
+        """Spin up a new replica and submit its bonded ``join`` transaction.
+
+        The replica is built against the same genesis (bit-identical genesis
+        block), synced from the best peer, and starts following immediately;
+        it only receives proposing slots once the epoch boundary after its
+        join settles it into the derived rotation.  The join transaction is
+        signed by the candidate itself and carries the registry's bond as
+        its value, so the caller must have funded the candidate's address.
+        """
+        if self.validator_registry_address is None:
+            raise ValidationError(
+                "joining needs a validator registry (static committees are closed)"
+            )
+        index = len(self.validators)
+        if keypair is None:
+            keypair = KeyPair.from_name(f"validator-{index}")
+        for validator in self.validators:
+            if validator.address == keypair.address:
+                raise ValidationError(f"{keypair.address} already runs a replica")
+        registry = self._registry_factory() if self._registry_factory else ContractRegistry()
+        persist_dir = (
+            validator_store_path(self._persist_root, index)
+            if self._persist_root is not None else None
+        )
+        node = BlockchainNode(
+            self.consensus.with_validators(self.consensus.validators),
+            keypair,
+            registry=registry,
+            schedule=self._schedule,
+            clock=self.clock,
+            genesis_balances=self._genesis_balances,
+            require_signatures=self._require_signatures,
+            persist_dir=persist_dir,
+            max_reorg_depth=self._max_reorg_depth,
+            snapshot_interval=self._snapshot_interval,
+            genesis_timestamp=self._genesis_timestamp,
+        )
+        node.network = self
+        node.chain.use_validator_registry(self.validator_registry_address)
+        validator = NetworkValidator(keypair, node, persist_dir=persist_dir)
+        self.validators.append(validator)
+        self._sync_to_best(validator)
+        bond = self.primary.call(self.validator_registry_address, "bond_amount")
+        tx = Transaction(
+            sender=keypair.address,
+            to=self.validator_registry_address,
+            data={"method": "join", "args": {}},
+            value=bond,
+            nonce=node.next_nonce(keypair.address),
+        ).sign(keypair)
+        self.broadcast_transaction(tx)
+        return validator
+
+    def leave_validator(self, index: int) -> str:
+        """Submit the validator's ``leave`` transaction (rotation exit).
+
+        The replica keeps running — it still validates and serves queries —
+        but the derived rotation stops handing it slots at the next epoch
+        boundary.  Returns the transaction hash.
+        """
+        self._check_index(index)
+        if self.validator_registry_address is None:
+            raise ValidationError(
+                "leaving needs a validator registry (static committees are closed)"
+            )
+        validator = self.validators[index]
+        if validator.node is None:
+            raise ValidationError(f"validator {index} is crashed; nothing to sign with")
+        tx = Transaction(
+            sender=validator.address,
+            to=self.validator_registry_address,
+            data={"method": "leave", "args": {}},
+            nonce=validator.node.next_nonce(validator.address),
+        ).sign(validator.keypair)
+        return self.broadcast_transaction(tx)
+
+    def withdraw_bond(self, index: int) -> str:
+        """Submit an exited validator's ``withdraw`` (cool-down bond refund)."""
+        self._check_index(index)
+        if self.validator_registry_address is None:
+            raise ValidationError("withdrawing needs a validator registry")
+        validator = self.validators[index]
+        if validator.node is None:
+            raise ValidationError(f"validator {index} is crashed; nothing to sign with")
+        tx = Transaction(
+            sender=validator.address,
+            to=self.validator_registry_address,
+            data={"method": "withdraw", "args": {}},
+            nonce=validator.node.next_nonce(validator.address),
+        ).sign(validator.keypair)
+        return self.broadcast_transaction(tx)
 
     def online_validators(self) -> List[NetworkValidator]:
         return [validator for validator in self.validators if validator.online]
@@ -301,8 +471,10 @@ class BlockchainNetwork:
             return None
         self.current_slot += 1
         slot = self.current_slot
-        index = (slot - 1) % len(self.validators)
-        proposer = self.validators[index]
+        rotation = self._active_rotation()
+        address = rotation[(slot - 1) % len(rotation)]
+        proposer = self.validator_by_address(address)
+        index = self.validators.index(proposer)
         self._advance_clock()
         entry = {
             "slot": slot,
@@ -364,6 +536,19 @@ class BlockchainNetwork:
             f"no schedulable proposer produced a block within {limit} slots"
         )
 
+    def _active_rotation(self) -> Tuple[str, ...]:
+        """The rotation slots currently iterate: the active set, in join order.
+
+        Derived from the best online replica's engine at the height it would
+        seal next, so a slash or membership change settled on-chain takes
+        scheduling effect at the epoch boundary that follows it.  Static
+        deployments (epoch_length == 0) always get the genesis order.
+        """
+        source = self._best_source()
+        if source is not None:
+            return source.node.consensus.rotation_for_height(source.chain.height + 1)
+        return tuple(validator.address for validator in self.validators)
+
     def _advance_clock(self) -> None:
         if isinstance(self.clock, SimulatedClock):
             self.clock.advance(self.consensus.block_interval)
@@ -410,7 +595,7 @@ class BlockchainNetwork:
         sibling = node.chain.build_block([], proposer.address, timestamp)
         sibling.header.extra["slot"] = slot
         sibling.header.extra["equivocation"] = "sibling"
-        self.consensus.seal(sibling, proposer.keypair)
+        node.consensus.seal(sibling, proposer.keypair)
         block = node.propose_block(slot, timestamp)
         node.chain.observe_seal(sibling)
 
@@ -434,7 +619,15 @@ class BlockchainNetwork:
         return block if winner_hash == block.hash else sibling
 
     def _collect_proofs(self) -> None:
-        """Aggregate new equivocation proofs and slash their proposers."""
+        """Aggregate new equivocation proofs and slash their proposers.
+
+        The local ``slashed`` flag stops the rotation from handing the
+        culprit another slot immediately (static deployments have nothing
+        else).  With a validator registry the proof is ALSO submitted as an
+        ordinary signed transaction — the contract re-verifies it, burns the
+        bond, and the next epoch's derived rotation drops the culprit on
+        every replica, making the slash a replayable state transition.
+        """
         for validator in self.validators:
             if validator.node is None:
                 continue
@@ -447,6 +640,41 @@ class BlockchainNetwork:
         for proof in self.equivocation_proofs:
             culprit = self.validator_by_address(proof.proposer)
             culprit.slashed = True
+            # A queued equivocation must not survive the slash (the stale
+            # instruction would fire if the culprit were ever re-admitted).
+            culprit.pending_equivocation = False
+            if self.validator_registry_address is not None:
+                self._submit_slash(proof)
+
+    def _submit_slash(self, proof: EquivocationProof) -> None:
+        """Broadcast the slash transaction for *proof* (once per proof).
+
+        Any funded, honest, online validator may submit — the proof is
+        self-authenticating, so the contract trusts nothing about the
+        sender.  The submission is deduplicated locally AND idempotent
+        on-chain (the contract rejects an already-settled (height, proposer)
+        pair), so replayed proofs after a restart cannot double-burn.
+        """
+        key = (proof.height, proof.proposer)
+        if key in self._slash_submitted:
+            return
+        submitter = None
+        for validator in self.online_validators():
+            if validator.slashed:
+                continue
+            if validator.node.get_balance(validator.address) > 0:
+                submitter = validator
+                break
+        if submitter is None:
+            return  # retried on the next _collect_proofs pass
+        tx = Transaction(
+            sender=submitter.address,
+            to=self.validator_registry_address,
+            data={"method": "slash", "args": {"proof": proof.to_wire()}},
+            nonce=submitter.node.next_nonce(submitter.address),
+        ).sign(submitter.keypair)
+        self.broadcast_transaction(tx)
+        self._slash_submitted.add(key)
 
     # -- replica management ------------------------------------------------------------
 

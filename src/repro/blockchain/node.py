@@ -76,7 +76,11 @@ class BlockchainNode:
                  max_reorg_depth: Optional[int] = None,
                  snapshot_interval: int = 0,
                  genesis_timestamp: Optional[float] = None):
-        if not consensus.is_validator(validator_key.address):
+        # A static committee is closed: the node's key must be in it.  An
+        # epoch-aware deployment admits keys outside the genesis set — a
+        # joiner's authority comes from the registry contract, and the slot
+        # schedule (not node construction) decides who may seal.
+        if consensus.epoch_length <= 0 and not consensus.is_validator(validator_key.address):
             raise ValidationError("the node's key must belong to the validator set")
         self.consensus = consensus
         self.validator_key = validator_key
@@ -97,6 +101,7 @@ class BlockchainNode:
                 list(consensus.validators),
                 consensus.block_interval,
                 self.chain.max_reorg_depth,
+                epoch_length=consensus.epoch_length,
                 snapshot_interval=snapshot_interval,
                 require_signatures=require_signatures,
                 genesis_timestamp=self.chain.blocks[0].header.timestamp,
@@ -201,16 +206,26 @@ class BlockchainNode:
         store, report = ChainStore.open(persist_dir)
         if consensus is None:
             consensus = ProofOfAuthority(
-                validators=store.validators, block_interval=store.block_interval
+                validators=store.validators,
+                block_interval=store.block_interval,
+                epoch_length=store.epoch_length,
             )
-        elif (
-            list(consensus.validators) != store.validators
-            or consensus.block_interval != store.block_interval
-        ):
-            raise IntegrityError(
-                f"chain store at {persist_dir} was written for a different "
-                f"validator set or block interval than the provided consensus"
-            )
+        else:
+            if (
+                list(consensus.validators) != store.validators
+                or consensus.block_interval != store.block_interval
+                or consensus.epoch_length != store.epoch_length
+            ):
+                raise IntegrityError(
+                    f"chain store at {persist_dir} was written for a different "
+                    f"genesis validator set, block interval, or epoch length "
+                    f"than the provided consensus"
+                )
+            # The manifest cross-check covers genesis CONFIG only.  Rotation
+            # history is chain STATE: start from a fresh engine and let
+            # load_from_store re-derive the active set from restored contract
+            # state instead of inheriting whatever the caller's engine holds.
+            consensus = consensus.with_validators(store.validators)
         registry = registry if registry is not None else ContractRegistry()
         cls._restore_registry(registry, store)
         node = cls(

@@ -67,6 +67,7 @@ MANIFEST_NAME = "manifest.json"
 LOG_NAME = "blocks.log"
 REGISTRY_NAME = "registry.json"
 PROOFS_NAME = "proofs.json"
+ROTATIONS_NAME = "rotations.json"
 SNAPSHOT_DIR = "snapshots"
 _SNAPSHOT_PREFIX = "snapshot"
 _PENDING_PREFIX = "pending"
@@ -252,6 +253,10 @@ class ChainStore:
         return os.path.join(self.directory, PROOFS_NAME)
 
     @property
+    def rotations_path(self) -> str:
+        return os.path.join(self.directory, ROTATIONS_NAME)
+
+    @property
     def snapshot_dir(self) -> str:
         return os.path.join(self.directory, SNAPSHOT_DIR)
 
@@ -282,6 +287,11 @@ class ChainStore:
         return bool(self.manifest["requireSignatures"])
 
     @property
+    def epoch_length(self) -> int:
+        # Absent in stores written before dynamic validator sets: static mode.
+        return int(self.manifest.get("epochLength", 0))
+
+    @property
     def genesis_timestamp(self) -> float:
         return float(self.manifest["genesisTimestamp"])
 
@@ -298,6 +308,7 @@ class ChainStore:
                max_reorg_depth: int, snapshot_interval: int = 0,
                require_signatures: bool = True,
                genesis_timestamp: float = 0.0,
+               epoch_length: int = 0,
                manifest_interval: int = 16) -> "ChainStore":
         """Initialize a fresh persist directory (refuses to adopt an old one)."""
         os.makedirs(directory, exist_ok=True)
@@ -319,6 +330,7 @@ class ChainStore:
             # A restart must rebuild a bit-identical genesis header even
             # though the deployment clock has advanced past creation time.
             "genesisTimestamp": float(genesis_timestamp),
+            "epochLength": int(epoch_length),
             "committedRecords": 0,
         }
         atomic_write_json(manifest_path, manifest)
@@ -577,3 +589,28 @@ class ChainStore:
                 return
         existing.append(wire)
         atomic_write_json(self.proofs_path, existing)
+
+    # -- derived rotations (epoch-boundary validator sets) ----------------------
+
+    def read_rotations(self) -> Dict[str, Any]:
+        """Read the persisted rotation sidecar (empty when unwritten).
+
+        The sidecar is written lazily, only by epoch-aware chains; a
+        missing file means no rotation has been derived yet.
+        """
+        if not os.path.exists(self.rotations_path):
+            return {}
+        payload = read_checked_json(self.rotations_path)
+        if not isinstance(payload, dict):
+            raise IntegrityError(f"{self.rotations_path} does not hold a rotation map")
+        return payload
+
+    def save_rotations(self, payload: Dict[str, Any]) -> None:
+        """Atomically persist the registry address and derived rotations.
+
+        The whole document is rewritten on every change (rotations are few —
+        one per epoch inside the reorg window plus history) so a crash
+        leaves either the previous or the new reconciled view, never a
+        partial one.
+        """
+        atomic_write_json(self.rotations_path, payload)

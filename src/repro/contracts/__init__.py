@@ -11,17 +11,22 @@ Three contracts make up the on-chain side of the system:
   remuneration of data owners;
 * :class:`~repro.contracts.oracle_hub.OracleRequestHub` — the on-chain half of
   the pull-in oracle pattern: a request/response queue that off-chain
-  providers watch and answer.
+  providers watch and answer;
+* :class:`~repro.contracts.validator_registry.ValidatorRegistry` — the
+  validator lifecycle (bonded join, cool-down leave, proof-verified slash)
+  from which every replica derives the PoA rotation at epoch boundaries.
 """
 
 from repro.contracts.base import SmartContract
 from repro.contracts.dist_exchange import DistExchangeApp
 from repro.contracts.market import DataMarket
 from repro.contracts.oracle_hub import OracleRequestHub
+from repro.contracts.validator_registry import ValidatorRegistry
 
 __all__ = [
     "SmartContract",
     "DistExchangeApp",
     "DataMarket",
     "OracleRequestHub",
+    "ValidatorRegistry",
 ]

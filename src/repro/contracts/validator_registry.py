@@ -1,0 +1,232 @@
+"""The on-chain validator registry: join / leave / slash as state transitions.
+
+The PoA committee is no longer static config.  This contract is the source
+of truth for the rotation schedule: validators *join* by escrowing a bond,
+*leave* by announcing an exit and withdrawing the bond after a cool-down,
+and are *slashed* when anyone submits a serialized
+:class:`~repro.blockchain.consensus.EquivocationProof` as an ordinary signed
+transaction — the contract re-verifies the proof from its own material,
+burns the culprit's bond, and removes it from the active set.  Every
+replica derives the Aura schedule from :meth:`active_validators` at each
+epoch boundary, so misbehavior settles as a state transition visible in the
+replayable chain history rather than a network-layer side effect.
+
+Bond economics fold into the market's balance-conservation invariant:
+escrowed deposits sit in the contract account, refunds leave it through
+``transfer``, and burned bonds simply stay locked in the contract forever
+(``total_burned`` accounts for them) — total supply is conserved.
+
+Storage layout: ``index`` is the append-only join-order address list that
+fixes the deterministic rotation order; ``validators`` is an entry-map of
+per-validator records manipulated one entry at a time; aggregates
+(``activeCount``, ``totalEscrowed``, ``totalBurned``, ``proofCount``) are
+maintained as running counters, so every operation touches O(1) entries
+except the epoch-boundary read, which is O(registry size) and read-only.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.blockchain.consensus import EquivocationProof
+from repro.contracts.base import SmartContract
+
+STATUS_ACTIVE = "active"
+STATUS_EXITING = "exiting"
+STATUS_EXITED = "exited"
+STATUS_SLASHED = "slashed"
+
+
+class ValidatorRegistry(SmartContract):
+    """Bonded validator lifecycle: join, leave (cool-down refund), slash."""
+
+    def constructor(self, initial_validators: Optional[List[str]] = None,
+                    bond_amount: int = 0, cooldown_blocks: int = 0, **_: Any) -> None:
+        genesis = list(initial_validators or [])
+        self.require(bool(genesis), "the registry needs at least one genesis validator")
+        self.require(len(set(genesis)) == len(genesis), "duplicate genesis validators")
+        self.require(int(bond_amount) >= 0, "bond_amount must be non-negative")
+        self.require(int(cooldown_blocks) >= 0, "cooldown_blocks must be non-negative")
+        # The deployer escrows the genesis bonds so slashing a genesis
+        # validator burns real funds, same as any later joiner.
+        self.require(
+            self.msg_value == int(bond_amount) * len(genesis),
+            "deployment must escrow one bond per genesis validator",
+        )
+        self.storage["operator"] = self.msg_sender
+        self.storage["bondAmount"] = int(bond_amount)
+        self.storage["cooldownBlocks"] = int(cooldown_blocks)
+        self.storage["index"] = []
+        self.storage["validators"] = {}
+        self.storage["proofs"] = {}
+        self.storage["activeCount"] = len(genesis)
+        self.storage["totalEscrowed"] = int(bond_amount) * len(genesis)
+        self.storage["totalBurned"] = 0
+        self.storage["proofCount"] = 0
+        for address in genesis:
+            self.storage.append("index", address)
+            self.storage.set_entry("validators", address, {
+                "status": STATUS_ACTIVE,
+                "bond": int(bond_amount),
+                "joinedBlock": self.block_number,
+                "exitBlock": None,
+            })
+            self.emit("ValidatorJoined", validator=address, bond=int(bond_amount))
+
+    # -- lifecycle transitions ------------------------------------------------
+
+    def join(self) -> Dict[str, Any]:
+        """Escrow the bond and enter the active set at the next epoch boundary."""
+        candidate = self.msg_sender
+        bond = self.storage.get("bondAmount", 0)
+        record = self.storage.get_entry("validators", candidate)
+        self.require(
+            record is None or record.get("status") == STATUS_EXITED,
+            f"{candidate} is already registered",
+        )
+        self.require(self.msg_value == bond, f"joining requires a bond of exactly {bond}")
+        if record is None:
+            self.storage.append("index", candidate)
+        fresh = {
+            "status": STATUS_ACTIVE,
+            "bond": bond,
+            "joinedBlock": self.block_number,
+            "exitBlock": None,
+        }
+        self.storage.set_entry("validators", candidate, fresh)
+        self.storage["activeCount"] = self.storage.get("activeCount", 0) + 1
+        self.storage["totalEscrowed"] = self.storage.get("totalEscrowed", 0) + bond
+        self.emit("ValidatorJoined", validator=candidate, bond=bond)
+        return fresh
+
+    def leave(self) -> Dict[str, Any]:
+        """Announce an exit: leave the rotation now, withdraw after cool-down."""
+        leaver = self.msg_sender
+        record = self.storage.get_entry("validators", leaver)
+        self.require(
+            record is not None and record.get("status") == STATUS_ACTIVE,
+            f"{leaver} is not an active validator",
+        )
+        self.require(
+            self.storage.get("activeCount", 0) > 1,
+            "the last active validator cannot leave",
+        )
+        record["status"] = STATUS_EXITING
+        record["exitBlock"] = self.block_number
+        self.storage.set_entry("validators", leaver, record)
+        self.storage["activeCount"] = self.storage.get("activeCount", 0) - 1
+        self.emit("ValidatorLeft", validator=leaver, exitBlock=self.block_number)
+        return record
+
+    def withdraw(self) -> int:
+        """Refund an exiting validator's bond once the cool-down elapsed."""
+        claimant = self.msg_sender
+        record = self.storage.get_entry("validators", claimant)
+        self.require(
+            record is not None and record.get("status") == STATUS_EXITING,
+            f"{claimant} has no exit in progress",
+        )
+        cooldown = self.storage.get("cooldownBlocks", 0)
+        unlocked_at = record.get("exitBlock", 0) + cooldown
+        self.require(
+            self.block_number >= unlocked_at,
+            f"bond is locked until block {unlocked_at}",
+        )
+        amount = record.get("bond", 0)
+        record["status"] = STATUS_EXITED
+        record["bond"] = 0
+        self.storage.set_entry("validators", claimant, record)
+        self.storage["totalEscrowed"] = self.storage.get("totalEscrowed", 0) - amount
+        if amount:
+            self.transfer(claimant, amount)
+        self.emit("BondWithdrawn", validator=claimant, amount=amount)
+        return amount
+
+    def slash(self, proof: Dict[str, Any]) -> Dict[str, Any]:
+        """Settle an equivocation: verify the proof, burn the bond, remove the culprit.
+
+        Anyone may submit: the proof is self-authenticating (both sealed
+        headers carry genuine proposer signatures), so the contract trusts
+        nothing about the submitter and re-checks every claim itself.
+        """
+        try:
+            parsed = EquivocationProof.from_wire(proof)
+        except (KeyError, TypeError, ValueError, AttributeError):
+            parsed = None
+        self.require(parsed is not None, "malformed equivocation proof")
+        self.require(parsed.verify(), "equivocation proof fails verification")
+        culprit = parsed.proposer
+        record = self.storage.get_entry("validators", culprit)
+        self.require(record is not None, f"{culprit} is not a registered validator")
+        status = record.get("status")
+        self.require(
+            status in (STATUS_ACTIVE, STATUS_EXITING),
+            f"{culprit} holds no slashable bond (status {status})",
+        )
+        proof_key = f"{parsed.height}:{culprit}"
+        self.require(
+            not self.storage.has_entry("proofs", proof_key),
+            f"equivocation at height {parsed.height} by {culprit} is already settled",
+        )
+        bond = record.get("bond", 0)
+        record["status"] = STATUS_SLASHED
+        record["bond"] = 0
+        self.storage.set_entry("validators", culprit, record)
+        self.storage.set_entry("proofs", proof_key, parsed.to_wire())
+        self.storage["proofCount"] = self.storage.get("proofCount", 0) + 1
+        # Burned bonds stay locked in the contract account forever; the
+        # aggregate keeps supply accounting auditable.
+        self.storage["totalEscrowed"] = self.storage.get("totalEscrowed", 0) - bond
+        self.storage["totalBurned"] = self.storage.get("totalBurned", 0) + bond
+        if status == STATUS_ACTIVE:
+            self.storage["activeCount"] = self.storage.get("activeCount", 0) - 1
+        self.emit(
+            "ValidatorSlashed",
+            validator=culprit,
+            height=parsed.height,
+            bondBurned=bond,
+        )
+        return {"validator": culprit, "height": parsed.height, "bondBurned": bond}
+
+    # -- reads (epoch-boundary schedule derivation and diagnostics) ------------
+
+    def active_validators(self) -> List[str]:
+        """The current active set in deterministic join order.
+
+        Replicas call this read-only at every epoch boundary to derive the
+        next rotation; join order is append-only, so every replica sees the
+        identical list for identical state.
+        """
+        active: List[str] = []
+        for position in range(self.storage.entry_count("index")):
+            address = self.storage.get_item("index", position)
+            record = self.storage.get_entry("validators", address)
+            if record is not None and record.get("status") == STATUS_ACTIVE:
+                active.append(address)
+        return active
+
+    def validator_info(self, address: str) -> Optional[Dict[str, Any]]:
+        """Full lifecycle record of one validator (None when unknown)."""
+        return self.storage.get_entry("validators", address)
+
+    def slashing_proof(self, height: int, proposer: str) -> Optional[Dict[str, Any]]:
+        """The settled proof for (height, proposer), wire form, or None."""
+        return self.storage.get_entry("proofs", f"{int(height)}:{proposer}")
+
+    def bond_amount(self) -> int:
+        return self.storage.get("bondAmount", 0)
+
+    def cooldown_blocks(self) -> int:
+        return self.storage.get("cooldownBlocks", 0)
+
+    def active_count(self) -> int:
+        return self.storage.get("activeCount", 0)
+
+    def total_escrowed(self) -> int:
+        return self.storage.get("totalEscrowed", 0)
+
+    def total_burned(self) -> int:
+        return self.storage.get("totalBurned", 0)
+
+    def proof_count(self) -> int:
+        return self.storage.get("proofCount", 0)

@@ -35,6 +35,7 @@ from repro.blockchain.vm import ContractRegistry
 from repro.contracts.dist_exchange import DistExchangeApp
 from repro.contracts.market import DataMarket
 from repro.contracts.oracle_hub import OracleRequestHub
+from repro.contracts.validator_registry import ValidatorRegistry
 from repro.oracles.base import BlockchainInteractionModule
 from repro.oracles.pull_in import FAULT_UNRESPONSIVE, PullInOracle
 from repro.oracles.pull_out import PullOutOracle
@@ -64,6 +65,15 @@ class ArchitectureConfig:
     # (one full node per validator, proposer rotation, fault injection) and
     # routes every transaction through it.
     validators: int = 1
+    # Dynamic validator sets: with epoch_length > 0 a multi-validator
+    # deployment deploys the ValidatorRegistry contract, derives the PoA
+    # rotation from its state at every epoch_length-block boundary, and
+    # settles join (bonded deposit), leave (cool-down refund), and slash
+    # (proof-verified bond burn) as ordinary transactions.  0 keeps the
+    # committee static.
+    epoch_length: int = 0
+    validator_bond: int = 1_000_000
+    validator_cooldown_blocks: int = 8
     gas_schedule: GasSchedule = None  # type: ignore[assignment]
     # Durable deployments: a directory root makes every validator persist
     # its chain to ``<persist_dir>/validator-<i>`` (crash-safe block log,
@@ -88,6 +98,17 @@ class ArchitectureConfig:
             raise ValidationError("block_interval must be positive")
         if self.validators < 1:
             raise ValidationError("a deployment needs at least one validator")
+        if self.epoch_length < 0:
+            raise ValidationError("epoch_length must be non-negative")
+        if self.epoch_length and self.validators < 2:
+            raise ValidationError(
+                "a dynamic validator set (epoch_length > 0) needs a "
+                "multi-validator deployment (validators > 1)"
+            )
+        if self.validator_bond < 0:
+            raise ValidationError("validator_bond must be non-negative")
+        if self.validator_cooldown_blocks < 0:
+            raise ValidationError("validator_cooldown_blocks must be non-negative")
         if self.snapshot_interval < 0:
             raise ValidationError("snapshot_interval must be non-negative")
         if self.max_reorg_depth is not None and self.max_reorg_depth < 1:
@@ -122,6 +143,7 @@ class UsageControlArchitecture:
             registry.register(DistExchangeApp)
             registry.register(DataMarket)
             registry.register(OracleRequestHub)
+            registry.register(ValidatorRegistry)
             return registry
 
         if self.config.validators > 1:
@@ -139,6 +161,7 @@ class UsageControlArchitecture:
                 persist_root=self.config.persist_dir,
                 max_reorg_depth=self.config.max_reorg_depth,
                 snapshot_interval=self.config.snapshot_interval,
+                epoch_length=self.config.epoch_length,
             )
             self.node = self.validator_network.primary
         else:
@@ -173,6 +196,23 @@ class UsageControlArchitecture:
             },
         )
         self.oracle_hub_address = self.operator_module.deploy_contract("OracleRequestHub")
+        # Dynamic deployments additionally deploy the validator registry
+        # (block 4) and point every replica's rotation derivation at it; the
+        # operator escrows the genesis bonds at deployment.  Static
+        # deployments keep the exact three-contract genesis prefix.
+        self.validator_registry_address: Optional[str] = None
+        if self.validator_network is not None and self.config.epoch_length > 0:
+            genesis_validators = list(self.validator_network.consensus.validators)
+            self.validator_registry_address = self.operator_module.deploy_contract(
+                "ValidatorRegistry",
+                {
+                    "initial_validators": genesis_validators,
+                    "bond_amount": self.config.validator_bond,
+                    "cooldown_blocks": self.config.validator_cooldown_blocks,
+                },
+                value=self.config.validator_bond * len(genesis_validators),
+            )
+            self.validator_network.use_validator_registry(self.validator_registry_address)
 
         # -- trust layer ----------------------------------------------------------------
         self.attestation_verifier = AttestationVerifier()
@@ -395,6 +435,56 @@ class UsageControlArchitecture:
     def restart_validator(self, index: int) -> Dict[str, object]:
         """Rebuild a hard-crashed validator from disk; returns the recovery report."""
         return self._require_network().restart_validator(index)
+
+    # -- dynamic validator membership ---------------------------------------------------------------
+
+    def _require_registry(self) -> BlockchainNetwork:
+        network = self._require_network()
+        if self.validator_registry_address is None:
+            raise ValidationError(
+                "validator membership changes need a dynamic deployment "
+                "(config.epoch_length > 0)"
+            )
+        return network
+
+    def join_validator(self, index: Optional[int] = None) -> Dict[str, object]:
+        """Stand up a new funded replica and settle its bonded ``join`` on-chain.
+
+        *index* (when given) must be the next free validator index — the
+        step is deterministic, so scenario specs name the replica they
+        expect to create.  The operator funds the candidate with the bond
+        plus gas headroom; the join transaction itself is signed by the
+        candidate.  Returns the new replica's address, index, and bond.
+        """
+        network = self._require_registry()
+        expected = len(network.validators)
+        if index is not None and index != expected:
+            raise ValidationError(
+                f"the next validator index is {expected}, not {index}"
+            )
+        keypair = KeyPair.from_name(f"validator-{expected}")
+        self._fund(keypair.address, self.config.validator_bond + 5_000_000)
+        validator = network.join_validator(keypair)
+        return {
+            "address": validator.address,
+            "index": expected,
+            "bond": self.config.validator_bond,
+        }
+
+    def leave_validator(self, index: int) -> str:
+        """Settle the validator's ``leave`` on-chain (exit at the next boundary)."""
+        network = self._require_registry()
+        if not 0 <= index < len(network.validators):
+            raise ValidationError(
+                f"validator index {index} out of range "
+                f"(deployment has {len(network.validators)} validators)"
+            )
+        leaver = network.validators[index]
+        # Genesis validators other than the operator hold no funds; cover
+        # the gas for the leave (and a later withdraw) transaction.
+        if self.node.get_balance(leaver.address) < 1_000_000:
+            self._fund(leaver.address, 5_000_000)
+        return network.leave_validator(index)
 
     # -- chain-level helpers -------------------------------------------------------------------------
 

@@ -515,6 +515,8 @@ class ScenarioRunner:
             overrides["initial_participant_funds"] = self.spec.participant_funds
         if self.spec.validators > 1:
             overrides["validators"] = self.spec.validators
+        if self.spec.epoch_length:
+            overrides["epoch_length"] = self.spec.epoch_length
         if self.spec.durable:
             # Durable deployments persist every validator's chain under a
             # fresh temporary root (crash_validator/restart_validator need
@@ -957,6 +959,42 @@ class ScenarioRunner:
         report["consistent"] = network.consistent()
         ctx.result.facts.setdefault("recoveries", []).append(dict(report))
         return report
+
+    def _run_join_validator(self, step: Step, index: int, ctx: "_RunContext") -> dict:
+        """Stand up a new replica and settle its bonded ``join`` on-chain."""
+        network = ctx.architecture.validator_network
+        details = ctx.architecture.join_validator(step.validator)
+        # Settle the join transaction so the membership change is on-chain
+        # before the timeline continues (the rotation itself only changes at
+        # the next epoch boundary).
+        network.produce_until_block()
+        details["registered"] = bool(
+            ctx.architecture.node.call(
+                ctx.architecture.validator_registry_address,
+                "validator_info",
+                {"address": details["address"]},
+            )
+        )
+        details["validators"] = len(network.validators)
+        return dict(details)
+
+    def _run_leave_validator(self, step: Step, index: int, ctx: "_RunContext") -> dict:
+        """Settle the validator's ``leave`` on-chain (exit at the next boundary)."""
+        network = ctx.architecture.validator_network
+        address = network.validators[step.validator].address
+        ctx.architecture.leave_validator(step.validator)
+        network.produce_until_block()
+        info = ctx.architecture.node.call(
+            ctx.architecture.validator_registry_address,
+            "validator_info",
+            {"address": address},
+        )
+        return {
+            "validator": step.validator,
+            "address": address,
+            "status": (info or {}).get("status"),
+            "exitBlock": (info or {}).get("exitBlock"),
+        }
 
     def _run_check_holds(self, step: Step, index: int, ctx: "_RunContext") -> dict:
         resource_id = ctx.result.resource_ids[step.resource]

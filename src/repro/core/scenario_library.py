@@ -32,6 +32,8 @@ from repro.core.spec import (
     equivocate,
     fail_validator,
     index,
+    join_validator,
+    leave_validator,
     monitor,
     recover_validator,
     restart_validator,
@@ -469,21 +471,32 @@ def byzantine_validator_spec() -> ScenarioSpec:
 
 
 def validator_churn_spec() -> ScenarioSpec:
-    """Crash-and-recover a validator while the market keeps operating.
+    """Exercise the on-chain validator registry: join, slash, leave.
 
-    Validator 1 goes down before the accesses (its slots are skipped — the
-    liveness hit the paper concedes), the deployment keeps serving through
-    the remaining replicas, and after recovery the lagging replica resyncs
-    block-by-block and converges to the canonical head.
+    A durable 4-validator deployment runs in epoch-aware mode
+    (``epoch_length=4``): the Aura rotation is re-derived from the
+    validator-registry contract at every epoch boundary.  A fifth replica
+    joins mid-run by bonding a deposit through an ordinary transaction and
+    starts proposing at the next boundary.  Validator 2 then equivocates;
+    the double-seal proof is submitted back to the registry as a signed
+    slash transaction, the contract re-verifies it, burns the bond, and the
+    next epoch's rotation excludes the culprit on every replica — no
+    skipped slots once the boundary passes.  Validator 3 is hard-crashed
+    after the slash and cold-started from disk to prove the state-derived
+    rotation survives recovery, and the joined validator finally leaves,
+    entering cool-down.  The usage-control story (walt's ledger served to a
+    reader app) is unaffected throughout.
     """
     res = "walt:/data/ledger.csv"
     return ScenarioSpec(
         name="validator-churn",
         description=(
-            "A 3-validator deployment loses one validator mid-run and "
-            "recovers it: slots are skipped while it is down, every service "
-            "process keeps completing, and the resynced replica agrees on "
-            "the head."
+            "A durable 4-validator epoch-aware deployment admits a fifth "
+            "validator through a bonded join transaction, slashes an "
+            "equivocator on-chain (proof verified by the registry contract, "
+            "bond burned, rotation excludes it at the next epoch), "
+            "cold-starts a crashed follower from disk after the slash, and "
+            "processes a leave — while the market keeps serving."
         ),
         participants=(
             ParticipantSpec("walt", "owner"),
@@ -492,16 +505,23 @@ def validator_churn_spec() -> ScenarioSpec:
         resources=(ResourceSpec(owner="walt", path="/data/ledger.csv",
                                 retention_seconds=MONTH),),
         timeline=(
-            fail_validator(1),
             access("reader-app", res),
+            join_validator(4),
             use("reader-app", res),
+            equivocate(2),
             advance(DAY),
             monitor(res),
-            recover_validator(1),
+            crash_validator(3),
+            restart_validator(3),
+            leave_validator(4),
             advance(DAY),
             monitor(res),
         ),
-        validators=3,
+        validators=4,
+        durable=True,
+        snapshot_interval=4,
+        max_reorg_depth=4,
+        epoch_length=4,
     ).validate()
 
 

@@ -86,6 +86,18 @@ def test_reintroduced_whole_slot_rmw_is_flagged():
     assert ("STO002", line + 1) in {(f.rule_id, f.line) for f in findings}
 
 
+def test_registry_contract_reintroduced_nondeterminism_is_flagged():
+    """The validator registry is inside the gate: a wall-clock read in the
+    slash path lands as a fresh DET finding at its own line."""
+    source, line = _inject(
+        REPO / "src/repro/contracts/validator_registry.py",
+        '        bond = record.get("bond", 0)',
+        "        record['slashedAt'] = time.time()",
+    )
+    findings = analyze_source(source, filename="validator_registry.py")
+    assert ("DET002", line) in {(f.rule_id, f.line) for f in findings}
+
+
 def test_storage_layer_reintroduced_banned_import_is_flagged():
     """Nondeterminism slipping into the chain store is caught, not baselined.
 

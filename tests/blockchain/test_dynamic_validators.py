@@ -1,0 +1,480 @@
+"""On-chain dynamic validator sets: epoching, the registry contract, slashing.
+
+The validator committee is no longer static config.  These tests cover the
+layers the mechanism spans: the epoch-aware consensus engine (rotation
+history as chain state, `with_validators` carrying every config field), the
+`ValidatorRegistry` contract (bonded join, cool-down leave/withdraw,
+proof-verified slash), the network's fault-injection hygiene (range-checked
+indices, the pending-equivocation latch), and full architecture deployments
+where join/leave/slash settle as ordinary transactions and every replica —
+including a cold-started one — derives the identical rotation from contract
+state at each epoch boundary.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ContractError, ValidationError
+from repro.blockchain.consensus import (
+    EquivocationDetector,
+    ProofOfAuthority,
+)
+from repro.blockchain.crypto import KeyPair
+from repro.blockchain.network import BlockchainNetwork
+from repro.blockchain.node import BlockchainNode
+from repro.blockchain.vm import ContractRegistry
+from repro.contracts.validator_registry import ValidatorRegistry
+from repro.core.architecture import ArchitectureConfig, UsageControlArchitecture
+from repro.oracles.base import BlockchainInteractionModule
+from repro.sim.network import NetworkModel
+
+EPOCH = 4
+BOND = 500
+COOLDOWN = 3
+
+OPERATOR = KeyPair.from_name("registry-operator")
+CULPRIT = KeyPair.from_name("registry-culprit")
+PEER = KeyPair.from_name("registry-peer")
+
+
+# -- the epoch-aware consensus engine ------------------------------------------
+
+
+def test_with_validators_preserves_every_config_field():
+    """The copy must carry block interval, epoch length, and whatever is next.
+
+    `with_validators` is built on `dataclasses.replace`, so a field added to
+    the engine later cannot be silently dropped by the copy; this test pins
+    that by walking the dataclass fields instead of naming them.
+    """
+    a, b, c = (KeyPair.from_name(name).address for name in ("ra", "rb", "rc"))
+    engine = ProofOfAuthority(validators=[a, b], block_interval=2.5, epoch_length=6)
+    clone = engine.with_validators([c])
+    assert clone.validators == [c]
+    for field in dataclasses.fields(ProofOfAuthority):
+        if field.name == "validators":
+            continue
+        assert getattr(clone, field.name) == getattr(engine, field.name), field.name
+
+
+def test_with_validators_gives_the_copy_a_fresh_rotation_history():
+    a, b = (KeyPair.from_name(name).address for name in ("ra", "rb"))
+    engine = ProofOfAuthority(validators=[a, b], block_interval=5.0, epoch_length=4)
+    engine.record_rotation(1, [b])
+    clone = engine.with_validators([a, b])
+    assert engine.rotation_history() == {1: (b,)}
+    assert clone.rotation_history() == {}
+
+
+def test_recorded_rotations_drive_the_schedule_per_height():
+    a, b = (KeyPair.from_name(name).address for name in ("ra", "rb"))
+    engine = ProofOfAuthority(validators=[a, b], block_interval=5.0, epoch_length=4)
+    engine.record_rotation(1, [b])
+    # Heights 1-4 belong to epoch 0 (genesis order), 5-8 to the recorded one.
+    assert engine.rotation_for_height(4) == (a, b)
+    assert engine.rotation_for_height(5) == (b,)
+    assert engine.rotation_for_height(8) == (b,)
+    # Membership stays historical: `a` rotated out but its blocks must keep
+    # validating and evidence against it stays admissible.
+    assert engine.is_validator(a)
+    with pytest.raises(ValidationError):
+        engine.record_rotation(0, [a])  # epoch 0 is fixed by genesis
+
+
+def test_drop_rotations_above_reports_whether_anything_changed():
+    a, b = (KeyPair.from_name(name).address for name in ("ra", "rb"))
+    engine = ProofOfAuthority(validators=[a, b], block_interval=5.0, epoch_length=4)
+    engine.record_rotation(1, [b])
+    engine.record_rotation(2, [a])
+    assert engine.drop_rotations_above(7) is True   # epoch 2's boundary (8) gone
+    assert engine.rotation_history() == {1: (b,)}
+    assert engine.drop_rotations_above(7) is False  # nothing left to drop
+
+
+# -- fault-injection index validation ------------------------------------------
+
+
+def static_network(num_validators: int = 3, **kwargs) -> BlockchainNetwork:
+    sender = KeyPair.from_name("dyn-sender")
+    return BlockchainNetwork(
+        num_validators=num_validators,
+        block_interval=5.0,
+        genesis_balances={sender.address: 10**9},
+        **kwargs,
+    )
+
+
+@pytest.mark.parametrize("index", [-1, -3, 3, 99])
+def test_fault_entry_points_reject_out_of_range_indices(index):
+    """Negative indices must not alias from the end of the validator list."""
+    network = static_network(3)
+    for method in (
+        network.fail_validator,
+        network.recover_validator,
+        network.crash_validator,
+        network.restart_validator,
+        network.equivocate_validator,
+        network.leave_validator,
+        network.withdraw_bond,
+    ):
+        with pytest.raises(ValidationError):
+            method(index)
+    # Nothing was touched by the rejected calls.
+    assert all(v.online and not v.pending_equivocation for v in network.validators)
+
+
+# -- the pending-equivocation latch --------------------------------------------
+
+
+def test_equivocation_rejected_for_offline_target():
+    network = static_network(3)
+    network.fail_validator(1)
+    with pytest.raises(ValidationError, match="offline"):
+        network.equivocate_validator(1)
+    assert not network.validators[1].pending_equivocation
+
+
+def test_queued_equivocation_dies_with_the_process(tmp_path):
+    network = static_network(3, persist_root=str(tmp_path), snapshot_interval=2,
+                             max_reorg_depth=4)
+    network.equivocate_validator(1)
+    assert network.validators[1].pending_equivocation
+    network.fail_validator(1)
+    assert not network.validators[1].pending_equivocation
+    network.recover_validator(1)
+    network.equivocate_validator(1)
+    network.crash_validator(1)
+    assert not network.validators[1].pending_equivocation
+    with pytest.raises(ValidationError, match="crashed"):
+        network.equivocate_validator(1)
+
+
+def test_flag_clears_on_slash_and_slashed_target_is_rejected():
+    network = static_network(3)
+    network.equivocate_validator(2)
+    network.produce_blocks(6)  # the culprit's slot comes up within one cycle
+    assert network.validators[2].slashed
+    assert not network.validators[2].pending_equivocation
+    with pytest.raises(ValidationError, match="slashed"):
+        network.equivocate_validator(2)
+
+
+# -- the ValidatorRegistry contract --------------------------------------------
+
+
+def forge_proof(culprit: KeyPair = CULPRIT, peer: KeyPair = PEER):
+    """A genuine double-seal by *culprit* at height 1 (self-authenticating)."""
+    network = BlockchainNetwork(block_interval=5.0, keypairs=[culprit, peer])
+    proposer = network.validators[0]
+    node = proposer.node
+    sibling = node.chain.build_block([], proposer.address)
+    sibling.header.extra["slot"] = 1
+    sibling.header.extra["equivocation"] = "sibling"
+    network.consensus.seal(sibling, culprit)
+    block = node.propose_block(slot=1)
+    detector = EquivocationDetector(network.consensus)
+    detector.observe(block)
+    proof = detector.observe(sibling)
+    assert proof is not None and proof.verify()
+    return proof
+
+
+@pytest.fixture
+def registry_node(clock) -> BlockchainNode:
+    registry = ContractRegistry()
+    registry.register(ValidatorRegistry)
+    consensus = ProofOfAuthority(validators=[OPERATOR.address], block_interval=5.0)
+    return BlockchainNode(
+        consensus, OPERATOR, registry=registry, clock=clock,
+        genesis_balances={OPERATOR.address: 10**12},
+    )
+
+
+@pytest.fixture
+def operator(registry_node) -> BlockchainInteractionModule:
+    return BlockchainInteractionModule(registry_node, OPERATOR, network=NetworkModel(seed=3))
+
+
+@pytest.fixture
+def registry(operator) -> str:
+    return operator.deploy_contract(
+        "ValidatorRegistry",
+        {
+            "initial_validators": [CULPRIT.address, PEER.address],
+            "bond_amount": BOND,
+            "cooldown_blocks": COOLDOWN,
+        },
+        value=2 * BOND,
+    )
+
+
+@pytest.fixture
+def candidate(registry_node, operator) -> BlockchainInteractionModule:
+    keypair = KeyPair.from_name("registry-candidate")
+    operator.send_transaction(keypair.address, {}, value=10_000_000)
+    return BlockchainInteractionModule(registry_node, keypair, network=NetworkModel(seed=7))
+
+
+def test_deployment_escrows_one_bond_per_genesis_validator(operator):
+    with pytest.raises(ContractError):
+        operator.deploy_contract(
+            "ValidatorRegistry",
+            {"initial_validators": [CULPRIT.address], "bond_amount": BOND},
+            value=BOND - 1,
+        )
+
+
+def test_join_requires_the_exact_bond_and_rejects_duplicates(operator, registry, candidate):
+    with pytest.raises(ContractError):
+        candidate.call_contract(registry, "join", {}, value=BOND - 1)
+    candidate.call_contract(registry, "join", {}, value=BOND)
+    assert operator.read(registry, "active_validators") == [
+        CULPRIT.address, PEER.address, candidate.address,
+    ]
+    assert operator.read(registry, "total_escrowed") == 3 * BOND
+    with pytest.raises(ContractError):
+        candidate.call_contract(registry, "join", {}, value=BOND)
+
+
+def test_leave_exits_the_rotation_and_withdraw_waits_out_the_cooldown(
+        operator, registry, candidate):
+    candidate.call_contract(registry, "join", {}, value=BOND)
+    candidate.call_contract(registry, "leave", {})
+    # Out of the derived schedule immediately, but the bond stays locked.
+    assert candidate.address not in operator.read(registry, "active_validators")
+    with pytest.raises(ContractError):
+        candidate.call_contract(registry, "withdraw", {})
+    for _ in range(COOLDOWN):
+        operator.send_transaction(OPERATOR.address, {})  # advance blocks
+    before = candidate.node.get_balance(candidate.address)
+    receipt = candidate.call_contract(registry, "withdraw", {})
+    after = candidate.node.get_balance(candidate.address)
+    assert after - before == BOND - receipt.gas_used
+    info = operator.read(registry, "validator_info", {"address": candidate.address})
+    assert info["status"] == "exited" and info["bond"] == 0
+    assert operator.read(registry, "total_escrowed") == 2 * BOND
+    # An exited validator may re-join by bonding again.
+    candidate.call_contract(registry, "join", {}, value=BOND)
+    assert candidate.address in operator.read(registry, "active_validators")
+
+
+def test_the_last_active_validator_cannot_leave(operator, registry, candidate):
+    culprit_module = BlockchainInteractionModule(
+        operator.node, CULPRIT, network=NetworkModel(seed=9))
+    peer_module = BlockchainInteractionModule(
+        operator.node, PEER, network=NetworkModel(seed=10))
+    for module in (culprit_module, peer_module):
+        operator.send_transaction(module.address, {}, value=1_000_000)
+    culprit_module.call_contract(registry, "leave", {})
+    with pytest.raises(ContractError):
+        peer_module.call_contract(registry, "leave", {})
+
+
+def test_slash_verifies_the_proof_burns_the_bond_and_is_idempotent(operator, registry):
+    proof = forge_proof()
+    result = operator.call_contract(
+        registry, "slash", {"proof": proof.to_wire()}).return_value
+    assert result == {"validator": CULPRIT.address, "height": 1, "bondBurned": BOND}
+    assert operator.read(registry, "active_validators") == [PEER.address]
+    info = operator.read(registry, "validator_info", {"address": CULPRIT.address})
+    assert info["status"] == "slashed" and info["bond"] == 0
+    assert operator.read(registry, "total_burned") == BOND
+    assert operator.read(registry, "total_escrowed") == BOND
+    assert operator.read(registry, "proof_count") == 1
+    stored = operator.read(
+        registry, "slashing_proof", {"height": 1, "proposer": CULPRIT.address})
+    assert stored == proof.to_wire()
+    # Settling the same (height, proposer) pair twice is rejected on-chain.
+    with pytest.raises(ContractError):
+        operator.call_contract(registry, "slash", {"proof": proof.to_wire()})
+
+
+def test_slash_rejects_malformed_and_tampered_proofs(operator, registry):
+    with pytest.raises(ContractError, match="malformed"):
+        operator.call_contract(registry, "slash", {"proof": {"garbage": 1}})
+    # A structurally valid proof whose claims do not re-verify: reassigning
+    # the proposer breaks both seal checks.
+    tampered = forge_proof().to_wire()
+    tampered["proposer"] = PEER.address
+    with pytest.raises(ContractError, match="verification"):
+        operator.call_contract(registry, "slash", {"proof": tampered})
+    # A genuine proof against an address that never registered.
+    stranger = forge_proof(
+        KeyPair.from_name("registry-stranger"), KeyPair.from_name("registry-witness"))
+    with pytest.raises(ContractError, match="not a registered validator"):
+        operator.call_contract(registry, "slash", {"proof": stranger.to_wire()})
+    assert operator.read(registry, "proof_count") == 0
+    assert operator.read(registry, "total_burned") == 0
+
+
+# -- full deployments: join / slash / cold start -------------------------------
+
+
+def dynamic_architecture(**overrides) -> UsageControlArchitecture:
+    config = ArchitectureConfig(validators=4, epoch_length=EPOCH, **overrides)
+    return UsageControlArchitecture(config=config)
+
+
+def rotation_next(validator):
+    """The rotation the replica derives for the block after its head."""
+    return validator.node.consensus.rotation_for_height(validator.chain.height + 1)
+
+
+def settle_slash(arch, network, culprit_index: int) -> str:
+    """Equivocate, let the proof fire, and wait for the slash tx to settle."""
+    culprit = network.validators[culprit_index].address
+    arch.equivocate_validator(culprit_index)
+    for _ in range(4 * EPOCH):
+        network.produce_blocks(1)
+        if arch.node.call(arch.validator_registry_address, "proof_count") >= 1:
+            break
+    assert network.validators[culprit_index].slashed
+    return culprit
+
+
+def cross_boundary(network, epochs: int = 1) -> None:
+    height = network.primary.chain.height
+    target = (height // EPOCH + epochs) * EPOCH
+    network.produce_blocks(target - height)
+
+
+def test_join_settles_on_chain_and_enters_the_next_rotation():
+    arch = dynamic_architecture()
+    network = arch.validator_network
+    genesis_rotation = rotation_next(network.validators[0])
+    details = arch.join_validator()
+    network.produce_until_block()  # settle the join transaction
+    info = arch.node.call(
+        arch.validator_registry_address, "validator_info",
+        {"address": details["address"]})
+    assert info["status"] == "active" and info["bond"] == arch.config.validator_bond
+    cross_boundary(network)
+    # Every replica (the joiner included) now schedules five proposers.
+    for validator in network.validators:
+        assert rotation_next(validator) == genesis_rotation + (details["address"],)
+    # The joiner actually seals once its slot comes up.
+    blocks = network.produce_blocks(len(genesis_rotation) + 1)
+    assert any(block.header.proposer == details["address"] for block in blocks)
+    assert network.honest_heads_converged()
+
+
+def test_slash_settles_on_chain_and_the_boundary_excludes_the_culprit():
+    """The acceptance story: equivocation -> slash tx -> bond burned ->
+    culprit-free rotation on every replica, with no skipped slots after the
+    boundary."""
+    arch = dynamic_architecture()
+    network = arch.validator_network
+    registry = arch.validator_registry_address
+    culprit = settle_slash(arch, network, 2)
+    # The registry holds the verified proof and burned the bond.
+    info = arch.node.call(registry, "validator_info", {"address": culprit})
+    assert info["status"] == "slashed" and info["bond"] == 0
+    assert arch.node.call(registry, "total_burned") == arch.config.validator_bond
+    proofs = network.equivocation_proofs
+    assert len(proofs) == 1
+    stored = arch.node.call(
+        registry, "slashing_proof",
+        {"height": proofs[0].height, "proposer": culprit})
+    assert stored == proofs[0].to_wire()
+    cross_boundary(network)
+    for validator in network.validators:
+        rotation = rotation_next(validator)
+        assert culprit not in rotation and len(rotation) == 3
+    # A slot is never handed to the culprit again: a full epoch passes with
+    # zero skips (before the boundary its slots were skipped, as scheduled).
+    skipped_before = network.skipped_slots
+    cross_boundary(network)
+    assert network.skipped_slots == skipped_before
+    assert network.honest_heads_converged()
+    assert network.primary.chain.verify_chain(replay=True)
+
+
+def test_cold_started_follower_restores_the_state_derived_rotation(tmp_path):
+    arch = dynamic_architecture(persist_dir=str(tmp_path), snapshot_interval=4,
+                                max_reorg_depth=4)
+    network = arch.validator_network
+    culprit = settle_slash(arch, network, 2)
+    cross_boundary(network)
+    assert culprit not in rotation_next(network.validators[3])
+    arch.crash_validator(3)
+    cross_boundary(network)  # the network moves on while the follower is down
+    report = arch.restart_validator(3)
+    assert report["recoveredHeight"] > 0
+    restarted = network.validators[3]
+    assert restarted.chain.verify_chain(replay=True)
+    # The rotation was re-derived from restored contract state, not trusted
+    # from config: the culprit is excluded and the schedule matches peers.
+    assert culprit not in rotation_next(restarted)
+    assert rotation_next(restarted) == rotation_next(network.validators[0])
+    assert restarted.node.consensus.rotation_history() != {}
+    assert restarted.chain.head.hash == network.primary.chain.head.hash
+
+
+# -- the replica-agreement property (random churn sequences) -------------------
+
+
+def conserved(arch) -> bool:
+    chain = arch.node.chain
+    balances = sum(account.balance for account in chain.state.accounts())
+    return balances + chain.total_gas_used() == arch.config.operator_funds
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+       actions=st.lists(st.sampled_from(["join", "leave", "slash"]),
+                        min_size=1, max_size=3))
+@settings(max_examples=5, deadline=None)
+def test_random_churn_yields_identical_rotations_on_every_replica(seed, actions):
+    """Any join/leave/slash sequence: every replica derives the same schedule
+    at every epoch, slashed validators never reappear, and bond escrow plus
+    burns conserve total supply."""
+    import random
+    rng = random.Random(seed)
+    arch = dynamic_architecture()
+    network = arch.validator_network
+    registry = arch.validator_registry_address
+    slashed = []
+    for action in actions:
+        if action == "join" and len(network.validators) < 6:
+            arch.join_validator()
+        elif action == "leave":
+            active = arch.node.call(registry, "active_validators")
+            candidates = [
+                i for i, v in enumerate(network.validators)
+                if i != 0 and v.address in active
+            ]
+            if len(active) > 2 and candidates:
+                arch.leave_validator(rng.choice(candidates))
+        elif action == "slash":
+            rotation = rotation_next(network.validators[0])
+            candidates = [
+                i for i, v in enumerate(network.validators)
+                if i != 0 and v.schedulable and v.address in rotation
+            ]
+            if len(rotation) > 2 and candidates:
+                index = rng.choice(candidates)
+                arch.equivocate_validator(index)
+                slashed.append((network.validators[index].address,
+                                network.primary.chain.height))
+        network.produce_blocks(2 * EPOCH)  # settle and cross a boundary
+
+    cross_boundary(network)
+    primary = network.validators[0]
+    history = primary.node.consensus.rotation_history()
+    current_epoch = primary.chain.height // EPOCH
+    # Identical derived schedule on every replica, at every epoch.
+    for epoch in range(1, current_epoch + 1):
+        height = epoch * EPOCH + 1
+        expected = primary.node.consensus.rotation_for_height(height)
+        for validator in network.validators:
+            assert validator.node.consensus.rotation_for_height(height) == expected
+    # Slashed validators never reappear in a later epoch's rotation.
+    for address, height_at_slash in slashed:
+        assert network.validators[
+            [v.address for v in network.validators].index(address)].slashed
+        for epoch, rotation in history.items():
+            if epoch * EPOCH > height_at_slash + 2 * EPOCH:
+                assert address not in rotation
+    assert network.honest_heads_converged()
+    assert conserved(arch)

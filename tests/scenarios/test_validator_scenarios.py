@@ -5,8 +5,11 @@ scenario runs end to end with one validator equivocating mid-run — all
 honest replicas converge to the same head hash, the equivocation proof
 names the Byzantine validator, ``verify_chain(replay=True)`` passes on the
 canonical chain, and the conformance ledger still closes.  Validator churn
-(crash + recovery) only costs skipped slots.  And population-scale setup
-registers consumers one cohort per block without changing any outcome.
+settles membership on-chain: a fifth replica joins with a bonded deposit,
+an equivocator is slashed through the registry contract (bond burned,
+rotation excludes it at the next epoch), and a crashed follower cold-starts
+into the state-derived rotation.  And population-scale setup registers
+consumers one cohort per block without changing any outcome.
 """
 
 import math
@@ -94,16 +97,45 @@ def test_every_replica_sealed_and_validated_the_same_blocks(byzantine_result):
 # -- validator churn -------------------------------------------------------------
 
 
-def test_churn_scenario_skips_slots_and_resyncs(churn_result):
+def test_churn_scenario_settles_membership_on_chain(churn_result):
     result = churn_result
     network = result.validator_network
-    assert network.skipped_slots > 0
+    arch = result.architecture
+    registry = network.validator_registry_address
+    assert registry is not None
+    assert len(network.validators) == 5  # 4 genesis + the bonded joiner
+
+    # The slash settled as an ordinary transaction: the registry holds the
+    # verified proof and the culprit's bond was burned.
+    culprit = network.validators[2].address
+    info = arch.node.call(registry, "validator_info", {"address": culprit})
+    assert info["status"] == "slashed" and info["bond"] == 0
+    assert arch.node.call(registry, "proof_count") == 1
+    assert arch.node.call(registry, "total_burned") == arch.config.validator_bond
+    assert network.validators[2].slashed
+
+    # Every replica — including the joiner and the cold-started follower —
+    # derives the same culprit-free rotation from contract state.
+    for validator in network.validators:
+        rotation = validator.node.consensus.rotation_for_height(
+            validator.chain.height + 1)
+        assert culprit not in rotation
+
+    assert result.honest_heads_converged()
     assert result.liveness_holds()
-    assert network.consistent(), network.heads()
     assert result.ledger.matches
     assert result.verify_chain_replay()
-    recover_steps = [s for s in result.steps if s.phase == "recover_validator"]
-    assert recover_steps and recover_steps[0].details["consistent"] is True
+    assert result.balance_conservation()["holds"]
+
+
+def test_churn_scenario_join_leave_and_cold_start_details(churn_result):
+    details = {s.phase: s.details for s in churn_result.steps}
+    join = details["join_validator"]
+    assert join["index"] == 4 and join["registered"] and join["validators"] == 5
+    leave = details["leave_validator"]
+    assert leave["status"] == "exiting" and leave["exitBlock"] is not None
+    restart = details["restart_validator"]
+    assert restart["consistent"] is True and restart["replayVerified"] is True
 
 
 # -- spec validation ----------------------------------------------------------------
