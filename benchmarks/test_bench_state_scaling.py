@@ -44,15 +44,19 @@ def _produce(chain: Blockchain, key: KeyPair, transactions) -> None:
     chain.append_block(block)
 
 
-def _per_tx_seconds(num_accounts: int, blocks: int = 5) -> float:
+def _per_tx_seconds(num_accounts: int, blocks: int = 5) -> tuple[float, float]:
     """Best observed per-transaction wall time over *blocks* full blocks.
 
     Each block carries TXS_PER_BLOCK plain transfers from distinct pre-funded
     senders (nonce 0 each), so the measured work is execution + sealing +
     validation + state-root maintenance — the full block-production path.
+    Returns ``(per_tx_seconds, root_hash_seconds_per_tx)``; the second term
+    isolates the incremental state-root slice (counted after the warm-up, so
+    the O(accounts) genesis flush is excluded).
     """
     chain, key = _prefunded_chain(num_accounts)
     _produce(chain, key, [])               # warm-up: flush the genesis dirty set
+    chain.state.root_hash_seconds = 0.0
     sender_index = 0
     best = float("inf")
     gc_was_enabled = gc.isenabled()
@@ -73,25 +77,30 @@ def _per_tx_seconds(num_accounts: int, blocks: int = 5) -> float:
     finally:
         if gc_was_enabled:
             gc.enable()
-    return best
+    root_hash_per_tx = chain.state.root_hash_seconds / (blocks * TXS_PER_BLOCK)
+    return best, root_hash_per_tx
 
 
 def test_per_tx_cost_flat_from_1k_to_10k_accounts(report):
     """Fast guard: one order of magnitude of world size, same per-tx cost."""
     from bench_helpers import bench_row, emit_bench_json
 
-    small = _per_tx_seconds(1_000)
-    medium = _per_tx_seconds(10_000)
+    small, small_root = _per_tx_seconds(1_000)
+    medium, medium_root = _per_tx_seconds(10_000)
     ratio = round(medium / small, 2)
+    root_ratio = round(medium_root / max(small_root, 1e-9), 2)
     report("state scaling 1k->10k",
            us_per_tx_1k=round(small * 1e6, 1),
            us_per_tx_10k=round(medium * 1e6, 1),
-           ratio=ratio)
+           ratio=ratio, root_hash_ratio=root_ratio)
     emit_bench_json(
         "state",
         [bench_row("us_per_tx[1k->10k]", [1_000, 10_000],
                    [round(small * 1e6, 1), round(medium * 1e6, 1)],
-                   pinned_ratio=ratio)],
+                   pinned_ratio=ratio),
+         bench_row("root_hash_time[1k->10k]", [1_000, 10_000],
+                   [round(small_root * 1e6, 2), round(medium_root * 1e6, 2)],
+                   pinned_ratio=root_ratio)],
     )
     assert medium <= 2.0 * small
 
@@ -105,18 +114,22 @@ def test_per_tx_cost_flat_from_1k_to_100k_accounts(report):
     """
     from bench_helpers import bench_row, emit_bench_json
 
-    results = {}
+    results, root_results = {}, {}
     for num_accounts in (1_000, 10_000, 100_000):
-        results[num_accounts] = _per_tx_seconds(num_accounts)
+        results[num_accounts], root_results[num_accounts] = _per_tx_seconds(num_accounts)
     ratio = round(results[100_000] / results[1_000], 2)
+    root_ratio = round(root_results[100_000] / max(root_results[1_000], 1e-9), 2)
     report("state scaling 1k->100k",
            **{f"us_per_tx_{n}": round(t * 1e6, 1) for n, t in results.items()},
-           ratio_100k_vs_1k=ratio)
+           ratio_100k_vs_1k=ratio, root_hash_ratio=root_ratio)
     emit_bench_json(
         "state",
         [bench_row("us_per_tx[1k->100k]", list(results),
                    [round(t * 1e6, 1) for t in results.values()],
-                   pinned_ratio=ratio)],
+                   pinned_ratio=ratio),
+         bench_row("root_hash_time[1k->100k]", list(root_results),
+                   [round(t * 1e6, 2) for t in root_results.values()],
+                   pinned_ratio=root_ratio)],
     )
     assert results[100_000] <= 2.0 * results[1_000]
     assert results[10_000] <= 2.0 * results[1_000]

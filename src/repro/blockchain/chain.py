@@ -56,14 +56,20 @@ class Blockchain:
                  schedule: Optional[GasSchedule] = None, clock: Optional[Clock] = None,
                  genesis_balances: Optional[Dict[str, int]] = None,
                  max_reorg_depth: int = DEFAULT_MAX_REORG_DEPTH,
-                 genesis_timestamp: Optional[float] = None):
+                 genesis_timestamp: Optional[float] = None,
+                 root_scheme: Optional[int] = None):
         self.consensus = consensus
         self.clock = clock if clock is not None else SystemClock()
         # A restart must rebuild a bit-identical genesis even though the
         # shared clock has advanced; the store's manifest carries the
         # original timestamp and passes it back through here.
         self._genesis_timestamp = genesis_timestamp
-        self.state = WorldState()
+        # State-root scheme: the genesis header commits to a root, so a
+        # restart must construct the state with the scheme the store was
+        # created under (the manifest carries it, like the timestamp above).
+        # None means "current default" — fresh chains use binary roots.
+        self.state = WorldState() if root_scheme is None else WorldState(root_scheme=root_scheme)
+        self.root_scheme = self.state.root_scheme
         self.vm = ContractVM(self.state, registry, schedule)
         self.blocks: List[Block] = []
         self._receipts_by_tx: Dict[str, Receipt] = {}
@@ -425,8 +431,12 @@ class Blockchain:
             if self.snapshot_interval and block.number % self.snapshot_interval == 0:
                 # The head state right now IS the state at this height; the
                 # snapshot stays pending until the height finalizes below.
+                # The block's root was just computed, so the digest caches
+                # are warm — persist them next to the state as a sidecar the
+                # loader cross-checks after verifying the snapshot.
                 self.store.write_pending_snapshot(
-                    block.number, block.header.state_root, self.state.to_dict()
+                    block.number, block.header.state_root, self.state.to_dict(),
+                    digests=self.state.digests_payload(),
                 )
         while self._open_frames > self.max_reorg_depth:
             finalized = self.height - self._open_frames + 1
@@ -779,7 +789,7 @@ class Blockchain:
         even though its Merkle roots and seal are internally consistent.
         Unsigned transactions are tolerated for exactly those deployments.
         """
-        state = WorldState()
+        state = WorldState(root_scheme=self.root_scheme)
         for address, balance in self._genesis_balances.items():
             state.create_account(address, balance=balance)
         vm = ContractVM(state, self.vm.registry, self.vm.schedule)
@@ -920,11 +930,25 @@ class Blockchain:
                         f"state commitment"
                     )
                     continue
-                candidate = WorldState.from_dict(payload.get("state", {}))
+                candidate = WorldState.from_dict(
+                    payload.get("state", {}), root_scheme=self.root_scheme
+                )
                 if candidate.state_root() != claimed_root:
                     report.snapshots_rejected.append(
                         f"snapshot at height {height} claims state_root "
                         f"{claimed_root} but its contents hash differently"
+                    )
+                    continue
+                # Cross-check the persisted slot-digest sidecar (when the
+                # snapshot carries one) against the digests the verification
+                # pass just recomputed.  Old snapshots without a sidecar
+                # stay loadable; a sidecar that disagrees with the state it
+                # rode in with means corruption — reject the snapshot.
+                digests = payload.get("digests")
+                if digests is not None and not candidate.digests_match(digests):
+                    report.snapshots_rejected.append(
+                        f"snapshot at height {height} carries a slot-digest "
+                        f"sidecar that does not match its own state"
                     )
                     continue
                 snapshot_state, snapshot_height = candidate, height

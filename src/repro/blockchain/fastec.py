@@ -46,7 +46,13 @@ _COMB_WINDOWS = 64  # 256 bits / 4-bit windows
 _G_NAF_WIDTH = 7    # wNAF width for the fixed generator table (32 odd multiples)
 _Q_NAF_WIDTH = 5    # wNAF width for per-public-key tables (8 odd multiples)
 
-_PUBKEY_TABLE_LIMIT = 4096
+# Must exceed the number of distinct signers a scenario re-verifies in a
+# cycle: an LRU cycled over more keys than it holds misses on every lookup,
+# so each verification silently rebuilds its table and per-participant cost
+# goes superlinear right past the limit (observed at 5k consumers when this
+# was 4096).  Sized for the 10k-consumer sweep plus validators/owners;
+# a width-5 table is 8 affine points (~1 KB), so the cap is ~16 MB.
+_PUBKEY_TABLE_LIMIT = 16384
 
 
 # -- Jacobian primitives -------------------------------------------------------

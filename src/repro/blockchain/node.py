@@ -75,7 +75,8 @@ class BlockchainNode:
                  persist_dir: Optional[str] = None,
                  max_reorg_depth: Optional[int] = None,
                  snapshot_interval: int = 0,
-                 genesis_timestamp: Optional[float] = None):
+                 genesis_timestamp: Optional[float] = None,
+                 root_scheme: Optional[int] = None):
         # A static committee is closed: the node's key must be in it.  An
         # epoch-aware deployment admits keys outside the genesis set — a
         # joiner's authority comes from the registry contract, and the slot
@@ -91,6 +92,7 @@ class BlockchainNode:
                 else DEFAULT_MAX_REORG_DEPTH
             ),
             genesis_timestamp=genesis_timestamp,
+            root_scheme=root_scheme,
         )
         # Populated by open_from_disk with what recovery found on disk.
         self.recovery: Optional[RecoveryReport] = None
@@ -105,6 +107,7 @@ class BlockchainNode:
                 snapshot_interval=snapshot_interval,
                 require_signatures=require_signatures,
                 genesis_timestamp=self.chain.blocks[0].header.timestamp,
+                root_scheme=self.chain.root_scheme,
             )
             self.chain.attach_store(store)
             for name in self.registry.known():
@@ -238,6 +241,7 @@ class BlockchainNode:
             require_signatures=store.require_signatures,
             max_reorg_depth=store.max_reorg_depth,
             genesis_timestamp=store.genesis_timestamp,
+            root_scheme=store.root_scheme,
         )
         node.chain.load_from_store(store, report)
         node.recovery = report

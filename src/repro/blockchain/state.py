@@ -23,9 +23,13 @@ Three properties keep the hot paths independent of the world size:
   digests, and a second accumulator over the account digests.  Mutations
   mark (account, slot) pairs dirty; recomputing the root only re-hashes the
   dirty slots, so producing a block costs O(slots touched since the last
-  block), not O(world) and not O(an account's whole storage).  Repeated
-  calls with no intervening mutation return the cached root string without
-  any hashing at all.
+  block), not O(world) and not O(an account's whole storage).  Under the
+  binary scheme, dict- and list-valued slots additionally keep one leaf
+  digest per entry, so an entry write re-hashes one leaf rather than
+  re-encoding the whole collection — on-chain indexes with thousands of
+  entries (subscriber maps, evidence logs, round responses) stay O(1) to
+  update.  Repeated calls with no intervening mutation return the cached
+  root string without any hashing at all.
 
 Storage values have **value semantics**: reads return structural copies and
 writes store structural copies.  Contract code therefore cannot alias the
@@ -36,10 +40,12 @@ change state is through the journaled API.
 from __future__ import annotations
 
 import copy
+import hashlib
+import time
 from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.common.errors import NotFoundError, ValidationError
-from repro.common.serialization import stable_hash
+from repro.common.serialization import _coerce_json_key, binary_encode, stable_hash
 from repro.blockchain.account import Account
 
 _MISSING = object()
@@ -59,6 +65,94 @@ _MISSING = object()
 # use a Merkle trie here.
 _ROOT_MODULUS = 1 << 256
 
+# Root-scheme versions.  Scheme 1 is the original stable_hash(dict) leaf
+# format (canonical JSON + SHA-256 per slot); scheme 2 hashes the same
+# logical content through the binary length-prefixed encoding, which skips
+# JSON string formatting on the hot path.  Persisted chains record their
+# scheme in the store manifest (missing key = 1), so old stores keep
+# replaying and old snapshots keep loading byte-for-byte; fresh chains
+# default to scheme 2.
+ROOT_SCHEME_JSON = 1
+ROOT_SCHEME_BINARY = 2
+DEFAULT_ROOT_SCHEME = ROOT_SCHEME_BINARY
+_ROOT_SCHEMES = (ROOT_SCHEME_JSON, ROOT_SCHEME_BINARY)
+
+
+def slot_digest_v1(key: str, value: Any) -> int:
+    """Scheme-1 slot leaf: SHA-256 over the canonical-JSON wrapper dict."""
+    return int(stable_hash({"key": key, "value": value}), 16)
+
+
+def slot_preimage_v2(key: str, value: Any) -> bytes:
+    """Scheme-2 slot leaf preimage: domain tag + binary key/value encodings.
+
+    Both encodings are self-delimiting, so the concatenation is injective:
+    no two distinct (key, value) pairs share a preimage (pinned by a
+    Hypothesis property in the test suite).
+    """
+    return b"slot\x00" + binary_encode(key) + binary_encode(value)
+
+
+_MAP_SLOT_TAG = b"mapslot\x00"
+_LIST_SLOT_TAG = b"listslot\x00"
+
+
+def entry_digest_v2(entry_key: Any, value: Any) -> int:
+    """Scheme-2 leaf for one entry of a dict-valued slot.
+
+    The entry key is coerced the way a JSON object key would be
+    (``_coerce_json_key``), so a slot that serializes identically through a
+    snapshot round trip — where all object keys become strings — also roots
+    identically before and after the trip.
+    """
+    preimage = (b"entry\x00" + binary_encode(_coerce_json_key(entry_key))
+                + binary_encode(value))
+    return int.from_bytes(hashlib.sha256(preimage).digest(), "big")
+
+
+def item_digest_v2(index: int, value: Any) -> int:
+    """Scheme-2 leaf for one element of a list-valued slot.
+
+    The element's position is part of the preimage, so the commutative sum
+    over item digests still commits to the order of the list.
+    """
+    preimage = b"item\x00" + index.to_bytes(8, "big") + binary_encode(value)
+    return int.from_bytes(hashlib.sha256(preimage).digest(), "big")
+
+
+def collection_digest_v2(key: str, count: int, acc: int, tag: bytes) -> int:
+    """Scheme-2 slot digest for a collection: domain tag, key, size, leaf sum."""
+    preimage = (tag + binary_encode(key) + count.to_bytes(8, "big")
+                + (acc % _ROOT_MODULUS).to_bytes(32, "big"))
+    return int.from_bytes(hashlib.sha256(preimage).digest(), "big")
+
+
+def slot_digest_v2(key: str, value: Any) -> int:
+    """Scheme-2 slot leaf: SHA-256 over the binary preimage.
+
+    Dict- and list-valued slots hash as a size-tagged commutative sum of
+    per-entry leaves rather than one monolithic encoding.  The digest is
+    the same either way a caller computes it, but the per-entry form is
+    what lets :meth:`WorldState.state_root` re-hash only the entries
+    touched by :meth:`~WorldState.storage_write_entry` /
+    :meth:`~WorldState.storage_append` — without it, every append to an
+    on-chain index re-encodes the whole collection and population-scale
+    rounds go quadratic in the number of consumers.
+    """
+    if isinstance(value, dict):
+        acc = sum(entry_digest_v2(k, v) for k, v in value.items()) % _ROOT_MODULUS
+        return collection_digest_v2(key, len(value), acc, _MAP_SLOT_TAG)
+    if isinstance(value, (list, tuple)):
+        acc = sum(item_digest_v2(i, v) for i, v in enumerate(value)) % _ROOT_MODULUS
+        return collection_digest_v2(key, len(value), acc, _LIST_SLOT_TAG)
+    return int.from_bytes(hashlib.sha256(slot_preimage_v2(key, value)).digest(), "big")
+
+
+_SLOT_DIGESTS = {
+    ROOT_SCHEME_JSON: slot_digest_v1,
+    ROOT_SCHEME_BINARY: slot_digest_v2,
+}
+
 
 def copy_jsonlike(value: Any) -> Any:
     """Structural copy of a JSON-like value (dicts, lists, tuples, scalars)."""
@@ -74,7 +168,15 @@ def copy_jsonlike(value: Any) -> Any:
 class WorldState:
     """Accounts, balances, nonces, and contract storage."""
 
-    def __init__(self):
+    def __init__(self, root_scheme: int = DEFAULT_ROOT_SCHEME):
+        if root_scheme not in _ROOT_SCHEMES:
+            raise ValidationError(f"unknown state-root scheme {root_scheme!r}")
+        self.root_scheme = root_scheme
+        # Bound per instance so the per-slot hot path is branch-free.
+        self._slot_digest = _SLOT_DIGESTS[root_scheme]
+        # Wall-clock seconds spent recomputing roots (cache hits cost nothing
+        # and are not counted).  Benchmarks read this as `root_hash_time`.
+        self.root_hash_seconds: float = 0.0
         self._accounts: Dict[str, Account] = {}
         self._storage: Dict[str, Dict[str, Any]] = {}
         # Undo log: tuples describing how to revert each mutation, recorded
@@ -84,14 +186,20 @@ class WorldState:
         self._frames: List[int] = []
         # Addresses whose cached digest is stale.
         self._dirty: Set[str] = set()
-        # address -> set of slot keys whose digest is stale.  An address
-        # dirty with no entry here has only account-level changes (balance/
-        # nonce); the "recompute every slot" path triggers when the address
-        # is missing from _slot_digests (fresh account, or after restore()
-        # cleared the caches).
-        self._dirty_slots: Dict[str, Set[str]] = {}
+        # address -> {slot key -> dirty entries}.  A slot mapped to None is
+        # wholly dirty (rewritten, deleted, or type-changed); a slot mapped
+        # to a set is dirty only in those entry keys / list indices.  An
+        # address dirty with no entry here has only account-level changes
+        # (balance/nonce); the "recompute every slot" path triggers when the
+        # address is missing from _slot_digests (fresh account, or after
+        # restore() cleared the caches).
+        self._dirty_slots: Dict[str, Dict[str, Optional[Set]]] = {}
         # address -> slot key -> integer digest of (key, value).
         self._slot_digests: Dict[str, Dict[str, int]] = {}
+        # Scheme-2 only: address -> slot key -> [leaf sum, {entry id ->
+        # leaf digest}] for dict-/list-valued slots, so an entry write
+        # re-hashes one leaf instead of the whole collection.
+        self._entry_digests: Dict[str, Dict[str, list]] = {}
         # address -> sum of its slot digests, mod _ROOT_MODULUS.
         self._storage_acc: Dict[str, int] = {}
         # address -> integer digest of (account record, storage accumulator).
@@ -176,20 +284,22 @@ class WorldState:
                         storage[key].pop(entry_key, None)
                     else:
                         storage[key][entry_key] = old
-                self._touch(address, key)
+                self._touch_entry(address, key, entry_key)
             elif kind == "pop":
                 _, _, key = entry
                 storage = self._storage.get(address)
                 if storage is not None and isinstance(storage.get(key), list) and storage[key]:
                     storage[key].pop()
-                self._touch(address, key)
+                    self._touch_entry(address, key, len(storage[key]))
+                else:
+                    self._touch(address, key)
             elif kind == "item":
                 _, _, key, index, old = entry
                 storage = self._storage.get(address)
                 if storage is not None and isinstance(storage.get(key), list) \
                         and 0 <= index < len(storage[key]):
                     storage[key][index] = old
-                self._touch(address, key)
+                self._touch_entry(address, key, index)
 
     @property
     def journal_depth(self) -> int:
@@ -202,10 +312,34 @@ class WorldState:
 
     def _touch(self, address: str, key: Optional[str] = None) -> None:
         self._dirty.add(address)
-        if key is not None and address in self._dirty_slots:
-            self._dirty_slots[address].add(key)
-        elif key is not None:
-            self._dirty_slots[address] = {key}
+        if key is not None:
+            if address in self._dirty_slots:
+                self._dirty_slots[address][key] = None
+            else:
+                self._dirty_slots[address] = {key: None}
+            # A whole-slot write may change the value's type or replace the
+            # collection outright — the per-entry cache no longer describes
+            # the stored value.
+            entries = self._entry_digests.get(address)
+            if entries is not None:
+                entries.pop(key, None)
+        self._root_value = None
+
+    def _touch_entry(self, address: str, key: str, entry_id: Any) -> None:
+        """Mark one entry of a collection-valued slot dirty.
+
+        Folds into a whole-slot mark when the slot is already wholly dirty;
+        otherwise the next root recomputation re-hashes only the touched
+        entries of the slot.
+        """
+        self._dirty.add(address)
+        slots = self._dirty_slots.setdefault(address, {})
+        if key in slots:
+            ids = slots[key]
+            if ids is not None:
+                ids.add(entry_id)
+        else:
+            slots[key] = {entry_id}
         self._root_value = None
 
     # -- accounts -----------------------------------------------------------
@@ -387,7 +521,7 @@ class WorldState:
         is_new = entry_key not in slot
         self._record(("entry", address, key, entry_key, _MISSING if is_new else slot[entry_key]))
         slot[entry_key] = copy_jsonlike(value)
-        self._touch(address, key)
+        self._touch_entry(address, key, entry_key)
         return is_new
 
     def storage_delete_entry(self, address: str, key: str, entry_key: str) -> bool:
@@ -397,7 +531,7 @@ class WorldState:
             return False
         self._record(("entry", address, key, entry_key, slot[entry_key]))
         del slot[entry_key]
-        self._touch(address, key)
+        self._touch_entry(address, key, entry_key)
         return True
 
     def storage_read_item(self, address: str, key: str, index: int, default: Any = None) -> Any:
@@ -429,7 +563,7 @@ class WorldState:
             )
         self._record(("item", address, key, index, slot[index]))
         slot[index] = copy_jsonlike(value)
-        self._touch(address, key)
+        self._touch_entry(address, key, index)
 
     def storage_append(self, address: str, key: str, value: Any) -> Tuple[int, bool]:
         """Append to a list-valued slot; returns ``(new length, slot was new)``.
@@ -447,7 +581,7 @@ class WorldState:
             raise ValidationError(f"storage slot {key!r} of {address} does not hold a list")
         self._record(("pop", address, key))
         slot.append(copy_jsonlike(value))
-        self._touch(address, key)
+        self._touch_entry(address, key, len(slot) - 1)
         return len(slot), is_new_slot
 
     # -- snapshots and roots ----------------------------------------------------
@@ -459,7 +593,7 @@ class WorldState:
         per-transaction execution path uses the O(touched-slots) journal
         (:meth:`begin` / :meth:`commit` / :meth:`rollback`) instead.
         """
-        clone = WorldState()
+        clone = WorldState(root_scheme=self.root_scheme)
         clone._accounts = {addr: Account.from_dict(acc.to_dict()) for addr, acc in self._accounts.items()}
         clone._storage = copy.deepcopy(self._storage)
         clone._dirty = set(clone._accounts)
@@ -468,46 +602,113 @@ class WorldState:
     def restore(self, snapshot: "WorldState") -> None:
         """Restore this state to a previously taken *snapshot*.
 
-        Discards any open journal frames and invalidates every cached
-        digest (the snapshot's content replaces the world wholesale).
+        Discards any open journal frames.  When the snapshot's digest caches
+        are warm and fully consistent (its root was computed and nothing was
+        mutated since — true for a loader that just verified the snapshot's
+        claimed root), the caches are adopted wholesale: the restored world
+        answers :meth:`state_root` without re-hashing anything, and the first
+        dirty write to an account re-hashes only that slot instead of the
+        account's entire storage.  Otherwise every cached digest is
+        invalidated and the next root call re-hashes the world.  Either way
+        the snapshot's containers are aliased, not copied — the snapshot
+        object is consumed.
         """
         self._accounts = snapshot._accounts
         self._storage = snapshot._storage
+        self.root_scheme = snapshot.root_scheme
+        self._slot_digest = _SLOT_DIGESTS[snapshot.root_scheme]
         self._journal.clear()
         self._frames.clear()
+        if snapshot._root_value is not None and not snapshot._dirty:
+            self._digests = snapshot._digests
+            self._slot_digests = snapshot._slot_digests
+            self._storage_acc = snapshot._storage_acc
+            self._entry_digests = snapshot._entry_digests
+            self._dirty_slots.clear()
+            self._root_acc = snapshot._root_acc
+            self._dirty = set()
+            self._root_value = snapshot._root_value
+            return
         self._digests.clear()
         self._slot_digests.clear()
         self._storage_acc.clear()
+        self._entry_digests.clear()
         self._dirty_slots.clear()
         self._root_acc = 0
         self._dirty = set(self._accounts)
         self._root_value = None
 
-    @staticmethod
-    def _slot_digest(key: str, value: Any) -> int:
-        """Integer digest committing to one storage slot."""
-        return int(stable_hash({"key": key, "value": value}), 16)
+    def _hash_slot(self, address: str, key: str, value: Any,
+                   dirty_ids: Optional[Set]) -> int:
+        """Digest one slot, maintaining the scheme-2 per-entry leaf cache.
+
+        *dirty_ids* of ``None`` means the whole slot must be re-hashed (and
+        the entry cache rebuilt); a set re-hashes only those entry keys /
+        list indices against the cached leaves.  Scheme 1 and scalar values
+        always hash whole — their digest is a single leaf.
+        """
+        if self.root_scheme < ROOT_SCHEME_BINARY:
+            return self._slot_digest(key, value)
+        is_mapping = isinstance(value, dict)
+        if not is_mapping and not isinstance(value, (list, tuple)):
+            self._entry_digests.get(address, {}).pop(key, None)
+            return self._slot_digest(key, value)
+        tag = _MAP_SLOT_TAG if is_mapping else _LIST_SLOT_TAG
+        cache = self._entry_digests.setdefault(address, {})
+        record = cache.get(key)
+        if record is None or dirty_ids is None:
+            if is_mapping:
+                leaves = {k: entry_digest_v2(k, v) for k, v in value.items()}
+            else:
+                leaves = {i: item_digest_v2(i, v) for i, v in enumerate(value)}
+            record = [sum(leaves.values()) % _ROOT_MODULUS, leaves]
+            cache[key] = record
+        else:
+            acc, leaves = record
+            for entry_id in dirty_ids:
+                previous = leaves.pop(entry_id, None)
+                if previous is not None:
+                    acc = (acc - previous) % _ROOT_MODULUS
+                if is_mapping:
+                    present = entry_id in value
+                else:
+                    present = isinstance(entry_id, int) and 0 <= entry_id < len(value)
+                if present:
+                    digest = (entry_digest_v2(entry_id, value[entry_id]) if is_mapping
+                              else item_digest_v2(entry_id, value[entry_id]))
+                    leaves[entry_id] = digest
+                    acc = (acc + digest) % _ROOT_MODULUS
+            record[0] = acc
+        return collection_digest_v2(key, len(value), record[0], tag)
 
     def _refresh_storage_accumulator(self, address: str) -> int:
         """Bring the per-slot digests of *address* up to date; return the sum."""
         storage = self._storage.get(address, {})
         slot_digests = self._slot_digests.get(address)
-        acc = self._storage_acc.get(address, 0)
         if slot_digests is None:
             # No cache yet (fresh account or post-restore): hash every slot.
-            slot_digests = {key: self._slot_digest(key, value) for key, value in storage.items()}
+            # Any stale _storage_acc / entry-cache state is irrelevant here —
+            # everything is rebuilt from scratch.
+            self._entry_digests.pop(address, None)
+            slot_digests = {
+                key: self._hash_slot(address, key, value, None)
+                for key, value in storage.items()
+            }
             self._slot_digests[address] = slot_digests
             acc = sum(slot_digests.values()) % _ROOT_MODULUS
         else:
-            dirty_keys = self._dirty_slots.get(address, ())
-            for key in dirty_keys:
+            acc = self._storage_acc.get(address, 0)
+            dirty_slots = self._dirty_slots.get(address)
+            for key, dirty_ids in (dirty_slots or {}).items():
                 previous = slot_digests.pop(key, None)
                 if previous is not None:
                     acc = (acc - previous) % _ROOT_MODULUS
                 if key in storage:
-                    digest = self._slot_digest(key, storage[key])
+                    digest = self._hash_slot(address, key, storage[key], dirty_ids)
                     slot_digests[key] = digest
                     acc = (acc + digest) % _ROOT_MODULUS
+                else:
+                    self._entry_digests.get(address, {}).pop(key, None)
         self._storage_acc[address] = acc
         self._dirty_slots.pop(address, None)
         return acc
@@ -516,6 +717,14 @@ class WorldState:
         """Digest committing to one account's record and storage."""
         account = self._accounts[address]
         storage_acc = self._refresh_storage_accumulator(address)
+        if self.root_scheme >= ROOT_SCHEME_BINARY:
+            preimage = (
+                b"acct\x00"
+                + binary_encode(address)
+                + binary_encode(account.to_dict())
+                + storage_acc.to_bytes(32, "big")
+            )
+            return int.from_bytes(hashlib.sha256(preimage).digest(), "big")
         return int(
             stable_hash(
                 {
@@ -533,6 +742,7 @@ class WorldState:
             self._root_acc = (self._root_acc - previous) % _ROOT_MODULUS
         self._slot_digests.pop(address, None)
         self._storage_acc.pop(address, None)
+        self._entry_digests.pop(address, None)
         self._dirty_slots.pop(address, None)
 
     def state_root(self) -> str:
@@ -543,6 +753,7 @@ class WorldState:
         returned as-is.
         """
         if self._root_value is None:
+            started = time.perf_counter()
             for address in self._dirty:
                 previous = self._digests.pop(address, None)
                 if previous is not None:
@@ -554,12 +765,21 @@ class WorldState:
                 else:
                     self._drop_account_digest(address)
             self._dirty.clear()
-            self._root_value = stable_hash(
-                {
-                    "accounts": len(self._accounts),
-                    "digest": format(self._root_acc, "064x"),
-                }
-            )
+            if self.root_scheme >= ROOT_SCHEME_BINARY:
+                preimage = (
+                    b"ROOTv2"
+                    + len(self._accounts).to_bytes(8, "big")
+                    + self._root_acc.to_bytes(32, "big")
+                )
+                self._root_value = hashlib.sha256(preimage).hexdigest()
+            else:
+                self._root_value = stable_hash(
+                    {
+                        "accounts": len(self._accounts),
+                        "digest": format(self._root_acc, "064x"),
+                    }
+                )
+            self.root_hash_seconds += time.perf_counter() - started
         return self._root_value
 
     def to_dict(self) -> dict:
@@ -569,18 +789,66 @@ class WorldState:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "WorldState":
+    def from_dict(cls, data: dict,
+                  root_scheme: int = DEFAULT_ROOT_SCHEME) -> "WorldState":
         """Rebuild a state from a :meth:`to_dict` dump (snapshot loading).
 
         The returned state has no open journal frames and every digest
         cache cold, so the first :meth:`state_root` call hashes the whole
         world — which is exactly what a snapshot loader wants: the rebuilt
         root can be compared against the snapshot's claimed root before the
-        state is trusted.
+        state is trusted.  Pass the scheme recorded next to the dump so the
+        comparison uses the same leaf format the dump was rooted with.
         """
-        state = cls()
+        state = cls(root_scheme=root_scheme)
         for address, record in data.get("accounts", {}).items():
             state._accounts[address] = Account.from_dict(record)
         state._storage = copy.deepcopy(data.get("storage", {}))
         state._dirty = set(state._accounts)
         return state
+
+    # -- persisted digest sidecar ------------------------------------------------
+
+    def digests_payload(self) -> dict:
+        """Warm per-account slot digests, JSON-ready, for snapshot persistence.
+
+        Call after :meth:`state_root` so the caches are complete.  A loader
+        that restores the snapshot cross-checks these against the digests it
+        recomputed during verification (:meth:`digests_match`); a mismatch
+        means the sidecar does not describe the snapshotted state and the
+        snapshot must not be trusted.
+        """
+        return {
+            "rootScheme": self.root_scheme,
+            "slotDigests": {
+                address: {key: format(digest, "064x") for key, digest in slots.items()}
+                for address, slots in self._slot_digests.items()
+            },
+        }
+
+    def digests_match(self, payload: Optional[dict]) -> bool:
+        """True when *payload* (a :meth:`digests_payload` dump) matches this state.
+
+        Requires warm caches — call :meth:`state_root` first.  Accepts only
+        payloads whose scheme and per-slot digests agree exactly with the
+        recomputed ones (accounts without storage may be absent from either
+        side's map as empty entries).
+        """
+        if not isinstance(payload, dict):
+            return False
+        if int(payload.get("rootScheme", ROOT_SCHEME_JSON)) != self.root_scheme:
+            return False
+        recorded = payload.get("slotDigests")
+        if not isinstance(recorded, dict):
+            return False
+        mine = {addr: slots for addr, slots in self._slot_digests.items() if slots}
+        theirs = {}
+        for address, slots in recorded.items():
+            if not isinstance(slots, dict):
+                return False
+            if slots:
+                try:
+                    theirs[address] = {key: int(digest, 16) for key, digest in slots.items()}
+                except (TypeError, ValueError):
+                    return False
+        return mine == theirs

@@ -292,6 +292,12 @@ class ChainStore:
         return int(self.manifest.get("epochLength", 0))
 
     @property
+    def root_scheme(self) -> int:
+        # Absent in stores written before binary state roots: the original
+        # canonical-JSON scheme, so old chains replay byte-for-byte.
+        return int(self.manifest.get("rootScheme", 1))
+
+    @property
     def genesis_timestamp(self) -> float:
         return float(self.manifest["genesisTimestamp"])
 
@@ -309,6 +315,7 @@ class ChainStore:
                require_signatures: bool = True,
                genesis_timestamp: float = 0.0,
                epoch_length: int = 0,
+               root_scheme: int = 1,
                manifest_interval: int = 16) -> "ChainStore":
         """Initialize a fresh persist directory (refuses to adopt an old one)."""
         os.makedirs(directory, exist_ok=True)
@@ -331,6 +338,7 @@ class ChainStore:
             # though the deployment clock has advanced past creation time.
             "genesisTimestamp": float(genesis_timestamp),
             "epochLength": int(epoch_length),
+            "rootScheme": int(root_scheme),
             "committedRecords": 0,
         }
         atomic_write_json(manifest_path, manifest)
@@ -464,14 +472,22 @@ class ChainStore:
         return f"{prefix}-{height:010d}-{state_root[:16]}.json"
 
     def write_pending_snapshot(self, height: int, state_root: str,
-                               state_payload: Dict[str, Any]) -> str:
-        """Record the world state at *height* as a pending (non-final) snapshot."""
+                               state_payload: Dict[str, Any],
+                               digests: Optional[Dict[str, Any]] = None) -> str:
+        """Record the world state at *height* as a pending (non-final) snapshot.
+
+        *digests* is the optional warm slot-digest sidecar
+        (:meth:`WorldState.digests_payload`): a loader cross-checks it
+        against the digests it recomputes while verifying the snapshot.
+        Snapshots written without one (pre-binary-root stores) stay
+        loadable — the cross-check is skipped.
+        """
         name = self._snapshot_name(_PENDING_PREFIX, height, state_root)
         path = os.path.join(self.snapshot_dir, name)
-        atomic_write_json(
-            path,
-            {"height": height, "stateRoot": state_root, "state": state_payload},
-        )
+        payload = {"height": height, "stateRoot": state_root, "state": state_payload}
+        if digests is not None:
+            payload["digests"] = digests
+        atomic_write_json(path, payload)
         return path
 
     def promote_snapshots_up_to(self, height: int) -> List[int]:

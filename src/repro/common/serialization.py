@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import struct
 from typing import Any
 
 
@@ -46,3 +47,98 @@ def from_canonical_json(data: bytes | str) -> Any:
 def stable_hash(value: Any) -> str:
     """Return the hex SHA-256 digest of the canonical JSON form of *value*."""
     return hashlib.sha256(canonical_json(value)).hexdigest()
+
+
+def binary_encode(value: Any) -> bytes:
+    """Serialize *value* to a compact, injective, self-delimiting byte form.
+
+    The hot state-root path hashes storage slots on every block, and
+    :func:`canonical_json` pays for string formatting, key escaping, and a
+    full ``json.dumps`` traversal per call.  This encoder commits to the same
+    value space (JSON-like values plus objects exposing ``to_dict``) with a
+    type-tagged, length-prefixed layout that a single pass can emit straight
+    into a ``bytearray``:
+
+    * ``N`` / ``T`` / ``F`` — None, True, False (bools checked before ints).
+    * ``I`` + 4-byte length + decimal ASCII digits — arbitrary-precision int.
+    * ``D`` + 8 bytes — IEEE-754 big-endian double.
+    * ``S`` + 4-byte length + UTF-8 bytes — text.
+    * ``L`` + 4-byte count + element encodings — lists *and* tuples (tuples
+      serialize as JSON arrays and snapshot round-trips revive them as
+      lists, so the two must encode identically for roots to survive a
+      to_dict/from_dict cycle).
+    * ``M`` + 4-byte count + (key, value) encodings sorted by key — dicts.
+      Non-string keys are coerced exactly the way ``json.dumps`` coerces
+      them (``True``→``"true"``, ``None``→``"null"``, numbers→their
+      decimal form) so the encoding of a value equals the encoding of its
+      JSON round-trip.
+
+    Every encoding is self-delimiting, so concatenations of encodings are
+    unambiguous and distinct values can never share a byte form — the
+    injectivity the commutative state-root accumulator leans on.
+    """
+    out = bytearray()
+    _binary_encode_into(value, out)
+    return bytes(out)
+
+
+def _binary_encode_into(value: Any, out: bytearray) -> None:
+    if value is None:
+        out += b"N"
+    elif value is True:
+        out += b"T"
+    elif value is False:
+        out += b"F"
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out += b"S"
+        out += len(raw).to_bytes(4, "big")
+        out += raw
+    elif isinstance(value, int):
+        raw = str(value).encode("ascii")
+        out += b"I"
+        out += len(raw).to_bytes(4, "big")
+        out += raw
+    elif isinstance(value, float):
+        out += b"D"
+        out += struct.pack(">d", value)
+    elif isinstance(value, (list, tuple)):
+        out += b"L"
+        out += len(value).to_bytes(4, "big")
+        for item in value:
+            _binary_encode_into(item, out)
+    elif isinstance(value, dict):
+        out += b"M"
+        out += len(value).to_bytes(4, "big")
+        pairs = sorted(((_coerce_json_key(key), key) for key in value), key=lambda p: p[0])
+        for coerced, original in pairs:
+            raw = coerced.encode("utf-8")
+            out += b"S"
+            out += len(raw).to_bytes(4, "big")
+            out += raw
+            _binary_encode_into(value[original], out)
+    else:
+        to_dict = getattr(value, "to_dict", None)
+        if callable(to_dict):
+            _binary_encode_into(to_dict(), out)
+        else:
+            raise TypeError(
+                f"object of type {type(value).__name__} is not binary-encodable"
+            )
+
+
+def _coerce_json_key(key: Any) -> str:
+    """Coerce a dict key to text exactly the way ``json.dumps`` does."""
+    if isinstance(key, str):
+        return key
+    if key is True:
+        return "true"
+    if key is False:
+        return "false"
+    if key is None:
+        return "null"
+    if isinstance(key, float):
+        return repr(key)
+    if isinstance(key, int):
+        return str(key)
+    raise TypeError(f"dict key of type {type(key).__name__} is not binary-encodable")

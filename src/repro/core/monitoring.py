@@ -37,6 +37,8 @@ rejection reason on-chain.
 
 from __future__ import annotations
 
+import os
+import pickle
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
@@ -115,7 +117,8 @@ class MonitoringCoordinator:
     DEFAULT_CHUNK_SIZE = 500
 
     def __init__(self, architecture, batched: bool = True,
-                 chunk_size: Optional[int] = DEFAULT_CHUNK_SIZE):
+                 chunk_size: Optional[int] = DEFAULT_CHUNK_SIZE,
+                 workers: int = 1):
         # Imported lazily by type to avoid a circular import with architecture.
         self.architecture = architecture
         self.batched = batched
@@ -125,6 +128,17 @@ class MonitoringCoordinator:
         # round never hashes one 5k-item canonical-JSON payload.  Rounds at
         # or under the chunk size keep the exact single-transaction flow.
         self.chunk_size = chunk_size
+        # With workers > 1 a batched round partitions its holder set into
+        # contiguous shards and serves each in a forked worker process: the
+        # per-device evidence generation and enclave-signature verification
+        # (the round's CPU wall at 10k consumers) run in parallel against
+        # copy-on-write state, and the parent merges the shard results in
+        # holder order before recording them on its own chain.  workers=1 is
+        # byte-identical to the in-process flow; sharding falls back to it
+        # whenever fork is unavailable or any shard fails.
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.workers = workers
         self.reports: List[MonitoringReport] = []
 
     # -- single round -------------------------------------------------------------
@@ -192,19 +206,42 @@ class MonitoringCoordinator:
             (device_id, request_id, self._consumer_for_device(device_id))
             for device_id, request_id in request_ids.items()
         ]
+        outcomes = self._serve_sharded(served, opened_at)
         modules = {id(c.module): c.module for _, _, c in served if c is not None}
-        with arch.operator_module.batch(*modules.values()):
-            for _, request_id, consumer in served:
-                if consumer is not None:
-                    consumer.pull_in.serve_request(request_id)
+        if outcomes is None:
+            with arch.operator_module.batch(*modules.values()):
+                for _, request_id, consumer in served:
+                    if consumer is not None:
+                        consumer.pull_in.serve_request(request_id)
+            evidence_by_device = {
+                device_id: self._screen_evidence(self._fetch_response(request_id), opened_at)
+                for device_id, request_id in request_ids.items()
+            }
+        else:
+            # The workers computed the responses (the expensive enclave
+            # work); the parent replays only the on-chain fulfillments, in
+            # holder order, so the round seals the same fulfillment block —
+            # transaction for transaction — as the in-process flow.
+            with arch.operator_module.batch(*modules.values()):
+                for device_id, request_id, consumer in served:
+                    if consumer is not None and outcomes[device_id]["fulfilled"]:
+                        consumer.pull_in.fulfill_served(
+                            request_id, outcomes[device_id]["response"])
+            evidence_by_device = {
+                device_id: outcomes[device_id]["evidence"]
+                for device_id in request_ids
+            }
 
         # The collected evidence is recorded in the DE App with one (chunked)
         # batch transaction; it emits the same per-device EvidenceRecorded
         # events (delivered to the owner by the push-out oracle) as the
-        # transaction-per-device flow.
+        # transaction-per-device flow.  Report bookkeeping runs here, in
+        # holder order, so sharded and in-process rounds yield identical
+        # reports.
         evidence_items = []
-        for device_id, request_id in request_ids.items():
-            evidence = self._classify(report, device_id, self._fetch_response(request_id), opened_at)
+        for device_id in request_ids:
+            evidence = evidence_by_device[device_id]
+            self._record_verdict(report, device_id, evidence)
             evidence_items.append({"device_id": device_id, "evidence": evidence})
         arch.operator_module.call_contract_chunked(
             arch.dist_exchange_address,
@@ -273,14 +310,14 @@ class MonitoringCoordinator:
             return dict(NO_EVIDENCE)
         return record["response"]
 
-    def _classify(self, report: MonitoringReport, device_id: str,
-                  evidence: Dict[str, Any], opened_at: float) -> Dict[str, Any]:
-        """Verify and classify one device's evidence; returns what to record.
+    def _screen_evidence(self, evidence: Dict[str, Any], opened_at: float) -> Dict[str, Any]:
+        """Verify one device's evidence; returns what to record.
 
         Evidence claiming compliance must carry a valid, fresh enclave
         signature from a trusted measurement; otherwise it is rejected and
         recorded as non-compliant (so the DE App registers the violation),
-        with the rejection reason in ``details``.
+        with the rejection reason in ``details``.  Pure with respect to the
+        round (no report bookkeeping), so shard workers can run it.
         """
         if evidence.get("compliant", False):
             ok, reason = verify_evidence(
@@ -292,12 +329,150 @@ class MonitoringCoordinator:
                 evidence = dict(evidence)
                 evidence["compliant"] = False
                 evidence["details"] = f"evidence rejected: {reason}"
+        return evidence
+
+    @staticmethod
+    def _record_verdict(report: MonitoringReport, device_id: str,
+                        evidence: Dict[str, Any]) -> None:
+        """Fold one screened evidence record into the round's report."""
         report.evidence[device_id] = evidence
         if evidence.get("compliant", False):
             report.compliant_devices.append(device_id)
         else:
             report.non_compliant_devices.append(device_id)
+
+    def _classify(self, report: MonitoringReport, device_id: str,
+                  evidence: Dict[str, Any], opened_at: float) -> Dict[str, Any]:
+        """Verify, record, and return one device's evidence (sequential flow)."""
+        evidence = self._screen_evidence(evidence, opened_at)
+        self._record_verdict(report, device_id, evidence)
         return evidence
+
+    # -- sharded serving (workers > 1) -------------------------------------------------------
+
+    def _serve_sharded(self, served, opened_at: float):
+        """Serve a round's holders across forked workers; None = run in-process.
+
+        Each worker inherits the whole deployment copy-on-write, detaches
+        every chain store (a child must never write to the parent's durable
+        log), serves its contiguous shard of pull-in requests against its own
+        forked state, screens the resulting evidence, and streams a
+        ``{device_id: {fulfilled, response, evidence}}`` map back through a
+        pipe.  The worker's own blocks exist only in its memory; the parent
+        replays the fulfillment transactions (and records the screened
+        evidence) on the real chain, which is the round's on-chain outcome.
+        Any failure (fork unavailable, a worker dying, an unreadable pipe)
+        falls back to the in-process path.
+        """
+        if self.workers <= 1 or len(served) < 2 or not hasattr(os, "fork"):
+            return None
+        count = min(self.workers, len(served))
+        base, extra = divmod(len(served), count)
+        shards, start = [], 0
+        for index in range(count):
+            size = base + (1 if index < extra else 0)
+            shards.append(served[start:start + size])
+            start += size
+        children = []
+        try:
+            for shard in shards:
+                read_fd, write_fd = os.pipe()
+                pid = os.fork()
+                if pid == 0:
+                    status = 1
+                    try:
+                        os.close(read_fd)
+                        self._detach_stores()
+                        payload = pickle.dumps(self._run_shard(shard, opened_at))
+                        with os.fdopen(write_fd, "wb") as sink:
+                            sink.write(len(payload).to_bytes(8, "big"))
+                            sink.write(payload)
+                            sink.flush()
+                        status = 0
+                    except BaseException:
+                        pass
+                    finally:
+                        os._exit(status)
+                os.close(write_fd)
+                children.append((pid, read_fd))
+        except OSError:
+            for pid, read_fd in children:
+                os.close(read_fd)
+                os.waitpid(pid, 0)
+            return None
+        # Drain every pipe before waiting on its child: a shard result
+        # larger than the pipe buffer would otherwise deadlock the pair.
+        merged: Dict[str, Dict[str, Any]] = {}
+        failed = False
+        for pid, read_fd in children:
+            with os.fdopen(read_fd, "rb") as source:
+                data = source.read()
+            _, status = os.waitpid(pid, 0)
+            if status != 0 or len(data) < 8:
+                failed = True
+                continue
+            size = int.from_bytes(data[:8], "big")
+            if len(data) != 8 + size:
+                failed = True
+                continue
+            try:
+                merged.update(pickle.loads(data[8:]))
+            except Exception:
+                failed = True
+        if failed or len(merged) != len(served):
+            return None
+        return merged
+
+    def _run_shard(self, shard, opened_at: float) -> Dict[str, Dict[str, Any]]:
+        """Worker body: serve one shard's requests and screen the evidence.
+
+        Returns, per device, whether the request was fulfilled, the raw
+        response (for the parent to replay on the real chain), and the
+        screened evidence.  The screening verdict transfers: the parent
+        submits byte-identical responses, so re-screening there would reach
+        the same conclusion.
+        """
+        arch = self.architecture
+        modules = {id(c.module): c.module for _, _, c in shard if c is not None}
+        with arch.operator_module.batch(*modules.values()):
+            for _, request_id, consumer in shard:
+                if consumer is not None:
+                    consumer.pull_in.serve_request(request_id)
+        outcomes: Dict[str, Dict[str, Any]] = {}
+        for device_id, request_id, _ in shard:
+            record = arch.node.call(
+                arch.oracle_hub_address, "get_request", {"request_id": request_id}
+            )
+            fulfilled = bool(record["fulfilled"])
+            response = record["response"] if fulfilled else dict(NO_EVIDENCE)
+            outcomes[device_id] = {
+                "fulfilled": fulfilled,
+                "response": response,
+                "evidence": self._screen_evidence(response, opened_at),
+            }
+        return outcomes
+
+    def _detach_stores(self) -> None:
+        """Disconnect every chain in the deployment from its durable store.
+
+        Called in a freshly forked worker: the child shares file
+        descriptions (and offsets) with the parent, so a single child write
+        would corrupt the parent's log.  Dropping the references is enough —
+        the duplicated descriptors are reclaimed when the worker exits.
+        """
+        arch = self.architecture
+        chains = []
+        node = getattr(arch, "node", None)
+        if node is not None:
+            chains.append(node.chain)
+        network = getattr(arch, "validator_network", None)
+        if network is not None:
+            for validator in network.validators:
+                if validator.node is not None:
+                    chains.append(validator.node.chain)
+        for chain in chains:
+            chain.store = None
+            chain.snapshot_interval = 0
 
     def _trusted_measurements(self) -> Set[str]:
         # Fail loudly if the deployment ever loses its attestation verifier:

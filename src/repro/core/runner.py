@@ -534,7 +534,7 @@ class ScenarioRunner:
     def run(self) -> ScenarioResult:
         spec = self.spec
         architecture = UsageControlArchitecture(config=self._architecture_config())
-        coordinator = MonitoringCoordinator(architecture)
+        coordinator = MonitoringCoordinator(architecture, workers=spec.monitor_workers)
         model = _ShadowModel(spec)
         result = ScenarioResult(architecture=architecture, spec=spec)
 

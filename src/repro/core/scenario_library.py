@@ -12,6 +12,7 @@ catalog and prints each expected-vs-observed violation ledger.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from typing import Callable, Dict, List, Mapping, Optional
 
@@ -586,7 +587,8 @@ def population_spec(num_consumers: int = 1000, num_owners: int = 2,
                     seed: int = 2026,
                     behavior_mix: Optional[Mapping[Behavior, float]] = None,
                     name: Optional[str] = None,
-                    setup_cohort: Optional[int] = POPULATION_SETUP_COHORT) -> ScenarioSpec:
+                    setup_cohort: Optional[int] = POPULATION_SETUP_COHORT,
+                    monitor_workers: int = 1) -> ScenarioSpec:
     """The population-scale family: thousands of consumers, mixed profiles.
 
     Built through :func:`~repro.core.spec.spec_from_workload` from one seed,
@@ -607,13 +609,16 @@ def population_spec(num_consumers: int = 1000, num_owners: int = 2,
         reads_per_consumer=1,
         seed=seed,
     )
-    return spec_from_workload(
+    spec = spec_from_workload(
         config,
         random.Random(seed),
         behavior_mix=behavior_mix if behavior_mix is not None else POPULATION_BEHAVIOR_MIX,
         name=name or f"population-{num_consumers}",
         setup_cohort=setup_cohort,
     )
+    if monitor_workers != 1:
+        spec = dataclasses.replace(spec, monitor_workers=monitor_workers)
+    return spec
 
 
 def bounded_use_spec() -> ScenarioSpec:

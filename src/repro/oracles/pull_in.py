@@ -127,6 +127,22 @@ class PullInOracle(OracleComponent):
         self._count()
         return receipt
 
+    def fulfill_served(self, request_id: int, response: Dict[str, Any]) -> Receipt:
+        """Submit the fulfillment transaction for an already-computed response.
+
+        The sharded monitoring coordinator runs the provider (the expensive
+        enclave work) in forked workers; the parent then replays only this
+        on-chain fulfillment, so its chain carries the same transaction the
+        in-process flow would have sealed.
+        """
+        receipt = self.module.call_contract(
+            self.contract_address,
+            "fulfill_request",
+            {"request_id": request_id, "response": response},
+        )
+        self._count()
+        return receipt
+
     def serve_pending(self, kind: Optional[str] = None) -> int:
         """Answer every pending request (optionally of one kind); returns the count."""
         served = 0

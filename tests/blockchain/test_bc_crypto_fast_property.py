@@ -153,6 +153,34 @@ def test_verification_cache_survives_key_rotation():
     assert verify(old.public_key, message, new_sig) is False
 
 
+def test_replayed_batch_serves_verdicts_without_building_tables(monkeypatch):
+    """Replay pin: a batch seen once must be answered wholly from the verdict
+    cache — zero wNAF table constructions on the second pass."""
+    keys = [KeyPair.from_name(f"batch-replay-{i}") for i in range(3)]
+    triples = []
+    for i, keypair in enumerate(keys):
+        message = f"batch-replay-payload-{i}".encode()
+        triples.append((keypair.public_key, message, keypair.sign(message)))
+    # A tampered triple rides along so False verdicts replay from cache too.
+    public_key, message, signature = triples[0]
+    triples.append((public_key, message + b"!tampered", signature))
+
+    builds = []
+    real = fastec.table_for_pubkey
+
+    def counting(point):
+        builds.append(point)
+        return real(point)
+
+    monkeypatch.setattr(fastec, "table_for_pubkey", counting)
+    first = verify_batch(triples)
+    assert first == [True, True, True, False]
+    assert len(builds) == len(triples)  # fresh keys: every triple missed
+    builds.clear()
+    assert verify_batch(triples) == first
+    assert builds == []
+
+
 @given(st.lists(st.tuples(private_keys, messages, st.booleans()),
                 min_size=1, max_size=8))
 @settings(max_examples=20, deadline=None)
@@ -186,3 +214,19 @@ def test_sign_verify_bit_identical_on_500_cases(private_key, message):
     assert reference_verify(public_key, message, signature) is True
     assert verify(public_key, message + b"x", signature) is False
     assert reference_verify(public_key, message + b"x", signature) is False
+
+
+# -- cache sizing vs the population sweep --------------------------------------
+
+
+def test_signature_caches_hold_a_10k_consumer_working_set():
+    """An LRU cycled over more keys than it holds misses on every lookup, so
+    per-participant cost goes superlinear the moment the population passes
+    the cache size (observed at 5k consumers with a 4096-table cap).  Pin
+    the caps above the nightly sweep's working set: 10k consumer keys plus
+    validators/owners for the table cache, several signed transactions per
+    participant for the verdict cache."""
+    import repro.blockchain.crypto as crypto_mod
+
+    assert fastec._PUBKEY_TABLE_LIMIT >= 12_000
+    assert crypto_mod._VERIFY_CACHE_LIMIT >= 100_000

@@ -412,6 +412,74 @@ def test_cold_started_follower_restores_the_state_derived_rotation(tmp_path):
     assert restarted.chain.head.hash == network.primary.chain.head.hash
 
 
+# -- membership changes colliding with the epoch boundary itself --------------
+
+
+def to_boundary_minus_one(network) -> int:
+    """Advance the chain to one block shy of the next epoch boundary."""
+    height = network.primary.chain.height
+    boundary = (height // EPOCH + 1) * EPOCH
+    network.produce_blocks(boundary - 1 - height)
+    assert network.primary.chain.height == boundary - 1
+    return boundary
+
+
+def test_join_sealed_in_the_boundary_block_enters_that_epochs_rotation():
+    """TOCTOU audit: a join settling in block k*EPOCH itself must be read by
+    the rotation derived from that very block, so epoch k already schedules
+    the joiner — on every replica, the joiner's own included."""
+    arch = dynamic_architecture()
+    network = arch.validator_network
+    genesis_rotation = rotation_next(network.validators[0])
+    # Fund the candidate before lining up the boundary: the operator's
+    # funding transfer seals its own block and would shift the height.
+    keypair = KeyPair.from_name(f"validator-{len(network.validators)}")
+    arch.operator_module.send_transaction(
+        keypair.address, {}, value=arch.config.validator_bond + 5_000_000)
+    boundary = to_boundary_minus_one(network)
+    joiner = network.join_validator(keypair)
+    blocks = network.produce_blocks(1)
+    # The join transaction landed inside the boundary block itself.
+    assert network.primary.chain.height == boundary
+    assert any(tx.sender == joiner.address for tx in blocks[0].transactions)
+    info = arch.node.call(
+        arch.validator_registry_address, "validator_info",
+        {"address": joiner.address})
+    assert info["status"] == "active"
+    # No further blocks produced: the boundary block's post-state alone must
+    # already govern heights boundary+1..boundary+EPOCH on every replica.
+    expected = genesis_rotation + (joiner.address,)
+    for validator in network.validators:
+        assert rotation_next(validator) == expected
+    sealed = network.produce_blocks(len(expected))
+    assert any(block.header.proposer == joiner.address for block in sealed)
+    assert network.honest_heads_converged()
+    assert network.primary.chain.verify_chain(replay=True)
+
+
+def test_leave_sealed_in_the_boundary_block_exits_that_epochs_rotation():
+    """The symmetric collision: a leave settling in the boundary block drops
+    the leaver from the epoch that block derives, with no orphaned slots."""
+    arch = dynamic_architecture()
+    network = arch.validator_network
+    leaver = network.validators[2].address
+    arch.operator_module.send_transaction(leaver, {}, value=5_000_000)
+    boundary = to_boundary_minus_one(network)
+    network.leave_validator(2)
+    blocks = network.produce_blocks(1)
+    assert network.primary.chain.height == boundary
+    assert any(tx.sender == leaver for tx in blocks[0].transactions)
+    for validator in network.validators:
+        rotation = rotation_next(validator)
+        assert leaver not in rotation and len(rotation) == 3
+    # The shrunk rotation owns every slot: a full epoch passes with no skips.
+    skipped_before = network.skipped_slots
+    cross_boundary(network)
+    assert network.skipped_slots == skipped_before
+    assert network.honest_heads_converged()
+    assert network.primary.chain.verify_chain(replay=True)
+
+
 # -- the replica-agreement property (random churn sequences) -------------------
 
 

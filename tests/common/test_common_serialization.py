@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.common.serialization import canonical_json, from_canonical_json, stable_hash
+from repro.common.serialization import (
+    binary_encode,
+    canonical_json,
+    from_canonical_json,
+    stable_hash,
+)
 
 
 def test_canonical_json_sorts_keys():
@@ -41,3 +46,52 @@ def test_stable_hash_is_deterministic_and_sensitive():
     assert base == stable_hash({"b": 2, "a": 1})
     assert base != stable_hash({"a": 1, "b": 3})
     assert len(base) == 64
+
+
+# -- the binary encoder behind scheme-2 state roots ---------------------------
+
+
+def test_binary_encode_distinguishes_types_that_print_alike():
+    alike = ["1", 1, 1.0, True, [1], {"1": None}]
+    encodings = {binary_encode(value) for value in alike}
+    assert len(encodings) == len(alike)
+
+
+def test_binary_encode_treats_tuples_as_lists():
+    assert binary_encode((1, "two", None)) == binary_encode([1, "two", None])
+
+
+def test_binary_encode_is_key_order_insensitive():
+    assert (binary_encode({"b": 1, "a": {"y": 2, "x": 3}})
+            == binary_encode({"a": {"x": 3, "y": 2}, "b": 1}))
+
+
+def test_binary_encode_coerces_keys_like_json_dumps():
+    # json.dumps({1: "x"}) == json.dumps({"1": "x"}): the binary form must
+    # commit to the same value space or a snapshot round-trip (which goes
+    # through JSON) would change the root.
+    assert binary_encode({1: "x"}) == binary_encode({"1": "x"})
+    assert binary_encode({True: "x"}) == binary_encode({"true": "x"})
+    assert binary_encode({None: "x"}) == binary_encode({"null": "x"})
+    assert binary_encode({2.5: "x"}) == binary_encode({"2.5": "x"})
+
+
+def test_binary_encode_objects_with_to_dict_and_rejects_the_rest():
+    class Box:
+        def __init__(self, value):
+            self.value = value
+
+        def to_dict(self):
+            return {"value": self.value}
+
+    assert binary_encode(Box(7)) == binary_encode({"value": 7})
+    with pytest.raises(TypeError):
+        binary_encode(object())
+    with pytest.raises(TypeError):
+        binary_encode({(1, 2): "tuple-key"})
+
+
+def test_binary_encode_agrees_with_a_json_round_trip():
+    value = {"outer": [1, "", None, {"k": (2, 3)}, 4.5], "empty": {}}
+    revived = from_canonical_json(canonical_json(value))
+    assert binary_encode(value) == binary_encode(revived)

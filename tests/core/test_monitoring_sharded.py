@@ -1,0 +1,170 @@
+"""Sharded monitoring rounds: workers=N must be an optimization only.
+
+A round with ``workers > 1`` partitions the holder set across forked worker
+processes, each serving its shard against forked state, with the parent
+merging evidence in holder order before any of it touches the parent's
+chain.  These tests pin the equivalence contract: the report, the on-chain
+record, and the reconciliation ledger are identical to the in-process
+``workers=1`` round — and the coordinator silently falls back in-process
+when forking is unavailable.
+
+Evidence payloads carry per-run randomness even between two identical
+sequential runs (duty UIDs are fresh UUIDs, and ``evidenceId`` /
+``signature`` / usage-log head digests derive from them), so evidence is
+compared modulo those fields — everything else must match exactly.
+"""
+
+import os
+
+import pytest
+
+from repro.common.clock import MONTH, WEEK
+from repro.common.errors import ValidationError
+from repro.core import monitoring as monitoring_module
+from repro.core.monitoring import MonitoringCoordinator
+from repro.core.processes import (
+    market_onboarding,
+    pod_initiation,
+    resource_access,
+    resource_initiation,
+)
+from repro.core.architecture import UsageControlArchitecture
+from repro.core.runner import ScenarioRunner
+from repro.core.scenario_library import population_spec
+from repro.core.spec import ScenarioSpec
+from repro.policy.templates import retention_policy
+
+PATH = "/data/shared.csv"
+CONTENT = b"k,v\n" * 16
+DEVICES = ("shard-a", "shard-b", "shard-c", "shard-d", "shard-e")
+
+
+def build_deployment(retention_seconds=MONTH):
+    architecture = UsageControlArchitecture()
+    owner = architecture.register_owner("alice")
+    pod_initiation(architecture, owner)
+    policy = retention_policy(
+        owner.pod_manager.base_url + PATH, owner.webid.iri,
+        retention_seconds=retention_seconds, issued_at=architecture.clock.now(),
+    )
+    resource_initiation(architecture, owner, PATH, CONTENT, policy)
+    resource_id = owner.pod_manager.require_pod().url_for(PATH)
+    for index, device in enumerate(DEVICES):
+        consumer = architecture.register_consumer(f"consumer-{index}", device_id=device)
+        market_onboarding(architecture, consumer)
+        resource_access(architecture, consumer, owner, resource_id)
+    return architecture, owner, resource_id
+
+
+def normalize(value):
+    """Strip per-run randomness (fresh duty UUIDs and everything derived
+    from them) so equivalence is judged on the deterministic remainder."""
+    if isinstance(value, dict):
+        return {
+            key: len(item) if key == "pendingDuties" else normalize(item)
+            for key, item in value.items()
+            if key not in ("evidenceId", "signature", "headDigest")
+        }
+    if isinstance(value, list):
+        return [normalize(item) for item in value]
+    return value
+
+
+def on_chain_record(architecture, resource_id, round_id):
+    return normalize({
+        "round": architecture.dist_exchange_read("get_monitoring_round", {"round_id": round_id}),
+        "evidence": architecture.dist_exchange_read("get_evidence", {"resource_id": resource_id}),
+        "violations": architecture.dist_exchange_read("get_violations", {"resource_id": resource_id}),
+    })
+
+
+@pytest.mark.parametrize("retention", [MONTH, WEEK], ids=["compliant", "violating"])
+def test_sharded_round_equals_in_process_round(retention):
+    arch_sharded, owner_w, resource_w = build_deployment(retention)
+    arch_inline, owner_i, resource_i = build_deployment(retention)
+    if retention == WEEK:
+        arch_sharded.advance_time(2 * WEEK)
+        arch_inline.advance_time(2 * WEEK)
+
+    sharded = MonitoringCoordinator(arch_sharded, workers=2).run_round(owner_w, PATH)
+    inline = MonitoringCoordinator(arch_inline, workers=1).run_round(owner_i, PATH)
+
+    assert normalize(sharded.to_dict()) == normalize(inline.to_dict())
+    assert normalize(sharded.evidence) == normalize(inline.evidence)
+    assert on_chain_record(arch_sharded, resource_w, sharded.round_id) == on_chain_record(
+        arch_inline, resource_i, inline.round_id
+    )
+    # Workers execute against forked state: the parent's chain stays intact
+    # and seals the same constant number of blocks as the inline round.
+    assert arch_sharded.node.chain.height == arch_inline.node.chain.height
+    assert arch_sharded.node.chain.verify_chain(replay=True)
+
+
+def test_more_workers_than_holders_still_covers_every_device():
+    architecture, owner, _ = build_deployment()
+    report = MonitoringCoordinator(architecture, workers=16).run_round(owner, PATH)
+    assert sorted(report.holders) == sorted(DEVICES)
+    assert report.all_compliant
+    assert architecture.node.chain.verify_chain(replay=True)
+
+
+def test_sharded_round_falls_back_in_process_when_fork_fails(monkeypatch):
+    architecture, owner, _ = build_deployment()
+
+    def broken_fork():
+        raise OSError("fork unavailable")
+
+    monkeypatch.setattr(monitoring_module.os, "fork", broken_fork)
+    report = MonitoringCoordinator(architecture, workers=4).run_round(owner, PATH)
+    assert sorted(report.holders) == sorted(DEVICES)
+    assert report.all_compliant
+    assert architecture.node.chain.verify_chain(replay=True)
+
+
+def test_worker_count_is_validated():
+    architecture, _, _ = build_deployment()
+    with pytest.raises(ValueError):
+        MonitoringCoordinator(architecture, workers=0)
+
+
+# -- spec plumbing and full-scenario equivalence ------------------------------
+
+
+def test_spec_monitor_workers_round_trips_and_validates():
+    spec = population_spec(num_consumers=10, seed=7, monitor_workers=3,
+                           name="pop-workers")
+    assert spec.monitor_workers == 3
+    clone = ScenarioSpec.from_dict(spec.to_dict())
+    assert clone == spec
+    with pytest.raises(ValidationError):
+        ScenarioSpec.from_dict({**spec.to_dict(), "monitorWorkers": 0}).validate()
+    # Old specs without the key default to the in-process path.
+    legacy = {k: v for k, v in spec.to_dict().items() if k != "monitorWorkers"}
+    assert ScenarioSpec.from_dict(legacy).monitor_workers == 1
+
+
+@pytest.mark.parametrize("seed,consumers,workers", [(2026, 12, 2), (4099, 17, 4)])
+def test_scenario_receipts_match_across_worker_counts(seed, consumers, workers):
+    """Full-runner equivalence on seed-randomized population specs: reports,
+    on-chain violations, and the reconciliation ledger are bit-identical."""
+    inline_spec = population_spec(
+        num_consumers=consumers, seed=seed, name="pop-eq-inline")
+    sharded_spec = population_spec(
+        num_consumers=consumers, seed=seed, monitor_workers=workers,
+        name="pop-eq-sharded")
+    inline = ScenarioRunner(inline_spec).run()
+    sharded = ScenarioRunner(sharded_spec).run()
+
+    assert ([normalize(r.to_dict()) for r in sharded.monitoring_reports]
+            == [normalize(r.to_dict()) for r in inline.monitoring_reports])
+    assert (normalize(sharded.on_chain_violations)
+            == normalize(inline.on_chain_violations))
+
+    def keys(records):
+        return {(r.resource_id, r.device_id, r.reason) for r in records}
+
+    assert keys(sharded.ledger.observed) == keys(inline.ledger.observed)
+    assert keys(sharded.ledger.expected) == keys(inline.ledger.expected)
+    assert sharded.ledger.matches and inline.ledger.matches
+    assert sharded.balance_conservation()["holds"]
+    assert sharded.verify_chain_replay()
